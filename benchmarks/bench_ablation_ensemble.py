@@ -1,0 +1,71 @@
+"""Ablation — top-3 majority vote vs the individual classifiers.
+
+WAP combines three classifiers instead of trusting one (§II).  This
+ablation evaluates the majority vote under the same 10-fold protocol as
+the single models, showing that the vote is at least as accurate as the
+median member and never the worst — the robustness argument behind the
+design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+from repro.mining import ConfusionMatrix, build_dataset, kfold_indices
+from repro.mining.predictor import top3_new
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("new")
+
+
+def _vote_cv(dataset, k=10, seed=11) -> ConfusionMatrix:
+    folds = kfold_indices(dataset.size, k, seed)
+    total = ConfusionMatrix(0, 0, 0, 0)
+    X, y = dataset.X, dataset.y
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate(
+            [folds[j] for j in range(k) if j != i])
+        members = top3_new()
+        for clf in members:
+            clf.fit(X[train_idx], y[train_idx])
+        votes = np.stack([clf.predict(X[test_idx]) for clf in members])
+        pred = (votes.sum(axis=0) * 2 > len(members)).astype(np.int64)
+        total = total + ConfusionMatrix.from_predictions(y[test_idx],
+                                                         pred)
+    return total
+
+
+def _single_cv(dataset, clf_factory, k=10, seed=11) -> ConfusionMatrix:
+    from repro.mining import cross_validate
+    return cross_validate(clf_factory, dataset.X, dataset.y, k, seed)
+
+
+def test_ablation_majority_vote(benchmark, dataset):
+    vote_cm = benchmark.pedantic(lambda: _vote_cv(dataset),
+                                 rounds=1, iterations=1)
+    singles = {clf.name: _single_cv(dataset, type(clf))
+               for clf in top3_new()}
+
+    rows = [[name, f"{cm.acc * 100:.1f}%", f"{cm.tpp * 100:.1f}%",
+             f"{cm.pfp * 100:.1f}%"]
+            for name, cm in singles.items()]
+    rows.append(["top-3 majority vote", f"{vote_cm.acc * 100:.1f}%",
+                 f"{vote_cm.tpp * 100:.1f}%",
+                 f"{vote_cm.pfp * 100:.1f}%"])
+    print_table("ablation: ensemble vote vs single classifiers "
+                "(10-fold CV)", ["model", "acc", "tpp", "pfp"], rows)
+
+    accs = sorted(cm.acc for cm in singles.values())
+    median_acc = accs[len(accs) // 2]
+    # the vote is at least as accurate as the median member...
+    assert vote_cm.acc >= median_acc - 0.01
+    # ...and never the worst
+    assert vote_cm.acc >= accs[0]
+    # and its fallout is bounded by the worst member's
+    assert vote_cm.pfp <= max(cm.pfp for cm in singles.values())

@@ -1,0 +1,64 @@
+"""Fig. 4 — downloads and active installs of analyzed vs vulnerable
+plugins.
+
+Bins the 115 plugin profiles into the figure's download and active-install
+ranges and renders both histograms (analyzed in full, vulnerable subset),
+checking the figure's stated properties: vulnerable plugins appear in all
+install ranges, 16 of the 23 have >10K downloads, and 12 are active on
+more than 2,000 sites.  The timed kernel is the binning itself.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.corpus import (
+    DOWNLOAD_BIN_LABELS,
+    INSTALL_BIN_LABELS,
+    VULNERABLE_PLUGINS,
+    all_plugin_profiles,
+    download_histogram,
+    install_histogram,
+)
+
+
+def _bars(analyzed: list[int], vulnerable: list[int],
+          labels: tuple[str, ...]) -> list[list[object]]:
+    rows = []
+    for label, total, vuln in zip(labels, analyzed, vulnerable):
+        rows.append([label, total, "#" * total, vuln, "#" * vuln])
+    return rows
+
+
+def test_fig4_downloads_and_installs(benchmark):
+    plugins = all_plugin_profiles()
+
+    def kernel():
+        return (download_histogram(plugins),
+                install_histogram(plugins),
+                download_histogram(VULNERABLE_PLUGINS),
+                install_histogram(VULNERABLE_PLUGINS))
+
+    dl_all, in_all, dl_vuln, in_vuln = benchmark(kernel)
+
+    print_table("Fig. 4(a) - downloads (analyzed = 115, vulnerable = 23)",
+                ["range", "analyzed", "", "vulnerable", ""],
+                _bars(dl_all, dl_vuln, DOWNLOAD_BIN_LABELS))
+    print_table("Fig. 4(b) - active installs",
+                ["range", "analyzed", "", "vulnerable", ""],
+                _bars(in_all, in_vuln, INSTALL_BIN_LABELS))
+
+    # totals
+    assert sum(dl_all) == sum(in_all) == 115
+    assert sum(dl_vuln) == sum(in_vuln) == 23
+    # vulnerable <= analyzed in every bin
+    assert all(v <= a for v, a in zip(dl_vuln, dl_all))
+    assert all(v <= a for v, a in zip(in_vuln, in_all))
+    # "All ranges of active WP installations contain vulnerable plugins"
+    assert all(v > 0 for v in in_vuln)
+    # "16 of them have more than 10K downloads"
+    assert sum(dl_vuln[3:]) == 16
+    # "12 plugins are used in more than 2000 web sites"
+    assert sum(in_vuln[4:]) == 12
+    # "reaching more than 500K downloads"
+    assert dl_vuln[-1] >= 1

@@ -1,0 +1,73 @@
+"""Table I — attributes and symptoms of the original and the new WAP.
+
+Regenerates the attribute/symptom accounting: the original tool's 15
+feature attributes (+ class = 16) summarizing 24 function symptoms, versus
+the new tool where every one of the 60 symptoms is its own attribute
+(+ class = 61).  The timed kernel is symptom-set vectorization under both
+schemes, the operation the predictor performs per candidate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import print_table
+
+from repro.mining import (
+    NewAttributeScheme,
+    OriginalAttributeScheme,
+    attribute_groups,
+    all_symptoms,
+    describe_scheme,
+    new_symptoms,
+    original_symptoms,
+)
+
+
+def test_table1_symptom_catalog(benchmark):
+    original = OriginalAttributeScheme()
+    new = NewAttributeScheme()
+
+    # timed kernel: vectorize 1000 random symptom sets under both schemes
+    names = [s.name for s in all_symptoms()]
+    rng = random.Random(42)
+    sets = [frozenset(rng.sample(names, rng.randrange(1, 8)))
+            for _ in range(1000)]
+
+    def kernel():
+        for symptom_set in sets:
+            original.vectorize(symptom_set)
+            new.vectorize(symptom_set)
+
+    benchmark(kernel)
+
+    # --- reproduce the table accounting -------------------------------
+    rows = []
+    for attribute, symptoms in attribute_groups().items():
+        old = [s.name for s in symptoms if s.original]
+        added = [s.name for s in symptoms if not s.original]
+        rows.append([attribute, symptoms[0].category,
+                     ", ".join(old) or "-", ", ".join(added) or "-"])
+    print_table("Table I - attributes and symptoms",
+                ["attribute", "category", "original symptoms",
+                 "new symptoms"], rows)
+
+    old_info = describe_scheme(original)
+    new_info = describe_scheme(new)
+    print_table("Table I - accounting (paper: 16 vs 61 attributes, "
+                "24 original symptoms)",
+                ["scheme", "feature attrs", "attrs incl. class",
+                 "symptoms seen"],
+                [["original WAP", original.width,
+                  old_info["attributes_with_class"],
+                  len(original_symptoms())],
+                 ["new WAP (WAPe)", new.width,
+                  new_info["attributes_with_class"],
+                  len(all_symptoms())]])
+
+    # shape assertions: the paper's exact accounting
+    assert old_info["attributes_with_class"] == 16
+    assert new_info["attributes_with_class"] == 61
+    assert len(original_symptoms()) == 24
+    assert len(new_symptoms()) == 36
+    assert len(all_symptoms()) == 60

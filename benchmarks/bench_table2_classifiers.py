@@ -1,0 +1,107 @@
+"""Table II — evaluation of the machine-learning models on the data set.
+
+10-fold cross-validation of the top-3 classifiers (SVM, Logistic
+Regression, Random Forest) on the regenerated 256-instance, 61-attribute
+data set, reporting the paper's nine metrics.  The timed kernel is one full
+cross-validation of the three classifiers.
+
+Shape targets (paper values in parentheses): accuracies around 94%
+(94.9 / 94.1 / 94.1); SVM has the best tpp (94.5), LR second (93.0), RF
+third (90.6); RF has the lowest fallout pfp (2.3) and the best prfp (97.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+from repro.mining import build_dataset, cross_validate
+from repro.mining.predictor import top3_new
+
+PAPER = {
+    "SVM": {"tpp": .945, "pfp": .047, "prfp": .953, "pd": .953,
+            "ppd": .946, "acc": .949, "pr": .949, "inform": .898,
+            "jacc": .903},
+    "Logistic Regression": {"tpp": .930, "pfp": .047, "prfp": .952,
+                            "pd": .953, "ppd": .931, "acc": .941,
+                            "pr": .942, "inform": .883, "jacc": .888},
+    "Random Forest": {"tpp": .906, "pfp": .023, "prfp": .975, "pd": .977,
+                      "ppd": .912, "acc": .941, "pr": .944,
+                      "inform": .883, "jacc": .885},
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("new")
+
+
+def test_table2_classifier_evaluation(benchmark, dataset):
+    def kernel():
+        out = {}
+        for clf in top3_new():
+            factory = type(clf)
+            out[clf.name] = cross_validate(factory, dataset.X, dataset.y,
+                                           k=10)
+        return out
+
+    results = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    metric_names = ("tpp", "pfp", "prfp", "pd", "ppd", "acc", "pr",
+                    "inform", "jacc")
+    rows = []
+    for metric in metric_names:
+        row = [metric]
+        for name in ("SVM", "Logistic Regression", "Random Forest"):
+            measured = getattr(results[name], metric)
+            row.append(f"{measured * 100:.1f}%"
+                       f" ({PAPER[name][metric] * 100:.1f}%)")
+        rows.append(row)
+    print_table("Table II - measured (paper) metrics, 10-fold CV, "
+                "256 instances x 61 attributes",
+                ["metric", "SVM", "Logistic Regression", "Random Forest"],
+                rows)
+
+    svm, lr, rf = (results["SVM"], results["Logistic Regression"],
+                   results["Random Forest"])
+    # shape: everyone is accurate and precise, in the ~94% region
+    for cm in (svm, lr, rf):
+        assert 0.88 <= cm.acc <= 1.0
+        assert cm.pfp <= 0.10
+    # goal (1): SVM best tpp, LR second, RF third
+    assert svm.tpp >= lr.tpp >= rf.tpp
+    # goal (2): RF lowest fallout and best precision on the FP class
+    assert rf.pfp <= min(svm.pfp, lr.pfp)
+    assert rf.prfp >= max(svm.prfp, lr.prfp)
+
+
+def test_table2_other_classifiers_justify_top3(benchmark, dataset):
+    """The re-evaluation pool: the non-top-3 classifiers do not beat the
+    chosen ensemble on accuracy (why these three were kept)."""
+    from repro.mining.classifiers import (
+        BernoulliNaiveBayes,
+        KNearestNeighbors,
+        RandomTree,
+    )
+
+    def kernel():
+        return {cls.__name__: cross_validate(cls, dataset.X, dataset.y,
+                                             k=10)
+                for cls in (RandomTree, BernoulliNaiveBayes,
+                            KNearestNeighbors)}
+
+    others = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    top3 = {clf.name: cross_validate(type(clf), dataset.X, dataset.y,
+                                     k=10)
+            for clf in top3_new()}
+
+    rows = [[name, f"{cm.acc * 100:.1f}%", f"{cm.tpp * 100:.1f}%",
+             f"{cm.pfp * 100:.1f}%"]
+            for name, cm in {**top3, **others}.items()]
+    print_table("classifier re-evaluation (top 3 first)",
+                ["classifier", "acc", "tpp", "pfp"], rows)
+
+    best_top3_acc = max(cm.acc for cm in top3.values())
+    for cm in others.values():
+        assert cm.acc <= best_top3_acc + 0.02

@@ -1,0 +1,69 @@
+"""Table V — summary of the WAPe run over the real web applications.
+
+Materializes the 17 vulnerable packages of the corpus and analyzes them
+with fully-armed WAPe; prints the per-package rows next to the paper's
+metadata.  The timed kernel is the analysis of one mid-size package.
+
+Shape targets: 413 real vulnerabilities total across 17 packages; our
+analysis time is measured on the (file-capped) synthetic corpus, the
+paper's 123 s on the full 1.2 MLoC — both are shown.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.corpus import (
+    PAPER_TOTAL_TIME_S,
+    PAPER_TOTAL_VULN_FILES,
+    PAPER_TOTAL_VULNS,
+)
+
+
+def test_table5_webapp_summary(benchmark, wape_armed, wape_webapp_runs):
+    # timed kernel: re-analysis of one representative package (SAE)
+    sae = next(pkg for pkg, _ in wape_webapp_runs if pkg.name == "SAE")
+    benchmark.pedantic(lambda: wape_armed.analyze_tree(sae.path),
+                       rounds=1, iterations=2)
+
+    rows = []
+    total_vulns = 0
+    total_vuln_files = 0
+    total_seconds = 0.0
+    for pkg, report in wape_webapp_runs:
+        profile = pkg.profile
+        n_real = len(report.real_vulnerabilities)
+        n_vuln_files = len(report.vulnerable_files)
+        total_vulns += n_real
+        total_vuln_files += n_vuln_files
+        total_seconds += report.total_seconds
+        rows.append([pkg.name, pkg.version,
+                     profile.paper_files, profile.paper_loc,
+                     f"{report.total_seconds:.2f}",
+                     f"{profile.paper_time_s:.0f}",
+                     n_vuln_files, profile.paper_vuln_files,
+                     n_real, profile.total_vulns])
+    rows.append(["Total", "", sum(p.profile.paper_files
+                                  for p, _ in wape_webapp_runs),
+                 sum(p.profile.paper_loc for p, _ in wape_webapp_runs),
+                 f"{total_seconds:.2f}", f"{PAPER_TOTAL_TIME_S:.0f}",
+                 total_vuln_files, PAPER_TOTAL_VULN_FILES,
+                 total_vulns, PAPER_TOTAL_VULNS])
+    print_table("Table V - WAPe over the (synthetic) web applications; "
+                "files/LoC columns are the paper's package metadata",
+                ["web application", "version", "files*", "LoC*",
+                 "time(s)", "time(s)*", "vuln files", "vuln files*",
+                 "vulns found", "vulns*"], rows)
+    print("  (*) = paper-reported value for the real package")
+    print("  note: 'vulns found' includes the custom-sanitizer candidates"
+          " the predictor cannot dismiss (the paper's WAPe-FP column, 18"
+          " total), so the measured total is 413 + 18.")
+
+    # 413 paper vulnerabilities + the 18 custom-sanitizer candidates WAPe
+    # reports as real (they are exactly the paper's WAPe-FP column)
+    assert total_vulns == PAPER_TOTAL_VULNS + 18
+    # every package flagged vulnerable, like the paper's 17
+    assert all(len(r.real_vulnerabilities) > 0
+               for _, r in wape_webapp_runs)
+    # the tool stays fast on the synthetic corpus
+    assert total_seconds < 60

@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md §2 for the index).  Corpora are materialized once per
+session; tool runs are cached so the numbers printed by different benches
+are consistent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.corpus import (
+    build_webapp_corpus,
+    build_wordpress_corpus,
+)
+from repro.tool import Wap21, Wape
+
+
+@pytest.fixture(scope="session")
+def webapp_corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("webapps")
+    return build_webapp_corpus(str(root), vulnerable_only=True)
+
+
+@pytest.fixture(scope="session")
+def wordpress_corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("plugins")
+    return build_wordpress_corpus(str(root), vulnerable_only=True)
+
+
+@pytest.fixture(scope="session")
+def wape_armed():
+    return Wape(weapon_flags=["-nosqli", "-hei", "-wpsqli"])
+
+
+@pytest.fixture(scope="session")
+def wap21():
+    return Wap21()
+
+
+def run_over(tool, packages):
+    """Analyze each materialized package; returns (package, report) list."""
+    return [(pkg, tool.analyze_tree(pkg.path)) for pkg in packages]
+
+
+@pytest.fixture(scope="session")
+def wape_webapp_runs(wape_armed, webapp_corpus):
+    return run_over(wape_armed, webapp_corpus)
+
+
+@pytest.fixture(scope="session")
+def wap21_webapp_runs(wap21, webapp_corpus):
+    return run_over(wap21, webapp_corpus)
+
+
+@pytest.fixture(scope="session")
+def wape_plugin_runs(wape_armed, wordpress_corpus):
+    return run_over(wape_armed, wordpress_corpus)
+
+
+def class_totals(runs) -> Counter:
+    """Real-vulnerability counts per report group, over all runs."""
+    totals: Counter = Counter()
+    for _pkg, report in runs:
+        totals += report.counts_by_group()
+    return totals
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[object]]) -> None:
+    """Minimal fixed-width table printer for bench output."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"### {title}")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

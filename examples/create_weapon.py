@@ -1,0 +1,95 @@
+"""Creating a weapon for a brand-new vulnerability class (§III-D).
+
+The paper's headline property: WAPe detects and corrects *new* classes of
+vulnerabilities configured by the user, without writing tool code.  This
+example builds a weapon for **log injection** (attacker-controlled newlines
+forging log entries), saves it as a reusable bundle, and uses it.
+
+The user provides exactly the three pieces of data of §III-D:
+
+1. detector data: sensitive sinks (``error_log``, ``syslog``) — entry
+   points and sanitization functions are the defaults;
+2. fix data: the *user sanitization* template with the malicious characters
+   (CR/LF) and a neutralizer;
+3. dynamic symptoms: a project helper ``check_log_line`` that behaves like
+   ``preg_match``.
+
+Run with::
+
+    python examples/create_weapon.py
+"""
+
+import tempfile
+
+from repro.mining import DynamicSymptoms
+from repro.tool import Wape
+from repro.weapons import (
+    WeaponClassSpec,
+    WeaponSpec,
+    generate_weapon,
+    load_weapon,
+    save_weapon,
+)
+
+TARGET = """\
+<?php
+// vulnerable: attacker can forge log lines with embedded newlines
+error_log("login failed for " . $_POST['user']);
+
+// vulnerable through a variable
+$entry = $_SERVER['HTTP_USER_AGENT'] . " visited";
+syslog(LOG_INFO, $entry);
+
+// false positive: the project's helper validates the line first
+if (check_log_line($_POST['note'])) {
+    error_log("note: " . $_POST['note']);
+}
+"""
+
+
+def main() -> None:
+    spec = WeaponSpec(
+        name="logi",
+        flag="-logi",
+        classes=(WeaponClassSpec(
+            class_id="logi",
+            display_name="Log injection",
+            sinks=("error_log:0", "syslog:1"),
+            report_group="LOGI",
+        ),),
+        fix_template="user_sanitization",
+        fix_malicious_chars=("\r", "\n", "%0a", "%0d"),
+        fix_neutralizer=" ",
+        dynamic_symptoms=DynamicSymptoms(
+            mapping={"check_log_line": "preg_match"}),
+    )
+
+    print("generating the weapon from user data only...")
+    weapon = generate_weapon(spec)
+    print(f"  detector: sinks="
+          f"{[s.name for c in weapon.configs for s in c.sinks]}")
+    print(f"  fix:      {weapon.fix.fix_id} "
+          f"({weapon.fix.template} template)")
+    print(f"  symptoms: {dict(weapon.dynamic_symptoms.mapping)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = f"{tmp}/logi_weapon"
+        save_weapon(weapon, bundle)
+        print(f"\nsaved weapon bundle to {bundle} and reloading it "
+              f"(the 'jar' of §III-E)...")
+        weapon = load_weapon(bundle)
+
+    tool = Wape()
+    tool.arm(weapon)
+
+    print("\nanalysis with the armed weapon:")
+    report = tool.analyze_source(TARGET, "logger.php")
+    print(report.render_text())
+
+    print("\ncorrecting the real vulnerabilities:")
+    result = tool.correct_source(TARGET, report, "logger.php")
+    print(result.source)
+
+
+if __name__ == "__main__":
+    main()

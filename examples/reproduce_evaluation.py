@@ -1,0 +1,75 @@
+"""Reproduce the paper's evaluation (Tables V-VII) in one script.
+
+Materializes the synthetic corpora, runs WAP v2.1 and fully-armed WAPe
+over them, and prints the headline numbers of §V next to the paper's.
+This is the script version of the benchmark harness; run the benches with
+``pytest benchmarks/ --benchmark-only -s`` for the full per-package
+tables.
+
+Run with::
+
+    python examples/reproduce_evaluation.py
+"""
+
+import tempfile
+from collections import Counter
+
+from repro.corpus import (
+    PAPER_CLASS_TOTALS,
+    PAPER_PLUGIN_TOTAL_VULNS,
+    PAPER_TOTAL_VULNS,
+    PAPER_WAP_FPP,
+    PAPER_WAPE_FPP,
+    build_webapp_corpus,
+    build_wordpress_corpus,
+)
+from repro.tool import Wap21, Wape
+
+
+def run(tool, packages):
+    totals: Counter = Counter()
+    fpp = 0
+    for pkg in packages:
+        report = tool.analyze_tree(pkg.path)
+        totals += report.counts_by_group()
+        fpp += len(report.predicted_false_positives)
+    return totals, fpp
+
+
+def main() -> None:
+    wape = Wape(weapon_flags=["-nosqli", "-hei", "-wpsqli"])
+    wap21 = Wap21()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print("materializing the 17 vulnerable web applications...")
+        webapps = build_webapp_corpus(f"{tmp}/webapps",
+                                      vulnerable_only=True)
+        print("materializing the 23 vulnerable WordPress plugins...")
+        plugins = build_wordpress_corpus(f"{tmp}/plugins",
+                                         vulnerable_only=True)
+
+        print("\n== web applications (Tables V and VI)")
+        new_totals, new_fpp = run(wape, webapps)
+        old_totals, old_fpp = run(wap21, webapps)
+        real_new = sum(new_totals.values())
+        print(f"  WAPe:     {real_new} vulnerabilities "
+              f"(paper {PAPER_TOTAL_VULNS} + 18 unpredictable FPs), "
+              f"{new_fpp} predicted FPs (paper {PAPER_WAPE_FPP})")
+        print(f"  WAP v2.1: {sum(old_totals.values())} reports, "
+              f"{old_fpp} predicted FPs (paper {PAPER_WAP_FPP})")
+        print("  per class (WAPe vs paper):")
+        for group, paper in PAPER_CLASS_TOTALS.items():
+            print(f"    {group:>6}: {new_totals.get(group, 0):>3} "
+                  f"(paper {paper})")
+
+        print("\n== WordPress plugins (Table VII)")
+        wp_totals, wp_fpp = run(wape, plugins)
+        print(f"  WAPe armed: {sum(wp_totals.values())} vulnerabilities "
+              f"(paper {PAPER_PLUGIN_TOTAL_VULNS} + 2), "
+              f"{wp_fpp} predicted FPs (paper 3)")
+        print(f"  SQLI via the wpsqli weapon: {wp_totals.get('SQLI', 0)}"
+              f" (paper 55 + 2 custom-FP candidates)")
+
+
+if __name__ == "__main__":
+    main()

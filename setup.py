@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so the
+PEP 517 editable-install path is unavailable.  Keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to ``setup.py develop``, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Equipping WAP with WEAPONS to Detect "
+        "Vulnerabilities' (DSN 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    entry_points={"console_scripts": ["wape = repro.tool.cli:main"]},
+)

@@ -1,0 +1,50 @@
+"""repro — reproduction of *Equipping WAP with WEAPONS to Detect
+Vulnerabilities* (Medeiros, Neves, Correia — DSN 2016).
+
+A modular, extensible static-analysis tool for PHP web applications:
+
+* :mod:`repro.php` — PHP lexer/parser/AST (the ANTLR substrate of the paper);
+* :mod:`repro.analysis` — taint analysis producing candidate vulnerabilities;
+* :mod:`repro.vulnerabilities` — the 15 vulnerability classes and the three
+  detector sub-modules of Fig. 2;
+* :mod:`repro.mining` — the data-mining false positive predictor (Tables I-III);
+* :mod:`repro.corrector` — fix templates and source-code correction;
+* :mod:`repro.weapons` — the weapon generator and builtin weapons (§III-D);
+* :mod:`repro.tool` — the WAP v2.1 and WAPe tool facades and CLI;
+* :mod:`repro.corpus` — synthetic evaluation corpus (web apps + WP plugins).
+
+Quickstart::
+
+    from repro import Wape
+    tool = Wape()
+    report = tool.analyze_source(
+        '<?php $id = $_GET["id"]; '
+        'mysql_query("SELECT * FROM t WHERE id=$id");')
+    for vuln in report.real_vulnerabilities:
+        print(vuln.vuln_class, vuln.sink_line)
+"""
+
+from repro.exceptions import (  # noqa: F401
+    ClassifierError,
+    CorpusError,
+    CorrectionError,
+    DatasetError,
+    FixTemplateError,
+    KnowledgeBaseError,
+    PhpSyntaxError,
+    ReproError,
+    WeaponConfigError,
+)
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):  # lazy re-exports to avoid import cycles
+    if name in ("Wape", "Wap21", "AnalysisReport"):
+        from repro.tool import AnalysisReport, Wap21, Wape
+        return {"Wape": Wape, "Wap21": Wap21,
+                "AnalysisReport": AnalysisReport}[name]
+    if name == "WeaponSpec":
+        from repro.weapons import WeaponSpec
+        return WeaponSpec
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

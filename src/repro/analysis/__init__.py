@@ -1,0 +1,80 @@
+"""Taint analysis: the code-analyzer module of WAP (Fig. 1, box 1).
+
+Public surface:
+
+* :class:`~repro.analysis.model.DetectorConfig` — the (ep, ss, san) triple
+  configuring one vulnerability class;
+* :class:`~repro.analysis.engine.TaintEngine` — the generic multi-class
+  taint engine;
+* :class:`~repro.analysis.detector.Detector` — file/tree-level driver;
+* :func:`~repro.analysis.detector.generate_detector` — the vulnerability
+  detector generator (new classes with zero code);
+* :mod:`~repro.analysis.knowledge` — external ep/ss/san file I/O.
+"""
+
+from repro.analysis.detector import (  # noqa: F401
+    DEFAULT_ENTRY_POINTS,
+    Detector,
+    FileResult,
+    generate_detector,
+)
+from repro.analysis.engine import GUARD_FUNCTIONS, TaintEngine  # noqa: F401
+from repro.analysis.knowledge import (  # noqa: F401
+    extend_config,
+    load_config,
+    load_registry,
+    parse_sink_line,
+    render_sink_line,
+    save_config,
+    save_registry,
+)
+from repro.analysis.project import (  # noqa: F401
+    ProjectAnalyzer,
+    ProjectFile,
+    ProjectResult,
+)
+from repro.analysis.model import (  # noqa: F401
+    SINK_ECHO,
+    SINK_FUNCTION,
+    SINK_INCLUDE,
+    SINK_METHOD,
+    SINK_SHELL,
+    SINK_STATIC,
+    CandidateVulnerability,
+    DetectorConfig,
+    FunctionSummary,
+    PathStep,
+    SinkSpec,
+    Taint,
+)
+
+__all__ = [
+    "DEFAULT_ENTRY_POINTS",
+    "ProjectAnalyzer",
+    "ProjectFile",
+    "ProjectResult",
+    "Detector",
+    "FileResult",
+    "generate_detector",
+    "GUARD_FUNCTIONS",
+    "TaintEngine",
+    "extend_config",
+    "load_config",
+    "save_config",
+    "load_registry",
+    "save_registry",
+    "parse_sink_line",
+    "render_sink_line",
+    "CandidateVulnerability",
+    "DetectorConfig",
+    "FunctionSummary",
+    "PathStep",
+    "SinkSpec",
+    "Taint",
+    "SINK_ECHO",
+    "SINK_FUNCTION",
+    "SINK_INCLUDE",
+    "SINK_METHOD",
+    "SINK_SHELL",
+    "SINK_STATIC",
+]

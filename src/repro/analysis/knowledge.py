@@ -1,0 +1,239 @@
+"""Knowledge-base files: the paper's external ep / ss / san data.
+
+§III-A: *"These sets of data are now stored in external files, allowing the
+inclusion of new items without recompiling the tool."*  This module defines
+that on-disk format and converts between files and
+:class:`~repro.analysis.model.DetectorConfig` objects.
+
+Format — one directory per vulnerability class holding three plain-text
+files (``ep.txt``, ``ss.txt``, ``san.txt``) plus a small ``meta.txt``:
+
+* ``ep.txt`` — one entry point per line.  ``$_GET`` style names denote
+  superglobals; ``name()`` denotes a taint-returning source function.
+* ``ss.txt`` — one sink per line: ``name`` (function), ``->name``
+  (method; optional ``@hint`` receiver restriction and ``:0,1`` dangerous
+  argument positions), or one of the pseudo-sinks ``<echo>``, ``<include>``,
+  ``<shell>``.
+* ``san.txt`` — one sanitization function per line; ``->name`` for
+  sanitizer methods.
+
+Lines starting with ``#`` and blank lines are ignored everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.exceptions import KnowledgeBaseError
+from repro.analysis.model import (
+    SINK_ECHO,
+    SINK_FUNCTION,
+    SINK_INCLUDE,
+    SINK_METHOD,
+    SINK_SHELL,
+    DetectorConfig,
+    SinkSpec,
+)
+
+_PSEUDO_SINKS = {
+    "<echo>": SINK_ECHO,
+    "<include>": SINK_INCLUDE,
+    "<shell>": SINK_SHELL,
+}
+
+_SINK_LINE_RE = re.compile(
+    r"^(?P<method>->)?(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:@(?P<hint>[A-Za-z_][A-Za-z0-9_>-]*))?"
+    r"(?::(?P<args>\d+(?:,\d+)*))?$"
+)
+
+
+def _read_lines(path: str) -> list[str]:
+    if not os.path.exists(path):
+        return []
+    out: list[str] = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                out.append(line)
+    return out
+
+
+def parse_sink_line(line: str) -> SinkSpec:
+    """Parse a single ``ss.txt`` line into a :class:`SinkSpec`."""
+    if line in _PSEUDO_SINKS:
+        return SinkSpec("", _PSEUDO_SINKS[line])
+    m = _SINK_LINE_RE.match(line)
+    if not m:
+        raise KnowledgeBaseError(f"malformed sink line: {line!r}")
+    args = None
+    if m.group("args"):
+        args = tuple(int(a) for a in m.group("args").split(","))
+    kind = SINK_METHOD if m.group("method") else SINK_FUNCTION
+    return SinkSpec(m.group("name").lower(), kind, args, m.group("hint"))
+
+
+def render_sink_line(sink: SinkSpec) -> str:
+    """Inverse of :func:`parse_sink_line`."""
+    for text, kind in _PSEUDO_SINKS.items():
+        if sink.kind == kind:
+            return text
+    out = ("->" if sink.kind == SINK_METHOD else "") + sink.name
+    if sink.receiver_hint:
+        out += f"@{sink.receiver_hint}"
+    if sink.arg_positions is not None:
+        out += ":" + ",".join(str(a) for a in sink.arg_positions)
+    return out
+
+
+def load_config(directory: str, class_id: str | None = None) -> DetectorConfig:
+    """Load a :class:`DetectorConfig` from a knowledge directory."""
+    meta: dict[str, str] = {}
+    for line in _read_lines(os.path.join(directory, "meta.txt")):
+        if "=" in line:
+            key, _, value = line.partition("=")
+            meta[key.strip()] = value.strip()
+    cid = class_id or meta.get("class_id") or os.path.basename(
+        directory.rstrip("/"))
+    if not cid:
+        raise KnowledgeBaseError(f"no class id for {directory}")
+
+    entry_points: set[str] = set()
+    source_functions: set[str] = set()
+    for line in _read_lines(os.path.join(directory, "ep.txt")):
+        if line.endswith("()"):
+            source_functions.add(line[:-2].lower())
+        else:
+            entry_points.add(line.lstrip("$").lstrip())
+    sinks = tuple(parse_sink_line(line)
+                  for line in _read_lines(os.path.join(directory, "ss.txt")))
+    sanitizers: set[str] = set()
+    sanitizer_methods: set[str] = set()
+    for line in _read_lines(os.path.join(directory, "san.txt")):
+        if line.startswith("->"):
+            sanitizer_methods.add(line[2:].lower())
+        else:
+            sanitizers.add(line.lower())
+
+    return DetectorConfig(
+        class_id=cid,
+        display_name=meta.get("display_name", cid.upper()),
+        entry_points=frozenset(entry_points),
+        source_functions=frozenset(source_functions),
+        sinks=sinks,
+        sanitizers=frozenset(sanitizers),
+        sanitizer_methods=frozenset(sanitizer_methods),
+    )
+
+
+def save_config(config: DetectorConfig, directory: str) -> None:
+    """Write *config* as a knowledge directory (the inverse of load)."""
+    os.makedirs(directory, exist_ok=True)
+
+    def write(name: str, lines: list[str]) -> None:
+        with open(os.path.join(directory, name), "w",
+                  encoding="utf-8") as f:
+            f.write(f"# {name} for {config.class_id}\n")
+            for line in lines:
+                f.write(line + "\n")
+
+    write("meta.txt", [f"class_id = {config.class_id}",
+                       f"display_name = {config.display_name}"])
+    write("ep.txt", sorted("$" + e for e in config.entry_points)
+          + sorted(f + "()" for f in config.source_functions))
+    write("ss.txt", [render_sink_line(s) for s in config.sinks])
+    write("san.txt", sorted(config.sanitizers)
+          + sorted("->" + m for m in config.sanitizer_methods))
+
+
+def save_registry(registry, directory: str) -> None:
+    """Export a whole vulnerability registry as knowledge directories.
+
+    One subdirectory per class, each holding the ep/ss/san files plus a
+    ``meta.txt`` with the class metadata (sub-module, origin, fix id...),
+    so the complete tool loadout lives in editable text files (§III-A).
+    """
+    os.makedirs(directory, exist_ok=True)
+    for info in registry:
+        cls_dir = os.path.join(directory, info.class_id)
+        save_config(info.config, cls_dir)
+        with open(os.path.join(cls_dir, "meta.txt"), "a",
+                  encoding="utf-8") as f:
+            # overrides the config-level display name (last line wins)
+            f.write(f"display_name = {info.display_name}\n")
+            f.write(f"table_label = {info.table_label}\n")
+            f.write(f"submodule = {info.submodule}\n")
+            f.write(f"origin = {info.origin}\n")
+            f.write(f"fix_id = {info.fix_id}\n")
+            if info.report_group:
+                f.write(f"report_group = {info.report_group}\n")
+            if info.malicious_chars:
+                encoded = ",".join(repr(c) for c in info.malicious_chars)
+                f.write(f"malicious_chars = {encoded}\n")
+
+
+def load_registry(directory: str):
+    """Load a registry previously exported with :func:`save_registry`."""
+    import ast as python_ast
+
+    from repro.vulnerabilities.classes import VulnClassInfo, VulnRegistry
+
+    registry = VulnRegistry()
+    if not os.path.isdir(directory):
+        raise KnowledgeBaseError(f"no knowledge base at {directory}")
+    for name in sorted(os.listdir(directory)):
+        cls_dir = os.path.join(directory, name)
+        if not os.path.isdir(cls_dir):
+            continue
+        config = load_config(cls_dir)
+        meta: dict[str, str] = {}
+        for line in _read_lines(os.path.join(cls_dir, "meta.txt")):
+            if "=" in line:
+                key, _, value = line.partition("=")
+                meta[key.strip()] = value.strip()
+        chars: tuple[str, ...] = ()
+        if meta.get("malicious_chars"):
+            chars = tuple(python_ast.literal_eval(c.strip()) for c in
+                          meta["malicious_chars"].split(","))
+        registry.add(VulnClassInfo(
+            class_id=config.class_id,
+            display_name=meta.get("display_name", config.display_name),
+            table_label=meta.get("table_label", config.class_id.upper()),
+            submodule=meta.get("submodule", "query_injection"),
+            origin=meta.get("origin", "wape-submodule"),
+            config=config,
+            fix_id=meta.get("fix_id", ""),
+            malicious_chars=chars,
+            report_group=meta.get("report_group", ""),
+        ))
+    return registry
+
+
+def extend_config(config: DetectorConfig,
+                  entry_points: set[str] | frozenset[str] = frozenset(),
+                  source_functions: set[str] | frozenset[str] = frozenset(),
+                  sinks: tuple[SinkSpec, ...] = (),
+                  sanitizers: set[str] | frozenset[str] = frozenset(),
+                  sanitizer_methods: set[str] | frozenset[str] = frozenset(),
+                  ) -> DetectorConfig:
+    """Return a copy of *config* with extra knowledge merged in.
+
+    This is the programmatic version of appending lines to the ep/ss/san
+    files — e.g. feeding vfront's custom ``escape`` function to the tool as
+    an extra sanitizer (§V-A).
+    """
+    return DetectorConfig(
+        class_id=config.class_id,
+        display_name=config.display_name,
+        entry_points=config.entry_points | frozenset(entry_points),
+        source_functions=config.source_functions
+        | frozenset(f.lower() for f in source_functions),
+        sinks=config.sinks + tuple(sinks),
+        sanitizers=config.sanitizers
+        | frozenset(s.lower() for s in sanitizers),
+        sanitizer_methods=config.sanitizer_methods
+        | frozenset(s.lower() for s in sanitizer_methods),
+        untaint_casts=config.untaint_casts,
+    )

@@ -1,0 +1,141 @@
+"""Whole-project analysis with cross-file call resolution.
+
+Per-file analysis (the default, matching the per-file detectors of the
+original tool) cannot see user functions defined in *other* files of the
+application — a helper declared in ``lib.php`` and called from
+``index.php`` is an unknown function there.  :class:`ProjectAnalyzer`
+closes that gap:
+
+1. every PHP file under the root is parsed once;
+2. all function and method declarations are collected into a project-wide
+   table (first declaration wins, mirroring PHP's redeclare error);
+3. each file is analyzed with the foreign declarations available for
+   summaries, so taint flows through cross-file helpers — including
+   sanitization performed inside them — are resolved.
+
+Flows that lie entirely inside a foreign function are reported only by its
+home file, so project-wide results stay deduplicated.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast, parse
+from repro.analysis.detector import PHP_EXTENSIONS, Detector
+from repro.analysis.engine import TaintEngine
+from repro.analysis.model import CandidateVulnerability, DetectorConfig
+
+
+@dataclass
+class ProjectFile:
+    """One parsed file of the project."""
+
+    path: str
+    program: ast.Program | None = None
+    lines_of_code: int = 0
+    parse_error: str | None = None
+
+
+@dataclass
+class ProjectResult:
+    """Outcome of a whole-project analysis."""
+
+    root: str
+    files: list[ProjectFile] = field(default_factory=list)
+    candidates: list[CandidateVulnerability] = field(default_factory=list)
+
+    @property
+    def parsed_files(self) -> list[ProjectFile]:
+        return [f for f in self.files if f.program is not None]
+
+    def candidates_for(self, path: str) -> list[CandidateVulnerability]:
+        return [c for c in self.candidates if c.filename == path]
+
+
+class ProjectAnalyzer:
+    """Cross-file taint analysis over a directory tree."""
+
+    def __init__(self, configs: list[DetectorConfig] | Detector) -> None:
+        if isinstance(configs, Detector):
+            self.engine = configs.engine
+        else:
+            self.engine = TaintEngine(list(configs))
+
+    # ------------------------------------------------------------------
+    def load(self, root: str) -> list[ProjectFile]:
+        """Parse every PHP file under *root* (errors captured per file)."""
+        out: list[ProjectFile] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.lower().endswith(PHP_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                pf = ProjectFile(path)
+                try:
+                    with open(path, encoding="utf-8",
+                              errors="replace") as f:
+                        source = f.read()
+                    pf.lines_of_code = source.count("\n") + 1
+                    pf.program = parse(source, path)
+                except (OSError, PhpSyntaxError) as exc:
+                    pf.parse_error = str(exc)
+                out.append(pf)
+        return out
+
+    @staticmethod
+    def build_function_table(files: list[ProjectFile]
+                             ) -> dict[str, tuple[ast.Node, str]]:
+        """Project-wide declaration table: name -> (decl, home file)."""
+        table: dict[str, tuple[ast.Node, str]] = {}
+
+        def collect(body, path):
+            for node in body:
+                if isinstance(node, ast.FunctionDecl):
+                    table.setdefault(node.name.lower(), (node, path))
+                    collect(node.body, path)
+                elif isinstance(node, ast.ClassDecl):
+                    for member in node.members:
+                        if isinstance(member, ast.MethodDecl) \
+                                and member.body:
+                            key = (f"{node.name.lower()}"
+                                   f"::{member.name.lower()}")
+                            table.setdefault(key, (member, path))
+                            table.setdefault(member.name.lower(),
+                                             (member, path))
+                elif isinstance(node, (ast.Block, ast.If, ast.While,
+                                       ast.DoWhile, ast.For, ast.Foreach,
+                                       ast.Switch, ast.Try,
+                                       ast.NamespaceDecl)):
+                    collect([c for c in node.children()
+                             if isinstance(c, (ast.FunctionDecl,
+                                               ast.ClassDecl))], path)
+
+        for pf in files:
+            if pf.program is not None:
+                collect(pf.program.body, pf.path)
+        return table
+
+    # ------------------------------------------------------------------
+    def analyze_tree(self, root: str) -> ProjectResult:
+        """Parse, table-build and analyze the whole project."""
+        result = ProjectResult(root, self.load(root))
+        table = self.build_function_table(result.parsed_files)
+        seen: set[tuple] = set()
+        for pf in result.parsed_files:
+            assert pf.program is not None
+            # foreign = declarations from every *other* file
+            foreign = {name: (decl, home)
+                       for name, (decl, home) in table.items()
+                       if home != pf.path}
+            for cand in self.engine.analyze(pf.program, pf.path,
+                                            extra_functions=foreign):
+                if cand.key() not in seen:
+                    seen.add(cand.key())
+                    result.candidates.append(cand)
+        result.candidates.sort(
+            key=lambda c: (c.filename, c.sink_line, c.vuln_class))
+        return result

@@ -1,0 +1,87 @@
+"""Synthetic evaluation corpus (DESIGN.md substitution #1).
+
+Profiles encode Tables V-VII and Fig. 4; the synthesizer materializes them
+as real PHP trees that the tool analyzes end to end.
+"""
+
+from repro.corpus.snippets import (  # noqa: F401
+    CUSTOM_HELPER_LIB,
+    SUPPORTED_CLASSES,
+    benign_snippet,
+    fp_snippet,
+    page_wrapper,
+    vuln_snippet,
+)
+from repro.corpus.synthesis import (  # noqa: F401
+    DEFAULT_FILE_CAP,
+    MaterializedPackage,
+    build_webapp_corpus,
+    build_wordpress_corpus,
+    materialize_package,
+)
+from repro.corpus.webapps import (  # noqa: F401
+    PAPER_CLASS_TOTALS,
+    PAPER_TOTAL_FILES,
+    PAPER_TOTAL_LOC,
+    PAPER_TOTAL_PACKAGES,
+    PAPER_TOTAL_TIME_S,
+    PAPER_TOTAL_VULN_FILES,
+    PAPER_TOTAL_VULNS,
+    PAPER_WAP_FP,
+    PAPER_WAP_FPP,
+    PAPER_WAPE_FP,
+    PAPER_WAPE_FPP,
+    VULNERABLE_WEBAPPS,
+    AppProfile,
+    all_webapp_profiles,
+    clean_webapp_profiles,
+)
+from repro.corpus.wordpress import (  # noqa: F401
+    DOWNLOAD_BIN_LABELS,
+    DOWNLOAD_BINS,
+    INSTALL_BIN_LABELS,
+    INSTALL_BINS,
+    PAPER_KNOWN_PLUGIN_VULNS,
+    PAPER_PLUGIN_CLASS_TOTALS,
+    PAPER_PLUGIN_FP,
+    PAPER_PLUGIN_FPP,
+    PAPER_PLUGIN_TOTAL_VULNS,
+    PAPER_TOTAL_PLUGINS,
+    PAPER_ZERO_DAY_PLUGIN_VULNS,
+    VULNERABLE_PLUGINS,
+    PluginProfile,
+    all_plugin_profiles,
+    bin_index,
+    clean_plugin_profiles,
+    download_histogram,
+    install_histogram,
+)
+
+__all__ = [
+    "AppProfile",
+    "PluginProfile",
+    "MaterializedPackage",
+    "materialize_package",
+    "build_webapp_corpus",
+    "build_wordpress_corpus",
+    "vuln_snippet",
+    "fp_snippet",
+    "benign_snippet",
+    "page_wrapper",
+    "CUSTOM_HELPER_LIB",
+    "SUPPORTED_CLASSES",
+    "DEFAULT_FILE_CAP",
+    "VULNERABLE_WEBAPPS",
+    "VULNERABLE_PLUGINS",
+    "all_webapp_profiles",
+    "all_plugin_profiles",
+    "clean_webapp_profiles",
+    "clean_plugin_profiles",
+    "download_histogram",
+    "install_histogram",
+    "bin_index",
+    "DOWNLOAD_BINS",
+    "DOWNLOAD_BIN_LABELS",
+    "INSTALL_BINS",
+    "INSTALL_BIN_LABELS",
+]

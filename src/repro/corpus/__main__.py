@@ -1,0 +1,70 @@
+"""Materialize the evaluation corpora to disk.
+
+Usage::
+
+    python -m repro.corpus --out /tmp/corpus                 # both corpora
+    python -m repro.corpus --out /tmp/w --webapps-only
+    python -m repro.corpus --out /tmp/p --wordpress-only --vulnerable-only
+    python -m repro.corpus --out /tmp/c --file-cap 10
+
+The generated trees are plain PHP packages; point the tool at them::
+
+    wape -wpsqli -hei /tmp/corpus/wordpress/<plugin>/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.corpus.synthesis import (
+    DEFAULT_FILE_CAP,
+    build_webapp_corpus,
+    build_wordpress_corpus,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="materialize the synthetic evaluation corpora "
+                    "(Tables V-VII of the paper)")
+    parser.add_argument("--out", required=True,
+                        help="output directory")
+    parser.add_argument("--webapps-only", action="store_true")
+    parser.add_argument("--wordpress-only", action="store_true")
+    parser.add_argument("--vulnerable-only", action="store_true",
+                        help="skip the clean packages")
+    parser.add_argument("--file-cap", type=int, default=DEFAULT_FILE_CAP,
+                        help="benign filler files per package "
+                             f"(default {DEFAULT_FILE_CAP})")
+    args = parser.parse_args(argv)
+
+    if args.webapps_only and args.wordpress_only:
+        parser.error("choose at most one of --webapps-only / "
+                     "--wordpress-only")
+
+    total_pkgs = 0
+    total_files = 0
+    if not args.wordpress_only:
+        packages = build_webapp_corpus(
+            os.path.join(args.out, "webapps"), args.file_cap,
+            args.vulnerable_only)
+        total_pkgs += len(packages)
+        total_files += sum(p.files_written for p in packages)
+        print(f"webapps:   {len(packages)} packages")
+    if not args.webapps_only:
+        packages = build_wordpress_corpus(
+            os.path.join(args.out, "wordpress"), args.file_cap,
+            args.vulnerable_only)
+        total_pkgs += len(packages)
+        total_files += sum(p.files_written for p in packages)
+        print(f"wordpress: {len(packages)} plugins")
+    print(f"materialized {total_pkgs} packages / {total_files} PHP files "
+          f"under {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""Parameterized PHP snippet generators for the synthetic corpus.
+
+Each generator renders a small, realistic PHP fragment containing exactly
+one *flow* of interest:
+
+* :func:`vuln_snippet` — one real vulnerability of a given class (minimal
+  validation symptoms, so the predictor keeps it);
+* :func:`fp_snippet` — one candidate that is a false positive, in one of
+  three kinds mirroring §V-A:
+
+  - ``old``: guarded by an original-WAP symptom (both tools predict it),
+  - ``new``: guarded only by a new-in-WAPe symptom (only WAPe predicts it),
+  - ``custom``: neutralized by an application-specific helper function
+    (neither tool predicts it — the "18 cases", fixable by feeding the
+    helper to the tool as a sanitizer);
+
+* :func:`benign_snippet` — code with no candidate flows at all.
+
+All variation (variable names, table names, keys) is drawn from the given
+``random.Random`` so corpus generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+_KEYS = ["id", "uid", "page", "cat", "q", "name", "user", "token", "ref",
+         "item", "post", "tag", "lang", "sort", "sid"]
+_TABLES = ["users", "posts", "items", "orders", "comments", "sessions",
+           "products", "logs", "pages", "members"]
+_COLS = ["name", "title", "body", "email", "status", "owner", "label"]
+_VARS = ["value", "input", "data", "param", "arg", "field", "entry"]
+_SUPERGLOBALS = ["_GET", "_POST", "_REQUEST", "_COOKIE"]
+
+#: guards whose symptom existed in WAP v2.1 (original column of Table I).
+_OLD_GUARDS = ["is_numeric", "ctype_digit", "ctype_alnum", "is_int",
+               "is_float", "preg_match", "strcmp", "strncmp"]
+#: guards whose symptom is new in WAPe (right column of Table I).
+_NEW_GUARDS = ["is_integer", "is_long", "is_real", "is_scalar",
+               "is_double", "preg_match_all"]
+#: names used for app-specific sanitizing helpers (the `escape` scenario).
+_CUSTOM_HELPERS = ["escape", "clean_input", "db_safe", "quote_smart",
+                   "my_filter"]
+
+
+def _pick(rng: random.Random, pool: list[str]) -> str:
+    return pool[rng.randrange(len(pool))]
+
+
+def _source(rng: random.Random) -> tuple[str, str]:
+    """A superglobal read: returns (php expression, key)."""
+    sg = _pick(rng, _SUPERGLOBALS)
+    key = _pick(rng, _KEYS)
+    return f"${sg}['{key}']", key
+
+
+# ---------------------------------------------------------------------------
+# real vulnerabilities, one generator per class
+# ---------------------------------------------------------------------------
+
+def _vuln_sqli(rng: random.Random) -> str:
+    src, key = _source(rng)
+    table = _pick(rng, _TABLES)
+    col = _pick(rng, _COLS)
+    var = _pick(rng, _VARS)
+    style = rng.randrange(4)
+    if style == 0:
+        return (f"${var} = {src};\n"
+                f"$result = mysql_query(\"SELECT * FROM {table} "
+                f"WHERE {col} = '\" . ${var} . \"'\");")
+    if style == 1:
+        return (f"${var} = {src};\n"
+                f"mysql_query(\"UPDATE {table} SET {col} = '\" . ${var}"
+                f" . \"' WHERE id = 1\");")
+    if style == 2:
+        return (f"${var} = {src};\n"
+                f"$sql = \"SELECT {col} FROM {table} WHERE {col} = "
+                f"'${var}'\";"
+                f"\nmysql_query($sql);")
+    # interprocedural: the sink sits inside a local helper
+    fn = f"run_{table}_{rng.randrange(1_000_000)}"
+    return (f"function {fn}($sql) {{\n"
+            f"    return mysql_query($sql);\n"
+            f"}}\n"
+            f"{fn}(\"SELECT {col} FROM {table} WHERE {col} = '\""
+            f" . {src} . \"'\");")
+
+
+def _vuln_wpsqli(rng: random.Random) -> str:
+    src, key = _source(rng)
+    col = _pick(rng, _COLS)
+    var = _pick(rng, _VARS)
+    method = _pick(rng, ["query", "get_results", "get_row", "get_var"])
+    return (f"global $wpdb;\n"
+            f"${var} = {src};\n"
+            f"$rows = $wpdb->{method}(\"SELECT * FROM {{$wpdb->posts}} "
+            f"WHERE {col} = '\" . ${var} . \"'\");")
+
+
+def _vuln_xss(rng: random.Random) -> str:
+    src, key = _source(rng)
+    var = _pick(rng, _VARS)
+    style = rng.randrange(4)
+    if style == 0:
+        return f"echo \"<p>\" . {src} . \"</p>\";"
+    if style == 1:
+        return (f"${var} = {src};\n"
+                f"echo \"<input type='hidden' value='${var}'>\";")
+    if style == 2:
+        return (f"${var} = {src};\n"
+                f"print ${var};")
+    # interprocedural: the echo sits inside a local rendering helper
+    fn = f"render_{var}_{rng.randrange(1_000_000)}"
+    return (f"function {fn}($html) {{\n"
+            f"    echo \"<div>\" . $html . \"</div>\";\n"
+            f"}}\n"
+            f"{fn}({src});")
+
+
+def _vuln_rfi(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    return f"include {src};"
+
+
+def _vuln_lfi(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    directory = _pick(rng, ["pages", "modules", "inc", "tpl"])
+    return f"include '{directory}/' . {src} . '.php';"
+
+
+def _vuln_dt_pt(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    var = _pick(rng, _VARS)
+    fn = _pick(rng, ["fopen", "opendir", "unlink"])
+    extra = ", 'r'" if fn == "fopen" else ""
+    return f"${var} = {src};\n$h = {fn}(${var}{extra});"
+
+
+def _vuln_scd(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    fn = _pick(rng, ["readfile", "show_source", "highlight_file"])
+    return f"{fn}({src});"
+
+
+def _vuln_osci(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    var = _pick(rng, _VARS)
+    if rng.randrange(2):
+        return f"${var} = {src};\nsystem('convert ' . ${var});"
+    return f"${var} = {src};\n$out = exec(${var});"
+
+
+def _vuln_phpci(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    return f"eval({src});"
+
+
+def _vuln_sf(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    if rng.randrange(2):
+        return f"session_id({src});\nsession_start();"
+    return f"setcookie('session', {src});"
+
+
+def _vuln_cs(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    var = _pick(rng, _VARS)
+    return (f"${var} = {src};\n"
+            f"file_put_contents('comments.txt', ${var}, FILE_APPEND);")
+
+
+def _vuln_ldapi(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    fn = _pick(rng, ["ldap_search", "ldap_list", "ldap_read"])
+    return (f"$filter = '(uid=' . {src} . ')';\n"
+            f"$entries = {fn}($ds, 'dc=example,dc=org', $filter);")
+
+
+def _vuln_xpathi(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    return (f"$query = \"//user[name='\" . {src} . \"']\";\n"
+            f"$nodes = xpath_eval($ctx, $query);")
+
+
+def _vuln_nosqli(rng: random.Random) -> str:
+    src, key = _source(rng)
+    return (f"$collection = $db->selectCollection('users');\n"
+            f"$doc = $collection->find(array('{key}' => {src}));")
+
+
+def _vuln_hi(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    header = _pick(rng, ["Location: ", "X-Redirect: ", "Refresh: 0; url="])
+    return f"header(\"{header}\" . {src});"
+
+
+def _vuln_ei(rng: random.Random) -> str:
+    src, _ = _source(rng)
+    return f"mail({src}, 'Notification', $body);"
+
+
+_VULN_GENERATORS = {
+    "sqli": _vuln_sqli,
+    "wpsqli": _vuln_wpsqli,
+    "xss": _vuln_xss,
+    "rfi": _vuln_rfi,
+    "lfi": _vuln_lfi,
+    "dt_pt": _vuln_dt_pt,
+    "scd": _vuln_scd,
+    "osci": _vuln_osci,
+    "phpci": _vuln_phpci,
+    "sf": _vuln_sf,
+    "cs": _vuln_cs,
+    "ldapi": _vuln_ldapi,
+    "xpathi": _vuln_xpathi,
+    "nosqli": _vuln_nosqli,
+    "hi": _vuln_hi,
+    "ei": _vuln_ei,
+}
+
+SUPPORTED_CLASSES = tuple(sorted(_VULN_GENERATORS))
+
+
+def vuln_snippet(class_id: str, rng: random.Random) -> str:
+    """PHP fragment with exactly one real vulnerability of *class_id*."""
+    try:
+        generator = _VULN_GENERATORS[class_id]
+    except KeyError:
+        raise ValueError(f"no snippet generator for class {class_id!r}") \
+            from None
+    return generator(rng)
+
+
+# ---------------------------------------------------------------------------
+# false-positive candidates (always SQLI-shaped: the shared class both
+# tool versions detect)
+# ---------------------------------------------------------------------------
+
+def fp_snippet(kind: str, rng: random.Random) -> str:
+    """PHP fragment with one false-positive SQLI candidate of *kind*."""
+    src, key = _source(rng)
+    table = _pick(rng, _TABLES)
+    col = _pick(rng, _COLS)
+    var = _pick(rng, _VARS)
+    if kind == "old":
+        guard = _pick(rng, _OLD_GUARDS)
+        if guard in ("preg_match", "strcmp", "strncmp"):
+            check = f"{guard}('/^[0-9]+$/', ${var})" \
+                if guard == "preg_match" else \
+                f"{guard}(${var}, 'expected') == 0"
+            return (f"${var} = {src};\n"
+                    f"if (!({check})) {{ exit('invalid'); }}\n"
+                    f"mysql_query(\"SELECT {col} FROM {table} "
+                    f"WHERE {col} = \" . ${var});")
+        return (f"${var} = {src};\n"
+                f"if ({guard}(${var})) {{\n"
+                f"    mysql_query(\"SELECT {col} FROM {table} "
+                f"WHERE id = \" . ${var});\n"
+                f"}}")
+    if kind == "new":
+        guard = _pick(rng, _NEW_GUARDS)
+        if guard == "preg_match_all":
+            return (f"${var} = {src};\n"
+                    f"if (preg_match_all('/^[a-z0-9]+$/', ${var})) {{\n"
+                    f"    mysql_query(\"SELECT {col} FROM {table} "
+                    f"WHERE {col} = '\" . ${var} . \"'\");\n}}")
+        return (f"${var} = {src};\n"
+                f"if ({guard}(${var})) {{\n"
+                f"    mysql_query(\"SELECT {col} FROM {table} "
+                f"WHERE id = \" . ${var});\n"
+                f"}}")
+    if kind == "custom":
+        helper = _pick(rng, _CUSTOM_HELPERS)
+        return (f"${var} = {helper}({src});\n"
+                f"mysql_query(\"SELECT {col} FROM {table} "
+                f"WHERE {col} = '\" . ${var} . \"'\");")
+    raise ValueError(f"unknown false-positive kind {kind!r}")
+
+
+#: PHP source of the app-specific helper functions referenced by
+#: ``custom`` false positives (each app that uses them defines them once in
+#: a lib file, like vfront's `escape`).
+CUSTOM_HELPER_LIB = "\n".join(
+    f"function {name}($value) {{\n"
+    f"    return str_replace(array(\"'\", '\"'), '', $value);\n"
+    f"}}" for name in _CUSTOM_HELPERS
+)
+
+
+# ---------------------------------------------------------------------------
+# benign code
+# ---------------------------------------------------------------------------
+
+def benign_snippet(rng: random.Random) -> str:
+    """PHP fragment with no tainted flows at all."""
+    table = _pick(rng, _TABLES)
+    col = _pick(rng, _COLS)
+    var = _pick(rng, _VARS)
+    style = rng.randrange(4)
+    if style == 0:
+        return (f"${var} = {rng.randrange(100)};\n"
+                f"$total = ${var} * 2 + 1;\n"
+                f"echo 'total: ' . $total;")
+    if style == 1:
+        return (f"$rows = mysql_query(\"SELECT {col} FROM {table} "
+                f"ORDER BY {col} LIMIT 10\");\n"
+                f"$count = 0;\n"
+                f"while ($count < 10) {{ $count++; }}")
+    if style == 2:
+        safe = _pick(rng, _SUPERGLOBALS)
+        key = _pick(rng, _KEYS)
+        return (f"${var} = (int)${safe}['{key}'];\n"
+                f"mysql_query(\"SELECT {col} FROM {table} "
+                f"WHERE id = \" . ${var});")
+    return (f"function helper_{rng.randrange(1000)}($a, $b) {{\n"
+            f"    return $a . '-' . $b;\n"
+            f"}}\n"
+            f"echo helper_{'x'}('{table}', '{col}');").replace(
+                "helper_x", f"helper_{rng.randrange(1000)}")
+
+
+def page_wrapper(body_parts: list[str], title: str,
+                 rng: random.Random) -> str:
+    """Assemble snippet fragments into a realistic PHP page."""
+    php_body = "\n\n".join(body_parts)
+    return (f"<html>\n<head><title>{title}</title></head>\n<body>\n"
+            f"<h1>{title}</h1>\n"
+            f"<?php\n// {title} - generated corpus file\n"
+            f"{php_body}\n?>\n"
+            f"</body>\n</html>\n")

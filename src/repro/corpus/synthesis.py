@@ -1,0 +1,181 @@
+"""Corpus materialization: profiles → PHP trees on disk.
+
+The generator turns an :class:`~repro.corpus.webapps.AppProfile` or
+:class:`~repro.corpus.wordpress.PluginProfile` into a real directory of PHP
+files that the analyzer then lexes, parses and taint-tracks — only the
+*corpus* is synthetic, never the analysis results (DESIGN.md substitution
+#1).
+
+Layout rules:
+
+* real vulnerabilities are spread over ``paper_vuln_files`` files (several
+  flows per file when the paper reports more vulnerabilities than
+  vulnerable files, as most packages do);
+* false-positive candidates get their own files, a few per file;
+* apps with ``custom``-kind false positives also receive a ``lib.php``
+  defining the app-specific helper functions (vfront's ``escape`` et al.);
+* benign filler brings the file count up to ``min(paper_files, file_cap)``
+  — materializing all 8,374 paper files would only add parse time, not
+  detection results, so filler is capped (documented in DESIGN.md).
+
+Generation is deterministic: every profile seeds its own RNG from its name.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import CorpusError
+from repro.corpus.snippets import (
+    CUSTOM_HELPER_LIB,
+    benign_snippet,
+    fp_snippet,
+    page_wrapper,
+    vuln_snippet,
+)
+from repro.corpus.webapps import AppProfile, all_webapp_profiles
+from repro.corpus.wordpress import PluginProfile, all_plugin_profiles
+
+#: default cap on benign filler files per package.
+DEFAULT_FILE_CAP = 40
+
+
+@dataclass
+class MaterializedPackage:
+    """One generated package on disk plus its ground truth."""
+
+    name: str
+    version: str
+    path: str
+    profile: object
+    #: expected real vulnerabilities per class id.
+    expected_vulns: dict[str, int] = field(default_factory=dict)
+    #: expected false-positive candidates by kind.
+    expected_fp: dict[str, int] = field(default_factory=dict)
+    files_written: int = 0
+
+    @property
+    def expected_total_vulns(self) -> int:
+        return sum(self.expected_vulns.values())
+
+    @property
+    def expected_total_fps(self) -> int:
+        return sum(self.expected_fp.values())
+
+
+def _slug(name: str, version: str) -> str:
+    return (name.lower().replace(" ", "_") + "-" + version).replace(
+        "/", "_")
+
+
+def _spread(items: list[str], n_files: int) -> list[list[str]]:
+    """Distribute snippet bodies over *n_files* files, round-robin."""
+    n_files = max(1, min(n_files, len(items)))
+    buckets: list[list[str]] = [[] for _ in range(n_files)]
+    for i, item in enumerate(items):
+        buckets[i % n_files].append(item)
+    return buckets
+
+
+def materialize_package(profile: AppProfile | PluginProfile, root: str,
+                        file_cap: int = DEFAULT_FILE_CAP,
+                        ) -> MaterializedPackage:
+    """Write one package's PHP tree under *root* and return ground truth."""
+    if isinstance(profile, AppProfile):
+        paper_files = profile.paper_files
+        vuln_files = profile.paper_vuln_files
+    else:
+        paper_files = max(4, profile.total_vulns + 3)
+        vuln_files = max(1, profile.total_vulns // 2) \
+            if profile.is_vulnerable else 0
+
+    slug = _slug(profile.name, profile.version)
+    pkg_dir = os.path.join(root, slug)
+    os.makedirs(pkg_dir, exist_ok=True)
+    rng = random.Random(f"corpus::{slug}")
+
+    result = MaterializedPackage(profile.name, profile.version, pkg_dir,
+                                 profile)
+
+    # --- real vulnerabilities -----------------------------------------
+    vuln_bodies: list[str] = []
+    for class_id in sorted(profile.vulns):
+        count = profile.vulns[class_id]
+        if count < 0:
+            raise CorpusError(
+                f"{profile.name}: negative count for {class_id}")
+        for _ in range(count):
+            vuln_bodies.append(vuln_snippet(class_id, rng))
+        result.expected_vulns[class_id] = count
+    rng.shuffle(vuln_bodies)
+    n_written = 0
+    if vuln_bodies:
+        target_files = min(vuln_files or 1, len(vuln_bodies))
+        for i, bucket in enumerate(_spread(vuln_bodies, target_files)):
+            _write_page(pkg_dir, f"page_{i:03d}.php",
+                        bucket, f"{profile.name} page {i}", rng)
+            n_written += 1
+
+    # --- false-positive candidates -------------------------------------
+    fp_bodies: list[str] = []
+    for kind in ("old", "new", "custom"):
+        count = getattr(profile, f"fp_{kind}")
+        result.expected_fp[kind] = count
+        for _ in range(count):
+            fp_bodies.append(fp_snippet(kind, rng))
+    if fp_bodies:
+        for i, bucket in enumerate(_spread(fp_bodies,
+                                           (len(fp_bodies) + 2) // 3)):
+            _write_page(pkg_dir, f"admin_{i:03d}.php",
+                        bucket, f"{profile.name} admin {i}", rng)
+            n_written += 1
+    if result.expected_fp.get("custom"):
+        with open(os.path.join(pkg_dir, "lib.php"), "w",
+                  encoding="utf-8") as f:
+            f.write("<?php\n// application helper library\n"
+                    + CUSTOM_HELPER_LIB + "\n")
+        n_written += 1
+
+    # --- benign filler ---------------------------------------------------
+    filler = max(0, min(paper_files, file_cap) - n_written)
+    for i in range(filler):
+        _write_page(pkg_dir, f"inc_{i:03d}.php",
+                    [benign_snippet(rng)],
+                    f"{profile.name} include {i}", rng)
+        n_written += 1
+
+    result.files_written = n_written
+    return result
+
+
+def _write_page(pkg_dir: str, filename: str, bodies: list[str],
+                title: str, rng: random.Random) -> None:
+    with open(os.path.join(pkg_dir, filename), "w",
+              encoding="utf-8") as f:
+        f.write(page_wrapper(bodies, title, rng))
+
+
+# ---------------------------------------------------------------------------
+# whole-corpus builders
+# ---------------------------------------------------------------------------
+
+def build_webapp_corpus(root: str, file_cap: int = DEFAULT_FILE_CAP,
+                        vulnerable_only: bool = False,
+                        ) -> list[MaterializedPackage]:
+    """Materialize the 54-package web application corpus (§V-A)."""
+    from repro.corpus.webapps import VULNERABLE_WEBAPPS
+    profiles = (VULNERABLE_WEBAPPS if vulnerable_only
+                else all_webapp_profiles())
+    return [materialize_package(p, root, file_cap) for p in profiles]
+
+
+def build_wordpress_corpus(root: str, file_cap: int = DEFAULT_FILE_CAP,
+                           vulnerable_only: bool = False,
+                           ) -> list[MaterializedPackage]:
+    """Materialize the 115-plugin WordPress corpus (§V-B)."""
+    from repro.corpus.wordpress import VULNERABLE_PLUGINS
+    profiles = (VULNERABLE_PLUGINS if vulnerable_only
+                else all_plugin_profiles())
+    return [materialize_package(p, root, file_cap) for p in profiles]

@@ -1,0 +1,198 @@
+"""Profiles of the 115 WordPress plugins (Table VII and Fig. 4).
+
+Encodes per-plugin real-vulnerability counts (SQLI findings are $wpdb-based
+and only reachable through the ``-wpsqli`` weapon), the paper totals of
+Table VII (SQLI 55, XSS 71, Files 31, SCD 5, CS 2, HI 5 — 169 total, 3 FPP,
+2 FP), and per-plugin download / active-install figures binned into Fig. 4's
+ranges.
+
+Reconstruction notes: column totals and the narrative anchors are exact
+(simple-support-ticket-system has 18 SQLI — the 5 registered in CVE plus the
+13 extra WAPe found; Lightbox Plus Colorbox is the most-installed vulnerable
+plugin, XSS only; WP EasyCart is the 60-vulnerability outlier).  Remaining
+per-cell splits are inferred from row totals.  Download/install numbers are
+synthetic but reproduce the figure's constraints: 16 of the 23 vulnerable
+plugins have >10K downloads and 12 are active on >2,000 sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PluginProfile:
+    """One WordPress plugin of the evaluation."""
+
+    name: str
+    version: str
+    downloads: int
+    active_installs: int
+    #: real vulnerabilities per class id ("wpsqli" for $wpdb SQLI).
+    vulns: dict[str, int] = field(default_factory=dict)
+    #: false-positive candidates by kind (old/new symptoms, custom helper).
+    fp_old: int = 0
+    fp_new: int = 0
+    fp_custom: int = 0
+    cve: tuple[str, ...] = ()
+
+    @property
+    def total_vulns(self) -> int:
+        return sum(self.vulns.values())
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return self.total_vulns > 0
+
+    @property
+    def wape_fpp(self) -> int:
+        return self.fp_old + self.fp_new
+
+    @property
+    def wape_fp(self) -> int:
+        return self.fp_custom
+
+
+def _plugin(name, version, downloads, installs, vulns=None, fp=(0, 0, 0),
+            cve=()):
+    return PluginProfile(name, version, downloads, installs, vulns or {},
+                         fp[0], fp[1], fp[2], tuple(cve))
+
+
+#: the 23 vulnerable plugins of Table VII.
+VULNERABLE_PLUGINS: tuple[PluginProfile, ...] = (
+    _plugin("appointment-booking-calendar", "1.1.7", 42_000, 3_100,
+            {"wpsqli": 1, "xss": 3}, fp=(1, 0, 0),
+            cve=("CVE-2015-7319", "CVE-2015-7320")),
+    _plugin("auth0", "1.3.6", 1_500, 900, {"xss": 1}),
+    _plugin("authorizer", "2.3.6", 26_000, 1_700, {"xss": 2}),
+    _plugin("buddypress", "2.4.0", 2_300_000, 200_000, {},
+            fp=(1, 0, 0)),
+    _plugin("contact-form-generator", "2.0.1", 87_000, 6_500,
+            {"wpsqli": 11}),
+    _plugin("cp-appointment-calendar", "1.1.7", 34_000, 2_400,
+            {"xss": 2}),
+    _plugin("easy2map", "1.2.9", 21_000, 1_300,
+            {"wpsqli": 1, "xss": 2}, cve=("CVE-2015-7666",)),
+    _plugin("ecwid-shopping-cart", "3.4.6", 640_000, 45_000, {"xss": 1}),
+    _plugin("gantry-framework", "4.1.6", 96_000, 8_200,
+            {"xss": 2, "dt_pt": 1}),
+    _plugin("google-maps-travel-route", "1.3.1", 9_100, 620,
+            {"wpsqli": 1, "xss": 2}),
+    _plugin("lightbox-plus-colorbox", "2.7.2", 880_000, 230_000,
+            {"xss": 8}),
+    _plugin("payment-form-for-paypal-pro", "1.0.1", 17_500, 1_100,
+            {"wpsqli": 2}, cve=("CVE-2015-7669",)),
+    _plugin("recipes-writer", "1.0.4", 4_300, 340, {"xss": 4}),
+    _plugin("resads", "1.0.1", 9_800, 850, {"xss": 2},
+            cve=("CVE-2015-7670",)),
+    _plugin("simple-support-ticket-system", "1.2", 8_400, 480,
+            {"wpsqli": 18}, cve=("CVE-2015-7667", "CVE-2015-7668")),
+    _plugin("the-cartpress-ecommerce-shopping-cart", "1.4.7", 132_000,
+            9_600, {"wpsqli": 8, "xss": 17}),
+    _plugin("webkite", "2.0.1", 1_900, 140, {"xss": 1}),
+    _plugin("wp-easycart-ecommerce-shopping-cart", "3.2.3", 215_000,
+            17_000,
+            {"wpsqli": 13, "xss": 6, "rfi": 9, "lfi": 12, "dt_pt": 8,
+             "scd": 5, "cs": 2, "hi": 5}),
+    _plugin("wp-marketplace", "2.4.1", 68_000, 4_800, {"xss": 9},
+            fp=(0, 0, 1)),
+    _plugin("wp-shop", "3.5.3", 53_000, 3_900, {"xss": 5},
+            fp=(0, 0, 1)),
+    _plugin("wp-toolbar-removal-node", "1839", 1_200, 95, {"xss": 1}),
+    _plugin("wp-ultimate-recipe", "2.5", 510_000, 30_000, {},
+            fp=(1, 0, 0)),
+    _plugin("wp-web-scraper", "3.5", 29_000, 1_900,
+            {"xss": 3, "dt_pt": 1}),
+)
+
+#: Table VII totals, for assertions.
+PAPER_PLUGIN_CLASS_TOTALS = {"SQLI": 55, "XSS": 71, "Files": 31,
+                             "SCD": 5, "CS": 2, "HI": 5}
+PAPER_PLUGIN_TOTAL_VULNS = 169
+PAPER_PLUGIN_FPP = 3
+PAPER_PLUGIN_FP = 2
+PAPER_TOTAL_PLUGINS = 115
+PAPER_ZERO_DAY_PLUGIN_VULNS = 153
+PAPER_KNOWN_PLUGIN_VULNS = 16
+
+# Fig. 4 bin edges --------------------------------------------------------
+DOWNLOAD_BINS = ((0, 2_000), (2_000, 5_000), (5_000, 10_000),
+                 (10_000, 50_000), (50_000, 100_000),
+                 (100_000, 500_000), (500_000, None))
+DOWNLOAD_BIN_LABELS = ("< 2000", "2K - 5K", "5K - 10K", "10K - 50K",
+                       "50K - 100K", "100K - 500K", "> 500K")
+INSTALL_BINS = ((0, 100), (100, 500), (500, 1_000), (1_000, 2_000),
+                (2_000, 5_000), (5_000, 10_000), (10_000, None))
+INSTALL_BIN_LABELS = ("< 100", "100 - 500", "500 - 1K", "1K - 2K",
+                      "2K - 5K", "5K - 10K", "> 10K")
+
+# analyzed (115-plugin) target histograms used to lay out clean plugins
+_TARGET_DOWNLOAD_HIST = (30, 18, 12, 25, 10, 12, 8)
+_TARGET_INSTALL_HIST = (25, 20, 15, 15, 16, 12, 12)
+
+_CLEAN_TAGS = ["arts", "food", "health", "shopping", "travel", "auth",
+               "seo", "social", "forms", "gallery", "backup", "cache"]
+
+
+def bin_index(value: int, bins) -> int:
+    """Index of the bin containing *value*."""
+    for i, (lo, hi) in enumerate(bins):
+        if value >= lo and (hi is None or value < hi):
+            return i
+    return len(bins) - 1
+
+
+def _bin_representative(i: int, bins, offset: int) -> int:
+    lo, hi = bins[i]
+    if hi is None:
+        return lo * 2 + offset * 1_000
+    return lo + (hi - lo) // 3 + offset
+
+
+def clean_plugin_profiles() -> tuple[PluginProfile, ...]:
+    """The 92 plugins with no findings, laid out so the 115-plugin
+    histograms of Fig. 4 match the target shapes."""
+    vuln_dl_hist = [0] * len(DOWNLOAD_BINS)
+    vuln_in_hist = [0] * len(INSTALL_BINS)
+    for plugin in VULNERABLE_PLUGINS:
+        vuln_dl_hist[bin_index(plugin.downloads, DOWNLOAD_BINS)] += 1
+        vuln_in_hist[bin_index(plugin.active_installs, INSTALL_BINS)] += 1
+
+    need_dl: list[int] = []
+    for i, target in enumerate(_TARGET_DOWNLOAD_HIST):
+        need_dl.extend([i] * max(0, target - vuln_dl_hist[i]))
+    need_in: list[int] = []
+    for i, target in enumerate(_TARGET_INSTALL_HIST):
+        need_in.extend([i] * max(0, target - vuln_in_hist[i]))
+
+    count = PAPER_TOTAL_PLUGINS - len(VULNERABLE_PLUGINS)
+    out = []
+    for k in range(count):
+        dl_bin = need_dl[k] if k < len(need_dl) else k % len(DOWNLOAD_BINS)
+        in_bin = need_in[k] if k < len(need_in) else k % len(INSTALL_BINS)
+        tag = _CLEAN_TAGS[k % len(_CLEAN_TAGS)]
+        out.append(_plugin(
+            f"{tag}-plugin-{k:03d}", f"1.{k % 10}",
+            _bin_representative(dl_bin, DOWNLOAD_BINS, k),
+            _bin_representative(in_bin, INSTALL_BINS, k),
+        ))
+    return tuple(out)
+
+
+def all_plugin_profiles() -> tuple[PluginProfile, ...]:
+    return VULNERABLE_PLUGINS + clean_plugin_profiles()
+
+
+def download_histogram(plugins) -> list[int]:
+    hist = [0] * len(DOWNLOAD_BINS)
+    for plugin in plugins:
+        hist[bin_index(plugin.downloads, DOWNLOAD_BINS)] += 1
+    return hist
+
+
+def install_histogram(plugins) -> list[int]:
+    hist = [0] * len(INSTALL_BINS)
+    for plugin in plugins:
+        hist[bin_index(plugin.active_installs, INSTALL_BINS)] += 1
+    return hist

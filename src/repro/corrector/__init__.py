@@ -1,0 +1,34 @@
+"""Code corrector: fix templates, builtin fixes, source rewriting."""
+
+from repro.corrector.corrector import (  # noqa: F401
+    AppliedFix,
+    CodeCorrector,
+    CorrectionResult,
+)
+from repro.corrector.fixes import CLASS_FIXES, builtin_fixes  # noqa: F401
+from repro.corrector.templates import (  # noqa: F401
+    TEMPLATE_PHP_SANITIZATION,
+    TEMPLATE_USER_SANITIZATION,
+    TEMPLATE_USER_VALIDATION,
+    Fix,
+    build_fix,
+    php_sanitization_fix,
+    user_sanitization_fix,
+    user_validation_fix,
+)
+
+__all__ = [
+    "Fix",
+    "build_fix",
+    "php_sanitization_fix",
+    "user_sanitization_fix",
+    "user_validation_fix",
+    "TEMPLATE_PHP_SANITIZATION",
+    "TEMPLATE_USER_SANITIZATION",
+    "TEMPLATE_USER_VALIDATION",
+    "builtin_fixes",
+    "CLASS_FIXES",
+    "CodeCorrector",
+    "CorrectionResult",
+    "AppliedFix",
+]

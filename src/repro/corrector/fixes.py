@@ -1,0 +1,129 @@
+"""Builtin fixes for every vulnerability class the tool ships with.
+
+Most are instances of the three §III-C templates; two are hand-written in
+the same spirit as WAP's originals:
+
+* ``san_write``/``san_read`` — the CS-aware output fixes, which validate
+  the content against client-side code *and* (new in WAPe, §IV-B)
+  URIs/hyperlinks;
+* ``san_sf`` — the session-fixation fix "created from scratch": it refuses
+  user-supplied session tokens.
+"""
+
+from __future__ import annotations
+
+from repro.corrector.templates import (
+    TEMPLATE_USER_SANITIZATION,
+    TEMPLATE_USER_VALIDATION,
+    Fix,
+    php_sanitization_fix,
+    user_sanitization_fix,
+    user_validation_fix,
+)
+
+_SAN_WRITE_HELPER = """\
+function san_write($value) {
+    $patterns = array('/<script/i', '/javascript:/i', '/onerror\\s*=/i',
+                      '/https?:\\/\\//i', '/<a\\s/i');
+    foreach ($patterns as $pattern) {
+        if (preg_match($pattern, $value)) {
+            echo 'content blocked: client-side code or hyperlink detected';
+            return '';
+        }
+    }
+    return $value;
+}
+"""
+
+_SAN_READ_HELPER = _SAN_WRITE_HELPER.replace("san_write", "san_read")
+
+_SAN_SF_HELPER = """\
+function san_sf($value) {
+    $fromUser = false;
+    foreach (array($_GET, $_POST, $_COOKIE, $_REQUEST) as $src) {
+        foreach ($src as $k => $v) {
+            if ($v === $value) { $fromUser = true; }
+        }
+    }
+    if ($fromUser) {
+        return '';
+    }
+    return $value;
+}
+"""
+
+
+def builtin_fixes() -> dict[str, Fix]:
+    """All builtin fixes, keyed by fix id."""
+    fixes = [
+        # query injection
+        php_sanitization_fix("san_sqli", "mysql_real_escape_string",
+                             "SQLI fix (PHP sanitization template)"),
+        user_validation_fix("val_ldapi",
+                            ("*", "(", ")", "\\", "|", "&"),
+                            "LDAP filter metacharacters detected",
+                            "LDAPI fix (user validation template)"),
+        user_validation_fix("val_xpathi",
+                            ("'", '"', "[", "]", "(", ")", "=", "/"),
+                            "XPath metacharacters detected",
+                            "XPathI fix (user validation template)"),
+        # client side
+        php_sanitization_fix("san_out", "htmlentities",
+                             "XSS output fix"),
+        # RCE & file
+        user_sanitization_fix("san_osci",
+                              (";", "|", "&", "`", "$", ">", "<"),
+                              " ", "OSCI fix"),
+        user_validation_fix("san_mix",
+                            ("..", "/", "http://", "https://"),
+                            "path traversal attempt detected",
+                            "RFI/LFI/DT fix"),
+        user_validation_fix("san_phpci",
+                            ("$", ";", "(", ")", "`"),
+                            "code injection attempt detected",
+                            "PHPCI fix"),
+        # weapons (§IV-C)
+        php_sanitization_fix("san_nosqli", "mysql_real_escape_string",
+                             "NoSQLI weapon fix (PHP sanitization "
+                             "template, §IV-C1)"),
+        user_sanitization_fix("san_hei", ("\r", "\n", "%0a", "%0d"),
+                              " ",
+                              "HI/EI weapon fix (user sanitization "
+                              "template, §IV-C2)"),
+        php_sanitization_fix("san_wpsqli", "esc_sql",
+                             "WordPress SQLI weapon fix (§IV-C3)"),
+    ]
+    table = {fix.fix_id: fix for fix in fixes}
+    table["san_write"] = Fix("san_write", TEMPLATE_USER_VALIDATION,
+                             _SAN_WRITE_HELPER,
+                             "stored-output fix extended for CS "
+                             "(URI/hyperlink check, §IV-B)")
+    table["san_read"] = Fix("san_read", TEMPLATE_USER_VALIDATION,
+                            _SAN_READ_HELPER,
+                            "read-output fix extended for CS")
+    table["san_sf"] = Fix("san_sf", TEMPLATE_USER_SANITIZATION,
+                          _SAN_SF_HELPER,
+                          "session fixation fix (created from scratch, "
+                          "§IV-B)")
+    return table
+
+
+#: fix ids every vulnerability class maps to (mirrors catalog fix_id).
+CLASS_FIXES: dict[str, str] = {
+    "sqli": "san_sqli",
+    "xss": "san_out",
+    "rfi": "san_mix",
+    "lfi": "san_mix",
+    "dt_pt": "san_mix",
+    "scd": "san_read",
+    "osci": "san_osci",
+    "phpci": "san_phpci",
+    "sf": "san_sf",
+    "cs": "san_write",
+    "ldapi": "val_ldapi",
+    "xpathi": "val_xpathi",
+    "nosqli": "san_nosqli",
+    "hi": "san_hei",
+    "ei": "san_hei",
+    "wpsqli": "san_wpsqli",
+}

@@ -1,0 +1,140 @@
+"""The three fix templates of §III-C.
+
+A *fix* is a small PHP function inserted into the application that
+sanitizes or validates the data flowing into a sensitive sink; the sink's
+tainted argument is wrapped in a call to it.  Which template builds the fix
+depends on what the user can provide:
+
+* **PHP sanitization function** — the user names an existing PHP function
+  that neutralizes the data for this sink (e.g. ``mysql_real_escape_string``
+  for the NoSQLI weapon).  The fix simply delegates to it.
+* **User sanitization** — the user lists the malicious characters and a
+  neutralizer character; the fix replaces each malicious character.
+* **User validation** — the user lists only the malicious characters; the
+  fix detects them, issues a message and withholds the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FixTemplateError
+from repro.php import quote_php_string
+
+TEMPLATE_PHP_SANITIZATION = "php_sanitization"
+TEMPLATE_USER_SANITIZATION = "user_sanitization"
+TEMPLATE_USER_VALIDATION = "user_validation"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A generated fix.
+
+    Attributes:
+        fix_id: the PHP function name inserted at the sink (``san_nosqli``).
+        template: which template generated it.
+        helper_code: PHP source of the fix function itself (inserted once
+            per corrected file).
+        description: human-readable summary for reports.
+    """
+
+    fix_id: str
+    template: str
+    helper_code: str
+    description: str = ""
+
+
+def _check_name(fix_id: str) -> None:
+    if not fix_id or not fix_id.replace("_", "a").isalnum() \
+            or fix_id[0].isdigit():
+        raise FixTemplateError(f"invalid fix name: {fix_id!r}")
+
+
+def php_sanitization_fix(fix_id: str, sanitization_function: str,
+                         description: str = "") -> Fix:
+    """Build a fix from the *PHP sanitization function* template."""
+    _check_name(fix_id)
+    if not sanitization_function:
+        raise FixTemplateError(
+            "php_sanitization template needs a sanitization function")
+    helper = (
+        f"function {fix_id}($value) {{\n"
+        f"    return {sanitization_function}($value);\n"
+        f"}}\n"
+    )
+    return Fix(fix_id, TEMPLATE_PHP_SANITIZATION, helper,
+               description or f"sanitizes with {sanitization_function}")
+
+
+def user_sanitization_fix(fix_id: str, malicious_chars: tuple[str, ...],
+                          neutralizer: str = " ",
+                          description: str = "") -> Fix:
+    """Build a fix from the *user sanitization* template.
+
+    Every malicious character (or substring) is replaced by *neutralizer*.
+    """
+    _check_name(fix_id)
+    if not malicious_chars:
+        raise FixTemplateError(
+            "user_sanitization template needs malicious characters")
+    chars = ", ".join(quote_php_string(c) for c in malicious_chars)
+    helper = (
+        f"function {fix_id}($value) {{\n"
+        f"    $malicious = array({chars});\n"
+        f"    return str_replace($malicious, "
+        f"{quote_php_string(neutralizer)}, $value);\n"
+        f"}}\n"
+    )
+    return Fix(fix_id, TEMPLATE_USER_SANITIZATION, helper,
+               description or
+               f"replaces {len(malicious_chars)} malicious chars with "
+               f"{neutralizer!r}")
+
+
+def user_validation_fix(fix_id: str, malicious_chars: tuple[str, ...],
+                        message: str = "malicious characters detected",
+                        description: str = "") -> Fix:
+    """Build a fix from the *user validation* template.
+
+    The fix checks for the malicious characters; on a match it issues a
+    message and returns an empty value instead of the dangerous one.
+    """
+    _check_name(fix_id)
+    if not malicious_chars:
+        raise FixTemplateError(
+            "user_validation template needs malicious characters")
+    chars = ", ".join(quote_php_string(c) for c in malicious_chars)
+    helper = (
+        f"function {fix_id}($value) {{\n"
+        f"    $malicious = array({chars});\n"
+        f"    foreach ($malicious as $bad) {{\n"
+        f"        if (strpos($value, $bad) !== false) {{\n"
+        f"            echo {quote_php_string(message)};\n"
+        f"            return '';\n"
+        f"        }}\n"
+        f"    }}\n"
+        f"    return $value;\n"
+        f"}}\n"
+    )
+    return Fix(fix_id, TEMPLATE_USER_VALIDATION, helper,
+               description or
+               f"rejects values containing {len(malicious_chars)} "
+               f"malicious chars")
+
+
+def build_fix(fix_id: str, template: str,
+              sanitization_function: str | None = None,
+              malicious_chars: tuple[str, ...] = (),
+              neutralizer: str = " ",
+              message: str = "malicious characters detected") -> Fix:
+    """Template dispatcher used by the weapon generator (§III-D item 2)."""
+    if template == TEMPLATE_PHP_SANITIZATION:
+        if sanitization_function is None:
+            raise FixTemplateError(
+                "php_sanitization template needs a sanitization function")
+        return php_sanitization_fix(fix_id, sanitization_function)
+    if template == TEMPLATE_USER_SANITIZATION:
+        return user_sanitization_fix(fix_id, malicious_chars, neutralizer)
+    if template == TEMPLATE_USER_VALIDATION:
+        return user_validation_fix(fix_id, malicious_chars, message)
+    raise FixTemplateError(f"unknown fix template {template!r}")

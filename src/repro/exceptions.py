@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at tool boundaries (the CLI does this)
+while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PhpSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed PHP source.
+
+    Attributes:
+        message: human readable description of the problem.
+        line: 1-based line number in the source file.
+        col: 1-based column number in the source file.
+        filename: best-effort name of the file being parsed.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<source>") -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        super().__init__(f"{filename}:{line}:{col}: {message}")
+
+
+class KnowledgeBaseError(ReproError):
+    """Raised when a vulnerability-class catalog is malformed or missing."""
+
+
+class WeaponConfigError(ReproError):
+    """Raised when a weapon specification is invalid or incomplete."""
+
+
+class FixTemplateError(ReproError):
+    """Raised when a fix template cannot be instantiated from the given data."""
+
+
+class CorrectionError(ReproError):
+    """Raised when the code corrector cannot apply a fix to the source."""
+
+
+class DatasetError(ReproError):
+    """Raised when a training data set is malformed (shape, labels, balance)."""
+
+
+class ClassifierError(ReproError):
+    """Raised on invalid classifier usage (predict before fit, bad shapes)."""
+
+
+class CorpusError(ReproError):
+    """Raised when corpus synthesis hits an inconsistent profile."""

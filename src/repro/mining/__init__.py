@@ -1,0 +1,100 @@
+"""Data mining for false positive prediction (Tables I-III, Fig. 3)."""
+
+from repro.mining.attributes import (  # noqa: F401
+    AttributeScheme,
+    NewAttributeScheme,
+    OriginalAttributeScheme,
+    describe_scheme,
+    scheme_for,
+)
+from repro.mining.dataset import (  # noqa: F401
+    DATASET_DYNAMIC,
+    LABEL_FP,
+    LABEL_RV,
+    Dataset,
+    build_dataset,
+    build_original_dataset,
+    collect_instances,
+    generate_snippets,
+)
+from repro.mining.extraction import (  # noqa: F401
+    NO_DYNAMIC_SYMPTOMS,
+    DynamicSymptoms,
+    extract_symptoms,
+)
+from repro.mining.evaluation import (  # noqa: F401
+    CLASSIFIER_POOL,
+    compare_classifiers,
+    learning_curve,
+    select_top3,
+)
+from repro.mining.justification import Justification, justify  # noqa: F401
+from repro.mining.metrics import (  # noqa: F401
+    ConfusionMatrix,
+    cross_validate,
+    kfold_indices,
+)
+from repro.mining.predictor import (  # noqa: F401
+    FalsePositivePredictor,
+    Prediction,
+    new_predictor,
+    original_predictor,
+    top3_new,
+    top3_original,
+)
+from repro.mining.symptoms import (  # noqa: F401
+    CATEGORY_SQL,
+    CATEGORY_STRING,
+    CATEGORY_VALIDATION,
+    Symptom,
+    all_symptoms,
+    attribute_groups,
+    get_symptom,
+    new_symptoms,
+    original_symptoms,
+    symptoms_by_category,
+)
+
+__all__ = [
+    "Symptom",
+    "all_symptoms",
+    "original_symptoms",
+    "new_symptoms",
+    "symptoms_by_category",
+    "attribute_groups",
+    "get_symptom",
+    "CATEGORY_VALIDATION",
+    "CATEGORY_STRING",
+    "CATEGORY_SQL",
+    "AttributeScheme",
+    "NewAttributeScheme",
+    "OriginalAttributeScheme",
+    "scheme_for",
+    "describe_scheme",
+    "DynamicSymptoms",
+    "NO_DYNAMIC_SYMPTOMS",
+    "extract_symptoms",
+    "Dataset",
+    "build_dataset",
+    "build_original_dataset",
+    "collect_instances",
+    "generate_snippets",
+    "DATASET_DYNAMIC",
+    "LABEL_FP",
+    "LABEL_RV",
+    "Justification",
+    "justify",
+    "CLASSIFIER_POOL",
+    "compare_classifiers",
+    "learning_curve",
+    "select_top3",
+    "ConfusionMatrix",
+    "cross_validate",
+    "kfold_indices",
+    "FalsePositivePredictor",
+    "Prediction",
+    "new_predictor",
+    "original_predictor",
+    "top3_new",
+    "top3_original",
+]

@@ -1,0 +1,117 @@
+"""Attribute vectors for the classifiers (Fig. 3, second box).
+
+Two vectorization modes exist, matching the two versions of the tool:
+
+* :class:`OriginalAttributeScheme` — WAP v2.1's 15 feature attributes.
+  Only the original 24 symptoms are *recognized*; each sets the bit of its
+  attribute group.  Symptoms added in the new WAP are invisible here, which
+  is precisely why the old predictor misses false positives whose only
+  evidence is a new symptom (Table VI: 60 unpredicted FPs vs 18).
+* :class:`NewAttributeScheme` — WAPe's 60 symptom attributes, one bit per
+  symptom (all symptoms are attributes, §III-B1).
+
+The class attribute (FP / RV) is carried separately as the label ``y``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mining.symptoms import (
+    Symptom,
+    all_symptoms,
+    new_attribute_names,
+    original_attribute_names,
+    original_symptoms,
+)
+
+
+class AttributeScheme:
+    """Maps a set of symptom names to a fixed-width 0/1 vector."""
+
+    #: ordered attribute names; populated by subclasses.
+    names: list[str]
+
+    def vectorize(self, symptoms: frozenset[str] | set[str]) -> np.ndarray:
+        """Return the 0/1 attribute vector for a symptom set."""
+        raise NotImplementedError
+
+    def vectorize_many(self, symptom_sets: list[frozenset[str]]
+                       ) -> np.ndarray:
+        """Stack vectors for many instances into an (n, d) matrix."""
+        if not symptom_sets:
+            return np.zeros((0, len(self.names)), dtype=np.float64)
+        return np.stack([self.vectorize(s) for s in symptom_sets])
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+
+class NewAttributeScheme(AttributeScheme):
+    """WAPe: one attribute per symptom (60 features)."""
+
+    def __init__(self) -> None:
+        self.names = new_attribute_names()
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    def vectorize(self, symptoms: frozenset[str] | set[str]) -> np.ndarray:
+        vec = np.zeros(len(self.names), dtype=np.float64)
+        for name in symptoms:
+            idx = self._index.get(name)
+            if idx is not None:
+                vec[idx] = 1.0
+        return vec
+
+
+class OriginalAttributeScheme(AttributeScheme):
+    """WAP v2.1: 15 attribute groups over the original 24 symptoms.
+
+    A couple of structural attributes (complex_query, numeric_entry_point)
+    are also recognized since the original tool computed them directly.
+    """
+
+    #: structural symptoms the original tool computed despite not being
+    #: function symptoms.
+    _STRUCTURAL = {"ComplexSQL": "complex_query",
+                   "IsNum": "numeric_entry_point",
+                   "concat_op": "string_concat"}
+
+    def __init__(self) -> None:
+        self.names = original_attribute_names()
+        self._index = {name: i for i, name in enumerate(self.names)}
+        self._symptom_to_group: dict[str, str] = {
+            s.name: s.attribute for s in original_symptoms()}
+        self._symptom_to_group.update(self._STRUCTURAL)
+
+    def recognizes(self, symptom_name: str) -> bool:
+        return symptom_name in self._symptom_to_group
+
+    def vectorize(self, symptoms: frozenset[str] | set[str]) -> np.ndarray:
+        vec = np.zeros(len(self.names), dtype=np.float64)
+        for name in symptoms:
+            group = self._symptom_to_group.get(name)
+            if group is not None:
+                vec[self._index[group]] = 1.0
+        return vec
+
+
+def scheme_for(version: str) -> AttributeScheme:
+    """Factory: ``"original"`` -> 15 attributes, ``"new"`` -> 60."""
+    if version == "original":
+        return OriginalAttributeScheme()
+    if version == "new":
+        return NewAttributeScheme()
+    raise ValueError(f"unknown attribute scheme {version!r}")
+
+
+def describe_scheme(scheme: AttributeScheme) -> dict[str, object]:
+    """Human-readable summary (used by the Table I bench)."""
+    symptoms: list[Symptom] = list(all_symptoms())
+    return {
+        "attributes": scheme.width,
+        "attributes_with_class": scheme.width + 1,
+        "total_symptoms": len(symptoms),
+        "original_symptoms": sum(1 for s in symptoms if s.original),
+        "new_symptoms": sum(1 for s in symptoms if not s.original),
+    }

@@ -1,0 +1,22 @@
+"""From-scratch numpy classifiers (WEKA substitute; DESIGN.md subst. #3)."""
+
+from repro.mining.classifiers.base import Classifier  # noqa: F401
+from repro.mining.classifiers.forest import RandomForest  # noqa: F401
+from repro.mining.classifiers.knn import KNearestNeighbors  # noqa: F401
+from repro.mining.classifiers.logistic import LogisticRegression  # noqa: F401
+from repro.mining.classifiers.naive_bayes import (  # noqa: F401
+    BernoulliNaiveBayes,
+)
+from repro.mining.classifiers.svm import LinearSVM  # noqa: F401
+from repro.mining.classifiers.tree import DecisionTree, RandomTree  # noqa: F401
+
+__all__ = [
+    "Classifier",
+    "LogisticRegression",
+    "LinearSVM",
+    "DecisionTree",
+    "RandomTree",
+    "RandomForest",
+    "BernoulliNaiveBayes",
+    "KNearestNeighbors",
+]

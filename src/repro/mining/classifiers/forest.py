@@ -1,0 +1,65 @@
+"""Random Forest: bagged random trees with majority vote.
+
+Random Forest replaces Random Tree in the *new* WAP's top 3 (§III-B1:
+"These classifiers are the same as those used in the original WAP, except
+RF that substitutes Random Tree").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+from repro.mining.classifiers.tree import DecisionTree
+
+
+class RandomForest(Classifier):
+    """Bootstrap-aggregated random trees.
+
+    Args:
+        n_trees: ensemble size.
+        max_depth: per-tree depth cap.
+        max_features: features per split; None = int(log2(d)) + 1.
+        seed: RNG seed controlling bootstraps and per-tree feature sampling.
+    """
+
+    name = "Random Forest"
+
+    def __init__(self, n_trees: int = 100, max_depth: int | None = None,
+                 max_features: int | None = 30, seed: int = 7) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list[DecisionTree] = []
+        self._width = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X, y = self._check_fit_inputs(X, y)
+        self._width = X.shape[1]
+        n, d = X.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.log2(max(d, 2))) + 1)
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for i in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTree(max_depth=self.max_depth,
+                                max_features=max_features,
+                                seed=int(rng.integers(0, 2**31)))
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Fraction of trees voting for class 1."""
+        if not self.trees:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self._width)
+        votes = np.stack([tree.predict(X) for tree in self.trees])
+        return votes.mean(axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)

@@ -1,0 +1,44 @@
+"""k-nearest neighbours — another candidate in the classifier
+re-evaluation pool."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+
+
+class KNearestNeighbors(Classifier):
+    """Majority vote over the k nearest training points (L2 distance).
+
+    Ties on distance are broken by training order (deterministic); ties on
+    the vote fall to class 1 only when strictly more than half vote 1.
+    """
+
+    name = "K-NN"
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ClassifierError("k must be >= 1")
+        self.k = k
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        X, y = self._check_fit_inputs(X, y)
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self._X.shape[1])
+        k = min(self.k, self._X.shape[0])
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            d2 = np.sum((self._X - row) ** 2, axis=1)
+            nearest = np.argsort(d2, kind="stable")[:k]
+            out[i] = 1 if self._y[nearest].mean() > 0.5 else 0
+        return out

@@ -1,0 +1,67 @@
+"""Logistic Regression trained by full-batch gradient descent with L2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # numerically stable logistic
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression.
+
+    Args:
+        lr: gradient-descent step size.
+        epochs: number of full-batch passes.
+        l2: L2 regularization strength (applied to weights, not bias).
+        threshold: decision threshold on the positive-class probability.
+    """
+
+    name = "Logistic Regression"
+
+    def __init__(self, lr: float = 1.0, epochs: int = 800,
+                 l2: float = 2e-4, threshold: float = 0.5) -> None:
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.threshold = threshold
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = self._check_fit_inputs(X, y)
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        yf = y.astype(np.float64)
+        for _ in range(self.epochs):
+            p = _sigmoid(X @ w + b)
+            err = p - yf
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(label = 1) for each row of X."""
+        if self.weights is None:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self.weights.shape[0])
+        return _sigmoid(X @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= self.threshold).astype(np.int64)

@@ -1,0 +1,49 @@
+"""Bernoulli Naive Bayes — one of the classifiers re-evaluated when
+selecting the top 3 (the paper evaluated several and kept SVM/LR/RF)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+
+
+class BernoulliNaiveBayes(Classifier):
+    """Naive Bayes over binary attributes with Laplace smoothing."""
+
+    name = "Naive Bayes"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self._log_prior: np.ndarray | None = None
+        self._log_p: np.ndarray | None = None      # log P(x=1 | class)
+        self._log_q: np.ndarray | None = None      # log P(x=0 | class)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BernoulliNaiveBayes":
+        X, y = self._check_fit_inputs(X, y)
+        Xb = (X > 0.5).astype(np.float64)
+        counts = np.array([(y == c).sum() for c in (0, 1)],
+                          dtype=np.float64)
+        self._log_prior = np.log((counts + self.alpha)
+                                 / (counts.sum() + 2 * self.alpha))
+        p = np.empty((2, X.shape[1]))
+        for c in (0, 1):
+            rows = Xb[y == c]
+            ones = rows.sum(axis=0) if rows.size else np.zeros(X.shape[1])
+            p[c] = (ones + self.alpha) / (counts[c] + 2 * self.alpha)
+        self._log_p = np.log(p)
+        self._log_q = np.log1p(-p)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._log_p is None:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self._log_p.shape[1])
+        Xb = (X > 0.5).astype(np.float64)
+        scores = np.stack([
+            self._log_prior[c]
+            + Xb @ self._log_p[c] + (1.0 - Xb) @ self._log_q[c]
+            for c in (0, 1)
+        ], axis=1)
+        return np.argmax(scores, axis=1).astype(np.int64)

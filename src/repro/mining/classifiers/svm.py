@@ -1,0 +1,60 @@
+"""Linear Support Vector Machine trained with the Pegasos subgradient
+method (Shalev-Shwartz et al.), deterministic given the seed."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+
+
+class LinearSVM(Classifier):
+    """Soft-margin linear SVM.
+
+    Args:
+        lam: regularization parameter λ of the Pegasos objective.
+        epochs: passes over the shuffled training set.
+        seed: RNG seed for the shuffling (determinism matters for tests).
+    """
+
+    name = "SVM"
+
+    def __init__(self, lam: float = 1e-3, epochs: int = 60,
+                 seed: int = 7) -> None:
+        self.lam = lam
+        self.epochs = epochs
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X, y = self._check_fit_inputs(X, y)
+        n, d = X.shape
+        ypm = np.where(y == 1, 1.0, -1.0)  # {0,1} -> {-1,+1}
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(d)
+        b = 0.0
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for i in order:
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = ypm[i] * (X[i] @ w + b)
+                w *= (1.0 - eta * self.lam)
+                if margin < 1.0:
+                    w += eta * ypm[i] * X[i]
+                    b += eta * ypm[i]
+        self.weights = w
+        self.bias = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self.weights.shape[0])
+        return X @ self.weights + self.bias
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(np.int64)

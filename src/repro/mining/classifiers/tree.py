@@ -1,0 +1,151 @@
+"""CART decision trees (Gini impurity) and the Random Tree variant.
+
+``DecisionTree`` considers all features at every split; ``RandomTree``
+(the classifier used by the original WAP) samples a random feature subset
+at each node, like a single tree of a random forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers.base import Classifier
+
+
+@dataclass
+class _Node:
+    """Internal tree node; a leaf when ``feature`` is None."""
+
+    feature: int | None = None
+    threshold: float = 0.5
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    label: int = 0
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTree(Classifier):
+    """Binary CART tree on (possibly continuous) features.
+
+    Args:
+        max_depth: depth cap; None means grow until pure.
+        min_samples_split: do not split nodes smaller than this.
+        max_features: features sampled per split (None = all).
+        seed: RNG seed for feature sampling.
+    """
+
+    name = "Decision Tree"
+
+    def __init__(self, max_depth: int | None = None,
+                 min_samples_split: int = 2,
+                 max_features: int | None = None,
+                 seed: int = 7) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._width = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X, y = self._check_fit_inputs(X, y)
+        self._width = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, y, depth=0, rng=rng)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int,
+              rng: np.random.Generator) -> _Node:
+        counts = np.bincount(y, minlength=2)
+        majority = int(np.argmax(counts))
+        if (counts.min() == 0
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or y.shape[0] < self.min_samples_split):
+            return _Node(label=majority)
+
+        n_features = X.shape[1]
+        if self.max_features is not None and \
+                self.max_features < n_features:
+            feats = rng.choice(n_features, size=self.max_features,
+                               replace=False)
+        else:
+            feats = np.arange(n_features)
+
+        best = None  # (impurity, feature, threshold, mask)
+        for f in feats:
+            values = np.unique(X[:, f])
+            if values.shape[0] < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for thr in thresholds:
+                mask = X[:, f] <= thr
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == y.shape[0]:
+                    continue
+                g = (n_left * _gini(np.bincount(y[mask], minlength=2))
+                     + (y.shape[0] - n_left)
+                     * _gini(np.bincount(y[~mask], minlength=2)))
+                if best is None or g < best[0]:
+                    best = (g, int(f), float(thr), mask)
+        if best is None:
+            return _Node(label=majority)
+
+        _, feature, threshold, mask = best
+        left = self._grow(X[mask], y[mask], depth + 1, rng)
+        right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return _Node(feature=feature, threshold=threshold,
+                     left=left, right=right, label=majority)
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ClassifierError("predict before fit")
+        X = self._check_predict_inputs(X, self._width)
+        return np.array([self._walk(row) for row in X], dtype=np.int64)
+
+    def _walk(self, row: np.ndarray) -> int:
+        node = self._root
+        assert node is not None
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold \
+                else node.right
+            assert node is not None
+        return node.label
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (diagnostics)."""
+        def d(node: _Node | None) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+        return d(self._root)
+
+
+class RandomTree(DecisionTree):
+    """Single tree with random feature subsets at each split — the third
+    classifier of the *original* WAP's top 3."""
+
+    name = "Random Tree"
+
+    def __init__(self, max_depth: int | None = None, seed: int = 7) -> None:
+        super().__init__(max_depth=max_depth, min_samples_split=2,
+                         max_features=None, seed=seed)
+        self._auto_features = True
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomTree":
+        # WEKA's RandomTree default: int(log2(#features)) + 1
+        n_features = np.asarray(X).shape[1]
+        self.max_features = max(1, int(np.log2(max(n_features, 2))) + 1)
+        super().fit(X, y)
+        return self

@@ -1,0 +1,412 @@
+"""Training-set construction (§III-B1).
+
+The paper built its 256-instance data set by running WAP in
+candidate-output mode over 29 open-source applications and annotating each
+candidate by hand.  Those annotations are not published, so this module
+regenerates the data set the same way end-to-end (DESIGN.md substitution
+#4): a battery of parameterized PHP snippets with *known* ground truth is
+pushed through the real pipeline — parser → taint engine → symptom
+extraction — and the resulting attribute vectors are labelled from the
+snippet templates, de-noised (ambiguous vectors removed, as in the paper)
+and balanced to 128 false positives + 128 real vulnerabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.mining.attributes import AttributeScheme, scheme_for
+from repro.mining.extraction import DynamicSymptoms, extract_symptoms
+
+LABEL_FP = 1   # "Yes" class of Table III: a false positive
+LABEL_RV = 0   # real vulnerability
+
+#: dynamic symptoms used by the snippet battery (a white-list helper, a
+#: black-list helper and a user validation function).
+DATASET_DYNAMIC = DynamicSymptoms(
+    mapping={"val_int": "is_int"},
+    whitelists=frozenset({"allowed_value"}),
+    blacklists=frozenset({"blocked_value"}),
+)
+
+_TYPE_CHECKS = ["is_numeric", "is_int", "is_float", "is_string",
+                "ctype_digit", "ctype_alpha", "ctype_alnum", "intval",
+                "is_double", "is_integer", "is_long", "is_real",
+                "is_scalar"]
+_PATTERNS = ["preg_match", "ereg", "eregi", "strcmp", "strncmp",
+             "strcasecmp", "strncasecmp", "strnatcmp", "preg_match_all"]
+_REPLACERS = ["str_replace", "preg_replace", "substr_replace",
+              "str_ireplace", "ereg_replace", "eregi_replace",
+              "preg_filter"]
+_SPLITTERS = ["explode", "preg_split", "str_split", "split", "spliti"]
+_TRIMMERS = ["trim", "rtrim", "ltrim"]
+_PADDERS = ["str_pad", "chunk_split", "str_shuffle"]
+_JOINERS = ["implode", "join"]
+_AGGREGATES = ["AVG", "COUNT", "SUM", "MAX", "MIN"]
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One data-set generation unit: PHP body + ground-truth label."""
+
+    source: str
+    label: int
+    template: str
+
+
+@dataclass
+class Dataset:
+    """A vectorized training set.
+
+    Attributes:
+        X: (n, d) 0/1 attribute matrix.
+        y: (n,) labels — 1 = false positive, 0 = real vulnerability.
+        scheme: the attribute scheme used for vectorization.
+        templates: per-instance template ids (provenance, for debugging).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    scheme: AttributeScheme
+    templates: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0]:
+            raise DatasetError("X and y row counts differ")
+
+    @property
+    def size(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_false_positives(self) -> int:
+        return int(np.sum(self.y == LABEL_FP))
+
+    @property
+    def n_real_vulnerabilities(self) -> int:
+        return int(np.sum(self.y == LABEL_RV))
+
+    def is_balanced(self) -> bool:
+        return self.n_false_positives == self.n_real_vulnerabilities
+
+
+# ---------------------------------------------------------------------------
+# snippet battery
+# ---------------------------------------------------------------------------
+
+def generate_snippets() -> list[Snippet]:  # noqa: C901 - a data catalog
+    """The deterministic snippet battery (labels known by construction)."""
+    out: list[Snippet] = []
+
+    def fp(source: str, template: str) -> None:
+        out.append(Snippet(source, LABEL_FP, template))
+
+    def rv(source: str, template: str) -> None:
+        out.append(Snippet(source, LABEL_RV, template))
+
+    # ---- FP: type-check guard around the sink ------------------------
+    for i, check in enumerate(_TYPE_CHECKS):
+        fp(f"if ({check}($_GET['id'])) {{\n"
+           f"  mysql_query(\"SELECT name FROM users WHERE id = \""
+           f" . $_GET['id']);\n}}", f"fp_typecheck_{check}")
+        # variant: guard + echo (XSS flow, numeric output)
+        fp(f"if ({check}($_GET['n'])) {{ echo $_GET['n']; }}",
+           f"fp_typecheck_echo_{check}")
+
+    # ---- FP: pattern guard wrapping a quoted-string query --------------
+    for pat in _PATTERNS:
+        fp(f"if ({pat}('/^[a-z0-9]+$/', $_GET['v'])) {{\n"
+           f"  mysql_query(\"SELECT c FROM t WHERE c = '\""
+           f" . $_GET['v'] . \"'\");\n}}", f"fp_pattern_if_{pat}")
+
+    # ---- FP: pattern guard with early exit ---------------------------
+    for pat in _PATTERNS:
+        fp(f"if (!{pat}('/^[0-9a-z]+$/', $_GET['q'])) {{ exit('bad'); }}\n"
+           f"mysql_query(\"SELECT v FROM t WHERE q = '\""
+           f" . $_GET['q'] . \"'\");", f"fp_pattern_{pat}")
+        fp(f"if ({pat}('/^[a-z]+$/', $_POST['u'])) {{\n"
+           f"  echo \"<b>\" . $_POST['u'] . \"</b>\";\n}}",
+           f"fp_pattern_echo_{pat}")
+
+    # ---- FP: quote-stripping replacement ------------------------------
+    for rep in _REPLACERS:
+        fp(f"$v = {rep}(\"'\", \"\", $_GET['n']);\n"
+           f"mysql_query(\"SELECT a FROM t WHERE n = '\" . $v . \"'\");",
+           f"fp_replace_{rep}")
+
+    # ---- FP: split + per-part numeric validation ----------------------
+    for split in _SPLITTERS:
+        fp(f"$parts = {split}(',', $_GET['ids']);\n"
+           f"if (ctype_digit($parts[0])) {{\n"
+           f"  mysql_query(\"SELECT x FROM t WHERE id = \" . $parts[0]);\n"
+           f"}}", f"fp_split_{split}")
+
+    # ---- FP: trimmed + validated -------------------------------------
+    for trim_fn in _TRIMMERS:
+        fp(f"$v = {trim_fn}($_GET['s']);\n"
+           f"if (is_numeric($v)) {{\n"
+           f"  mysql_query(\"SELECT b FROM t WHERE v = \" . $v);\n}}",
+           f"fp_trim_{trim_fn}")
+    for pad in _PADDERS:
+        fp(f"$v = {pad}($_GET['s'], 8);\n"
+           f"if (ctype_alnum($v)) {{ echo $v; }}", f"fp_pad_{pad}")
+    for joiner in _JOINERS:
+        fp(f"$parts = explode(',', $_GET['ids']);\n"
+           f"$v = {joiner}('-', $parts);\n"
+           f"if (ctype_digit($v)) {{\n"
+           f"  mysql_query(\"SELECT c FROM t WHERE v = '\" . $v . \"'\");\n"
+           f"}}", f"fp_join_{joiner}")
+
+    # ---- FP: user white/black lists (dynamic symptoms) ----------------
+    fp("if (allowed_value($_GET['cat'])) {\n"
+       "  mysql_query(\"SELECT p FROM prods WHERE cat = '\""
+       " . $_GET['cat'] . \"'\");\n}", "fp_whitelist")
+    fp("if (!blocked_value($_GET['tag'])) {\n"
+       "  echo \"<span>\" . $_GET['tag'] . \"</span>\";\n}",
+       "fp_blacklist")
+    fp("if (allowed_value($_POST['mode'])) { echo $_POST['mode']; }",
+       "fp_whitelist_echo")
+    fp("$v = val_int($_GET['page']);\n"
+       "mysql_query(\"SELECT t FROM posts LIMIT \" . $v);",
+       "fp_dynamic_val_int")
+
+    # ---- FP: aggregate queries over validated numerics -----------------
+    for agg in _AGGREGATES:
+        fp(f"if (is_numeric($_GET['y'])) {{\n"
+           f"  mysql_query(\"SELECT {agg}(v) FROM m WHERE y = \""
+           f" . $_GET['y']);\n}}", f"fp_aggregate_{agg}")
+
+    # ---- FP: combined validation, richer vectors ----------------------
+    for check in _TYPE_CHECKS[:8]:
+        fp(f"if (isset($_GET['k']) && {check}($_GET['k'])) {{\n"
+           f"  mysql_query(\"SELECT z FROM t WHERE k = \" . $_GET['k']);\n"
+           f"}}", f"fp_isset_and_{check}")
+    for pat in _PATTERNS[:6]:
+        fp(f"$v = trim($_GET['w']);\n"
+           f"if (!{pat}('/^[0-9]+$/', $v)) {{ exit; }}\n"
+           f"mysql_query(\"SELECT q FROM logs WHERE w = \" . $v);",
+           f"fp_trim_then_{pat}")
+    for check in ("is_numeric", "ctype_digit", "is_int", "intval"):
+        fp(f"$v = substr($_GET['p'], 0, 4);\n"
+           f"if ({check}($v)) {{\n"
+           f"  mysql_query(\"SELECT s FROM t ORDER BY \" . $v);\n}}",
+           f"fp_substr_{check}")
+
+    # ---- RV: direct flows, no symptoms --------------------------------
+    for i, (sg, key) in enumerate([("_GET", "n"), ("_POST", "u"),
+                                   ("_COOKIE", "c"), ("_REQUEST", "r")]):
+        rv(f"mysql_query(\"SELECT a FROM t WHERE x = '\""
+           f" . ${sg}['{key}'] . \"'\");", f"rv_direct_{sg}")
+        rv(f"echo ${sg}['{key}'];", f"rv_echo_{sg}")
+        rv(f"$v = ${sg}['{key}'];\n"
+           f"mysql_query(\"UPDATE t SET c = '\" . $v . \"' WHERE id = 1\");",
+           f"rv_update_{sg}")
+
+    # ---- RV: numeric-looking but unvalidated ---------------------------
+    for key in ("id", "uid", "page", "cat"):
+        rv(f"mysql_query(\"SELECT b FROM t WHERE id = \""
+           f" . $_GET['{key}']);", f"rv_isnum_{key}")
+
+    # ---- RV: string-manipulated but still injectable -------------------
+    for rep in _REPLACERS[:5]:
+        rv(f"$v = {rep}(\"x\", \"y\", $_GET['s']);\n"
+           f"mysql_query(\"SELECT d FROM t WHERE s = '\" . $v . \"'\");",
+           f"rv_replace_{rep}")
+    for trim_fn in _TRIMMERS:
+        rv(f"$v = {trim_fn}($_POST['s']);\n"
+           f"echo \"<p>\" . $v . \"</p>\";", f"rv_trim_{trim_fn}")
+    for split in _SPLITTERS[:3]:
+        rv(f"$parts = {split}(',', $_GET['list']);\n"
+           f"mysql_query(\"SELECT e FROM t WHERE v IN ('\""
+           f" . $parts[0] . \"')\");", f"rv_split_{split}")
+    rv("$v = substr($_GET['long'], 0, 64);\n"
+       "mysql_query(\"SELECT f FROM t WHERE v = '\" . $v . \"'\");",
+       "rv_substr")
+    rv("$v = str_pad($_GET['s'], 10);\n"
+       "echo $v;", "rv_pad")
+
+    # ---- RV: complex queries -------------------------------------------
+    rv("mysql_query(\"SELECT a.x FROM a JOIN b ON a.i = b.i "
+       "WHERE a.n = '\" . $_GET['n'] . \"'\");", "rv_complex_join")
+    rv("mysql_query(\"SELECT x FROM t WHERE u = '\" . $_POST['u'] . \"' "
+       "ORDER BY ts LIMIT 5\");", "rv_complex_order")
+    rv("mysql_query(\"SELECT COUNT(*) FROM hits WHERE ref = '\""
+       " . $_SERVER['HTTP_REFERER'] . \"'\");", "rv_complex_count")
+    rv("mysql_query(\"SELECT x FROM t WHERE id IN "
+       "(SELECT id FROM u WHERE g = '\" . $_GET['g'] . \"')\");",
+       "rv_complex_subselect")
+
+    # ---- RV: hard cases — validation-looking but unsafe ----------------
+    rv("if (isset($_GET['id'])) {\n"
+       "  mysql_query(\"SELECT g FROM t WHERE id = \" . $_GET['id']);\n}",
+       "rv_isset_only")
+    rv("if (isset($_POST['q'])) { echo $_POST['q']; }",
+       "rv_isset_only_echo")
+    rv("if (!empty($_GET['s'])) {\n"
+       "  mysql_query(\"SELECT h FROM t WHERE s = '\" . $_GET['s'] . \"'\");"
+       "\n}", "rv_empty_only")
+    rv("$v = trim($_GET['x']);\n"
+       "if (isset($_GET['x'])) {\n"
+       "  mysql_query(\"SELECT i FROM t WHERE x = '\" . $v . \"'\");\n}",
+       "rv_trim_isset")
+    rv("if (is_numeric($_GET['a'])) {\n"
+       "  mysql_query(\"SELECT j FROM t WHERE b = '\" . $_GET['b'] . \"'\");"
+       "\n}", "rv_guard_wrong_var")
+    # interpolated variants
+    rv("$n = $_GET['n'];\nmysql_query(\"SELECT k FROM t WHERE n = '$n'\");",
+       "rv_interp")
+    rv("$u = $_POST['u'];\necho \"Hello $u\";", "rv_interp_echo")
+    rv("$c = $_COOKIE['sess'];\n"
+       "mysql_query(\"SELECT l FROM s WHERE tok = '$c' LIMIT 1\");",
+       "rv_interp_cookie")
+
+    # ---- RV: validation-*looking* code that validates nothing ----------
+    # (these produce the classifier errors of Tables II/III: a pattern /
+    # comparison function is present, but used as a presence or search
+    # check, so the instance is a real vulnerability that *smells* FP)
+    for cmp_fn in ("strcmp", "strcasecmp", "strncmp"):
+        rv(f"if ({cmp_fn}($_GET['t'], '') != 0) {{\n"
+           f"  mysql_query(\"SELECT m FROM t WHERE t = '\""
+           f" . $_GET['t'] . \"'\");\n}}", f"rv_cmp_presence_{cmp_fn}")
+    for pat in ("preg_match", "eregi"):
+        rv(f"if ({pat}('/admin/', $_GET['s'])) {{ echo $_GET['s']; }}",
+           f"rv_pattern_search_{pat}")
+    rv("if (!is_null($_GET['v'])) {\n"
+       "  mysql_query(\"SELECT n FROM t WHERE v = '\" . $_GET['v'] . \"'\");"
+       "\n}", "rv_is_null_presence")
+    rv("if (is_string($_POST['bio'])) { echo $_POST['bio']; }",
+       "rv_is_string_useless")
+    rv("if (is_array($_GET['f'])) { exit; }\n"
+       "echo $_GET['f'];", "rv_is_array_exit")
+    for key in ("q", "term", "kw"):
+        rv(f"$v = trim($_GET['{key}']);\n"
+           f"if (!empty($v)) {{\n"
+           f"  mysql_query(\"SELECT o FROM t WHERE v LIKE '%\""
+           f" . $v . \"%'\");\n}}", f"rv_trim_empty_{key}")
+    # more direct variety so the RV pool is not dominated by duplicates
+    for i, key in enumerate(("a", "b", "c", "d", "e", "f")):
+        rv(f"mysql_query(\"SELECT s{i} FROM tab{i} WHERE c{i} = '\""
+           f" . $_GET['{key}'] . \"' AND live = 1\");",
+           f"rv_direct_var_{key}")
+        rv(f"echo \"<li>\" . $_REQUEST['{key}'] . \"</li>\";",
+           f"rv_echo_var_{key}")
+    for agg in _AGGREGATES[:3]:
+        rv(f"mysql_query(\"SELECT {agg}(x) FROM t WHERE g = '\""
+           f" . $_POST['g'] . \"'\");", f"rv_aggregate_{agg}")
+    rv("$page = $_GET['page'];\n"
+       "mysql_query(\"SELECT p FROM posts LIMIT \" . $page);",
+       "rv_limit")
+    rv("$sort = $_GET['sort'];\n"
+       "mysql_query(\"SELECT r FROM rows ORDER BY \" . $sort);",
+       "rv_orderby")
+    rv("$v = str_replace(' ', '_', $_GET['name']);\n"
+       "echo \"<img src='\" . $v . \"'>\";", "rv_replace_space_echo")
+    rv("$v = substr($_POST['comment'], 0, 200);\n"
+       "echo \"<div>\" . $v . \"</div>\";", "rv_substr_echo")
+    rv("$parts = explode('.', $_GET['host']);\n"
+       "echo $parts[0];", "rv_explode_echo")
+    rv("$v = implode(',', explode(';', $_GET['csv']));\n"
+       "mysql_query(\"SELECT t FROM t WHERE v IN (\" . $v . \")\");",
+       "rv_implode")
+
+    return out
+
+
+# ---------------------------------------------------------------------------
+# pipeline: snippets -> labelled symptom sets -> vectors
+# ---------------------------------------------------------------------------
+
+def _dataset_detector():
+    from repro.analysis.detector import Detector
+    from repro.vulnerabilities.catalog import sqli_info, xss_info
+    return Detector([sqli_info().config, xss_info().config])
+
+
+def collect_instances(snippets: list[Snippet] | None = None
+                      ) -> list[tuple[frozenset[str], int, str]]:
+    """Run the real pipeline over the battery.
+
+    Returns one (symptom set, label, template) triple per snippet whose
+    candidate flow the taint analyzer actually flags.
+    """
+    detector = _dataset_detector()
+    out: list[tuple[frozenset[str], int, str]] = []
+    for snippet in snippets or generate_snippets():
+        candidates = detector.detect_source("<?php " + snippet.source,
+                                            snippet.template)
+        if not candidates:
+            continue
+        symptoms = extract_symptoms(candidates[0], DATASET_DYNAMIC)
+        out.append((symptoms, snippet.label, snippet.template))
+    return out
+
+
+def build_dataset(version: str = "new", size: int = 256,
+                  seed: int = 13, fp_count: int | None = None,
+                  rv_count: int | None = None) -> Dataset:
+    """Assemble the training set.
+
+    Args:
+        version: ``"new"`` (61 attributes) or ``"original"`` (16).
+        size: total instances, split evenly unless counts are given.
+        seed: selection/shuffle seed (the battery itself is deterministic).
+        fp_count, rv_count: explicit per-class counts (used to rebuild the
+            original WAP's 32 FP / 44 RV set).
+
+    Raises:
+        DatasetError: if the battery cannot supply any instance of a class.
+    """
+    scheme = scheme_for(version)
+    instances = collect_instances()
+
+    # noise elimination (§III-B1): drop vectors that appear with both
+    # labels (ambiguous), keep the rest including same-label duplicates
+    by_vec: dict[tuple, set[int]] = {}
+    vectors: list[tuple[tuple, int, str]] = []
+    for symptoms, label, template in instances:
+        key = tuple(scheme.vectorize(symptoms).astype(int).tolist())
+        by_vec.setdefault(key, set()).add(label)
+        vectors.append((key, label, template))
+    clean = [(k, label, template) for k, label, template in vectors
+             if len(by_vec[k]) == 1]
+
+    counts = {LABEL_FP: fp_count if fp_count is not None else size // 2,
+              LABEL_RV: rv_count if rv_count is not None else size // 2}
+    rng = np.random.default_rng(seed)
+    rows: list[np.ndarray] = []
+    labels: list[int] = []
+    templates: list[str] = []
+    for wanted in (LABEL_FP, LABEL_RV):
+        pool = [(k, template) for k, label, template in clean
+                if label == wanted]
+        if not pool:
+            raise DatasetError(f"no instances of class {wanted}")
+        order = rng.permutation(len(pool))
+        chosen = [pool[i] for i in order]
+        # cycle deterministically if the battery is smaller than needed
+        while len(chosen) < counts[wanted]:
+            chosen.extend(pool)
+        for key, template in chosen[:counts[wanted]]:
+            rows.append(np.array(key, dtype=np.float64))
+            labels.append(wanted)
+            templates.append(template)
+
+    X = np.stack(rows)
+    y = np.array(labels, dtype=np.int64)
+    order = rng.permutation(len(labels))
+    return Dataset(X[order], y[order], scheme,
+                   [templates[i] for i in order])
+
+
+def build_original_dataset(seed: int = 13) -> Dataset:
+    """The original WAP training set: 76 instances (32 FP, 44 RV) over the
+    16-attribute scheme (§III-B1)."""
+    return Dataset(*_strip(build_dataset("original", seed=seed,
+                                         fp_count=32, rv_count=44)))
+
+
+def _strip(ds: Dataset) -> tuple:
+    return (ds.X, ds.y, ds.scheme, ds.templates)

@@ -1,0 +1,99 @@
+"""Evaluation utilities over the data-mining stage.
+
+Helpers used by the benchmark harness and by users tuning their own
+training sets: full classifier comparisons, learning curves over the
+training-set size (the paper grew the set from 76 to 256 instances when
+the attribute count grew from 16 to 61), and a compact text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mining.classifiers import (
+    BernoulliNaiveBayes,
+    Classifier,
+    KNearestNeighbors,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    RandomTree,
+)
+from repro.mining.dataset import Dataset
+from repro.mining.metrics import ConfusionMatrix, cross_validate
+
+#: the full classifier pool of the re-evaluation (§III-B1).
+CLASSIFIER_POOL: tuple[type[Classifier], ...] = (
+    LinearSVM, LogisticRegression, RandomForest, RandomTree,
+    BernoulliNaiveBayes, KNearestNeighbors,
+)
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One classifier's cross-validated result."""
+
+    name: str
+    matrix: ConfusionMatrix
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        return self.matrix.metrics()
+
+
+def compare_classifiers(dataset: Dataset,
+                        pool: tuple[type[Classifier], ...] = CLASSIFIER_POOL,
+                        k: int = 10, seed: int = 11) -> list[EvaluationRow]:
+    """Cross-validate every classifier in *pool* on *dataset*."""
+    rows = []
+    for cls in pool:
+        cm = cross_validate(cls, dataset.X, dataset.y, k, seed)
+        rows.append(EvaluationRow(cls().name, cm))
+    return rows
+
+
+def select_top3(rows: list[EvaluationRow]) -> list[EvaluationRow]:
+    """The paper's selection procedure: keep the most accurate three,
+    breaking ties toward higher tpp (goal 1) then lower pfp (goal 2)."""
+    return sorted(rows, key=lambda r: (-r.matrix.acc, -r.matrix.tpp,
+                                       r.matrix.pfp))[:3]
+
+
+def learning_curve(dataset: Dataset,
+                   sizes: tuple[int, ...] = (48, 76, 128, 192, 256),
+                   classifier: type[Classifier] = LinearSVM,
+                   k: int = 8, seed: int = 11
+                   ) -> list[tuple[int, ConfusionMatrix]]:
+    """Cross-validated performance at increasing training-set sizes.
+
+    Subsets are stratified (balanced label counts preserved) and nested
+    (smaller subsets are prefixes of larger ones), so the curve isolates
+    the effect of *size* alone.
+    """
+    rng = np.random.default_rng(seed)
+    fp_idx = rng.permutation(np.flatnonzero(dataset.y == 1))
+    rv_idx = rng.permutation(np.flatnonzero(dataset.y == 0))
+    out: list[tuple[int, ConfusionMatrix]] = []
+    for size in sizes:
+        size = min(size, dataset.size)
+        half = size // 2
+        take = np.concatenate([fp_idx[:half], rv_idx[:size - half]])
+        X, y = dataset.X[take], dataset.y[take]
+        cm = cross_validate(classifier, X, y, min(k, size // 4), seed)
+        out.append((size, cm))
+    return out
+
+
+def render_rows(rows: list[EvaluationRow]) -> str:
+    """Fixed-width text table of an evaluation (for CLI/debug use)."""
+    header = f"{'classifier':<22} {'acc':>6} {'tpp':>6} {'pfp':>6} " \
+             f"{'prfp':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        m = row.metrics
+        lines.append(f"{row.name:<22} {m['acc'] * 100:>5.1f}% "
+                     f"{m['tpp'] * 100:>5.1f}% {m['pfp'] * 100:>5.1f}% "
+                     f"{m['prfp'] * 100:>5.1f}%")
+    return "\n".join(lines)

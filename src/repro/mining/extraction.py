@@ -1,0 +1,111 @@
+"""Symptom extraction from candidate vulnerabilities (Fig. 3, first box).
+
+Given a :class:`~repro.analysis.model.CandidateVulnerability`, collect the
+set of Table I symptoms present on its data-flow path:
+
+* every function the tainted data passed through or was guarded by, mapped
+  to a symptom (static catalog first, then the user-supplied *dynamic
+  symptom* map of §III-B2);
+* the concatenation-operator symptom when the path built strings;
+* the SQL-query symptoms (FROM clause, aggregates, ComplexSQL, IsNum) mined
+  from the sink's literal context.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.model import STEP_CONCAT, CandidateVulnerability
+from repro.mining.symptoms import get_symptom
+
+#: placeholder the engine inserts for tainted fragments in sink context.
+TAINT_MARK = "§"
+
+_FROM_RE = re.compile(r"\bFROM\b", re.IGNORECASE)
+_AGGREGATES = ("AVG", "COUNT", "SUM", "MAX", "MIN")
+_COMPLEX_RE = re.compile(
+    r"\b(JOIN|UNION|GROUP\s+BY|HAVING|LIMIT|ORDER\s+BY)\b"
+    r"|SELECT[^§]*\(\s*SELECT",
+    re.IGNORECASE)
+_ISNUM_RE = re.compile(r"[=<>]\s*" + TAINT_MARK)
+
+#: classes whose sink context is SQL-like (enables the sql category).
+QUERY_CLASSES = frozenset({"sqli", "wpsqli", "nosqli", "ldapi", "xpathi"})
+
+
+@dataclass(frozen=True)
+class DynamicSymptoms:
+    """User-configured dynamic symptoms (§III-B2).
+
+    ``mapping`` sends a user function name to the static symptom it behaves
+    like (``val_int`` -> ``is_int``); ``whitelists``/``blacklists`` name
+    user functions that validate input against white/black lists.
+    """
+
+    mapping: dict[str, str] = field(default_factory=dict)
+    whitelists: frozenset[str] = frozenset()
+    blacklists: frozenset[str] = frozenset()
+
+    def resolve(self, func: str) -> str | None:
+        """Symptom name for *func*, or None if it is not configured."""
+        func = func.lower()
+        if func in self.whitelists:
+            return "user_whitelist"
+        if func in self.blacklists:
+            return "user_blacklist"
+        mapped = self.mapping.get(func)
+        if mapped is not None:
+            target = get_symptom(mapped.lower()) or get_symptom(mapped)
+            return target.name if target else None
+        return None
+
+    def merged(self, other: "DynamicSymptoms") -> "DynamicSymptoms":
+        return DynamicSymptoms(
+            mapping={**self.mapping, **other.mapping},
+            whitelists=self.whitelists | other.whitelists,
+            blacklists=self.blacklists | other.blacklists,
+        )
+
+
+NO_DYNAMIC_SYMPTOMS = DynamicSymptoms()
+
+
+def extract_symptoms(candidate: CandidateVulnerability,
+                     dynamic: DynamicSymptoms = NO_DYNAMIC_SYMPTOMS
+                     ) -> frozenset[str]:
+    """All Table I symptom names present on *candidate*'s path."""
+    found: set[str] = set()
+
+    for func in candidate.passed_functions:
+        name = func.lower()
+        dynamic_name = dynamic.resolve(name)
+        if dynamic_name is not None:
+            found.add(dynamic_name)
+            continue
+        symptom = get_symptom(name)
+        if symptom is not None:
+            found.add(symptom.name)
+
+    if any(step.kind == STEP_CONCAT for step in candidate.path):
+        found.add("concat_op")
+
+    if candidate.vuln_class in QUERY_CLASSES and candidate.context:
+        found |= _sql_symptoms(candidate.context)
+
+    return frozenset(found)
+
+
+def _sql_symptoms(context: str) -> set[str]:
+    """SQL-query-manipulation symptoms mined from the sink context."""
+    out: set[str] = set()
+    if _FROM_RE.search(context):
+        out.add("FROM")
+    for agg in _AGGREGATES:
+        if re.search(rf"\b{agg}\s*\(", context, re.IGNORECASE):
+            out.add(agg)
+    if _COMPLEX_RE.search(context):
+        out.add("ComplexSQL")
+    if _ISNUM_RE.search(context):
+        out.add("IsNum")
+    return out

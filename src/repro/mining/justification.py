@@ -1,0 +1,94 @@
+"""False-positive justification (Fig. 3, last box).
+
+When the predictor classifies a candidate as a false positive, WAP
+*justifies* the call to the user: which symptoms were observed, what kind
+of evidence they are, and where on the data-flow path they appeared.  This
+module renders that explanation from a candidate + prediction pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import STEP_GUARD, CandidateVulnerability
+from repro.mining.predictor import Prediction
+from repro.mining.symptoms import (
+    CATEGORY_SQL,
+    CATEGORY_STRING,
+    CATEGORY_VALIDATION,
+    get_symptom,
+)
+
+_CATEGORY_PHRASES = {
+    CATEGORY_VALIDATION: "the input is validated",
+    CATEGORY_STRING: "the input is transformed",
+    CATEGORY_SQL: "the query shape limits exploitation",
+}
+
+_ATTRIBUTE_PHRASES = {
+    "type_checking": "type checking",
+    "entry_point_is_set": "presence checking",
+    "pattern_control": "pattern matching",
+    "white_list": "a white list",
+    "black_list": "a black list",
+    "error_exit": "an error/exit path",
+    "extract_substring": "substring extraction",
+    "string_concat": "string concatenation",
+    "add_char": "character padding",
+    "replace_string": "string replacement",
+    "remove_whitespace": "whitespace trimming",
+    "complex_query": "a complex query",
+    "numeric_entry_point": "a numeric entry point",
+    "from_clause": "a FROM clause",
+    "aggregated_function": "an aggregate function",
+}
+
+
+@dataclass(frozen=True)
+class Justification:
+    """Structured explanation of a false-positive verdict."""
+
+    candidate: CandidateVulnerability
+    prediction: Prediction
+    evidence: tuple[tuple[str, str, str], ...]  # (symptom, attr, category)
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.prediction.is_false_positive
+
+    def render(self) -> str:
+        """Human-readable justification text."""
+        cand = self.candidate
+        head = (f"{cand.vuln_class} candidate at "
+                f"{cand.filename}:{cand.sink_line} "
+                f"({cand.entry_point} -> {cand.sink_name})")
+        if not self.prediction.is_false_positive:
+            return (f"{head}: reported as a REAL vulnerability — "
+                    f"no convincing symptoms "
+                    f"({', '.join(sorted(self.prediction.symptoms)) or 'none'})")
+        lines = [f"{head}: predicted FALSE POSITIVE because:"]
+        guard_lines = {s.detail: s.line for s in cand.path
+                       if s.kind == STEP_GUARD}
+        for symptom, attribute, category in self.evidence:
+            where = (f" (line {guard_lines[symptom]})"
+                     if symptom in guard_lines else "")
+            lines.append(
+                f"  - {_CATEGORY_PHRASES[category]} via "
+                f"{_ATTRIBUTE_PHRASES.get(attribute, attribute)}: "
+                f"{symptom}{where}")
+        votes = ", ".join(f"{name}={'FP' if v else 'RV'}"
+                          for name, v in self.prediction.votes.items())
+        lines.append(f"  classifier votes: {votes}")
+        return "\n".join(lines)
+
+
+def justify(candidate: CandidateVulnerability,
+            prediction: Prediction) -> Justification:
+    """Build the justification for one predicted candidate."""
+    evidence = []
+    for name in sorted(prediction.symptoms):
+        symptom = get_symptom(name)
+        if symptom is not None:
+            evidence.append((symptom.name, symptom.attribute,
+                             symptom.category))
+    return Justification(candidate, prediction, tuple(evidence))

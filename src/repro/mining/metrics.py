@@ -1,0 +1,146 @@
+"""Evaluation metrics of Table II and the confusion matrix of Table III.
+
+The paper's conventions (important and easy to get backwards):
+
+* the positive class ("Yes") is **false positive** — the predictor's job is
+  to spot false alarms;
+* ``tp`` = false positives correctly predicted as such, ``fp`` = real
+  vulnerabilities wrongly flagged as false positives (i.e. *missed
+  vulnerabilities*), ``fn`` = false positives the predictor let through,
+  ``tn`` = real vulnerabilities correctly kept.
+
+Metric formulas are copied from Table II's last column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion matrix in the paper's notation."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @classmethod
+    def from_predictions(cls, y_true: np.ndarray,
+                         y_pred: np.ndarray) -> "ConfusionMatrix":
+        y_true = np.asarray(y_true).astype(np.int64)
+        y_pred = np.asarray(y_pred).astype(np.int64)
+        return cls(
+            tp=int(np.sum((y_true == 1) & (y_pred == 1))),
+            fp=int(np.sum((y_true == 0) & (y_pred == 1))),
+            fn=int(np.sum((y_true == 1) & (y_pred == 0))),
+            tn=int(np.sum((y_true == 0) & (y_pred == 0))),
+        )
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(self.tp + other.tp, self.fp + other.fp,
+                               self.fn + other.fn, self.tn + other.tn)
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    # ---- Table II metrics ------------------------------------------------
+    @property
+    def tpp(self) -> float:
+        """True positive rate of prediction (recall): tp / (tp + fn)."""
+        return _div(self.tp, self.tp + self.fn)
+
+    @property
+    def pfp(self) -> float:
+        """Fallout — wrong classification of vulnerabilities as FPs:
+        fp / (tn + fp)."""
+        return _div(self.fp, self.tn + self.fp)
+
+    @property
+    def prfp(self) -> float:
+        """Precision of the FP class: tp / (tp + fp)."""
+        return _div(self.tp, self.tp + self.fp)
+
+    @property
+    def pd(self) -> float:
+        """Specificity: tn / (tn + fp)."""
+        return _div(self.tn, self.tn + self.fp)
+
+    @property
+    def ppd(self) -> float:
+        """Inverse precision: tn / (tn + fn)."""
+        return _div(self.tn, self.tn + self.fn)
+
+    @property
+    def acc(self) -> float:
+        """Accuracy: (tp + tn) / N."""
+        return _div(self.tp + self.tn, self.total)
+
+    @property
+    def pr(self) -> float:
+        """Paper's 'precision': (prfp + ppd) / 2."""
+        return (self.prfp + self.ppd) / 2.0
+
+    @property
+    def inform(self) -> float:
+        """Informedness: tpp + pd − 1 = tpp − pfp."""
+        return self.tpp + self.pd - 1.0
+
+    @property
+    def jacc(self) -> float:
+        """Jaccard on the FP class: tp / (tp + fn + fp)."""
+        return _div(self.tp, self.tp + self.fn + self.fp)
+
+    # ----------------------------------------------------------------------
+    METRIC_NAMES = ("tpp", "pfp", "prfp", "pd", "ppd", "acc", "pr",
+                    "inform", "jacc")
+
+    def metrics(self) -> dict[str, float]:
+        """All nine Table II metrics as a dict."""
+        return {name: getattr(self, name) for name in self.METRIC_NAMES}
+
+    def as_row(self) -> tuple[int, int, int, int]:
+        return (self.tp, self.fp, self.fn, self.tn)
+
+
+def _div(num: float, den: float) -> float:
+    return float(num) / float(den) if den else 0.0
+
+
+def kfold_indices(n: int, k: int, seed: int = 11) -> list[np.ndarray]:
+    """Deterministic shuffled k-fold index split."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    return [order[i::k] for i in range(k)]
+
+
+def cross_validate(classifier_factory, X: np.ndarray, y: np.ndarray,
+                   k: int = 10, seed: int = 11) -> ConfusionMatrix:
+    """k-fold cross-validation, accumulating one confusion matrix.
+
+    Args:
+        classifier_factory: zero-arg callable returning a fresh classifier.
+        X, y: full data set.
+        k: number of folds.
+        seed: fold-assignment seed.
+
+    Returns:
+        The summed :class:`ConfusionMatrix` over all held-out folds (this
+        matches WEKA's cross-validation output used for Tables II/III).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).astype(np.int64)
+    folds = kfold_indices(X.shape[0], k, seed)
+    total = ConfusionMatrix(0, 0, 0, 0)
+    for i in range(k):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(k) if j != i])
+        clf = classifier_factory()
+        clf.fit(X[train_idx], y[train_idx])
+        pred = clf.predict(X[test_idx])
+        total = total + ConfusionMatrix.from_predictions(y[test_idx], pred)
+    return total

@@ -1,0 +1,134 @@
+"""The false positive predictor (Fig. 1 box 2 / Fig. 3).
+
+Pipeline per candidate vulnerability: collect static + dynamic symptoms →
+build the attribute vector → classify with the top-3 ensemble (majority
+vote) → route: predicted false positives are reported as such, predicted
+real vulnerabilities go on to the code corrector.
+
+Two factory functions mirror the two tool versions:
+
+* :func:`original_predictor` — WAP v2.1: 16 attributes, top 3 = SVM,
+  Logistic Regression, **Random Tree**, trained on the 76-instance set.
+* :func:`new_predictor` — WAPe: 61 attributes, top 3 = SVM, Logistic
+  Regression, **Random Forest** (§III-B1), trained on the 256-instance set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.model import CandidateVulnerability
+from repro.mining.attributes import AttributeScheme
+from repro.mining.classifiers import (
+    Classifier,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    RandomTree,
+)
+from repro.mining.dataset import (
+    Dataset,
+    build_dataset,
+    build_original_dataset,
+)
+from repro.mining.extraction import (
+    NO_DYNAMIC_SYMPTOMS,
+    DynamicSymptoms,
+    extract_symptoms,
+)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of classifying one candidate.
+
+    Attributes:
+        is_false_positive: the ensemble's majority verdict.
+        votes: per-classifier verdict (classifier name -> predicted label).
+        symptoms: the extracted symptom set (the FP "justification" of
+            Fig. 3 — why the candidate was considered a false alarm).
+    """
+
+    is_false_positive: bool
+    votes: dict[str, int] = field(default_factory=dict)
+    symptoms: frozenset[str] = frozenset()
+
+
+class FalsePositivePredictor:
+    """Top-3 ensemble over a trained data set."""
+
+    def __init__(self, classifiers: list[Classifier], dataset: Dataset,
+                 dynamic: DynamicSymptoms = NO_DYNAMIC_SYMPTOMS) -> None:
+        if len(classifiers) % 2 == 0:
+            raise ValueError("ensemble size must be odd for majority vote")
+        self.classifiers = classifiers
+        self.dataset = dataset
+        self.dynamic = dynamic
+        for clf in self.classifiers:
+            clf.fit(dataset.X, dataset.y)
+
+    @property
+    def scheme(self) -> AttributeScheme:
+        return self.dataset.scheme
+
+    def with_dynamic(self, dynamic: DynamicSymptoms
+                     ) -> "FalsePositivePredictor":
+        """Shallow copy using extra dynamic symptoms (already-trained)."""
+        clone = object.__new__(FalsePositivePredictor)
+        clone.classifiers = self.classifiers
+        clone.dataset = self.dataset
+        clone.dynamic = self.dynamic.merged(dynamic)
+        return clone
+
+    # ------------------------------------------------------------------
+    def predict(self, candidate: CandidateVulnerability) -> Prediction:
+        """Classify one candidate vulnerability."""
+        symptoms = extract_symptoms(candidate, self.dynamic)
+        return self.predict_symptoms(symptoms)
+
+    def predict_symptoms(self, symptoms: frozenset[str]) -> Prediction:
+        """Classify from an already-extracted symptom set."""
+        vector = self.scheme.vectorize(symptoms).reshape(1, -1)
+        votes = {clf.name: int(clf.predict(vector)[0])
+                 for clf in self.classifiers}
+        is_fp = sum(votes.values()) * 2 > len(votes)
+        return Prediction(is_fp, votes, symptoms)
+
+
+# ---------------------------------------------------------------------------
+# the two tool configurations
+# ---------------------------------------------------------------------------
+
+def top3_new() -> list[Classifier]:
+    """WAPe's top 3 (Table II): SVM, Logistic Regression, Random Forest."""
+    return [LinearSVM(), LogisticRegression(), RandomForest()]
+
+
+def top3_original() -> list[Classifier]:
+    """WAP v2.1's top 3: SVM, Logistic Regression, Random Tree."""
+    return [LinearSVM(), LogisticRegression(), RandomTree()]
+
+
+_CACHE: dict[str, FalsePositivePredictor] = {}
+
+
+def new_predictor(dynamic: DynamicSymptoms = NO_DYNAMIC_SYMPTOMS,
+                  use_cache: bool = True) -> FalsePositivePredictor:
+    """WAPe's predictor (61 attributes, 256 instances, SVM/LR/RF)."""
+    if use_cache and "new" in _CACHE:
+        return _CACHE["new"].with_dynamic(dynamic)
+    predictor = FalsePositivePredictor(top3_new(), build_dataset("new"))
+    if use_cache:
+        _CACHE["new"] = predictor
+    return predictor.with_dynamic(dynamic)
+
+
+def original_predictor(use_cache: bool = True) -> FalsePositivePredictor:
+    """WAP v2.1's predictor (16 attributes, 76 instances, SVM/LR/RT)."""
+    if use_cache and "original" in _CACHE:
+        return _CACHE["original"]
+    predictor = FalsePositivePredictor(top3_original(),
+                                       build_original_dataset())
+    if use_cache:
+        _CACHE["original"] = predictor
+    return predictor

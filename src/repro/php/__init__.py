@@ -1,0 +1,44 @@
+"""PHP frontend: lexer, parser, typed AST, visitors and unparser.
+
+This package is the substrate the rest of the tool stands on.  The public
+surface is small:
+
+>>> from repro.php import parse, unparse
+>>> tree = parse("<?php echo $_GET['q']; ?>")
+>>> print(unparse(tree))  # doctest: +SKIP
+"""
+
+from repro.php import ast_nodes as ast  # noqa: F401  (re-export namespace)
+from repro.php.lexer import Lexer, tokenize  # noqa: F401
+from repro.php.parser import Parser, parse, parse_interpolated  # noqa: F401
+from repro.php.unparser import (  # noqa: F401
+    Unparser,
+    quote_php_string,
+    unparse,
+    unparse_expr,
+)
+from repro.php.visitor import (  # noqa: F401
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    find_all,
+    walk,
+)
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_interpolated",
+    "Unparser",
+    "unparse",
+    "unparse_expr",
+    "quote_php_string",
+    "NodeVisitor",
+    "NodeTransformer",
+    "walk",
+    "find_all",
+    "count_nodes",
+]

@@ -1,0 +1,606 @@
+"""Typed AST node definitions for the PHP frontend.
+
+Every node derives from :class:`Node` and carries a source position
+(``line``/``col``).  Nodes are plain dataclasses; child discovery for the
+generic visitor is done by inspecting dataclass fields, so adding a node type
+requires no visitor changes.
+
+Naming follows the PHP grammar where practical: a *statement* node ends up in
+``Program.body`` or a ``Block``; an *expression* node appears inside
+statements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (recursing into lists/tuples)."""
+        for f in dataclasses.fields(self):
+            if f.name in ("line", "col"):
+                continue
+            value = getattr(self, f.name)
+            yield from _iter_nodes(value)
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _iter_nodes(value: object) -> Iterator[Node]:
+    if isinstance(value, Node):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _iter_nodes(item)
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Program(Node):
+    """A whole PHP file: a sequence of statements (including inline HTML)."""
+
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class InlineHTML(Node):
+    """Raw HTML text outside ``<?php ... ?>``."""
+
+    text: str = ""
+
+
+@dataclass
+class Block(Node):
+    """A ``{ ... }`` statement list."""
+
+    body: list[Node] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Variable(Node):
+    """``$name``. ``name`` excludes the dollar sign."""
+
+    name: str = ""
+
+
+@dataclass
+class VariableVariable(Node):
+    """``$$expr`` or ``${expr}``."""
+
+    expr: Node | None = None
+
+
+@dataclass
+class Literal(Node):
+    """A scalar literal.
+
+    ``kind`` is one of ``int``, ``float``, ``string``, ``bool``, ``null``;
+    ``value`` is the corresponding Python value.
+    """
+
+    value: object = None
+    kind: str = "null"
+
+
+@dataclass
+class InterpolatedString(Node):
+    """A double-quoted string / heredoc with interpolation.
+
+    ``parts`` alternates literal text (``Literal`` nodes with kind 'string')
+    and embedded expressions.
+    """
+
+    parts: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class ShellExec(Node):
+    """A backtick string: executes a shell command (an OSCI sink)."""
+
+    parts: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class ArrayItem(Node):
+    """One element of an array literal: optional key, value, by-ref flag."""
+
+    key: Node | None = None
+    value: Node | None = None
+    by_ref: bool = False
+    spread: bool = False
+
+
+@dataclass
+class ArrayLiteral(Node):
+    """``array(...)`` or ``[...]``."""
+
+    items: list[ArrayItem] = field(default_factory=list)
+
+
+@dataclass
+class ArrayAccess(Node):
+    """``base[index]``; index is None for ``base[] = ...`` appends."""
+
+    base: Node | None = None
+    index: Node | None = None
+
+
+@dataclass
+class PropertyAccess(Node):
+    """``obj->name``; ``name`` is a string or an expression node."""
+
+    obj: Node | None = None
+    name: Union[str, Node] = ""
+    nullsafe: bool = False
+
+
+@dataclass
+class StaticPropertyAccess(Node):
+    """``Cls::$name``."""
+
+    cls: Union[str, Node] = ""
+    name: Union[str, Node] = ""
+
+
+@dataclass
+class ClassConstAccess(Node):
+    """``Cls::NAME``."""
+
+    cls: Union[str, Node] = ""
+    name: str = ""
+
+
+@dataclass
+class Argument(Node):
+    """A call argument: expression, optional by-ref / spread / name."""
+
+    value: Node | None = None
+    by_ref: bool = False
+    spread: bool = False
+    name: str | None = None  # PHP 8 named arguments
+
+
+@dataclass
+class FunctionCall(Node):
+    """``name(args)``; ``name`` is a string for plain calls or an
+    expression for variable functions (``$f()``)."""
+
+    name: Union[str, Node] = ""
+    args: list[Argument] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Node):
+    """``obj->name(args)``."""
+
+    obj: Node | None = None
+    name: Union[str, Node] = ""
+    args: list[Argument] = field(default_factory=list)
+    nullsafe: bool = False
+
+
+@dataclass
+class StaticCall(Node):
+    """``Cls::name(args)``."""
+
+    cls: Union[str, Node] = ""
+    name: Union[str, Node] = ""
+    args: list[Argument] = field(default_factory=list)
+
+
+@dataclass
+class New(Node):
+    """``new Cls(args)``."""
+
+    cls: Union[str, Node] = ""
+    args: list[Argument] = field(default_factory=list)
+
+
+@dataclass
+class Clone(Node):
+    expr: Node | None = None
+
+
+@dataclass
+class Assign(Node):
+    """``target op value`` where op is ``=``, ``.=``, ``+=``, ... .
+
+    ``by_ref`` marks ``$a = &$b``.
+    """
+
+    target: Node | None = None
+    op: str = "="
+    value: Node | None = None
+    by_ref: bool = False
+
+
+@dataclass
+class ListAssign(Node):
+    """``list($a, $b) = expr`` / ``[$a, $b] = expr``."""
+
+    targets: list[Optional[Node]] = field(default_factory=list)
+    value: Node | None = None
+
+
+@dataclass
+class BinaryOp(Node):
+    """Any binary operator, including ``.`` concatenation."""
+
+    op: str = ""
+    left: Node | None = None
+    right: Node | None = None
+
+
+@dataclass
+class UnaryOp(Node):
+    """Prefix ``!``, ``-``, ``+``, ``~``; ``op`` stores the operator text."""
+
+    op: str = ""
+    operand: Node | None = None
+
+
+@dataclass
+class IncDec(Node):
+    """``++$x`` / ``$x--`` etc.  ``prefix`` distinguishes the two forms."""
+
+    op: str = "++"
+    operand: Node | None = None
+    prefix: bool = True
+
+
+@dataclass
+class Cast(Node):
+    """``(int)$x`` — ``to`` is the normalized cast type."""
+
+    to: str = ""
+    expr: Node | None = None
+
+
+@dataclass
+class Ternary(Node):
+    """``cond ? then : else`` (``then`` is None for the short form)."""
+
+    cond: Node | None = None
+    then: Node | None = None
+    otherwise: Node | None = None
+
+
+@dataclass
+class ErrorSuppress(Node):
+    """``@expr``."""
+
+    expr: Node | None = None
+
+
+@dataclass
+class Isset(Node):
+    vars: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Empty(Node):
+    expr: Node | None = None
+
+
+@dataclass
+class PrintExpr(Node):
+    """``print expr`` (an expression in PHP)."""
+
+    expr: Node | None = None
+
+
+@dataclass
+class ExitExpr(Node):
+    """``exit(expr)`` / ``die(expr)`` (usable as an expression)."""
+
+    expr: Node | None = None
+
+
+@dataclass
+class Include(Node):
+    """``include/include_once/require/require_once expr``.
+
+    ``kind`` is the keyword used (lowercase).
+    """
+
+    kind: str = "include"
+    expr: Node | None = None
+
+
+@dataclass
+class InstanceOf(Node):
+    expr: Node | None = None
+    cls: Union[str, Node] = ""
+
+
+@dataclass
+class ConstFetch(Node):
+    """A bare identifier used as a constant (``PHP_EOL``, ``SORT_ASC``...)."""
+
+    name: str = ""
+
+
+@dataclass
+class MatchArm(Node):
+    """One arm of a ``match`` expression; ``conditions`` is None for
+    ``default``."""
+
+    conditions: list[Node] | None = None
+    body: Node | None = None
+
+
+@dataclass
+class Match(Node):
+    """PHP 8 ``match (subject) { cond, ... => expr, default => expr }``."""
+
+    subject: Node | None = None
+    arms: list[MatchArm] = field(default_factory=list)
+
+
+@dataclass
+class Closure(Node):
+    """``function (params) use (...) { body }`` and arrow functions."""
+
+    params: list["Param"] = field(default_factory=list)
+    uses: list[tuple[str, bool]] = field(default_factory=list)  # (name, by_ref)
+    body: list[Node] = field(default_factory=list)
+    by_ref: bool = False
+    is_arrow: bool = False
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExpressionStatement(Node):
+    expr: Node | None = None
+
+
+@dataclass
+class Echo(Node):
+    exprs: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class If(Node):
+    cond: Node | None = None
+    then: list[Node] = field(default_factory=list)
+    elifs: list[tuple[Node, list[Node]]] = field(default_factory=list)
+    otherwise: list[Node] | None = None
+
+    def children(self) -> Iterator[Node]:  # tuples inside elifs need help
+        if self.cond is not None:
+            yield self.cond
+        yield from self.then
+        for cond, body in self.elifs:
+            yield cond
+            yield from body
+        if self.otherwise:
+            yield from self.otherwise
+
+
+@dataclass
+class While(Node):
+    cond: Node | None = None
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Node):
+    body: list[Node] = field(default_factory=list)
+    cond: Node | None = None
+
+
+@dataclass
+class For(Node):
+    init: list[Node] = field(default_factory=list)
+    cond: list[Node] = field(default_factory=list)
+    step: list[Node] = field(default_factory=list)
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Foreach(Node):
+    subject: Node | None = None
+    key_var: Node | None = None
+    value_var: Node | None = None
+    by_ref: bool = False
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case expr:`` arm; ``test`` is None for ``default:``."""
+
+    test: Node | None = None
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Node):
+    subject: Node | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    level: int = 1
+
+
+@dataclass
+class Continue(Node):
+    level: int = 1
+
+
+@dataclass
+class Return(Node):
+    expr: Node | None = None
+
+
+@dataclass
+class Global(Node):
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class StaticVarDecl(Node):
+    """``static $x = 1, $y;`` inside a function."""
+
+    vars: list[tuple[str, Optional[Node]]] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for _name, default in self.vars:
+            if default is not None:
+                yield default
+
+
+@dataclass
+class Unset(Node):
+    vars: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Throw(Node):
+    expr: Node | None = None
+
+
+@dataclass
+class CatchClause(Node):
+    types: list[str] = field(default_factory=list)
+    var: str | None = None
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Try(Node):
+    body: list[Node] = field(default_factory=list)
+    catches: list[CatchClause] = field(default_factory=list)
+    finally_body: list[Node] | None = None
+
+
+@dataclass
+class Param(Node):
+    """A function/method parameter."""
+
+    name: str = ""
+    default: Node | None = None
+    by_ref: bool = False
+    variadic: bool = False
+    type_hint: str | None = None
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: list[Node] = field(default_factory=list)
+    by_ref: bool = False
+    return_type: str | None = None
+
+
+@dataclass
+class PropertyDecl(Node):
+    """``public $x = 1, $y;`` inside a class body."""
+
+    modifiers: list[str] = field(default_factory=list)
+    vars: list[tuple[str, Optional[Node]]] = field(default_factory=list)
+    type_hint: str | None = None
+
+    def children(self) -> Iterator[Node]:
+        for _name, default in self.vars:
+            if default is not None:
+                yield default
+
+
+@dataclass
+class ClassConstDecl(Node):
+    modifiers: list[str] = field(default_factory=list)
+    consts: list[tuple[str, Node]] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for _name, value in self.consts:
+            yield value
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: list[Node] | None = None  # None for abstract/interface methods
+    modifiers: list[str] = field(default_factory=list)
+    by_ref: bool = False
+    return_type: str | None = None
+
+
+@dataclass
+class UseTrait(Node):
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str = ""
+    parent: str | None = None
+    interfaces: list[str] = field(default_factory=list)
+    members: list[Node] = field(default_factory=list)
+    modifiers: list[str] = field(default_factory=list)
+    kind: str = "class"  # class | interface | trait
+
+
+@dataclass
+class NamespaceDecl(Node):
+    name: str = ""
+    body: list[Node] | None = None
+
+
+@dataclass
+class UseDecl(Node):
+    """``use Foo\\Bar as Baz;`` — recorded but not resolved."""
+
+    imports: list[tuple[str, Optional[str]]] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        return iter(())
+
+
+@dataclass
+class ConstStatement(Node):
+    """Top-level ``const NAME = value;``."""
+
+    consts: list[tuple[str, Node]] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for _name, value in self.consts:
+            yield value
+
+
+# Nodes whose presence means "this file has executable PHP"
+EXPRESSION_NODES = (
+    Variable, VariableVariable, Literal, InterpolatedString, ShellExec,
+    ArrayLiteral, ArrayAccess, PropertyAccess, StaticPropertyAccess,
+    ClassConstAccess, FunctionCall, MethodCall, StaticCall, New, Clone,
+    Assign, ListAssign, BinaryOp, UnaryOp, IncDec, Cast, Ternary,
+    ErrorSuppress, Isset, Empty, PrintExpr, ExitExpr, Include, InstanceOf,
+    ConstFetch, Closure,
+)

@@ -1,0 +1,400 @@
+"""A hand-written lexer for the PHP subset used by the taint analyzer.
+
+The lexer is a single-pass scanner over the raw source text.  It starts in
+*HTML mode* (everything up to ``<?php`` / ``<?=`` is emitted as a single
+:data:`~repro.php.tokens.TokenType.INLINE_HTML` token) and switches to *PHP
+mode* until a closing ``?>`` is found.
+
+Double-quoted strings, heredocs and backtick strings are emitted with their
+raw inner text; interpolation is resolved later by the parser (see
+:mod:`repro.php.interpolation`), keeping the lexer free of recursion.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import PhpSyntaxError
+from repro.php.tokens import CAST_TYPES, KEYWORDS, Token, TokenType
+
+_IDENT_START = re.compile(r"[A-Za-z_\x80-\xff]")
+_IDENT_RE = re.compile(r"[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_OCT_RE = re.compile(r"0[oO]?[0-7]+")
+_BIN_RE = re.compile(r"0[bB][01]+")
+_NUM_RE = re.compile(
+    r"(\d[\d_]*\.\d[\d_]*([eE][+-]?\d+)?)"   # 1.5, 1.5e3
+    r"|(\.\d[\d_]*([eE][+-]?\d+)?)"          # .5
+    r"|(\d[\d_]*\.(?!\.)([eE][+-]?\d+)?)"    # 1.  (but not 1..)
+    r"|(\d[\d_]*[eE][+-]?\d+)"               # 1e3
+    r"|(\d[\d_]*)"                           # 42
+)
+_CAST_RE = re.compile(r"\(\s*([A-Za-z]+)\s*\)")
+_HEREDOC_OPEN_RE = re.compile(
+    r"<<<[ \t]*(?:\"(?P<nowq>[A-Za-z_][A-Za-z0-9_]*)\""
+    r"|'(?P<now>[A-Za-z_][A-Za-z0-9_]*)'"
+    r"|(?P<here>[A-Za-z_][A-Za-z0-9_]*))\r?\n"
+)
+
+# Multi-character operators, longest first so maximal munch works by scanning
+# this list in order.
+_OPERATORS: list[tuple[str, TokenType]] = [
+    ("<<=", TokenType.SHL_ASSIGN),
+    (">>=", TokenType.SHR_ASSIGN),
+    ("**=", TokenType.POW_ASSIGN),
+    ("===", TokenType.IDENTICAL),
+    ("!==", TokenType.NOT_IDENTICAL),
+    ("<=>", TokenType.SPACESHIP),
+    ("??=", TokenType.COALESCE_ASSIGN),
+    ("...", TokenType.ELLIPSIS),
+    ("?->", TokenType.NULLSAFE_ARROW),
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NEQ),
+    ("<>", TokenType.NEQ),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("&&", TokenType.BOOL_AND),
+    ("||", TokenType.BOOL_OR),
+    ("??", TokenType.COALESCE),
+    ("->", TokenType.ARROW),
+    ("::", TokenType.DOUBLE_COLON),
+    ("=>", TokenType.DOUBLE_ARROW),
+    ("++", TokenType.INC),
+    ("--", TokenType.DEC),
+    ("+=", TokenType.PLUS_ASSIGN),
+    ("-=", TokenType.MINUS_ASSIGN),
+    ("*=", TokenType.MUL_ASSIGN),
+    ("/=", TokenType.DIV_ASSIGN),
+    ("%=", TokenType.MOD_ASSIGN),
+    (".=", TokenType.CONCAT_ASSIGN),
+    ("&=", TokenType.AND_ASSIGN),
+    ("|=", TokenType.OR_ASSIGN),
+    ("^=", TokenType.XOR_ASSIGN),
+    ("**", TokenType.POW),
+    ("<<", TokenType.SHL),
+    (">>", TokenType.SHR),
+    ("=", TokenType.ASSIGN),
+    ("+", TokenType.PLUS),
+    ("-", TokenType.MINUS),
+    ("*", TokenType.MUL),
+    ("/", TokenType.DIV),
+    ("%", TokenType.MOD),
+    (".", TokenType.DOT),
+    ("!", TokenType.NOT),
+    ("<", TokenType.LT),
+    (">", TokenType.GT),
+    ("&", TokenType.AMP),
+    ("|", TokenType.PIPE),
+    ("^", TokenType.CARET),
+    ("~", TokenType.TILDE),
+    ("?", TokenType.QUESTION),
+    (":", TokenType.COLON),
+    (";", TokenType.SEMI),
+    (",", TokenType.COMMA),
+    ("(", TokenType.LPAREN),
+    (")", TokenType.RPAREN),
+    ("[", TokenType.LBRACKET),
+    ("]", TokenType.RBRACKET),
+    ("{", TokenType.LBRACE),
+    ("}", TokenType.RBRACE),
+    ("@", TokenType.AT),
+    ("$", TokenType.DOLLAR),
+    ("\\", TokenType.BACKSLASH),
+]
+
+_SQ_ESCAPES = {"\\": "\\", "'": "'"}
+
+
+class Lexer:
+    """Tokenizes PHP source text.
+
+    Args:
+        source: the full text of a PHP file (may contain inline HTML).
+        filename: used in error messages only.
+    """
+
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens: list[Token] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Lex the entire source and return the token list (ends with EOF)."""
+        while self.pos < len(self.source):
+            self._lex_html()
+            if self.pos >= len(self.source):
+                break
+            self._lex_php()
+        self._emit(TokenType.EOF, "")
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _emit(self, type_: TokenType, value: str,
+              line: int | None = None, col: int | None = None) -> None:
+        self.tokens.append(Token(type_, value,
+                                 self.line if line is None else line,
+                                 self.col if col is None else col))
+
+    def _advance(self, n: int = 1) -> str:
+        """Consume *n* characters, maintaining line/col, and return them."""
+        text = self.source[self.pos:self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _startswith(self, text: str) -> bool:
+        return self.source.startswith(text, self.pos)
+
+    def _error(self, message: str) -> PhpSyntaxError:
+        return PhpSyntaxError(message, self.line, self.col, self.filename)
+
+    # ------------------------------------------------------------------
+    # HTML mode
+    # ------------------------------------------------------------------
+    def _lex_html(self) -> None:
+        start = self.pos
+        start_line, start_col = self.line, self.col
+        open_idx = self.source.find("<?", self.pos)
+        if open_idx == -1:
+            html = self._advance(len(self.source) - self.pos)
+            if html:
+                self._emit(TokenType.INLINE_HTML, html, start_line, start_col)
+            return
+        if open_idx > start:
+            html = self._advance(open_idx - start)
+            self._emit(TokenType.INLINE_HTML, html, start_line, start_col)
+        # consume the open tag
+        tag_line, tag_col = self.line, self.col
+        if self._startswith("<?php"):
+            self._advance(5)
+            self._emit(TokenType.OPEN_TAG, "<?php", tag_line, tag_col)
+        elif self._startswith("<?="):
+            self._advance(3)
+            self._emit(TokenType.OPEN_TAG, "<?=", tag_line, tag_col)
+            # <?= behaves like "echo"
+            self._emit(TokenType.KW_ECHO, "echo", tag_line, tag_col)
+        else:  # short open tag <?
+            self._advance(2)
+            self._emit(TokenType.OPEN_TAG, "<?", tag_line, tag_col)
+
+    # ------------------------------------------------------------------
+    # PHP mode
+    # ------------------------------------------------------------------
+    def _lex_php(self) -> None:  # noqa: C901 - a lexer dispatch is a big switch
+        while self.pos < len(self.source):
+            ch = self._peek()
+
+            # close tag -> back to HTML mode
+            if ch == "?" and self._peek(1) == ">":
+                line, col = self.line, self.col
+                self._advance(2)
+                self._emit(TokenType.CLOSE_TAG, "?>", line, col)
+                # PHP eats a single newline right after ?>
+                if self._peek() == "\n":
+                    self._advance(1)
+                elif self._peek() == "\r" and self._peek(1) == "\n":
+                    self._advance(2)
+                return
+
+            if ch in " \t\r\n":
+                self._advance(1)
+                continue
+
+            # comments
+            if ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+                continue
+            if ch == "#":
+                self._skip_line_comment()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+                continue
+
+            if ch == "$":
+                self._lex_variable()
+                continue
+
+            if ch == "'":
+                self._lex_sq_string()
+                continue
+            if ch == '"':
+                self._lex_dq_string()
+                continue
+            if ch == "`":
+                self._lex_backtick()
+                continue
+            if self._startswith("<<<"):
+                if self._lex_heredoc():
+                    continue
+
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._lex_number()
+                continue
+
+            if _IDENT_START.match(ch):
+                self._lex_ident()
+                continue
+
+            if ch == "(":
+                m = _CAST_RE.match(self.source, self.pos)
+                if m and m.group(1).lower() in CAST_TYPES:
+                    line, col = self.line, self.col
+                    self._advance(m.end() - self.pos)
+                    self._emit(TokenType.CAST, CAST_TYPES[m.group(1).lower()],
+                               line, col)
+                    continue
+
+            for text, type_ in _OPERATORS:
+                if self._startswith(text):
+                    line, col = self.line, self.col
+                    self._advance(len(text))
+                    self._emit(type_, text, line, col)
+                    break
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            # a close tag terminates // and # comments in PHP
+            if self._peek() == "?" and self._peek(1) == ">":
+                return
+            self._advance(1)
+
+    def _skip_block_comment(self) -> None:
+        self._advance(2)
+        end = self.source.find("*/", self.pos)
+        if end == -1:
+            raise self._error("unterminated block comment")
+        self._advance(end + 2 - self.pos)
+
+    def _lex_variable(self) -> None:
+        line, col = self.line, self.col
+        # $$var / ${expr} handled by parser via DOLLAR token
+        m = _IDENT_RE.match(self.source, self.pos + 1)
+        if not m:
+            self._advance(1)
+            self._emit(TokenType.DOLLAR, "$", line, col)
+            return
+        self._advance(1 + (m.end() - m.start()))
+        self._emit(TokenType.VARIABLE, m.group(0), line, col)
+
+    def _lex_ident(self) -> None:
+        line, col = self.line, self.col
+        m = _IDENT_RE.match(self.source, self.pos)
+        assert m is not None
+        word = m.group(0)
+        self._advance(len(word))
+        kw = KEYWORDS.get(word.lower())
+        if kw is not None:
+            self._emit(kw, word, line, col)
+        else:
+            self._emit(TokenType.IDENT, word, line, col)
+
+    def _lex_number(self) -> None:
+        line, col = self.line, self.col
+        for regex, type_ in ((_HEX_RE, TokenType.INT), (_BIN_RE, TokenType.INT)):
+            m = regex.match(self.source, self.pos)
+            if m:
+                self._advance(m.end() - self.pos)
+                self._emit(type_, m.group(0), line, col)
+                return
+        m = _NUM_RE.match(self.source, self.pos)
+        if not m:
+            raise self._error("malformed number")
+        text = m.group(0)
+        self._advance(len(text))
+        is_float = "." in text or "e" in text.lower()
+        self._emit(TokenType.FLOAT if is_float else TokenType.INT,
+                   text, line, col)
+
+    def _lex_sq_string(self) -> None:
+        line, col = self.line, self.col
+        self._advance(1)
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated single-quoted string")
+            ch = self._advance(1)
+            if ch == "'":
+                break
+            if ch == "\\":
+                nxt = self._advance(1) if self.pos < len(self.source) else ""
+                out.append(_SQ_ESCAPES.get(nxt, "\\" + nxt))
+            else:
+                out.append(ch)
+        self._emit(TokenType.SQ_STRING, "".join(out), line, col)
+
+    def _scan_raw_until(self, terminator: str, what: str) -> str:
+        """Scan raw text (keeping escapes) until an unescaped *terminator*."""
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error(f"unterminated {what}")
+            ch = self._advance(1)
+            if ch == terminator:
+                return "".join(out)
+            out.append(ch)
+            if ch == "\\" and self.pos < len(self.source):
+                out.append(self._advance(1))
+
+    def _lex_dq_string(self) -> None:
+        line, col = self.line, self.col
+        self._advance(1)
+        raw = self._scan_raw_until('"', "double-quoted string")
+        self._emit(TokenType.DQ_STRING, raw, line, col)
+
+    def _lex_backtick(self) -> None:
+        line, col = self.line, self.col
+        self._advance(1)
+        raw = self._scan_raw_until("`", "backtick string")
+        self._emit(TokenType.BACKTICK, raw, line, col)
+
+    def _lex_heredoc(self) -> bool:
+        """Try to lex a heredoc/nowdoc; return False if ``<<<`` is not one."""
+        m = _HEREDOC_OPEN_RE.match(self.source, self.pos)
+        if not m:
+            return False
+        line, col = self.line, self.col
+        label = m.group("here") or m.group("now") or m.group("nowq")
+        is_nowdoc = m.group("now") is not None
+        self._advance(m.end() - self.pos)
+        # find the closing label at the start of a line (allow indentation,
+        # PHP 7.3+ flexible heredoc)
+        close_re = re.compile(
+            r"^[ \t]*" + re.escape(label) + r"\b", re.MULTILINE)
+        mm = close_re.search(self.source, self.pos)
+        if not mm:
+            raise self._error(f"unterminated heredoc <<<{label}")
+        body = self.source[self.pos:mm.start()]
+        # strip the final newline that belongs to the terminator line
+        if body.endswith("\r\n"):
+            body = body[:-2]
+        elif body.endswith("\n"):
+            body = body[:-1]
+        self._advance(mm.end() - self.pos)
+        self._emit(TokenType.NOWDOC if is_nowdoc else TokenType.HEREDOC,
+                   body, line, col)
+        return True
+
+
+def tokenize(source: str, filename: str = "<source>") -> list[Token]:
+    """Convenience wrapper: lex *source* and return the token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,261 @@
+"""Token definitions for the PHP lexer.
+
+The lexer produces a flat stream of :class:`Token` objects.  Token types are
+members of :class:`TokenType`; keywords get their own token types so the
+parser can dispatch on type alone.  PHP keywords are case-insensitive — the
+lexer normalizes them — but the original lexeme is preserved in ``value``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """All token kinds produced by :class:`repro.php.lexer.Lexer`."""
+
+    # structure
+    INLINE_HTML = "inline_html"
+    OPEN_TAG = "open_tag"            # <?php or <?=
+    CLOSE_TAG = "close_tag"          # ?>
+    EOF = "eof"
+
+    # atoms
+    VARIABLE = "variable"            # $name (value excludes the $)
+    IDENT = "ident"                  # function / class / constant names
+    INT = "int"
+    FLOAT = "float"
+    SQ_STRING = "sq_string"          # single-quoted; value is decoded text
+    DQ_STRING = "dq_string"          # double-quoted; value is raw inner text
+    HEREDOC = "heredoc"              # value is raw inner text (interpolated)
+    NOWDOC = "nowdoc"                # value is decoded text (no interpolation)
+    BACKTICK = "backtick"            # shell-exec string; raw inner text
+    CAST = "cast"                    # (int) (string) ... ; value is the type
+
+    # keywords
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_ELSEIF = "elseif"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_FOREACH = "foreach"
+    KW_AS = "as"
+    KW_SWITCH = "switch"
+    KW_CASE = "case"
+    KW_DEFAULT = "default"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_RETURN = "return"
+    KW_FUNCTION = "function"
+    KW_ECHO = "echo"
+    KW_PRINT = "print"
+    KW_GLOBAL = "global"
+    KW_STATIC = "static"
+    KW_CLASS = "class"
+    KW_INTERFACE = "interface"
+    KW_TRAIT = "trait"
+    KW_EXTENDS = "extends"
+    KW_IMPLEMENTS = "implements"
+    KW_NEW = "new"
+    KW_CLONE = "clone"
+    KW_PUBLIC = "public"
+    KW_PRIVATE = "private"
+    KW_PROTECTED = "protected"
+    KW_ABSTRACT = "abstract"
+    KW_FINAL = "final"
+    KW_CONST = "const"
+    KW_VAR = "var"
+    KW_INCLUDE = "include"
+    KW_INCLUDE_ONCE = "include_once"
+    KW_REQUIRE = "require"
+    KW_REQUIRE_ONCE = "require_once"
+    KW_ISSET = "isset"
+    KW_UNSET = "unset"
+    KW_EMPTY = "empty"
+    KW_LIST = "list"
+    KW_ARRAY = "array"
+    KW_EXIT = "exit"                 # exit and die
+    KW_TRY = "try"
+    KW_CATCH = "catch"
+    KW_FINALLY = "finally"
+    KW_THROW = "throw"
+    KW_INSTANCEOF = "instanceof"
+    KW_NAMESPACE = "namespace"
+    KW_USE = "use"
+    KW_AND = "and"                   # low-precedence and/or/xor
+    KW_OR = "or"
+    KW_XOR = "xor"
+    KW_ENDIF = "endif"
+    KW_ENDWHILE = "endwhile"
+    KW_ENDFOR = "endfor"
+    KW_ENDFOREACH = "endforeach"
+    KW_ENDSWITCH = "endswitch"
+    KW_FN = "fn"
+    KW_MATCH = "match"
+
+    # punctuation / operators
+    SEMI = ";"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    ARROW = "->"
+    NULLSAFE_ARROW = "?->"
+    DOUBLE_COLON = "::"
+    DOUBLE_ARROW = "=>"
+    QUESTION = "?"
+    COLON = ":"
+    AT = "@"
+    DOLLAR = "$"
+    ELLIPSIS = "..."
+    BACKSLASH = "\\"
+
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    MUL_ASSIGN = "*="
+    DIV_ASSIGN = "/="
+    MOD_ASSIGN = "%="
+    CONCAT_ASSIGN = ".="
+    POW_ASSIGN = "**="
+    AND_ASSIGN = "&="
+    OR_ASSIGN = "|="
+    XOR_ASSIGN = "^="
+    SHL_ASSIGN = "<<="
+    SHR_ASSIGN = ">>="
+    COALESCE_ASSIGN = "??="
+
+    PLUS = "+"
+    MINUS = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    POW = "**"
+    DOT = "."
+    NOT = "!"
+    INC = "++"
+    DEC = "--"
+
+    EQ = "=="
+    IDENTICAL = "==="
+    NEQ = "!="
+    NOT_IDENTICAL = "!=="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    SPACESHIP = "<=>"
+
+    BOOL_AND = "&&"
+    BOOL_OR = "||"
+    COALESCE = "??"
+
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    SHL = "<<"
+    SHR = ">>"
+
+
+#: Map of lowercase keyword lexeme -> token type.
+KEYWORDS: dict[str, TokenType] = {
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "elseif": TokenType.KW_ELSEIF,
+    "while": TokenType.KW_WHILE,
+    "do": TokenType.KW_DO,
+    "for": TokenType.KW_FOR,
+    "foreach": TokenType.KW_FOREACH,
+    "as": TokenType.KW_AS,
+    "switch": TokenType.KW_SWITCH,
+    "case": TokenType.KW_CASE,
+    "default": TokenType.KW_DEFAULT,
+    "break": TokenType.KW_BREAK,
+    "continue": TokenType.KW_CONTINUE,
+    "return": TokenType.KW_RETURN,
+    "function": TokenType.KW_FUNCTION,
+    "echo": TokenType.KW_ECHO,
+    "print": TokenType.KW_PRINT,
+    "global": TokenType.KW_GLOBAL,
+    "static": TokenType.KW_STATIC,
+    "class": TokenType.KW_CLASS,
+    "interface": TokenType.KW_INTERFACE,
+    "trait": TokenType.KW_TRAIT,
+    "extends": TokenType.KW_EXTENDS,
+    "implements": TokenType.KW_IMPLEMENTS,
+    "new": TokenType.KW_NEW,
+    "clone": TokenType.KW_CLONE,
+    "public": TokenType.KW_PUBLIC,
+    "private": TokenType.KW_PRIVATE,
+    "protected": TokenType.KW_PROTECTED,
+    "abstract": TokenType.KW_ABSTRACT,
+    "final": TokenType.KW_FINAL,
+    "const": TokenType.KW_CONST,
+    "var": TokenType.KW_VAR,
+    "include": TokenType.KW_INCLUDE,
+    "include_once": TokenType.KW_INCLUDE_ONCE,
+    "require": TokenType.KW_REQUIRE,
+    "require_once": TokenType.KW_REQUIRE_ONCE,
+    "isset": TokenType.KW_ISSET,
+    "unset": TokenType.KW_UNSET,
+    "empty": TokenType.KW_EMPTY,
+    "list": TokenType.KW_LIST,
+    "array": TokenType.KW_ARRAY,
+    "exit": TokenType.KW_EXIT,
+    "die": TokenType.KW_EXIT,
+    "try": TokenType.KW_TRY,
+    "catch": TokenType.KW_CATCH,
+    "finally": TokenType.KW_FINALLY,
+    "throw": TokenType.KW_THROW,
+    "instanceof": TokenType.KW_INSTANCEOF,
+    "namespace": TokenType.KW_NAMESPACE,
+    "use": TokenType.KW_USE,
+    "and": TokenType.KW_AND,
+    "or": TokenType.KW_OR,
+    "xor": TokenType.KW_XOR,
+    "endif": TokenType.KW_ENDIF,
+    "endwhile": TokenType.KW_ENDWHILE,
+    "endfor": TokenType.KW_ENDFOR,
+    "endforeach": TokenType.KW_ENDFOREACH,
+    "endswitch": TokenType.KW_ENDSWITCH,
+    "fn": TokenType.KW_FN,
+    "match": TokenType.KW_MATCH,
+}
+
+#: Cast types recognized inside parentheses, normalized.
+CAST_TYPES: dict[str, str] = {
+    "int": "int", "integer": "int",
+    "float": "float", "double": "float", "real": "float",
+    "string": "string", "binary": "string",
+    "bool": "bool", "boolean": "bool",
+    "array": "array",
+    "object": "object",
+    "unset": "unset",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: the :class:`TokenType` of this token.
+        value: the lexeme (keywords keep their original spelling; strings
+            hold their *inner* text; variables exclude the leading ``$``).
+        line: 1-based source line where the token starts.
+        col: 1-based source column where the token starts.
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact, test-friendly repr
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,497 @@
+"""Unparser: turn a PHP AST back into source text.
+
+Used by the code corrector to materialize fixed files, and by tests for the
+parse → unparse → parse round-trip property.  Output is normalized (four-space
+indent, always-braced blocks, single quotes where possible); it is not
+byte-identical to the input, but re-parses to an equivalent tree.
+"""
+
+from __future__ import annotations
+
+from repro.php import ast_nodes as ast
+
+_INDENT = "    "
+
+# operators that need no parenthesization bookkeeping beyond nesting:
+# we parenthesize every nested binary expression, which is always safe.
+
+
+class Unparser:
+    """Stateful pretty-printer over the AST."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+        self._in_php = False
+
+    # ------------------------------------------------------------------
+    def unparse(self, program: ast.Program) -> str:
+        self._lines = []
+        self._depth = 0
+        self._in_php = False
+        for stmt in program.body:
+            self._stmt(stmt)
+        if self._in_php:
+            self._emit("?>")
+            self._in_php = False
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+    # ------------------------------------------------------------------
+    def _emit(self, text: str) -> None:
+        self._lines.append(_INDENT * self._depth + text)
+
+    def _ensure_php(self) -> None:
+        if not self._in_php:
+            self._emit("<?php")
+            self._in_php = True
+
+    def _ensure_html(self) -> None:
+        if self._in_php:
+            self._emit("?>")
+            self._in_php = False
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _body(self, body: list[ast.Node]) -> None:
+        self._depth += 1
+        for stmt in body:
+            self._stmt(stmt)
+        self._depth -= 1
+
+    def _stmt(self, node: ast.Node) -> None:  # noqa: C901
+        if isinstance(node, ast.InlineHTML):
+            self._ensure_html()
+            lines = node.text.split("\n")
+            if lines and lines[-1] == "":
+                # the final newline is re-added by the join in unparse()
+                lines.pop()
+            self._lines.extend(lines)
+            return
+        self._ensure_php()
+
+        if isinstance(node, ast.ExpressionStatement):
+            self._emit(self.expr(node.expr) + ";")
+        elif isinstance(node, ast.Echo):
+            self._emit("echo " + ", ".join(self.expr(e)
+                                           for e in node.exprs) + ";")
+        elif isinstance(node, ast.Block):
+            self._emit("{")
+            self._body(node.body)
+            self._emit("}")
+        elif isinstance(node, ast.If):
+            self._emit(f"if ({self.expr(node.cond)}) {{")
+            self._body(node.then)
+            for cond, body in node.elifs:
+                self._emit(f"}} elseif ({self.expr(cond)}) {{")
+                self._body(body)
+            if node.otherwise is not None:
+                self._emit("} else {")
+                self._body(node.otherwise)
+            self._emit("}")
+        elif isinstance(node, ast.While):
+            self._emit(f"while ({self.expr(node.cond)}) {{")
+            self._body(node.body)
+            self._emit("}")
+        elif isinstance(node, ast.DoWhile):
+            self._emit("do {")
+            self._body(node.body)
+            self._emit(f"}} while ({self.expr(node.cond)});")
+        elif isinstance(node, ast.For):
+            init = ", ".join(self.expr(e) for e in node.init)
+            cond = ", ".join(self.expr(e) for e in node.cond)
+            step = ", ".join(self.expr(e) for e in node.step)
+            self._emit(f"for ({init}; {cond}; {step}) {{")
+            self._body(node.body)
+            self._emit("}")
+        elif isinstance(node, ast.Foreach):
+            subject = self.expr(node.subject)
+            value = ("&" if node.by_ref else "") + self.expr(node.value_var)
+            if node.key_var is not None:
+                head = f"{subject} as {self.expr(node.key_var)} => {value}"
+            else:
+                head = f"{subject} as {value}"
+            self._emit(f"foreach ({head}) {{")
+            self._body(node.body)
+            self._emit("}")
+        elif isinstance(node, ast.Switch):
+            self._emit(f"switch ({self.expr(node.subject)}) {{")
+            self._depth += 1
+            for case in node.cases:
+                if case.test is None:
+                    self._emit("default:")
+                else:
+                    self._emit(f"case {self.expr(case.test)}:")
+                self._body(case.body)
+            self._depth -= 1
+            self._emit("}")
+        elif isinstance(node, ast.Break):
+            self._emit("break;" if node.level == 1 else f"break {node.level};")
+        elif isinstance(node, ast.Continue):
+            self._emit("continue;" if node.level == 1
+                       else f"continue {node.level};")
+        elif isinstance(node, ast.Return):
+            if node.expr is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(node.expr)};")
+        elif isinstance(node, ast.Global):
+            self._emit("global " + ", ".join("$" + n for n in node.names)
+                       + ";")
+        elif isinstance(node, ast.StaticVarDecl):
+            decls = []
+            for name, default in node.vars:
+                decls.append(f"${name}" if default is None
+                             else f"${name} = {self.expr(default)}")
+            self._emit("static " + ", ".join(decls) + ";")
+        elif isinstance(node, ast.Unset):
+            self._emit("unset(" + ", ".join(self.expr(v)
+                                            for v in node.vars) + ");")
+        elif isinstance(node, ast.Throw):
+            self._emit(f"throw {self.expr(node.expr)};")
+        elif isinstance(node, ast.Try):
+            self._emit("try {")
+            self._body(node.body)
+            for catch in node.catches:
+                types = " | ".join(catch.types)
+                var = f" ${catch.var}" if catch.var else ""
+                self._emit(f"}} catch ({types}{var}) {{")
+                self._body(catch.body)
+            if node.finally_body is not None:
+                self._emit("} finally {")
+                self._body(node.finally_body)
+            self._emit("}")
+        elif isinstance(node, ast.FunctionDecl):
+            ref = "&" if node.by_ref else ""
+            params = ", ".join(self._param(p) for p in node.params)
+            ret = f": {node.return_type}" if node.return_type else ""
+            self._emit(f"function {ref}{node.name}({params}){ret} {{")
+            self._body(node.body)
+            self._emit("}")
+        elif isinstance(node, ast.ClassDecl):
+            self._class_decl(node)
+        elif isinstance(node, ast.NamespaceDecl):
+            if node.body is None:
+                self._emit(f"namespace {node.name};")
+            else:
+                self._emit(f"namespace {node.name} {{")
+                self._body(node.body)
+                self._emit("}")
+        elif isinstance(node, ast.UseDecl):
+            decls = [name if alias is None else f"{name} as {alias}"
+                     for name, alias in node.imports]
+            self._emit("use " + ", ".join(decls) + ";")
+        elif isinstance(node, ast.ConstStatement):
+            decls = [f"{name} = {self.expr(value)}"
+                     for name, value in node.consts]
+            self._emit("const " + ", ".join(decls) + ";")
+        else:
+            # expression used in statement position
+            self._emit(self.expr(node) + ";")
+
+    def _class_decl(self, node: ast.ClassDecl) -> None:
+        mods = "".join(m + " " for m in node.modifiers)
+        head = f"{mods}{node.kind} {node.name}"
+        if node.parent:
+            head += f" extends {node.parent}"
+        if node.interfaces:
+            joiner = (" extends " if node.kind == "interface"
+                      else " implements ")
+            head += joiner + ", ".join(node.interfaces)
+        self._emit(head + " {")
+        self._depth += 1
+        for member in node.members:
+            self._class_member(member)
+        self._depth -= 1
+        self._emit("}")
+
+    def _class_member(self, node: ast.Node) -> None:
+        if isinstance(node, ast.MethodDecl):
+            mods = "".join(m + " " for m in node.modifiers)
+            ref = "&" if node.by_ref else ""
+            params = ", ".join(self._param(p) for p in node.params)
+            ret = f": {node.return_type}" if node.return_type else ""
+            if node.body is None:
+                self._emit(f"{mods}function {ref}{node.name}({params}){ret};")
+            else:
+                self._emit(f"{mods}function {ref}{node.name}({params})"
+                           f"{ret} {{")
+                self._body(node.body)
+                self._emit("}")
+        elif isinstance(node, ast.PropertyDecl):
+            mods = " ".join(node.modifiers) or "public"
+            hint = f" {node.type_hint}" if node.type_hint else ""
+            decls = []
+            for name, default in node.vars:
+                decls.append(f"${name}" if default is None
+                             else f"${name} = {self.expr(default)}")
+            self._emit(f"{mods}{hint} " + ", ".join(decls) + ";")
+        elif isinstance(node, ast.ClassConstDecl):
+            mods = "".join(m + " " for m in node.modifiers)
+            decls = [f"{name} = {self.expr(value)}"
+                     for name, value in node.consts]
+            self._emit(f"{mods}const " + ", ".join(decls) + ";")
+        elif isinstance(node, ast.UseTrait):
+            self._emit("use " + ", ".join(node.names) + ";")
+        else:
+            self._stmt(node)
+
+    def _param(self, p: ast.Param) -> str:
+        out = ""
+        if p.type_hint:
+            out += p.type_hint + " "
+        if p.by_ref:
+            out += "&"
+        if p.variadic:
+            out += "..."
+        out += "$" + p.name
+        if p.default is not None:
+            out += " = " + self.expr(p.default)
+        return out
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.Node | None) -> str:  # noqa: C901
+        if node is None:
+            return ""
+        if isinstance(node, ast.Variable):
+            return "$" + node.name
+        if isinstance(node, ast.VariableVariable):
+            return "${" + self.expr(node.expr) + "}"
+        if isinstance(node, ast.Literal):
+            return self._literal(node)
+        if isinstance(node, ast.InterpolatedString):
+            return self._interpolated(node.parts)
+        if isinstance(node, ast.ShellExec):
+            if all(self._interpolatable(p) for p in node.parts):
+                return "`" + self._interp_body(node.parts) + "`"
+            # parts PHP would not interpolate (e.g. a call inserted by the
+            # code corrector): fall back to the equivalent function form
+            return f"shell_exec({self._concat(node.parts)})"
+        if isinstance(node, ast.ArrayLiteral):
+            return "array(" + ", ".join(self._array_item(i)
+                                        for i in node.items) + ")"
+        if isinstance(node, ast.ArrayAccess):
+            idx = "" if node.index is None else self.expr(node.index)
+            return f"{self.expr(node.base)}[{idx}]"
+        if isinstance(node, ast.PropertyAccess):
+            arrow = "?->" if node.nullsafe else "->"
+            return f"{self.expr(node.obj)}{arrow}{self._member(node.name)}"
+        if isinstance(node, ast.StaticPropertyAccess):
+            return f"{self._cls(node.cls)}::${self._member(node.name)}"
+        if isinstance(node, ast.ClassConstAccess):
+            return f"{self._cls(node.cls)}::{node.name}"
+        if isinstance(node, ast.FunctionCall):
+            name = (node.name if isinstance(node.name, str)
+                    else self.expr(node.name))
+            return f"{name}({self._args(node.args)})"
+        if isinstance(node, ast.MethodCall):
+            arrow = "?->" if node.nullsafe else "->"
+            return (f"{self.expr(node.obj)}{arrow}{self._member(node.name)}"
+                    f"({self._args(node.args)})")
+        if isinstance(node, ast.StaticCall):
+            return (f"{self._cls(node.cls)}::{self._member(node.name)}"
+                    f"({self._args(node.args)})")
+        if isinstance(node, ast.New):
+            cls = self._cls(node.cls)
+            return f"new {cls}({self._args(node.args)})"
+        if isinstance(node, ast.Clone):
+            return f"clone {self.expr(node.expr)}"
+        if isinstance(node, ast.Assign):
+            amp = "&" if node.by_ref else ""
+            return (f"{self.expr(node.target)} {node.op} "
+                    f"{amp}{self.expr(node.value)}")
+        if isinstance(node, ast.ListAssign):
+            targets = ", ".join("" if t is None else self.expr(t)
+                                for t in node.targets)
+            return f"list({targets}) = {self.expr(node.value)}"
+        if isinstance(node, ast.BinaryOp):
+            return (f"({self.expr(node.left)} {node.op} "
+                    f"{self.expr(node.right)})")
+        if isinstance(node, ast.UnaryOp):
+            return f"{node.op}{self._paren(node.operand)}"
+        if isinstance(node, ast.IncDec):
+            if node.prefix:
+                return f"{node.op}{self.expr(node.operand)}"
+            return f"{self.expr(node.operand)}{node.op}"
+        if isinstance(node, ast.Cast):
+            return f"({node.to}){self._paren(node.expr)}"
+        if isinstance(node, ast.Ternary):
+            if node.then is None:
+                return (f"({self.expr(node.cond)} ?: "
+                        f"{self.expr(node.otherwise)})")
+            return (f"({self.expr(node.cond)} ? {self.expr(node.then)} : "
+                    f"{self.expr(node.otherwise)})")
+        if isinstance(node, ast.ErrorSuppress):
+            return f"@{self.expr(node.expr)}"
+        if isinstance(node, ast.Isset):
+            return "isset(" + ", ".join(self.expr(v)
+                                        for v in node.vars) + ")"
+        if isinstance(node, ast.Empty):
+            return f"empty({self.expr(node.expr)})"
+        if isinstance(node, ast.PrintExpr):
+            return f"print {self.expr(node.expr)}"
+        if isinstance(node, ast.ExitExpr):
+            if node.expr is None:
+                return "exit()"
+            return f"exit({self.expr(node.expr)})"
+        if isinstance(node, ast.Include):
+            return f"{node.kind} {self.expr(node.expr)}"
+        if isinstance(node, ast.InstanceOf):
+            cls = node.cls if isinstance(node.cls, str) else self.expr(
+                node.cls)
+            return f"({self.expr(node.expr)} instanceof {cls})"
+        if isinstance(node, ast.ConstFetch):
+            return node.name
+        if isinstance(node, ast.Match):
+            arms = []
+            for arm in node.arms:
+                if arm.conditions is None:
+                    head = "default"
+                else:
+                    head = ", ".join(self.expr(c) for c in arm.conditions)
+                arms.append(f"{head} => {self.expr(arm.body)}")
+            return (f"match ({self.expr(node.subject)}) {{ "
+                    + ", ".join(arms) + " }")
+        if isinstance(node, ast.Closure) and node.is_arrow:
+            params = ", ".join(self._param(p) for p in node.params)
+            body = node.body[0]
+            expr = (body.expr if isinstance(body, ast.Return)
+                    else body)
+            ref = "&" if node.by_ref else ""
+            return f"fn {ref}({params}) => {self.expr(expr)}"
+        if isinstance(node, ast.Closure):
+            params = ", ".join(self._param(p) for p in node.params)
+            uses = ""
+            if node.uses:
+                uses = " use (" + ", ".join(
+                    ("&$" if by_ref else "$") + name
+                    for name, by_ref in node.uses) + ")"
+            body = _render_inline_body(self, node.body)
+            ref = "&" if node.by_ref else ""
+            return f"function {ref}({params}){uses} {{ {body} }}"
+        if isinstance(node, ast.ArrayItem):
+            return self._array_item(node)
+        raise TypeError(f"cannot unparse {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def _paren(self, node: ast.Node | None) -> str:
+        text = self.expr(node)
+        if isinstance(node, (ast.Variable, ast.Literal, ast.FunctionCall,
+                             ast.ArrayAccess, ast.ConstFetch)):
+            return text
+        if text.startswith("("):
+            return text
+        return f"({text})"
+
+    def _args(self, args: list[ast.Argument]) -> str:
+        rendered = []
+        for arg in args:
+            prefix = ""
+            if arg.name:
+                prefix += f"{arg.name}: "
+            if arg.by_ref:
+                prefix += "&"
+            if arg.spread:
+                prefix += "..."
+            rendered.append(prefix + self.expr(arg.value))
+        return ", ".join(rendered)
+
+    def _member(self, name: str | ast.Node) -> str:
+        if isinstance(name, str):
+            return name
+        if isinstance(name, ast.Variable):
+            return "$" + name.name
+        return "{" + self.expr(name) + "}"
+
+    def _cls(self, cls: str | ast.Node) -> str:
+        return cls if isinstance(cls, str) else self.expr(cls)
+
+    def _array_item(self, item: ast.ArrayItem) -> str:
+        out = ""
+        if item.spread:
+            out += "..."
+        if item.key is not None:
+            out += self.expr(item.key) + " => "
+        if item.by_ref:
+            out += "&"
+        out += self.expr(item.value)
+        return out
+
+    def _literal(self, node: ast.Literal) -> str:
+        if node.kind == "string":
+            return quote_php_string(str(node.value))
+        if node.kind == "bool":
+            return "true" if node.value else "false"
+        if node.kind == "null":
+            return "null"
+        return repr(node.value)
+
+    def _interp_body(self, parts: list[ast.Node]) -> str:
+        out: list[str] = []
+        for part in parts:
+            if isinstance(part, ast.Literal):
+                out.append(_escape_dq(str(part.value)))
+            else:
+                out.append("{" + self.expr(part) + "}")
+        return "".join(out)
+
+    def _interpolated(self, parts: list[ast.Node]) -> str:
+        if all(self._interpolatable(p) for p in parts):
+            return '"' + self._interp_body(parts) + '"'
+        # a part PHP string syntax cannot embed: emit a concatenation
+        return self._concat(parts)
+
+    def _interpolatable(self, part: ast.Node) -> bool:
+        """Can this part live inside "{...}" string interpolation?
+
+        PHP only interpolates expressions rooted at a variable; anything
+        else (a bare function call, a literal) must stay literal text or
+        move out of the string.
+        """
+        if isinstance(part, ast.Literal):
+            return True
+        return self.expr(part).startswith("$")
+
+    def _concat(self, parts: list[ast.Node]) -> str:
+        pieces = []
+        for part in parts:
+            if isinstance(part, ast.Literal):
+                pieces.append(quote_php_string(str(part.value)))
+            else:
+                pieces.append(self.expr(part))
+        return "(" + " . ".join(pieces) + ")" if len(pieces) > 1 \
+            else (pieces[0] if pieces else "''")
+
+
+def _render_inline_body(unparser: Unparser, body: list[ast.Node]) -> str:
+    """Render a closure body on one line (best effort)."""
+    sub = Unparser()
+    sub._in_php = True
+    for stmt in body:
+        sub._stmt(stmt)
+    return " ".join(line.strip() for line in sub._lines)
+
+
+def quote_php_string(text: str) -> str:
+    """Render a Python string as a single-quoted PHP string literal."""
+    return "'" + text.replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+def _escape_dq(text: str) -> str:
+    """Escape literal text for inclusion inside a double-quoted string."""
+    out = (text.replace("\\", "\\\\").replace('"', '\\"')
+           .replace("$", "\\$").replace("{", "\\{")
+           .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r"))
+    return out
+
+
+def unparse(program: ast.Program) -> str:
+    """Convenience wrapper: render *program* back to PHP source."""
+    return Unparser().unparse(program)
+
+
+def unparse_expr(node: ast.Node) -> str:
+    """Render a single expression node to PHP source."""
+    return Unparser().expr(node)

@@ -1,0 +1,94 @@
+"""Visitor / tree-walker framework over the PHP AST.
+
+This mirrors the role ANTLR tree walkers play in the original WAP: detectors
+navigate the AST without the AST knowing anything about them (§III-E facet 1
+— "making the AST independent of the navigation made by the detectors").
+
+Two styles are provided:
+
+* :class:`NodeVisitor` — classic double-dispatch on the node class name
+  (``visit_FunctionCall`` etc.), with a ``generic_visit`` that recurses.
+* :func:`walk` / :func:`find_all` — generator helpers for quick queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Type, TypeVar
+
+from repro.php import ast_nodes as ast
+
+N = TypeVar("N", bound=ast.Node)
+
+
+class NodeVisitor:
+    """Base visitor: dispatches ``visit(node)`` to ``visit_<ClassName>``.
+
+    Subclasses override ``visit_<ClassName>`` for nodes they care about and
+    call ``self.generic_visit(node)`` to keep walking.
+    """
+
+    def visit(self, node: ast.Node) -> object:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: ast.Node) -> object:
+        for child in node.children():
+            self.visit(child)
+        return None
+
+
+class NodeTransformer(NodeVisitor):
+    """Visitor whose ``visit_*`` methods may return replacement nodes.
+
+    Replacement happens only for direct children held in lists; scalar
+    fields keep their node unless the method mutates it in place.  This is
+    enough for the code corrector, which only inserts/replaces statements.
+    """
+
+    def generic_visit(self, node: ast.Node) -> ast.Node:
+        import dataclasses
+        for f in dataclasses.fields(node):
+            if f.name in ("line", "col"):
+                continue
+            value = getattr(self, "_", None)
+            value = getattr(node, f.name)
+            if isinstance(value, ast.Node):
+                new = self.visit(value)
+                if isinstance(new, ast.Node) and new is not value:
+                    setattr(node, f.name, new)
+            elif isinstance(value, list):
+                new_list = []
+                for item in value:
+                    if isinstance(item, ast.Node):
+                        out = self.visit(item)
+                        if out is None:
+                            continue
+                        if isinstance(out, list):
+                            new_list.extend(out)
+                        else:
+                            new_list.append(out)
+                    else:
+                        new_list.append(item)
+                setattr(node, f.name, new_list)
+        return node
+
+
+def walk(node: ast.Node) -> Iterator[ast.Node]:
+    """Yield *node* and all of its descendants, pre-order."""
+    yield from node.walk()
+
+
+def find_all(node: ast.Node, node_type: Type[N],
+             predicate: Callable[[N], bool] | None = None) -> Iterator[N]:
+    """Yield all descendants of *node* of the given type (pre-order)."""
+    for child in node.walk():
+        if isinstance(child, node_type):
+            if predicate is None or predicate(child):
+                yield child
+
+
+def count_nodes(node: ast.Node) -> int:
+    """Total number of nodes in the subtree (used by stats/benchmarks)."""
+    return sum(1 for _ in node.walk())

@@ -1,0 +1,16 @@
+"""Tool facades: WAP v2.1 emulation, WAPe, reports and the CLI."""
+
+from repro.tool.report import (  # noqa: F401
+    AnalysisReport,
+    CandidateOutcome,
+    FileReport,
+)
+from repro.tool.wap import Wap21, Wape  # noqa: F401
+
+__all__ = [
+    "Wap21",
+    "Wape",
+    "AnalysisReport",
+    "FileReport",
+    "CandidateOutcome",
+]

@@ -1,0 +1,203 @@
+"""Command-line frontend.
+
+Mirrors the paper's usage: weapons are activated with single-dash flags
+named after the weapon (``-nosqli``, ``-hei``, ``-wpsqli``, or any weapon
+bundle loaded with ``--weapon-dir``).
+
+Examples::
+
+    wape app/                          # analyze a tree, 12 builtin classes
+    wape -wpsqli -hei plugin/          # arm two weapons as well
+    wape --original app/               # emulate WAP v2.1
+    wape --fix vulnerable.php          # write corrected source
+    wape --sanitizer sqli:escape app/  # feed a custom sanitizer (§V-A)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+from repro.mining.extraction import DynamicSymptoms
+from repro.tool.wap import Wap21, Wape
+from repro.weapons import WeaponRegistry, load_weapon
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wape",
+        description="WAPe - modular, extensible detection (and correction)"
+                    " of input validation vulnerabilities in PHP code",
+    )
+    parser.add_argument("targets", nargs="*",
+                        help="PHP files or directories to analyze")
+    parser.add_argument("--original", action="store_true",
+                        help="emulate the original WAP v2.1 "
+                             "(8 classes, 16 attributes)")
+    parser.add_argument("--fix", action="store_true",
+                        help="correct the real vulnerabilities "
+                             "(writes <file>.fixed.php)")
+    parser.add_argument("--in-place", action="store_true",
+                        help="with --fix: overwrite the original files")
+    parser.add_argument("--weapon-dir", action="append", default=[],
+                        metavar="DIR",
+                        help="load a weapon bundle directory "
+                             "(may be repeated)")
+    parser.add_argument("--sanitizer", action="append", default=[],
+                        metavar="CLASS:FUNC",
+                        help="treat FUNC as a sanitization function for "
+                             "CLASS (e.g. sqli:escape)")
+    parser.add_argument("--symptom", action="append", default=[],
+                        metavar="FUNC:STATIC",
+                        help="dynamic symptom: user FUNC behaves like "
+                             "static symptom STATIC (e.g. val_int:is_int)")
+    parser.add_argument("--export-kb", metavar="DIR",
+                        help="export the tool's ep/ss/san knowledge base "
+                             "as editable text files and exit")
+    parser.add_argument("--kb", metavar="DIR",
+                        help="load the vulnerability-class knowledge base "
+                             "from DIR instead of the builtin catalogs")
+    parser.add_argument("--project", action="store_true",
+                        help="whole-project analysis: resolve user "
+                             "functions across files before reporting")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--justify", action="store_true",
+                        help="explain each predicted false positive "
+                             "(symptoms, categories, classifier votes)")
+    parser.add_argument("--show-paths", action="store_true",
+                        help="print the full data-flow path of each "
+                             "candidate")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary lines")
+    return parser
+
+
+def split_weapon_flags(argv: list[str],
+                       registry: WeaponRegistry) -> tuple[list[str],
+                                                          list[str]]:
+    """Separate weapon activation flags (``-nosqli``) from normal args."""
+    weapon_flags: list[str] = []
+    rest: list[str] = []
+    for arg in argv:
+        if arg.startswith("-") and not arg.startswith("--") \
+                and arg in registry:
+            weapon_flags.append(arg)
+        else:
+            rest.append(arg)
+    return weapon_flags, rest
+
+
+def _parse_extra_sanitizers(pairs: list[str]) -> dict[str, set[str]]:
+    out: dict[str, set[str]] = {}
+    for pair in pairs:
+        class_id, _, func = pair.partition(":")
+        if not class_id or not func:
+            raise SystemExit(f"--sanitizer expects CLASS:FUNC, got {pair!r}")
+        out.setdefault(class_id, set()).add(func)
+    return out
+
+
+def _parse_dynamic(pairs: list[str]) -> DynamicSymptoms:
+    mapping: dict[str, str] = {}
+    for pair in pairs:
+        func, _, static = pair.partition(":")
+        if not func or not static:
+            raise SystemExit(f"--symptom expects FUNC:STATIC, got {pair!r}")
+        mapping[func] = static
+    return DynamicSymptoms(mapping=mapping)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    registry = WeaponRegistry.with_builtins()
+    # weapon bundles must load before flag splitting so their flags resolve
+    pre = argparse.ArgumentParser(add_help=False)
+    pre.add_argument("--weapon-dir", action="append", default=[])
+    pre_args, _ = pre.parse_known_args(argv)
+    for directory in pre_args.weapon_dir:
+        registry.register(load_weapon(directory))
+
+    weapon_flags, rest = split_weapon_flags(argv, registry)
+    args = build_arg_parser().parse_args(rest)
+
+    if args.export_kb:
+        from repro.analysis import save_registry
+        from repro.vulnerabilities import wape_registry
+        save_registry(wape_registry(include_weapons=False),
+                      args.export_kb)
+        print(f"knowledge base exported to {args.export_kb}")
+        return 0
+    if not args.targets:
+        print("error: no targets given", file=sys.stderr)
+        return 2
+
+    try:
+        if args.original:
+            if weapon_flags:
+                raise SystemExit(
+                    "weapons require the new version (drop --original)")
+            tool = Wap21()
+        else:
+            kb_registry = None
+            if args.kb:
+                from repro.analysis import load_registry
+                kb_registry = load_registry(args.kb)
+            tool = Wape(
+                weapon_flags=weapon_flags,
+                weapon_registry=registry,
+                extra_sanitizers=_parse_extra_sanitizers(args.sanitizer),
+                dynamic_symptoms=_parse_dynamic(args.symptom),
+                class_registry=kb_registry,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    import os
+    exit_code = 0
+    for target in args.targets:
+        if os.path.isdir(target):
+            if args.project:
+                if args.original:
+                    raise SystemExit(
+                        "--project requires the new version")
+                report = tool.analyze_project(target)
+            else:
+                report = tool.analyze_tree(target)
+        else:
+            report = tool.analyze_file(target)
+        if args.json:
+            import json
+            print(json.dumps(report.to_dict(), indent=2))
+        elif args.quiet:
+            print(report.summary_line())
+        else:
+            print(report.render_text(show_paths=args.show_paths))
+        if args.justify and not args.json:
+            from repro.mining import justify
+            for outcome in report.predicted_false_positives:
+                print()
+                print(justify(outcome.candidate,
+                              outcome.prediction).render())
+        if report.real_vulnerabilities:
+            exit_code = 1
+        if args.fix:
+            for file_report in report.files:
+                if not file_report.is_vulnerable:
+                    continue
+                real = [o.candidate for o in file_report.real]
+                output = (file_report.filename if args.in_place else
+                          file_report.filename + ".fixed.php")
+                result = tool.corrector.correct_file(
+                    file_report.filename, real, output)
+                if result.changed:
+                    print(f"fixed {len(result.applied)} "
+                          f"vulnerabilities -> {output}")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Analysis reports: the structured output of a tool run.
+
+A run produces one :class:`FileReport` per file and an
+:class:`AnalysisReport` for the whole target.  Counting conventions follow
+the paper's tables:
+
+* a *candidate* is anything the taint analyzer flags;
+* a *real vulnerability* is a candidate the predictor did not classify as a
+  false positive (these are what Tables V-VII count);
+* *FPP* is the number of candidates predicted to be false positives;
+* per-class columns use report groups: DT & RFI, LFI collapse into
+  "Files", and WordPress SQLI counts as "SQLI" (Tables VI, VII).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.model import CandidateVulnerability
+from repro.mining.predictor import Prediction
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One candidate plus the predictor's verdict."""
+
+    candidate: CandidateVulnerability
+    prediction: Prediction
+
+    @property
+    def is_real(self) -> bool:
+        return not self.prediction.is_false_positive
+
+    @property
+    def vuln_class(self) -> str:
+        return self.candidate.vuln_class
+
+
+@dataclass
+class FileReport:
+    """Per-file analysis outcome."""
+
+    filename: str
+    lines_of_code: int = 0
+    seconds: float = 0.0
+    outcomes: list[CandidateOutcome] = field(default_factory=list)
+    parse_error: str | None = None
+
+    @property
+    def real(self) -> list[CandidateOutcome]:
+        return [o for o in self.outcomes if o.is_real]
+
+    @property
+    def predicted_fp(self) -> list[CandidateOutcome]:
+        return [o for o in self.outcomes if not o.is_real]
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return bool(self.real)
+
+
+@dataclass
+class AnalysisReport:
+    """Whole-run analysis outcome (one target: app, plugin, or tree)."""
+
+    tool_version: str
+    target: str = "<source>"
+    files: list[FileReport] = field(default_factory=list)
+    #: class id -> report group used for table columns.
+    groups: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_files(self) -> int:
+        return len(self.files)
+
+    @property
+    def total_lines(self) -> int:
+        return sum(f.lines_of_code for f in self.files)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(f.seconds for f in self.files)
+
+    @property
+    def parse_errors(self) -> list[FileReport]:
+        return [f for f in self.files if f.parse_error]
+
+    # ------------------------------------------------------------------
+    @property
+    def outcomes(self) -> list[CandidateOutcome]:
+        return [o for f in self.files for o in f.outcomes]
+
+    @property
+    def candidates(self) -> list[CandidateVulnerability]:
+        return [o.candidate for o in self.outcomes]
+
+    @property
+    def real_vulnerabilities(self) -> list[CandidateOutcome]:
+        return [o for o in self.outcomes if o.is_real]
+
+    @property
+    def predicted_false_positives(self) -> list[CandidateOutcome]:
+        return [o for o in self.outcomes if not o.is_real]
+
+    @property
+    def vulnerable_files(self) -> list[FileReport]:
+        return [f for f in self.files if f.is_vulnerable]
+
+    # ------------------------------------------------------------------
+    def counts_by_class(self, real_only: bool = True) -> Counter:
+        pool = self.real_vulnerabilities if real_only else self.outcomes
+        return Counter(o.vuln_class for o in pool)
+
+    def counts_by_group(self, real_only: bool = True) -> Counter:
+        pool = self.real_vulnerabilities if real_only else self.outcomes
+        return Counter(self.group_of(o.vuln_class) for o in pool)
+
+    def group_of(self, class_id: str) -> str:
+        return self.groups.get(class_id, class_id.upper())
+
+    # ------------------------------------------------------------------
+    def summary_line(self) -> str:
+        counts = self.counts_by_group()
+        per_class = ", ".join(f"{g}: {n}" for g, n in
+                              sorted(counts.items()))
+        return (f"{self.target}: {self.total_files} files, "
+                f"{self.total_lines} LoC, "
+                f"{len(self.real_vulnerabilities)} vulnerabilities "
+                f"({per_class}), "
+                f"{len(self.predicted_false_positives)} predicted FPs, "
+                f"{self.total_seconds:.2f}s")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the whole report."""
+        return {
+            "tool": self.tool_version,
+            "target": self.target,
+            "summary": {
+                "files": self.total_files,
+                "lines": self.total_lines,
+                "seconds": round(self.total_seconds, 4),
+                "candidates": len(self.outcomes),
+                "real_vulnerabilities": len(self.real_vulnerabilities),
+                "predicted_false_positives":
+                    len(self.predicted_false_positives),
+                "by_class": dict(self.counts_by_group()),
+            },
+            "files": [
+                {
+                    "path": f.filename,
+                    "lines": f.lines_of_code,
+                    "parse_error": f.parse_error,
+                    "findings": [
+                        {
+                            "class": o.vuln_class,
+                            "group": self.group_of(o.vuln_class),
+                            "sink": o.candidate.sink_name,
+                            "sink_line": o.candidate.sink_line,
+                            "entry_point": o.candidate.entry_point,
+                            "entry_line": o.candidate.entry_line,
+                            "verdict": ("real" if o.is_real
+                                        else "false_positive"),
+                            "votes": dict(o.prediction.votes),
+                            "symptoms": sorted(o.prediction.symptoms),
+                            "path": [
+                                {"kind": s.kind, "detail": s.detail,
+                                 "line": s.line}
+                                for s in o.candidate.path
+                            ],
+                        }
+                        for o in f.outcomes
+                    ],
+                }
+                for f in self.files
+                if f.outcomes or f.parse_error
+            ],
+        }
+
+    def render_text(self, show_paths: bool = False) -> str:
+        """Human-readable report (what the CLI prints)."""
+        lines = [f"== {self.tool_version} analysis of {self.target}",
+                 f"   files: {self.total_files}   "
+                 f"lines: {self.total_lines}   "
+                 f"time: {self.total_seconds:.2f}s"]
+        for file_report in self.files:
+            if not file_report.outcomes and not file_report.parse_error:
+                continue
+            lines.append(f"-- {file_report.filename}")
+            if file_report.parse_error:
+                lines.append(f"   parse error: {file_report.parse_error}")
+            for outcome in file_report.outcomes:
+                cand = outcome.candidate
+                verdict = ("real vulnerability" if outcome.is_real
+                           else "predicted false positive")
+                lines.append(
+                    f"   [{self.group_of(cand.vuln_class):>6}] "
+                    f"line {cand.sink_line:>4} {cand.sink_name}"
+                    f" <- {cand.entry_point} (line {cand.entry_line})"
+                    f" : {verdict}")
+                if show_paths:
+                    for step in cand.path:
+                        lines.append(f"        {step.kind:>7} "
+                                     f"{step.detail} @ {step.line}")
+        counts = self.counts_by_group()
+        lines.append("== summary")
+        for group, count in sorted(counts.items()):
+            lines.append(f"   {group:>8}: {count}")
+        lines.append(f"   total real: {len(self.real_vulnerabilities)}   "
+                     f"predicted FPs: "
+                     f"{len(self.predicted_false_positives)}")
+        return "\n".join(lines)

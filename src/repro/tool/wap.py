@@ -1,0 +1,290 @@
+"""The tool facades: WAP v2.1 and WAPe.
+
+Both run the full Fig. 1 pipeline — code analyzer → false positive
+predictor → (optionally) code corrector — and differ exactly where the
+paper says they do:
+
+=====================  ==========================  =========================
+aspect                 :class:`Wap21`              :class:`Wape`
+=====================  ==========================  =========================
+vulnerability classes  the original 8              8 + SF, CS, LDAPI, XPathI
+weapons                none                        ``-nosqli -hei -wpsqli``
+                                                   + user weapons
+attributes             16 (15 + class)             61 (60 + class)
+training set           76 instances                256 instances
+top-3 classifiers      SVM, LR, Random Tree        SVM, LR, Random Forest
+configurable ep/ss/san no (hard-coded)             yes (external data)
+=====================  ==========================  =========================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.exceptions import WeaponConfigError
+from repro.php import parse
+from repro.analysis.detector import PHP_EXTENSIONS, Detector
+from repro.analysis.knowledge import extend_config
+from repro.analysis.model import CandidateVulnerability, DetectorConfig
+from repro.corrector import CodeCorrector, CorrectionResult
+from repro.exceptions import PhpSyntaxError
+from repro.mining.extraction import NO_DYNAMIC_SYMPTOMS, DynamicSymptoms
+from repro.mining.predictor import (
+    FalsePositivePredictor,
+    new_predictor,
+    original_predictor,
+)
+from repro.tool.report import AnalysisReport, CandidateOutcome, FileReport
+from repro.vulnerabilities import (
+    ORIGIN_WEAPON,
+    SubModule,
+    VulnRegistry,
+    build_submodules,
+    original_registry,
+    wape_registry,
+)
+from repro.weapons import Weapon, WeaponRegistry
+
+
+class _BaseTool:
+    """Shared pipeline driver for both tool versions."""
+
+    version = "wap-base"
+
+    def __init__(self) -> None:
+        self.submodules: dict[str, SubModule] = {}
+        self.weapons: list[Weapon] = []
+        self.predictor: FalsePositivePredictor | None = None
+        self.corrector = CodeCorrector()
+        self.groups: dict[str, str] = {}
+
+    # -- pipeline -------------------------------------------------------
+    def _detect(self, source: str,
+                filename: str) -> list[CandidateVulnerability]:
+        candidates: list[CandidateVulnerability] = []
+        program = parse(source, filename)
+        for sub in self.submodules.values():
+            if sub.detector is None:
+                continue
+            candidates.extend(
+                sub.refine(sub.detector.detect_program(program, filename)))
+        for weapon in self.weapons:
+            candidates.extend(
+                weapon.detector.detect_program(program, filename))
+        seen: set[tuple] = set()
+        unique = []
+        for cand in candidates:
+            if cand.key() not in seen:
+                seen.add(cand.key())
+                unique.append(cand)
+        return unique
+
+    def analyze_source(self, source: str,
+                       filename: str = "<source>") -> AnalysisReport:
+        """Run the pipeline on source text, returning a full report."""
+        report = AnalysisReport(self.version, filename,
+                                groups=dict(self.groups))
+        start = time.perf_counter()
+        file_report = FileReport(filename,
+                                 lines_of_code=source.count("\n") + 1)
+        try:
+            candidates = self._detect(source, filename)
+        except PhpSyntaxError as exc:
+            file_report.parse_error = str(exc)
+            candidates = []
+        assert self.predictor is not None
+        for cand in candidates:
+            prediction = self.predictor.predict(cand)
+            file_report.outcomes.append(CandidateOutcome(cand, prediction))
+        file_report.seconds = time.perf_counter() - start
+        report.files.append(file_report)
+        return report
+
+    def analyze_file(self, path: str) -> AnalysisReport:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            source = f.read()
+        return self.analyze_source(source, path)
+
+    def analyze_tree(self, root: str) -> AnalysisReport:
+        """Analyze every PHP file under *root*."""
+        report = AnalysisReport(self.version, root,
+                                groups=dict(self.groups))
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.lower().endswith(PHP_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                sub = self.analyze_file(path)
+                report.files.extend(sub.files)
+        return report
+
+    def analyze_project(self, root: str) -> AnalysisReport:
+        """Whole-project analysis with cross-file call resolution.
+
+        Unlike :meth:`analyze_tree` (per-file, like the original tool),
+        this resolves user functions across files: a sanitizing helper in
+        ``lib.php`` silences flows in ``index.php``, and a sink inside a
+        shared helper is reported once, at its declaration site.
+        """
+        import time as _time
+        from repro.analysis.project import ProjectAnalyzer
+
+        report = AnalysisReport(self.version, root,
+                                groups=dict(self.groups))
+        assert self.predictor is not None
+        start = _time.perf_counter()
+
+        configs = []
+        for sub in self.submodules.values():
+            if sub.detector is not None:
+                configs.extend(sub.detector.configs)
+        for weapon in self.weapons:
+            configs.extend(weapon.configs)
+        analyzer = ProjectAnalyzer(configs)
+        result = analyzer.analyze_tree(root)
+
+        refined = [SubModule._split_rfi_lfi(cand)
+                   for cand in result.candidates]
+
+        by_file: dict[str, FileReport] = {}
+        for pf in result.files:
+            by_file[pf.path] = FileReport(pf.path, pf.lines_of_code,
+                                          parse_error=pf.parse_error)
+        for cand in refined:
+            prediction = self.predictor.predict(cand)
+            by_file.setdefault(cand.filename,
+                               FileReport(cand.filename)).outcomes.append(
+                CandidateOutcome(cand, prediction))
+        elapsed = _time.perf_counter() - start
+        files = list(by_file.values())
+        if files:
+            for fr in files:
+                fr.seconds = elapsed / len(files)
+        report.files = files
+        return report
+
+    # -- correction -----------------------------------------------------
+    def correct_source(self, source: str,
+                       report: AnalysisReport | None = None,
+                       filename: str = "<source>") -> CorrectionResult:
+        """Fix the real vulnerabilities of *source* (Fig. 1, box 3)."""
+        if report is None:
+            report = self.analyze_source(source, filename)
+        real = [o.candidate for o in report.real_vulnerabilities]
+        return self.corrector.correct_source(source, real, filename)
+
+    def correct_file(self, path: str,
+                     output_path: str | None = None) -> CorrectionResult:
+        report = self.analyze_file(path)
+        real = [o.candidate for o in report.real_vulnerabilities]
+        return self.corrector.correct_file(path, real, output_path)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def class_ids(self) -> list[str]:
+        out: list[str] = []
+        for sub in self.submodules.values():
+            out.extend(sub.class_ids)
+        for weapon in self.weapons:
+            out.extend(weapon.class_ids)
+        return sorted(set(out))
+
+
+class Wap21(_BaseTool):
+    """The original WAP v2.1: 8 classes, 16 attributes, no extensibility."""
+
+    version = "WAP v2.1"
+
+    def __init__(self) -> None:
+        super().__init__()
+        registry = original_registry()
+        self.registry = registry
+        self.submodules = build_submodules(registry)
+        self.predictor = original_predictor()
+        self.groups = {info.class_id: info.group() for info in registry}
+
+
+class Wape(_BaseTool):
+    """WAPe: the modular, extensible version presented by the paper.
+
+    Args:
+        weapon_flags: activation flags for weapons (``["-nosqli",
+            "-hei", "-wpsqli"]`` for the builtins, plus any user weapon
+            registered in *weapon_registry*).
+        weapon_registry: where flags are resolved; defaults to the builtin
+            registry.
+        extra_sanitizers: per-class extra sanitization functions — the
+            §V-A scenario of feeding vfront's ``escape`` helper to the
+            tool: ``{"sqli": {"escape"}}``.
+        dynamic_symptoms: extra user dynamic symptoms (§III-B2), merged
+            with those carried by activated weapons.
+    """
+
+    version = "WAPe"
+
+    def __init__(self,
+                 weapon_flags: list[str] | tuple[str, ...] = (),
+                 weapon_registry: WeaponRegistry | None = None,
+                 extra_sanitizers: dict[str, set[str]] | None = None,
+                 dynamic_symptoms: DynamicSymptoms = NO_DYNAMIC_SYMPTOMS,
+                 class_registry: VulnRegistry | None = None,
+                 ) -> None:
+        super().__init__()
+        registry = class_registry or wape_registry(include_weapons=False)
+        self.registry = registry
+        self.weapon_registry = weapon_registry or \
+            WeaponRegistry.with_builtins()
+
+        if extra_sanitizers:
+            registry = _extend_registry(registry, extra_sanitizers)
+            self.registry = registry
+        self.submodules = build_submodules(registry)
+        self.groups = {info.class_id: info.group() for info in registry}
+
+        dynamic = dynamic_symptoms
+        for flag in weapon_flags:
+            weapon = self.weapon_registry.by_flag(flag)
+            self.weapons.append(weapon)
+            dynamic = dynamic.merged(weapon.dynamic_symptoms)
+            for class_id in weapon.class_ids:
+                self.groups[class_id] = weapon.report_group(class_id)
+            self.corrector.register_fix(weapon.class_ids[0], weapon.fix)
+            for class_id in weapon.class_ids[1:]:
+                self.corrector.class_fixes[class_id] = weapon.fix.fix_id
+
+        self.predictor = new_predictor(dynamic)
+
+    def arm(self, weapon: Weapon) -> None:
+        """Register and activate a freshly generated weapon."""
+        if weapon.name not in self.weapon_registry:
+            self.weapon_registry.register(weapon)
+        elif self.weapon_registry.by_name(weapon.name) is not weapon:
+            raise WeaponConfigError(
+                f"a different weapon named {weapon.name!r} exists")
+        self.weapons.append(weapon)
+        for class_id in weapon.class_ids:
+            self.groups[class_id] = weapon.report_group(class_id)
+        self.corrector.register_fix(weapon.class_ids[0], weapon.fix)
+        for class_id in weapon.class_ids[1:]:
+            self.corrector.class_fixes[class_id] = weapon.fix.fix_id
+        assert self.predictor is not None
+        self.predictor = self.predictor.with_dynamic(
+            weapon.dynamic_symptoms)
+
+
+def _extend_registry(registry: VulnRegistry,
+                     extra_sanitizers: dict[str, set[str]]) -> VulnRegistry:
+    """Clone *registry* with extra sanitizers merged into named classes."""
+    import dataclasses
+    out = VulnRegistry()
+    for info in registry:
+        extra = extra_sanitizers.get(info.class_id)
+        if extra:
+            out.add(dataclasses.replace(
+                info, config=extend_config(info.config,
+                                           sanitizers=set(extra))))
+        else:
+            out.add(info)
+    return out

@@ -1,0 +1,49 @@
+"""Vulnerability classes: registry, catalogs and Fig. 2 sub-modules."""
+
+from repro.vulnerabilities.catalog import (  # noqa: F401
+    DB_READ_SOURCES,
+    NOSQLI_SINKS,
+    WPDB_SINKS,
+    WP_DYNAMIC_SYMPTOMS,
+    WP_SANITIZERS,
+    WP_SOURCE_FUNCTIONS,
+    original_registry,
+    wape_registry,
+)
+from repro.vulnerabilities.classes import (  # noqa: F401
+    ORIGIN_SUBMODULE,
+    ORIGIN_V21,
+    ORIGIN_WEAPON,
+    SUBMODULE_CLIENT_SIDE,
+    SUBMODULE_QUERY,
+    SUBMODULE_RCE_FILE,
+    SUBMODULE_WEAPON,
+    VulnClassInfo,
+    VulnRegistry,
+)
+from repro.vulnerabilities.submodules import (  # noqa: F401
+    SubModule,
+    build_submodules,
+)
+
+__all__ = [
+    "VulnClassInfo",
+    "VulnRegistry",
+    "SubModule",
+    "build_submodules",
+    "original_registry",
+    "wape_registry",
+    "ORIGIN_V21",
+    "ORIGIN_SUBMODULE",
+    "ORIGIN_WEAPON",
+    "SUBMODULE_RCE_FILE",
+    "SUBMODULE_CLIENT_SIDE",
+    "SUBMODULE_QUERY",
+    "SUBMODULE_WEAPON",
+    "DB_READ_SOURCES",
+    "NOSQLI_SINKS",
+    "WPDB_SINKS",
+    "WP_SANITIZERS",
+    "WP_DYNAMIC_SYMPTOMS",
+    "WP_SOURCE_FUNCTIONS",
+]

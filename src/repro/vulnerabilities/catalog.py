@@ -1,0 +1,416 @@
+"""The concrete ep/ss/san catalogs for all 15 vulnerability classes.
+
+The eight original classes mirror WAP v2.1 (§II); the four sub-module
+extensions use exactly the sensitive sinks of Table IV; the weapon classes
+(NoSQLI, HI+EI, WordPress SQLI) use the configurations of §IV-C.
+
+Everything here is data.  The catalogs can be exported to / reloaded from
+the external ep/ss/san text files via :mod:`repro.analysis.knowledge`, which
+is what lets users extend the tool "without recompiling" (§III-A).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.detector import DEFAULT_ENTRY_POINTS
+from repro.analysis.model import (
+    SINK_ECHO,
+    SINK_INCLUDE,
+    SINK_METHOD,
+    SINK_SHELL,
+    DetectorConfig,
+    SinkSpec,
+)
+from repro.vulnerabilities.classes import (
+    ORIGIN_SUBMODULE,
+    ORIGIN_V21,
+    ORIGIN_WEAPON,
+    SUBMODULE_CLIENT_SIDE,
+    SUBMODULE_QUERY,
+    SUBMODULE_RCE_FILE,
+    SUBMODULE_WEAPON,
+    VulnClassInfo,
+    VulnRegistry,
+)
+
+EP = DEFAULT_ENTRY_POINTS
+
+#: database read functions whose results WAP treats as tainted for
+#: *stored* XSS (data previously written by an attacker).
+DB_READ_SOURCES = frozenset({
+    "mysql_fetch_array", "mysql_fetch_assoc", "mysql_fetch_row",
+    "mysql_fetch_object", "mysql_result",
+    "mysqli_fetch_array", "mysqli_fetch_assoc", "mysqli_fetch_row",
+    "mysqli_fetch_object",
+    "pg_fetch_array", "pg_fetch_assoc", "pg_fetch_row", "pg_fetch_object",
+    "sqlite_fetch_array", "sqlite_fetch_all",
+})
+
+
+def _f(name: str, *args: int) -> SinkSpec:
+    """A plain function sink, optionally restricted to argument indices."""
+    return SinkSpec(name, arg_positions=tuple(args) if args else None)
+
+
+# ---------------------------------------------------------------------------
+# the original eight classes (WAP v2.1)
+# ---------------------------------------------------------------------------
+
+def sqli_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="sqli",
+        display_name="SQL injection",
+        entry_points=EP,
+        sinks=(
+            _f("mysql_query", 0), _f("mysql_unbuffered_query", 0),
+            _f("mysql_db_query", 1),
+            _f("mysqli_query", 1), _f("mysqli_real_query", 1),
+            _f("mysqli_master_query", 1), _f("mysqli_multi_query", 1),
+            _f("pg_query", 1), _f("pg_send_query", 1),
+            _f("mssql_query", 0), _f("odbc_exec", 1), _f("odbc_execute", 1),
+            _f("sqlite_query", 1), _f("sqlite_exec", 1),
+            _f("db2_exec", 1),
+        ),
+        sanitizers=frozenset({
+            "mysql_real_escape_string", "mysql_escape_string",
+            "mysqli_real_escape_string", "mysqli_escape_string",
+            "pg_escape_string", "pg_escape_literal",
+            "sqlite_escape_string", "addslashes", "san_sqli",
+        }),
+    )
+    return VulnClassInfo("sqli", "SQL injection", "SQLI",
+                         SUBMODULE_QUERY, ORIGIN_V21, config,
+                         fix_id="san_sqli",
+                         malicious_chars=("'", '"', "\\", ";", "-", "#"))
+
+
+def xss_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="xss",
+        display_name="Cross-site scripting",
+        entry_points=EP,
+        source_functions=DB_READ_SOURCES,  # stored XSS
+        sinks=(
+            SinkSpec("", SINK_ECHO),
+            _f("printf"), _f("vprintf"),
+        ),
+        sanitizers=frozenset({
+            "htmlentities", "htmlspecialchars", "strip_tags",
+            "urlencode", "rawurlencode", "filter_input", "san_out",
+        }),
+    )
+    return VulnClassInfo("xss", "Cross-site scripting", "XSS",
+                         SUBMODULE_CLIENT_SIDE, ORIGIN_V21, config,
+                         fix_id="san_out",
+                         malicious_chars=("<", ">", '"', "'", "&"))
+
+
+def rfi_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="rfi",
+        display_name="Remote file inclusion",
+        entry_points=EP,
+        sinks=(SinkSpec("", SINK_INCLUDE),),
+        sanitizers=frozenset({"basename", "san_mix"}),
+    )
+    return VulnClassInfo("rfi", "Remote file inclusion", "RFI",
+                         SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_mix", report_group="Files",
+                         malicious_chars=("/", ".", ":"))
+
+
+def lfi_info() -> VulnClassInfo:
+    # LFI shares the include sinks with RFI: the sub-module refines the
+    # reports afterwards (tainted data concatenated into a local path ->
+    # LFI; a fully attacker-controlled include target -> RFI).
+    config = DetectorConfig(
+        class_id="lfi",
+        display_name="Local file inclusion",
+        entry_points=EP,
+        sinks=(),  # produced by refinement, never directly by the engine
+        sanitizers=frozenset({"basename", "san_mix"}),
+    )
+    return VulnClassInfo("lfi", "Local file inclusion", "LFI",
+                         SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_mix", report_group="Files",
+                         malicious_chars=("/", "."))
+
+
+def dt_pt_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="dt_pt",
+        display_name="Directory / path traversal",
+        entry_points=EP,
+        sinks=(
+            _f("fopen", 0), _f("file", 0), _f("opendir", 0),
+            _f("scandir", 0), _f("dir", 0), _f("unlink", 0),
+            _f("rmdir", 0), _f("copy"), _f("rename"), _f("glob", 0),
+        ),
+        sanitizers=frozenset({"basename", "realpath", "san_mix"}),
+    )
+    return VulnClassInfo("dt_pt", "Directory traversal / path traversal",
+                         "DT", SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_mix", report_group="Files",
+                         malicious_chars=("/", "."))
+
+
+def scd_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="scd",
+        display_name="Source code disclosure",
+        entry_points=EP,
+        sinks=(
+            _f("readfile", 0), _f("show_source", 0),
+            _f("highlight_file", 0), _f("fpassthru", 0),
+            _f("php_strip_whitespace", 0),
+        ),
+        sanitizers=frozenset({"basename", "san_read"}),
+    )
+    return VulnClassInfo("scd", "Source code disclosure", "SCD",
+                         SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_read",
+                         malicious_chars=("/", "."))
+
+
+def osci_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="osci",
+        display_name="OS command injection",
+        entry_points=EP,
+        sinks=(
+            _f("exec", 0), _f("system", 0), _f("shell_exec", 0),
+            _f("passthru", 0), _f("popen", 0), _f("proc_open", 0),
+            _f("pcntl_exec", 0),
+            SinkSpec("", SINK_SHELL),
+        ),
+        sanitizers=frozenset({"escapeshellarg", "escapeshellcmd",
+                              "san_osci"}),
+    )
+    return VulnClassInfo("osci", "OS command injection", "OSCI",
+                         SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_osci",
+                         malicious_chars=(";", "|", "&", "`", "$"))
+
+
+def phpci_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="phpci",
+        display_name="PHP command injection",
+        entry_points=EP,
+        sinks=(
+            _f("eval", 0), _f("assert", 0), _f("create_function"),
+            _f("call_user_func", 0), _f("call_user_func_array", 0),
+            _f("preg_replace", 0),  # /e modifier
+        ),
+        sanitizers=frozenset({"san_phpci"}),
+    )
+    return VulnClassInfo("phpci", "PHP command injection", "PHPCI",
+                         SUBMODULE_RCE_FILE, ORIGIN_V21, config,
+                         fix_id="san_phpci",
+                         malicious_chars=("$", ";", "(", ")"))
+
+
+# ---------------------------------------------------------------------------
+# the four classes added by reusing sub-modules (§IV-B, Table IV)
+# ---------------------------------------------------------------------------
+
+def sf_info() -> VulnClassInfo:
+    # Table IV: sinks setcookie, setrawcookie (printed "setdrawcookie" in
+    # the paper), session_id — added to the RCE & file injection sub-module.
+    config = DetectorConfig(
+        class_id="sf",
+        display_name="Session fixation",
+        entry_points=EP,
+        sinks=(_f("setcookie"), _f("setrawcookie"), _f("session_id", 0)),
+        sanitizers=frozenset({"san_sf"}),
+    )
+    return VulnClassInfo("sf", "Session fixation", "SF",
+                         SUBMODULE_RCE_FILE, ORIGIN_SUBMODULE, config,
+                         fix_id="san_sf")
+
+
+def cs_info() -> VulnClassInfo:
+    # Table IV: sinks file_put_contents, file_get_contents — added to the
+    # client-side injection sub-module (user content stored/served with
+    # hyperlinks -> comment spamming).
+    config = DetectorConfig(
+        class_id="cs",
+        display_name="Comment spamming injection",
+        entry_points=EP,
+        sinks=(_f("file_put_contents", 1), _f("file_get_contents", 0)),
+        sanitizers=frozenset({"san_write", "san_read"}),
+    )
+    return VulnClassInfo("cs", "Comment spamming", "CS",
+                         SUBMODULE_CLIENT_SIDE, ORIGIN_SUBMODULE, config,
+                         fix_id="san_write",
+                         malicious_chars=("http://", "https://", "<a"))
+
+
+def ldapi_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="ldapi",
+        display_name="LDAP injection",
+        entry_points=EP,
+        sinks=(
+            _f("ldap_add"), _f("ldap_delete"), _f("ldap_list"),
+            _f("ldap_read"), _f("ldap_search"),
+        ),
+        sanitizers=frozenset({"ldap_escape", "val_ldapi"}),
+    )
+    return VulnClassInfo("ldapi", "LDAP injection", "LDAPI",
+                         SUBMODULE_QUERY, ORIGIN_SUBMODULE, config,
+                         fix_id="val_ldapi",
+                         malicious_chars=("*", "(", ")", "\\", "|", "&"))
+
+
+def xpathi_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="xpathi",
+        display_name="XPath injection",
+        entry_points=EP,
+        sinks=(
+            _f("xpath_eval"), _f("xptr_eval"),
+            _f("xpath_eval_expression"),
+        ),
+        sanitizers=frozenset({"val_xpathi"}),
+    )
+    return VulnClassInfo("xpathi", "XPath injection", "XPathI",
+                         SUBMODULE_QUERY, ORIGIN_SUBMODULE, config,
+                         fix_id="val_xpathi",
+                         malicious_chars=("'", '"', "[", "]", "(", ")",
+                                          "=", "/"))
+
+
+# ---------------------------------------------------------------------------
+# weapon-provided classes (§IV-C)
+# ---------------------------------------------------------------------------
+
+#: sensitive sinks of the NoSQLI weapon: MongoDB collection methods.
+NOSQLI_SINKS = ("find", "findone", "findandmodify", "insert", "remove",
+                "save", "execute")
+
+
+def nosqli_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="nosqli",
+        display_name="NoSQL injection",
+        entry_points=EP,
+        sinks=tuple(SinkSpec(name, SINK_METHOD) for name in NOSQLI_SINKS),
+        # the paper configures mysql_real_escape_string as the weapon's
+        # sanitization function (§IV-C1)
+        sanitizers=frozenset({"mysql_real_escape_string",
+                              "san_nosqli"}),
+    )
+    return VulnClassInfo("nosqli", "NoSQL injection", "NoSQLI",
+                         SUBMODULE_WEAPON, ORIGIN_WEAPON, config,
+                         fix_id="san_nosqli",
+                         malicious_chars=("$", "{", "}", "'", '"'))
+
+
+def hi_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="hi",
+        display_name="Header injection / HTTP response splitting",
+        entry_points=EP,
+        sinks=(_f("header", 0),),
+        sanitizers=frozenset({"san_hei"}),
+    )
+    return VulnClassInfo("hi", "Header injection", "HI",
+                         SUBMODULE_WEAPON, ORIGIN_WEAPON, config,
+                         fix_id="san_hei",
+                         malicious_chars=("\r", "\n", "%0a", "%0d"))
+
+
+def ei_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="ei",
+        display_name="Email injection",
+        entry_points=EP,
+        sinks=(_f("mail"),),
+        sanitizers=frozenset({"san_hei"}),
+    )
+    return VulnClassInfo("ei", "Email injection", "EI",
+                         SUBMODULE_WEAPON, ORIGIN_WEAPON, config,
+                         fix_id="san_hei",
+                         malicious_chars=("\r", "\n", "%0a", "%0d"))
+
+
+#: $wpdb methods that execute SQL (WordPress sinks).
+WPDB_SINKS = ("query", "get_results", "get_row", "get_var", "get_col")
+
+#: WordPress sanitization functions relevant to SQL.
+WP_SANITIZERS = ("esc_sql", "like_escape", "absint")
+
+#: WordPress validation/sanitization helpers used as *dynamic symptoms*
+#: (§III-B2): each maps to the static symptom it behaves like.
+WP_DYNAMIC_SYMPTOMS: dict[str, str] = {
+    "absint": "intval",
+    "intval": "intval",
+    "sanitize_text_field": "preg_replace",
+    "sanitize_key": "preg_replace",
+    "sanitize_title": "preg_replace",
+    "sanitize_email": "preg_match",
+    "sanitize_file_name": "preg_replace",
+    "is_email": "preg_match",
+    "wp_strip_all_tags": "str_replace",
+    "esc_attr": "str_replace",
+    "esc_html": "str_replace",
+    "esc_url": "preg_replace",
+    "wp_kses": "preg_replace",
+    "wp_kses_post": "preg_replace",
+}
+
+#: WordPress helper functions whose return value is attacker-controlled
+#: (non-native entry points for the wpsqli weapon).
+WP_SOURCE_FUNCTIONS = ("get_query_var", "wp_unslash",
+                       "get_search_query")
+
+
+def wpsqli_info() -> VulnClassInfo:
+    config = DetectorConfig(
+        class_id="wpsqli",
+        display_name="SQL injection (WordPress $wpdb)",
+        entry_points=EP,
+        source_functions=frozenset(WP_SOURCE_FUNCTIONS),
+        sinks=tuple(SinkSpec(name, SINK_METHOD, receiver_hint="wpdb")
+                    for name in WPDB_SINKS),
+        sanitizers=frozenset(WP_SANITIZERS) | {"san_wpsqli"},
+        sanitizer_methods=frozenset({"prepare"}),
+    )
+    return VulnClassInfo("wpsqli", "WordPress SQL injection", "SQLI",
+                         SUBMODULE_WEAPON, ORIGIN_WEAPON, config,
+                         fix_id="san_wpsqli", report_group="SQLI",
+                         malicious_chars=("'", '"', "\\", ";"))
+
+
+# ---------------------------------------------------------------------------
+# registries
+# ---------------------------------------------------------------------------
+
+_ORIGINAL_FACTORIES = (sqli_info, xss_info, rfi_info, lfi_info, dt_pt_info,
+                       scd_info, osci_info, phpci_info)
+_SUBMODULE_FACTORIES = (sf_info, cs_info, ldapi_info, xpathi_info)
+_WEAPON_FACTORIES = (nosqli_info, hi_info, ei_info, wpsqli_info)
+
+
+def original_registry() -> VulnRegistry:
+    """The eight classes of WAP v2.1."""
+    registry = VulnRegistry()
+    for factory in _ORIGINAL_FACTORIES:
+        registry.add(factory())
+    return registry
+
+
+def wape_registry(include_weapons: bool = True) -> VulnRegistry:
+    """The full WAPe loadout: 8 original + 4 sub-module + 3 weapons.
+
+    The paper counts 15 classes: 8 original + 7 new (SF, CS, LDAPI, XPathI,
+    NoSQLI, HI, EI) — plus the WordPress-SQLI weapon, which reuses the SQLI
+    class with non-native functions.
+    """
+    registry = original_registry()
+    for factory in _SUBMODULE_FACTORIES:
+        registry.add(factory())
+    if include_weapons:
+        for factory in _WEAPON_FACTORIES:
+            registry.add(factory())
+    return registry

@@ -1,0 +1,30 @@
+"""Weapons: WAP extensions for new vulnerability classes (§III-D)."""
+
+from repro.weapons.builtin import (  # noqa: F401
+    builtin_weapons,
+    hei_spec,
+    nosqli_spec,
+    wpsqli_spec,
+)
+from repro.weapons.generator import (  # noqa: F401
+    Weapon,
+    generate_weapon,
+    load_weapon,
+    save_weapon,
+)
+from repro.weapons.registry import WeaponRegistry  # noqa: F401
+from repro.weapons.spec import WeaponClassSpec, WeaponSpec  # noqa: F401
+
+__all__ = [
+    "WeaponSpec",
+    "WeaponClassSpec",
+    "Weapon",
+    "generate_weapon",
+    "save_weapon",
+    "load_weapon",
+    "WeaponRegistry",
+    "builtin_weapons",
+    "nosqli_spec",
+    "hei_spec",
+    "wpsqli_spec",
+]

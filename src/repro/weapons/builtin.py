@@ -1,0 +1,98 @@
+"""The three weapons created in §IV-C, built through the weapon generator.
+
+These reproduce the exact configurations of the paper:
+
+* **NoSQLI** (`-nosqli`): MongoDB collection-method sinks, the
+  ``mysql_real_escape_string`` sanitization function, the PHP-sanitization
+  fix template (→ ``san_nosqli``), no dynamic symptoms.
+* **HI + EI** (`-hei`): ``header`` and ``mail`` sinks, no sanitization
+  functions, the user-sanitization fix template replacing the
+  ``\\r \\n %0a %0d`` characters with a space (→ ``san_hei``),
+  no dynamic symptoms.
+* **WordPress SQLI** (`-wpsqli`): the ``$wpdb`` sinks and sanitization
+  functions, the PHP-sanitization fix template (→ ``san_wpsqli``), and
+  dynamic symptoms mapping the WordPress validation helpers onto static
+  symptoms.
+"""
+
+from __future__ import annotations
+
+from repro.corrector.templates import (
+    TEMPLATE_PHP_SANITIZATION,
+    TEMPLATE_USER_SANITIZATION,
+)
+from repro.mining.extraction import DynamicSymptoms
+from repro.vulnerabilities.catalog import (
+    NOSQLI_SINKS,
+    WPDB_SINKS,
+    WP_DYNAMIC_SYMPTOMS,
+    WP_SANITIZERS,
+    WP_SOURCE_FUNCTIONS,
+)
+from repro.weapons.generator import Weapon, generate_weapon
+from repro.weapons.spec import WeaponClassSpec, WeaponSpec
+
+
+def nosqli_spec() -> WeaponSpec:
+    """§IV-C1: the NoSQL injection weapon for MongoDB-backed PHP apps."""
+    return WeaponSpec(
+        name="nosqli",
+        flag="-nosqli",
+        classes=(WeaponClassSpec(
+            class_id="nosqli",
+            display_name="NoSQL injection",
+            sinks=tuple("->" + s for s in NOSQLI_SINKS),
+            report_group="NoSQLI",
+        ),),
+        sanitizers=("mysql_real_escape_string",),
+        fix_template=TEMPLATE_PHP_SANITIZATION,
+        fix_sanitization_function="mysql_real_escape_string",
+    )
+
+
+def hei_spec() -> WeaponSpec:
+    """§IV-C2: the header-injection + email-injection weapon."""
+    return WeaponSpec(
+        name="hei",
+        flag="-hei",
+        classes=(
+            WeaponClassSpec(class_id="hi",
+                            display_name="Header injection",
+                            sinks=("header:0",),
+                            report_group="HI"),
+            WeaponClassSpec(class_id="ei",
+                            display_name="Email injection",
+                            sinks=("mail",),
+                            report_group="EI"),
+        ),
+        fix_template=TEMPLATE_USER_SANITIZATION,
+        fix_malicious_chars=("\r", "\n", "%0a", "%0d"),
+        fix_neutralizer=" ",
+    )
+
+
+def wpsqli_spec() -> WeaponSpec:
+    """§IV-C3: SQLI detection in WordPress plugins via $wpdb."""
+    return WeaponSpec(
+        name="wpsqli",
+        flag="-wpsqli",
+        classes=(WeaponClassSpec(
+            class_id="wpsqli",
+            display_name="SQL injection (WordPress)",
+            sinks=tuple(f"->{s}@wpdb" for s in WPDB_SINKS),
+            report_group="SQLI",
+        ),),
+        sanitizers=tuple(WP_SANITIZERS),
+        sanitizer_methods=("prepare",),
+        source_functions=tuple(WP_SOURCE_FUNCTIONS),
+        fix_template=TEMPLATE_PHP_SANITIZATION,
+        fix_sanitization_function="esc_sql",
+        dynamic_symptoms=DynamicSymptoms(mapping=dict(WP_DYNAMIC_SYMPTOMS)),
+    )
+
+
+def builtin_weapons() -> list[Weapon]:
+    """Generate the three §IV-C weapons."""
+    return [generate_weapon(nosqli_spec()),
+            generate_weapon(hei_spec()),
+            generate_weapon(wpsqli_spec())]

@@ -1,0 +1,230 @@
+"""The weapon generator (§III-D).
+
+``generate_weapon(spec)`` turns a :class:`~repro.weapons.spec.WeaponSpec`
+into a working :class:`Weapon`:
+
+1. it configures the *vulnerability detector generator* (§III-A) with the
+   user's (ep, ss, san), producing one detector covering the weapon's
+   classes;
+2. it instantiates the selected fix template, producing a new fix;
+3. it packages the dynamic symptoms;
+4. it links the three parts so the tool can activate them with the
+   weapon's command-line flag.
+
+Weapons can also be saved to / loaded from a *weapon bundle* directory —
+the stand-in for the jar the Java implementation compiled (§III-E) — so a
+weapon built once is reusable without its generating script.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import WeaponConfigError
+from repro.analysis.detector import DEFAULT_ENTRY_POINTS, Detector
+from repro.analysis.knowledge import parse_sink_line
+from repro.analysis.model import DetectorConfig
+from repro.corrector.templates import Fix, build_fix
+from repro.mining.extraction import DynamicSymptoms
+from repro.weapons.spec import WeaponClassSpec, WeaponSpec
+
+
+@dataclass
+class Weapon:
+    """A generated weapon: detector + fix + dynamic symptoms (§III-D)."""
+
+    spec: WeaponSpec
+    configs: list[DetectorConfig]
+    detector: Detector
+    fix: Fix
+    dynamic_symptoms: DynamicSymptoms
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def flag(self) -> str:
+        return self.spec.flag
+
+    @property
+    def class_ids(self) -> list[str]:
+        return [c.class_id for c in self.spec.classes]
+
+    def report_group(self, class_id: str) -> str:
+        for cls in self.spec.classes:
+            if cls.class_id == class_id:
+                return cls.report_group or cls.display_name or class_id
+        return class_id
+
+
+def generate_weapon(spec: WeaponSpec) -> Weapon:
+    """Build a weapon from user-provided data alone (no code required)."""
+    spec.validate()
+
+    configs: list[DetectorConfig] = []
+    for cls in spec.classes:
+        sinks = tuple(parse_sink_line(line) for line in cls.sinks)
+        configs.append(DetectorConfig(
+            class_id=cls.class_id,
+            display_name=cls.display_name or cls.class_id.upper(),
+            entry_points=DEFAULT_ENTRY_POINTS | frozenset(
+                e.lstrip("$") for e in spec.entry_points),
+            source_functions=frozenset(
+                f.lower().rstrip("()") for f in spec.source_functions),
+            sinks=sinks,
+            # the weapon's own fix sanitizes its classes: corrected code
+            # must not be re-flagged
+            sanitizers=frozenset(s.lower() for s in spec.sanitizers)
+            | {spec.fix_id},
+            sanitizer_methods=frozenset(
+                s.lower() for s in spec.sanitizer_methods),
+        ))
+
+    fix = build_fix(
+        spec.fix_id, spec.fix_template,
+        sanitization_function=spec.fix_sanitization_function,
+        malicious_chars=spec.fix_malicious_chars,
+        neutralizer=spec.fix_neutralizer,
+        message=spec.fix_message,
+    )
+    return Weapon(spec, configs, Detector(configs), fix,
+                  spec.dynamic_symptoms)
+
+
+# ---------------------------------------------------------------------------
+# weapon bundles on disk
+# ---------------------------------------------------------------------------
+
+def save_weapon(weapon: Weapon, directory: str) -> None:
+    """Write a weapon bundle: meta + per-class ep/ss/san + symptoms."""
+    os.makedirs(directory, exist_ok=True)
+    spec = weapon.spec
+    lines = [
+        f"name = {spec.name}",
+        f"flag = {spec.flag}",
+        f"fix_template = {spec.fix_template}",
+        f"fix_neutralizer = {spec.fix_neutralizer!r}",
+        f"fix_message = {spec.fix_message}",
+    ]
+    if spec.fix_sanitization_function:
+        lines.append(
+            f"fix_sanitization_function = {spec.fix_sanitization_function}")
+    if spec.fix_malicious_chars:
+        lines.append("fix_malicious_chars = "
+                     + ",".join(repr(c) for c in spec.fix_malicious_chars))
+    lines.append("classes = " + ",".join(c.class_id for c in spec.classes))
+    for cls in spec.classes:
+        lines.append(f"display_name.{cls.class_id} = {cls.display_name}")
+        lines.append(f"report_group.{cls.class_id} = {cls.report_group}")
+    if spec.sanitizers:
+        lines.append("sanitizers = " + ",".join(spec.sanitizers))
+    if spec.sanitizer_methods:
+        lines.append("sanitizer_methods = "
+                     + ",".join(spec.sanitizer_methods))
+    if spec.entry_points:
+        lines.append("entry_points = " + ",".join(spec.entry_points))
+    if spec.source_functions:
+        lines.append("source_functions = "
+                     + ",".join(spec.source_functions))
+    with open(os.path.join(directory, "weapon.txt"), "w",
+              encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+    for cls in spec.classes:
+        cls_dir = os.path.join(directory, cls.class_id)
+        os.makedirs(cls_dir, exist_ok=True)
+        with open(os.path.join(cls_dir, "ss.txt"), "w",
+                  encoding="utf-8") as f:
+            for sink in cls.sinks:
+                f.write(sink + "\n")
+
+    dyn = spec.dynamic_symptoms
+    with open(os.path.join(directory, "symptoms.txt"), "w",
+              encoding="utf-8") as f:
+        for func, static in sorted(dyn.mapping.items()):
+            f.write(f"map {func} {static}\n")
+        for func in sorted(dyn.whitelists):
+            f.write(f"whitelist {func}\n")
+        for func in sorted(dyn.blacklists):
+            f.write(f"blacklist {func}\n")
+
+
+def load_weapon(directory: str) -> Weapon:
+    """Load a weapon bundle saved with :func:`save_weapon`."""
+    meta_path = os.path.join(directory, "weapon.txt")
+    if not os.path.exists(meta_path):
+        raise WeaponConfigError(f"no weapon bundle at {directory}")
+    meta: dict[str, str] = {}
+    with open(meta_path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and "=" in line:
+                key, _, value = line.partition("=")
+                meta[key.strip()] = value.strip()
+
+    def split(key: str) -> tuple[str, ...]:
+        raw = meta.get(key, "")
+        return tuple(x.strip() for x in raw.split(",") if x.strip())
+
+    classes: list[WeaponClassSpec] = []
+    for class_id in split("classes"):
+        ss_path = os.path.join(directory, class_id, "ss.txt")
+        sinks: list[str] = []
+        if os.path.exists(ss_path):
+            with open(ss_path, encoding="utf-8") as f:
+                sinks = [line.strip() for line in f
+                         if line.strip() and not line.startswith("#")]
+        classes.append(WeaponClassSpec(
+            class_id=class_id,
+            display_name=meta.get(f"display_name.{class_id}", ""),
+            sinks=tuple(sinks),
+            report_group=meta.get(f"report_group.{class_id}", ""),
+        ))
+
+    chars: tuple[str, ...] = ()
+    if meta.get("fix_malicious_chars"):
+        import ast as python_ast
+        chars = tuple(python_ast.literal_eval(c.strip()) for c in
+                      meta["fix_malicious_chars"].split(","))
+    neutralizer = " "
+    if meta.get("fix_neutralizer"):
+        import ast as python_ast
+        neutralizer = python_ast.literal_eval(meta["fix_neutralizer"])
+
+    mapping: dict[str, str] = {}
+    whitelists: set[str] = set()
+    blacklists: set[str] = set()
+    symptoms_path = os.path.join(directory, "symptoms.txt")
+    if os.path.exists(symptoms_path):
+        with open(symptoms_path, encoding="utf-8") as f:
+            for line in f:
+                parts = line.split()
+                if not parts:
+                    continue
+                if parts[0] == "map" and len(parts) == 3:
+                    mapping[parts[1]] = parts[2]
+                elif parts[0] == "whitelist" and len(parts) == 2:
+                    whitelists.add(parts[1])
+                elif parts[0] == "blacklist" and len(parts) == 2:
+                    blacklists.add(parts[1])
+
+    spec = WeaponSpec(
+        name=meta.get("name", os.path.basename(directory.rstrip("/"))),
+        flag=meta.get("flag", ""),
+        classes=tuple(classes),
+        sanitizers=split("sanitizers"),
+        sanitizer_methods=split("sanitizer_methods"),
+        entry_points=split("entry_points"),
+        source_functions=split("source_functions"),
+        fix_template=meta.get("fix_template", ""),
+        fix_sanitization_function=meta.get("fix_sanitization_function"),
+        fix_malicious_chars=chars,
+        fix_neutralizer=neutralizer,
+        fix_message=meta.get("fix_message",
+                             "malicious characters detected"),
+        dynamic_symptoms=DynamicSymptoms(mapping, frozenset(whitelists),
+                                         frozenset(blacklists)),
+    )
+    return generate_weapon(spec)

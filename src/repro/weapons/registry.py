@@ -1,0 +1,59 @@
+"""Weapon registry: activation by command-line flag.
+
+The paper: *"Detection is activated using a command line flag also provided
+by the user (e.g. -nosqli)"*.  The registry maps flags to generated weapons
+and is what the tool consults when assembling a run.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WeaponConfigError
+from repro.weapons.builtin import builtin_weapons
+from repro.weapons.generator import Weapon
+
+
+class WeaponRegistry:
+    """Holds generated weapons, addressable by name or activation flag."""
+
+    def __init__(self, weapons: list[Weapon] | None = None) -> None:
+        self._by_name: dict[str, Weapon] = {}
+        self._by_flag: dict[str, Weapon] = {}
+        for weapon in weapons or []:
+            self.register(weapon)
+
+    @classmethod
+    def with_builtins(cls) -> "WeaponRegistry":
+        return cls(builtin_weapons())
+
+    def register(self, weapon: Weapon) -> None:
+        if weapon.name in self._by_name:
+            raise WeaponConfigError(
+                f"weapon {weapon.name!r} already registered")
+        if weapon.flag in self._by_flag:
+            raise WeaponConfigError(
+                f"flag {weapon.flag!r} already taken by "
+                f"{self._by_flag[weapon.flag].name!r}")
+        self._by_name[weapon.name] = weapon
+        self._by_flag[weapon.flag] = weapon
+
+    def by_flag(self, flag: str) -> Weapon:
+        if flag not in self._by_flag:
+            raise WeaponConfigError(f"no weapon answers to flag {flag!r}")
+        return self._by_flag[flag]
+
+    def by_name(self, name: str) -> Weapon:
+        if name not in self._by_name:
+            raise WeaponConfigError(f"no weapon named {name!r}")
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name or name in self._by_flag
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def flags(self) -> list[str]:
+        return sorted(self._by_flag)

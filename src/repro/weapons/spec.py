@@ -1,0 +1,113 @@
+"""Weapon specifications (§III-D).
+
+A *weapon* is a WAP extension composed of a detector, a fix and, optionally,
+a set of dynamic symptoms.  The :class:`WeaponSpec` captures exactly the
+data the paper's weapon generator asks the user for:
+
+1. for the **detector** — the sensitive sinks and sanitization functions,
+   plus additional entry points if they exist;
+2. for the **fix** — data for one of the three fix templates (§III-C);
+3. the **dynamic symptoms** — white/black-list functions or functions that
+   map onto static symptoms.
+
+One weapon may cover several vulnerability classes sharing a fix (the
+paper's HI+EI weapon does), hence ``classes`` is a tuple.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import WeaponConfigError
+from repro.corrector.templates import (
+    TEMPLATE_PHP_SANITIZATION,
+    TEMPLATE_USER_SANITIZATION,
+    TEMPLATE_USER_VALIDATION,
+)
+from repro.mining.extraction import NO_DYNAMIC_SYMPTOMS, DynamicSymptoms
+
+_FLAG_RE = re.compile(r"^-[a-z][a-z0-9_]*$")
+_ID_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class WeaponClassSpec:
+    """One vulnerability class detected by a weapon.
+
+    Attributes:
+        class_id: machine id for the new class (``nosqli``).
+        display_name: human name for reports.
+        sinks: sensitive sinks in ``ss.txt`` line syntax (``find`` plain
+            function, ``->find`` method, ``->query@wpdb:0`` with receiver
+            hint and argument positions, ``<echo>`` pseudo-sink...).
+        report_group: table column the class is counted under (defaults to
+            the display name).
+    """
+
+    class_id: str
+    display_name: str = ""
+    sinks: tuple[str, ...] = ()
+    report_group: str = ""
+
+
+@dataclass(frozen=True)
+class WeaponSpec:
+    """Everything the weapon generator needs (the user's input)."""
+
+    name: str
+    flag: str
+    classes: tuple[WeaponClassSpec, ...]
+    # detector data shared across the weapon's classes
+    sanitizers: tuple[str, ...] = ()
+    sanitizer_methods: tuple[str, ...] = ()
+    entry_points: tuple[str, ...] = ()
+    source_functions: tuple[str, ...] = ()
+    # fix data
+    fix_template: str = TEMPLATE_USER_VALIDATION
+    fix_sanitization_function: str | None = None
+    fix_malicious_chars: tuple[str, ...] = ()
+    fix_neutralizer: str = " "
+    fix_message: str = "malicious characters detected"
+    # dynamic symptoms
+    dynamic_symptoms: DynamicSymptoms = field(
+        default_factory=lambda: NO_DYNAMIC_SYMPTOMS)
+
+    def validate(self) -> None:
+        """Raise :class:`WeaponConfigError` on an unusable specification."""
+        if not _ID_RE.match(self.name):
+            raise WeaponConfigError(f"bad weapon name {self.name!r}")
+        if not _FLAG_RE.match(self.flag):
+            raise WeaponConfigError(
+                f"bad activation flag {self.flag!r} (expected e.g. "
+                f"'-nosqli')")
+        if not self.classes:
+            raise WeaponConfigError("a weapon needs at least one class")
+        for cls in self.classes:
+            if not _ID_RE.match(cls.class_id):
+                raise WeaponConfigError(
+                    f"bad class id {cls.class_id!r}")
+            if not cls.sinks:
+                raise WeaponConfigError(
+                    f"class {cls.class_id}: a detector needs at least one "
+                    f"sensitive sink")
+        if self.fix_template == TEMPLATE_PHP_SANITIZATION \
+                and not self.fix_sanitization_function:
+            raise WeaponConfigError(
+                "the PHP-sanitization fix template needs the sanitization "
+                "function name")
+        if self.fix_template in (TEMPLATE_USER_SANITIZATION,
+                                 TEMPLATE_USER_VALIDATION) \
+                and not self.fix_malicious_chars:
+            raise WeaponConfigError(
+                f"the {self.fix_template} fix template needs the malicious "
+                f"characters")
+        if self.fix_template not in (TEMPLATE_PHP_SANITIZATION,
+                                     TEMPLATE_USER_SANITIZATION,
+                                     TEMPLATE_USER_VALIDATION):
+            raise WeaponConfigError(
+                f"unknown fix template {self.fix_template!r}")
+
+    @property
+    def fix_id(self) -> str:
+        return f"san_{self.name}"

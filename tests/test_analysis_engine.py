@@ -1,0 +1,387 @@
+"""Tests for the taint engine: propagation, sanitization, sinks, summaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Detector,
+    DetectorConfig,
+    SinkSpec,
+    SINK_ECHO,
+    SINK_INCLUDE,
+    SINK_METHOD,
+    SINK_SHELL,
+    generate_detector,
+)
+
+SQLI = generate_detector(
+    "sqli", ["mysql_query:0", "mysqli_query:1", "pg_query:1"],
+    sanitizers=["mysql_real_escape_string", "mysqli_real_escape_string",
+                "addslashes"])
+
+XSS = Detector([DetectorConfig(
+    class_id="xss",
+    entry_points=frozenset({"_GET", "_POST", "_COOKIE", "_REQUEST",
+                            "_SERVER"}),
+    sinks=(SinkSpec("", SINK_ECHO), SinkSpec("printf")),
+    sanitizers=frozenset({"htmlentities", "htmlspecialchars"}),
+)])
+
+
+def sqli(source):
+    return SQLI.detect_source("<?php " + source)
+
+
+def xss(source):
+    return XSS.detect_source("<?php " + source)
+
+
+class TestDirectFlows:
+    def test_direct_sink_arg(self):
+        cands = sqli("mysql_query($_GET['q']);")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_GET['q']"
+        assert cands[0].sink_name == "mysql_query"
+
+    def test_flow_through_variable(self):
+        cands = sqli("$id = $_GET['id']; mysql_query($id);")
+        assert len(cands) == 1
+
+    def test_flow_through_concat(self):
+        cands = sqli("$q = 'SELECT ' . $_GET['c']; mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_flow_through_interpolation(self):
+        cands = sqli('$id = $_POST["id"]; $q = "WHERE id = $id"; '
+                     'mysql_query($q);')
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_POST['id']"
+
+    def test_concat_assign_accumulates(self):
+        cands = sqli("$q = 'SELECT'; $q .= $_GET['w']; mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_untainted_is_silent(self):
+        assert sqli("$q = 'SELECT 1'; mysql_query($q);") == []
+
+    def test_arg_position_respected(self):
+        # mysqli_query sink is argument 1, not 0
+        assert sqli("mysqli_query($_GET['x'], 'SELECT 1');") == []
+        assert len(sqli("mysqli_query($db, $_GET['x']);")) == 1
+
+    def test_reassignment_clears_taint(self):
+        cands = sqli("$q = $_GET['x']; $q = 'safe'; mysql_query($q);")
+        assert cands == []
+
+    def test_unset_clears_taint(self):
+        assert sqli("$q = $_GET['x']; unset($q); mysql_query($q);") == []
+
+    def test_whole_superglobal_read(self):
+        cands = sqli("foreach ($_GET as $v) { mysql_query($v); }")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_GET"
+
+    def test_multiple_sources_multiple_reports(self):
+        cands = sqli("mysql_query($_GET['a'] . $_POST['b']);")
+        sources = {c.entry_point for c in cands}
+        assert sources == {"$_GET['a']", "$_POST['b']"}
+
+    def test_dedup_same_flow(self):
+        # same source reaching the same sink twice on one line: one report
+        cands = sqli("$x = $_GET['a']; $y = $x; mysql_query($x . $y);")
+        assert len(cands) == 1
+
+
+class TestSanitization:
+    def test_sanitizer_blocks(self):
+        cands = sqli("$s = mysql_real_escape_string($_GET['x']); "
+                     "mysql_query($s);")
+        assert cands == []
+
+    def test_sanitizer_is_class_specific(self):
+        # htmlentities sanitizes XSS, not SQLI
+        assert xss("echo htmlentities($_GET['x']);") == []
+        assert len(sqli("mysql_query(htmlentities($_GET['x']));")) == 1
+
+    def test_int_cast_untaints(self):
+        assert sqli("$n = (int)$_GET['n']; mysql_query($n);") == []
+
+    def test_string_cast_keeps_taint(self):
+        assert len(sqli("mysql_query((string)$_GET['n']);")) == 1
+
+    def test_arithmetic_neutralizes(self):
+        assert sqli("$n = $_GET['n'] + 0; mysql_query($n);") == []
+
+    def test_sanitized_then_concat_still_clean(self):
+        cands = sqli("$s = addslashes($_GET['x']); "
+                     "$q = 'w = ' . $s; mysql_query($q);")
+        assert cands == []
+
+    def test_partial_sanitization_still_reports_other(self):
+        cands = sqli("$s = addslashes($_GET['a']); "
+                     "mysql_query($s . $_GET['b']);")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_GET['b']"
+
+
+class TestControlFlow:
+    def test_taint_joins_from_branches(self):
+        cands = sqli("if ($c) { $q = $_GET['a']; } else { $q = 'safe'; } "
+                     "mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_taint_survives_loop(self):
+        cands = sqli("$q = ''; foreach ($_POST as $v) { $q .= $v; } "
+                     "mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_loop_carried_concat(self):
+        cands = sqli("$q = 'IN ('; for ($i = 0; $i < 3; $i++) "
+                     "{ $q .= $_GET['x']; } mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_while_loop(self):
+        cands = sqli("while ($row) { $q = $_GET['x']; } mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_switch_branches_join(self):
+        cands = sqli("switch ($m) { case 1: $q = $_GET['a']; break; "
+                     "default: $q = 'x'; } mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_ternary_both_sides(self):
+        cands = sqli("$q = $c ? $_GET['a'] : 'safe'; mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_coalesce(self):
+        cands = sqli("$q = $_GET['a'] ?? 'safe'; mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_try_catch(self):
+        cands = sqli("try { $q = $_GET['a']; } catch (E $e) {} "
+                     "mysql_query($q);")
+        assert len(cands) == 1
+
+
+class TestGuards:
+    def test_guard_in_condition_recorded(self):
+        cands = sqli("$n = $_GET['n']; if (is_numeric($n)) "
+                     "{ mysql_query('w = ' . $n); }")
+        assert len(cands) == 1
+        assert "is_numeric" in cands[0].guards
+
+    def test_guard_on_superglobal_reread(self):
+        cands = sqli("if (is_numeric($_GET['n'])) "
+                     "{ mysql_query('w = ' . $_GET['n']); }")
+        assert cands[0].guards == ("is_numeric",)
+
+    def test_early_exit_guard(self):
+        cands = sqli("if (!preg_match('/^\\d+$/', $_GET['n'])) { exit; } "
+                     "mysql_query('w = ' . $_GET['n']);")
+        assert "preg_match" in cands[0].guards
+
+    def test_guard_does_not_untaint(self):
+        # guards are symptoms for the predictor, not sanitization
+        cands = sqli("if (is_numeric($_GET['n'])) "
+                     "{ mysql_query($_GET['n']); }")
+        assert len(cands) == 1
+
+    def test_no_guard_outside_branch(self):
+        cands = sqli("if (is_numeric($_GET['a'])) { echo 1; } "
+                     "mysql_query($_GET['b']);")
+        assert cands[0].guards == ()
+
+    def test_isset_guard(self):
+        cands = sqli("if (isset($_GET['n'])) "
+                     "{ mysql_query($_GET['n']); }")
+        assert "isset" in cands[0].guards
+
+
+class TestInterprocedural:
+    def test_param_to_sink(self):
+        cands = sqli("function run($v) { mysql_query($v); } "
+                     "run($_GET['x']);")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_GET['x']"
+
+    def test_param_to_return_to_sink(self):
+        cands = sqli("function ident($v) { return $v; } "
+                     "mysql_query(ident($_GET['x']));")
+        assert len(cands) == 1
+
+    def test_user_sanitizer_function(self):
+        cands = sqli("function clean($v) "
+                     "{ return mysql_real_escape_string($v); } "
+                     "mysql_query(clean($_GET['x']));")
+        assert cands == []
+
+    def test_function_untainted_arg_silent(self):
+        cands = sqli("function run($v) { mysql_query($v); } run('safe');")
+        assert cands == []
+
+    def test_internal_flow_reported_without_call(self):
+        cands = sqli("function f() { mysql_query($_GET['q']); }")
+        assert len(cands) == 1
+
+    def test_method_flow(self):
+        cands = sqli("class D { function go($v) { mysql_query($v); } } "
+                     "$d = new D(); $d->go($_POST['x']);")
+        assert len(cands) == 1
+
+    def test_recursion_does_not_hang(self):
+        cands = sqli("function f($v) { f($v); return $v; } "
+                     "mysql_query(f($_GET['x']));")
+        assert isinstance(cands, list)
+
+    def test_nested_function_calls(self):
+        cands = sqli("function a($v) { return $v; } "
+                     "function b($v) { return a($v); } "
+                     "mysql_query(b($_GET['x']));")
+        assert len(cands) == 1
+
+    def test_path_records_function_transit(self):
+        cands = sqli("function wrap($v) { return trim($v); } "
+                     "mysql_query(wrap($_GET['x']));")
+        assert "wrap" in cands[0].passed_functions
+        assert "trim" in cands[0].passed_functions
+
+
+class TestSinkKinds:
+    def test_echo_sink(self):
+        cands = xss("echo $_GET['msg'];")
+        assert len(cands) == 1
+        assert cands[0].sink_name == "echo"
+
+    def test_print_sink(self):
+        assert len(xss("print $_GET['msg'];")) == 1
+
+    def test_exit_sink(self):
+        assert len(xss("exit($_GET['msg']);")) == 1
+
+    def test_echo_sanitized_silent(self):
+        assert xss("echo htmlspecialchars($_GET['m']);") == []
+
+    def test_include_sink(self):
+        det = Detector([DetectorConfig(
+            class_id="rfi",
+            entry_points=frozenset({"_GET"}),
+            sinks=(SinkSpec("", SINK_INCLUDE),))])
+        cands = det.detect_source("<?php include $_GET['page'];")
+        assert len(cands) == 1
+        assert cands[0].sink_name == "include"
+
+    def test_shell_sink(self):
+        det = Detector([DetectorConfig(
+            class_id="osci",
+            entry_points=frozenset({"_GET"}),
+            sinks=(SinkSpec("", SINK_SHELL), SinkSpec("system")))])
+        cands = det.detect_source("<?php $out = `cat {$_GET['f']}`;")
+        assert len(cands) == 1
+        assert cands[0].sink_name == "shell_exec"
+
+    def test_method_sink_with_hint(self):
+        det = Detector([DetectorConfig(
+            class_id="wpsqli",
+            entry_points=frozenset({"_GET"}),
+            sinks=(SinkSpec("query", SINK_METHOD,
+                            receiver_hint="wpdb"),))])
+        hit = det.detect_source("<?php $wpdb->query($_GET['x']);")
+        assert len(hit) == 1
+        miss = det.detect_source("<?php $other->query($_GET['x']);")
+        assert miss == []
+
+    def test_method_sink_through_property(self):
+        det = Detector([DetectorConfig(
+            class_id="wpsqli",
+            entry_points=frozenset({"_GET"}),
+            sinks=(SinkSpec("query", SINK_METHOD,
+                            receiver_hint="wpdb"),))])
+        hit = det.detect_source(
+            "<?php class A { function f() "
+            "{ $this->wpdb->query($_GET['x']); } }")
+        assert len(hit) == 1
+
+    def test_sanitizer_method(self):
+        det = Detector([DetectorConfig(
+            class_id="wpsqli",
+            entry_points=frozenset({"_GET"}),
+            sinks=(SinkSpec("query", SINK_METHOD),),
+            sanitizer_methods=frozenset({"prepare"}))])
+        cands = det.detect_source(
+            "<?php $sql = $wpdb->prepare('%s', $_GET['x']); "
+            "$wpdb->query($sql);")
+        assert cands == []
+
+    def test_source_function(self):
+        det = Detector([DetectorConfig(
+            class_id="wpsqli",
+            source_functions=frozenset({"get_query_var"}),
+            sinks=(SinkSpec("query", SINK_METHOD),))])
+        cands = det.detect_source(
+            "<?php $v = get_query_var('p'); $wpdb->query($v);")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "get_query_var()"
+
+
+class TestMultiClass:
+    def test_single_pass_multiple_classes(self):
+        det = Detector(SQLI.configs + XSS.configs)
+        cands = det.detect_source(
+            "<?php $x = $_GET['x']; mysql_query($x); echo $x;")
+        classes = sorted(c.vuln_class for c in cands)
+        assert classes == ["sqli", "xss"]
+
+    def test_class_specific_sanitization(self):
+        det = Detector(SQLI.configs + XSS.configs)
+        cands = det.detect_source(
+            "<?php $x = htmlentities($_GET['x']); "
+            "mysql_query($x); echo $x;")
+        assert [c.vuln_class for c in cands] == ["sqli"]
+
+
+class TestServerSuperglobal:
+    def test_http_header_tainted(self):
+        cands = xss("echo $_SERVER['HTTP_USER_AGENT'];")
+        assert len(cands) == 1
+
+    def test_server_name_not_tainted(self):
+        assert xss("echo $_SERVER['SERVER_NAME'];") == []
+
+
+class TestProperties:
+    @given(st.sampled_from(["_GET", "_POST", "_COOKIE", "_REQUEST"]),
+           st.sampled_from(["id", "q", "name"]),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_assign_chain_preserves_taint(self, sg, key, hops):
+        """Taint survives any number of plain assignments."""
+        lines = [f"$v0 = $_{'' if sg.startswith('_') else ''}{sg.lstrip('_')}"
+                 f"['{key}'];".replace("$v0 = $", "$v0 = $")]
+        lines = [f"$v0 = ${sg}['{key}'];"]
+        for i in range(hops):
+            lines.append(f"$v{i + 1} = $v{i};")
+        lines.append(f"mysql_query($v{hops});")
+        cands = sqli(" ".join(lines))
+        assert len(cands) == 1
+        assert cands[0].entry_point == f"${sg}['{key}']"
+
+    @given(st.sampled_from(["mysql_real_escape_string", "addslashes"]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_sanitization_is_absorbing(self, san, hops):
+        """Once sanitized, a value never reports, however far it flows."""
+        lines = [f"$v0 = {san}($_GET['x']);"]
+        for i in range(hops):
+            lines.append(f"$v{i + 1} = $v{i} . 'suffix';")
+        lines.append(f"mysql_query($v{hops});")
+        assert sqli(" ".join(lines)) == []
+
+    @given(st.permutations(["$a = $_GET['a'];", "$b = 'safe';",
+                            "$c = $_POST['c'];"]))
+    @settings(max_examples=20, deadline=None)
+    def test_statement_order_of_independent_assigns(self, stmts):
+        """Independent assignments: report set is order-invariant."""
+        src = " ".join(stmts) + " mysql_query($a . $b . $c);"
+        sources = {c.entry_point for c in sqli(src)}
+        assert sources == {"$_GET['a']", "$_POST['c']"}

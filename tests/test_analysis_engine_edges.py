@@ -1,0 +1,263 @@
+"""Deeper taint-engine coverage: scoping, containers, OO, odd constructs."""
+
+import pytest
+
+from repro.analysis import (
+    Detector,
+    DetectorConfig,
+    SinkSpec,
+    SINK_ECHO,
+    generate_detector,
+)
+
+SQLI = generate_detector(
+    "sqli", ["mysql_query:0"],
+    sanitizers=["mysql_real_escape_string", "addslashes"])
+
+XSS = Detector([DetectorConfig(
+    class_id="xss",
+    entry_points=frozenset({"_GET", "_POST", "_COOKIE", "_REQUEST"}),
+    source_functions=frozenset({"mysql_fetch_assoc"}),
+    sinks=(SinkSpec("", SINK_ECHO),),
+    sanitizers=frozenset({"htmlentities"}),
+)])
+
+
+def sqli(body):
+    return SQLI.detect_source("<?php " + body)
+
+
+def xss(body):
+    return XSS.detect_source("<?php " + body)
+
+
+class TestContainers:
+    def test_array_element_taints_whole_array(self):
+        cands = sqli("$a = array(); $a['k'] = $_GET['v']; "
+                     "mysql_query($a['other']);")
+        assert len(cands) == 1
+
+    def test_array_literal_with_tainted_value(self):
+        cands = sqli("$a = array('x' => $_GET['v']); mysql_query($a);")
+        assert len(cands) == 1
+
+    def test_array_literal_with_tainted_key(self):
+        cands = sqli("$a = array($_GET['k'] => 1); mysql_query($a);")
+        assert len(cands) == 1
+
+    def test_nested_array_taint(self):
+        cands = sqli("$a = array('x' => array($_POST['y'])); "
+                     "mysql_query($a);")
+        assert len(cands) == 1
+
+    def test_list_assign_spreads_taint(self):
+        cands = sqli("list($a, $b) = explode(',', $_GET['csv']); "
+                     "mysql_query($b);")
+        assert len(cands) == 1
+
+    def test_short_list_assign(self):
+        cands = sqli("[$a, $b] = explode(',', $_GET['csv']); "
+                     "mysql_query($a);")
+        assert len(cands) == 1
+
+    def test_foreach_key_taint(self):
+        cands = sqli("foreach ($_POST as $k => $v) { mysql_query($k); }")
+        assert len(cands) == 1
+
+    def test_array_append_taint(self):
+        cands = sqli("$rows = array(); $rows[] = $_GET['r']; "
+                     "mysql_query($rows);")
+        assert len(cands) == 1
+
+
+class TestObjects:
+    def test_property_write_read(self):
+        cands = sqli("$o->q = $_GET['x']; mysql_query($o->q);")
+        assert len(cands) == 1
+
+    def test_this_property_flow(self):
+        cands = sqli(
+            "class C { function set() { $this->v = $_GET['x']; "
+            "mysql_query($this->v); } }")
+        assert len(cands) == 1
+
+    def test_nested_property_chain(self):
+        cands = sqli("$a->b->c = $_GET['x']; mysql_query($a->b->c);")
+        assert len(cands) == 1
+
+    def test_static_property_flow(self):
+        cands = sqli("Conf::$dsn = $_GET['x']; mysql_query(Conf::$dsn);")
+        assert len(cands) == 1
+
+    def test_different_property_untainted(self):
+        cands = sqli("$o->a = $_GET['x']; mysql_query($o->b);")
+        assert cands == []
+
+    def test_method_return_flow(self):
+        cands = sqli(
+            "class R { function get() { return $_GET['x']; } } "
+            "$r = new R(); mysql_query($r->get());")
+        assert len(cands) == 1
+
+    def test_constructor_args_propagate(self):
+        cands = sqli("$q = new Query($_GET['x']); mysql_query($q);")
+        assert len(cands) == 1
+
+
+class TestFunctionsDeep:
+    def test_default_param_not_tainted(self):
+        cands = sqli("function f($a, $b = 'safe') { mysql_query($b); } "
+                     "f($_GET['x']);")
+        assert cands == []
+
+    def test_second_param_flow(self):
+        cands = sqli("function f($a, $b) { mysql_query($b); } "
+                     "f('safe', $_GET['x']);")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "$_GET['x']"
+
+    def test_multiple_returns_any_tainted(self):
+        cands = sqli(
+            "function pick($c, $v) { if ($c) { return 'safe'; } "
+            "return $v; } mysql_query(pick(1, $_GET['x']));")
+        assert len(cands) == 1
+
+    def test_sanitizer_on_one_return_path_not_enough(self):
+        # one return path sanitizes, the other does not -> still tainted
+        cands = sqli(
+            "function maybe($v) { if ($v) "
+            "{ return mysql_real_escape_string($v); } return $v; } "
+            "mysql_query(maybe($_GET['x']));")
+        assert len(cands) == 1
+
+    def test_both_paths_sanitized(self):
+        cands = sqli(
+            "function clean($v) { if ($v) "
+            "{ return mysql_real_escape_string($v); } "
+            "return addslashes($v); } "
+            "mysql_query(clean($_GET['x']));")
+        assert cands == []
+
+    def test_closure_body_analyzed(self):
+        cands = sqli("$f = function () { mysql_query($_GET['x']); };")
+        assert len(cands) == 1
+
+    def test_closure_use_captures_taint(self):
+        cands = sqli("$t = $_GET['x']; "
+                     "$f = function () use ($t) { mysql_query($t); };")
+        assert len(cands) == 1
+
+    def test_closure_without_use_does_not_capture(self):
+        cands = sqli("$t = $_GET['x']; "
+                     "$f = function () { mysql_query($t); };")
+        assert cands == []
+
+    def test_mutual_recursion_terminates(self):
+        cands = sqli(
+            "function a($v) { return b($v); } "
+            "function b($v) { return a($v); } "
+            "mysql_query(a($_GET['x']));")
+        assert isinstance(cands, list)
+
+    def test_variadic_param(self):
+        cands = sqli("function f(...$args) { mysql_query($args); } "
+                     "f($_GET['x']);")
+        assert len(cands) == 1
+
+
+class TestOddConstructs:
+    def test_error_suppress_preserves_taint(self):
+        assert len(sqli("@mysql_query($_GET['x']);")) == 1
+
+    def test_heredoc_interpolation_flow(self):
+        src = ("$v = $_GET['x'];\n$q = <<<EOT\nSELECT a WHERE x = $v\n"
+               "EOT;\nmysql_query($q);")
+        assert len(sqli(src)) == 1
+
+    def test_variable_variable_untracked(self):
+        # conservative: $$name flows are dropped, not crashed on
+        cands = sqli("$name = 'q'; $$name = $_GET['x']; mysql_query($q);")
+        assert cands == []
+
+    def test_dynamic_call_propagates_args(self):
+        cands = sqli("$f = 'helper'; $v = $f($_GET['x']); mysql_query($v);")
+        assert len(cands) == 1
+
+    def test_clone_preserves_taint(self):
+        cands = sqli("$a = $_GET['x']; $b = clone $a; mysql_query($b);")
+        assert len(cands) == 1
+
+    def test_stored_xss_via_db_read(self):
+        cands = xss("$row = mysql_fetch_assoc($res); "
+                    "echo $row['comment'];")
+        assert len(cands) == 1
+        assert cands[0].entry_point == "mysql_fetch_assoc()"
+
+    def test_global_statement_isolated(self):
+        # globals inside a function are not resolved (per-file soundness
+        # choice); no crash, no report
+        cands = sqli("function f() { global $dirty; mysql_query($dirty); }")
+        assert cands == []
+
+    def test_compound_concat_into_array_slot(self):
+        cands = sqli("$q['sql'] = 'SELECT '; $q['sql'] .= $_GET['c']; "
+                     "mysql_query($q['sql']);")
+        assert len(cands) == 1
+
+    def test_deeply_nested_expression(self):
+        expr = "$_GET['x']"
+        for _ in range(30):
+            expr = f"trim({expr})"
+        assert len(sqli(f"mysql_query({expr});")) == 1
+
+    def test_switch_fallthrough_taint(self):
+        cands = sqli("switch ($m) { case 1: $q = $_GET['a']; "
+                     "case 2: mysql_query($q); }")
+        assert len(cands) == 1
+
+    def test_do_while_body_taint(self):
+        cands = sqli("do { $q = $_GET['a']; } while (false); "
+                     "mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_elseif_branch_taint(self):
+        cands = sqli("if ($a) { $q = 's'; } elseif ($b) "
+                     "{ $q = $_GET['x']; } mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_exit_in_else_does_not_guard(self):
+        cands = sqli("if ($ok) { $q = $_GET['x']; } else { exit; } "
+                     "mysql_query($q);")
+        assert len(cands) == 1
+        assert "exit" not in cands[0].guards
+
+
+class TestDeterminism:
+    SRC = ("$a = $_GET['a']; $b = trim($_POST['b']); "
+           "if (is_numeric($a)) { mysql_query('x' . $a); } "
+           "mysql_query(\"SELECT f FROM t WHERE b = '\" . $b . \"'\");")
+
+    def test_repeated_analysis_identical(self):
+        first = sqli(self.SRC)
+        for _ in range(3):
+            again = sqli(self.SRC)
+            assert [(c.key(), c.path) for c in again] == \
+                [(c.key(), c.path) for c in first]
+
+    def test_fresh_detector_identical(self):
+        det2 = generate_detector(
+            "sqli", ["mysql_query:0"],
+            sanitizers=["mysql_real_escape_string", "addslashes"])
+        assert [c.key() for c in det2.detect_source("<?php " + self.SRC)] \
+            == [c.key() for c in sqli(self.SRC)]
+
+
+class TestDestructuring:
+    def test_foreach_list_destructuring_taints_targets(self):
+        cands = sqli("foreach ($_POST as list($a, $b)) "
+                     "{ mysql_query($b); }")
+        assert len(cands) == 1
+
+    def test_foreach_short_list_destructuring(self):
+        cands = sqli("foreach ($_GET as [$k, $v]) { mysql_query($k); }")
+        assert len(cands) == 1

@@ -1,0 +1,75 @@
+"""Extended CLI coverage: KB export/load, justify, edge cases."""
+
+import json
+import os
+
+import pytest
+
+from repro.tool.cli import main as cli_main
+
+
+@pytest.fixture()
+def app(tmp_path):
+    path = tmp_path / "app.php"
+    path.write_text(
+        "<?php mysql_query($_GET['q']);\n"
+        "if (is_integer($_GET['n'])) "
+        "{ mysql_query('n = ' . $_GET['n']); }\n")
+    return str(path)
+
+
+class TestKnowledgeBaseFlags:
+    def test_export_kb(self, tmp_path, capsys):
+        target = str(tmp_path / "kb")
+        assert cli_main(["--export-kb", target]) == 0
+        assert os.path.isdir(os.path.join(target, "sqli"))
+        assert "exported" in capsys.readouterr().out
+
+    def test_kb_round_trip_through_cli(self, tmp_path, app, capsys):
+        target = str(tmp_path / "kb")
+        cli_main(["--export-kb", target])
+        capsys.readouterr()
+        code = cli_main(["--kb", target, "--quiet", app])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SQLI: 1" in out
+
+    def test_edited_kb_via_cli(self, tmp_path, capsys):
+        target = str(tmp_path / "kb")
+        cli_main(["--export-kb", target])
+        # disable the sqli sinks entirely
+        (tmp_path / "kb" / "sqli" / "ss.txt").write_text("# none\n")
+        php = tmp_path / "t.php"
+        php.write_text("<?php mysql_query($_GET['q']);")
+        capsys.readouterr()
+        code = cli_main(["--kb", target, "--quiet", str(php)])
+        assert code == 0  # sink removed -> nothing found
+
+    def test_no_targets_is_an_error(self, capsys):
+        assert cli_main(["--quiet"]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+
+class TestJustifyFlag:
+    def test_justify_explains_fp(self, app, capsys):
+        cli_main(["--justify", app])
+        out = capsys.readouterr().out
+        assert "FALSE POSITIVE" in out
+        assert "is_integer" in out
+        assert "classifier votes" in out
+
+    def test_json_and_justify_do_not_mix_output(self, app, capsys):
+        cli_main(["--json", "--justify", app])
+        out = capsys.readouterr().out
+        json.loads(out)  # pure JSON, justification suppressed
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, app):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--quiet", app],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        assert "vulnerabilities" in proc.stdout

@@ -1,0 +1,268 @@
+"""Tests for corpus profiles, snippet generators and materialization."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    PAPER_CLASS_TOTALS,
+    PAPER_PLUGIN_CLASS_TOTALS,
+    PAPER_PLUGIN_FP,
+    PAPER_PLUGIN_FPP,
+    PAPER_PLUGIN_TOTAL_VULNS,
+    PAPER_TOTAL_FILES,
+    PAPER_TOTAL_LOC,
+    PAPER_TOTAL_PLUGINS,
+    PAPER_TOTAL_VULNS,
+    PAPER_WAP_FP,
+    PAPER_WAP_FPP,
+    PAPER_WAPE_FP,
+    PAPER_WAPE_FPP,
+    SUPPORTED_CLASSES,
+    VULNERABLE_PLUGINS,
+    VULNERABLE_WEBAPPS,
+    all_plugin_profiles,
+    all_webapp_profiles,
+    benign_snippet,
+    download_histogram,
+    fp_snippet,
+    install_histogram,
+    materialize_package,
+    page_wrapper,
+    vuln_snippet,
+)
+from repro.tool import Wape
+from repro.vulnerabilities import wape_registry
+
+GROUPS = {"sqli": "SQLI", "wpsqli": "SQLI", "xss": "XSS", "rfi": "Files",
+          "lfi": "Files", "dt_pt": "Files", "scd": "SCD", "ldapi": "LDAPI",
+          "sf": "SF", "hi": "HI", "cs": "CS", "xpathi": "XPathI",
+          "nosqli": "NoSQLI", "ei": "EI", "osci": "OSCI", "phpci": "PHPCI"}
+
+
+def grouped_totals(profiles) -> Counter:
+    totals: Counter = Counter()
+    for profile in profiles:
+        for class_id, count in profile.vulns.items():
+            totals[GROUPS[class_id]] += count
+    return totals
+
+
+class TestWebappProfiles:
+    def test_17_vulnerable_packages(self):
+        assert len(VULNERABLE_WEBAPPS) == 17
+
+    def test_54_packages_total(self):
+        assert len(all_webapp_profiles()) == 54
+
+    def test_class_totals_match_table6(self):
+        assert grouped_totals(VULNERABLE_WEBAPPS) == Counter(
+            PAPER_CLASS_TOTALS)
+
+    def test_total_vulnerabilities_413(self):
+        assert sum(a.total_vulns for a in VULNERABLE_WEBAPPS) == \
+            PAPER_TOTAL_VULNS
+
+    def test_fp_totals_match_table6(self):
+        apps = VULNERABLE_WEBAPPS
+        assert sum(a.wap_fpp for a in apps) == PAPER_WAP_FPP
+        assert sum(a.wap_fp for a in apps) == PAPER_WAP_FP
+        assert sum(a.wape_fpp for a in apps) == PAPER_WAPE_FPP
+        assert sum(a.wape_fp for a in apps) == PAPER_WAPE_FP
+
+    def test_corpus_files_and_loc_match_section5(self):
+        apps = all_webapp_profiles()
+        assert sum(a.paper_files for a in apps) == PAPER_TOTAL_FILES
+        assert sum(a.paper_loc for a in apps) == PAPER_TOTAL_LOC
+
+    def test_narrative_anchors(self):
+        by_name = {(a.name, a.version): a for a in VULNERABLE_WEBAPPS}
+        cb27 = by_name[("Clip Bucket", "2.7.0.4")]
+        cb28 = by_name[("Clip Bucket", "2.8")]
+        # "the most recent version of Clip Bucket contains more 4 SQLI and
+        # the same 22 vulnerabilities than the previous version"
+        assert cb28.vulns.get("sqli", 0) - cb27.vulns.get("sqli", 0) == 4
+        assert cb28.total_vulns - cb27.total_vulns == 4
+        # vfront carries the 6 custom-sanitizer cases (§V-A)
+        assert by_name[("vfront", "0.99.3")].fp_custom == 6
+        # the LDAPI finding lives in the LDAP address book
+        assert by_name[("Ldap address book", "0.22")].vulns == {"ldapi": 1}
+
+    def test_wape_fpp_always_superset_of_wap(self):
+        for app in VULNERABLE_WEBAPPS:
+            assert app.wape_fpp >= app.wap_fpp
+            assert app.wape_fp <= app.wap_fp
+
+
+class TestPluginProfiles:
+    def test_23_vulnerable_115_total(self):
+        assert len(VULNERABLE_PLUGINS) == 23
+        assert len(all_plugin_profiles()) == PAPER_TOTAL_PLUGINS
+
+    def test_class_totals_match_table7(self):
+        assert grouped_totals(VULNERABLE_PLUGINS) == Counter(
+            PAPER_PLUGIN_CLASS_TOTALS)
+
+    def test_total_169(self):
+        assert sum(p.total_vulns for p in VULNERABLE_PLUGINS) == \
+            PAPER_PLUGIN_TOTAL_VULNS
+
+    def test_fp_totals(self):
+        assert sum(p.wape_fpp for p in VULNERABLE_PLUGINS) == \
+            PAPER_PLUGIN_FPP
+        assert sum(p.wape_fp for p in VULNERABLE_PLUGINS) == \
+            PAPER_PLUGIN_FP
+
+    def test_sqli_findings_are_wpdb_based(self):
+        for plugin in VULNERABLE_PLUGINS:
+            assert "sqli" not in plugin.vulns  # only wpsqli
+        total = sum(p.vulns.get("wpsqli", 0) for p in VULNERABLE_PLUGINS)
+        assert total == 55
+
+    def test_narrative_anchors(self):
+        by_name = {p.name: p for p in VULNERABLE_PLUGINS}
+        # SSTS: 5 registered + 13 newly found = 18 SQLI
+        assert by_name["simple-support-ticket-system"].vulns == \
+            {"wpsqli": 18}
+        # Lightbox: XSS only, the most-installed vulnerable plugin
+        lightbox = by_name["lightbox-plus-colorbox"]
+        assert lightbox.vulns == {"xss": 8}
+        assert lightbox.active_installs > 200_000
+
+    def test_fig4_constraints(self):
+        over_10k = sum(1 for p in VULNERABLE_PLUGINS
+                       if p.downloads > 10_000)
+        assert over_10k == 16  # "16 of them have more than 10K downloads"
+        over_2k_installs = sum(1 for p in VULNERABLE_PLUGINS
+                               if p.active_installs > 2_000)
+        assert over_2k_installs == 12  # "12 plugins ... more than 2000"
+
+    def test_histograms_cover_all_plugins(self):
+        plugins = all_plugin_profiles()
+        assert sum(download_histogram(plugins)) == 115
+        assert sum(install_histogram(plugins)) == 115
+        # every range of active installations contains vulnerable plugins
+        assert all(n > 0 for n in install_histogram(VULNERABLE_PLUGINS))
+
+
+@pytest.fixture(scope="module")
+def wape_armed():
+    return Wape(weapon_flags=["-nosqli", "-hei", "-wpsqli"])
+
+
+class TestSnippets:
+    @pytest.mark.parametrize("class_id", SUPPORTED_CLASSES)
+    def test_vuln_snippet_detected_as_real(self, class_id, wape_armed):
+        for seed in range(5):
+            rng = random.Random(seed)
+            src = page_wrapper([vuln_snippet(class_id, rng)], "t", rng)
+            report = wape_armed.analyze_source(src)
+            classes = [o.vuln_class for o in report.real_vulnerabilities]
+            assert classes == [class_id], (class_id, seed, classes)
+
+    @pytest.mark.parametrize("kind,expect_fp", [
+        ("old", True), ("new", True), ("custom", False)])
+    def test_fp_snippet_wape_verdicts(self, kind, expect_fp, wape_armed):
+        for seed in range(8):
+            rng = random.Random(seed)
+            src = page_wrapper([fp_snippet(kind, rng)], "t", rng)
+            report = wape_armed.analyze_source(src)
+            assert len(report.outcomes) == 1, (kind, seed)
+            assert (not report.outcomes[0].is_real) == expect_fp, \
+                (kind, seed)
+
+    def test_old_fp_predicted_by_wap21_too(self):
+        from repro.tool import Wap21
+        tool = Wap21()
+        for seed in range(8):
+            rng = random.Random(seed)
+            src = page_wrapper([fp_snippet("old", rng)], "t", rng)
+            report = tool.analyze_source(src)
+            assert len(report.predicted_false_positives) == 1, seed
+
+    def test_new_fp_missed_by_wap21(self):
+        from repro.tool import Wap21
+        tool = Wap21()
+        for seed in range(8):
+            rng = random.Random(seed)
+            src = page_wrapper([fp_snippet("new", rng)], "t", rng)
+            report = tool.analyze_source(src)
+            assert len(report.real_vulnerabilities) == 1, seed
+
+    def test_benign_snippet_clean(self, wape_armed):
+        for seed in range(20):
+            rng = random.Random(seed)
+            src = page_wrapper([benign_snippet(rng)], "t", rng)
+            report = wape_armed.analyze_source(src)
+            assert report.outcomes == [], seed
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            vuln_snippet("not_a_class", random.Random(0))
+
+    def test_unknown_fp_kind_raises(self):
+        with pytest.raises(ValueError):
+            fp_snippet("weird", random.Random(0))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_snippets_always_parse(self, seed):
+        from repro.php import parse
+        rng = random.Random(seed)
+        for class_id in ("sqli", "xss", "hi"):
+            parse(page_wrapper([vuln_snippet(class_id, rng)], "t", rng))
+        parse(page_wrapper([benign_snippet(rng)], "t", rng))
+
+
+class TestMaterialization:
+    def test_deterministic(self, tmp_path):
+        app = VULNERABLE_WEBAPPS[1]  # Anywhere Board Games (small)
+        a = materialize_package(app, str(tmp_path / "a"))
+        b = materialize_package(app, str(tmp_path / "b"))
+        import os
+        files_a = sorted(os.listdir(a.path))
+        files_b = sorted(os.listdir(b.path))
+        assert files_a == files_b
+        for name in files_a:
+            assert open(os.path.join(a.path, name)).read() == \
+                open(os.path.join(b.path, name)).read()
+
+    def test_ground_truth_recorded(self, tmp_path):
+        app = VULNERABLE_WEBAPPS[0]
+        pkg = materialize_package(app, str(tmp_path))
+        assert pkg.expected_vulns == app.vulns
+        assert pkg.expected_total_fps == app.total_fps
+
+    def test_file_cap_respected(self, tmp_path):
+        big = next(a for a in all_webapp_profiles()
+                   if a.paper_files > 500)
+        pkg = materialize_package(big, str(tmp_path), file_cap=10)
+        assert pkg.files_written <= 10 + big.total_vulns + \
+            big.total_fps + 1
+
+    def test_wape_reproduces_profile(self, tmp_path, wape_armed):
+        app = next(a for a in VULNERABLE_WEBAPPS if a.name == "SAE")
+        pkg = materialize_package(app, str(tmp_path))
+        report = wape_armed.analyze_tree(pkg.path)
+        got = Counter(o.vuln_class
+                      for o in report.real_vulnerabilities)
+        expected = Counter(app.vulns)
+        expected["sqli"] += app.fp_custom  # unpredictable FPs stay "real"
+        assert got == +expected
+        assert len(report.predicted_false_positives) == app.wape_fpp
+
+    def test_custom_helper_lib_written(self, tmp_path):
+        import os
+        app = next(a for a in VULNERABLE_WEBAPPS if a.fp_custom)
+        pkg = materialize_package(app, str(tmp_path))
+        assert os.path.exists(os.path.join(pkg.path, "lib.php"))
+
+    def test_clean_profile_has_no_findings(self, tmp_path, wape_armed):
+        from repro.corpus import clean_webapp_profiles
+        clean = clean_webapp_profiles()[0]
+        pkg = materialize_package(clean, str(tmp_path), file_cap=10)
+        report = wape_armed.analyze_tree(pkg.path)
+        assert report.outcomes == []

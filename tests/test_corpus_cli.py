@@ -1,0 +1,48 @@
+"""Tests for the corpus materializer CLI (python -m repro.corpus)."""
+
+import os
+
+import pytest
+
+from repro.corpus.__main__ import main as corpus_main
+
+
+class TestCorpusCli:
+    def test_both_corpora(self, tmp_path, capsys):
+        out = str(tmp_path / "c")
+        assert corpus_main(["--out", out, "--vulnerable-only"]) == 0
+        text = capsys.readouterr().out
+        assert "17 packages" in text
+        assert "23 plugins" in text
+        assert os.path.isdir(os.path.join(out, "webapps"))
+        assert os.path.isdir(os.path.join(out, "wordpress"))
+
+    def test_webapps_only(self, tmp_path, capsys):
+        out = str(tmp_path / "w")
+        corpus_main(["--out", out, "--webapps-only", "--vulnerable-only"])
+        assert os.path.isdir(os.path.join(out, "webapps"))
+        assert not os.path.exists(os.path.join(out, "wordpress"))
+
+    def test_exclusive_flags_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            corpus_main(["--out", str(tmp_path), "--webapps-only",
+                         "--wordpress-only"])
+
+    def test_file_cap_flag(self, tmp_path):
+        out = str(tmp_path / "small")
+        corpus_main(["--out", out, "--webapps-only", "--vulnerable-only",
+                     "--file-cap", "5"])
+        # the smallest packages end up tiny
+        abg = os.path.join(out, "webapps",
+                           "anywhere_board_games-0.150215")
+        assert len(os.listdir(abg)) <= 8
+
+    def test_generated_tree_is_analyzable(self, tmp_path):
+        from repro.tool import Wape
+        out = str(tmp_path / "c")
+        corpus_main(["--out", out, "--webapps-only", "--vulnerable-only",
+                     "--file-cap", "3"])
+        app = os.path.join(out, "webapps", "ldap_address_book-0.22")
+        report = Wape().analyze_tree(app)
+        assert [o.vuln_class for o in report.real_vulnerabilities] == \
+            ["ldapi"]

@@ -1,0 +1,109 @@
+"""Smoke tests for the shipped examples and unit tests for reports."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.tool import Wape
+from repro.tool.report import AnalysisReport, FileReport
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "create_weapon.py",
+        "wordpress_audit.py",
+        "false_positive_triage.py",
+        "reproduce_evaluation.py",
+    ])
+    def test_example_runs(self, name, capsys):
+        module = _load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+
+    def test_quickstart_narrative(self, capsys):
+        _load_example("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "real vulnerability" in out
+        assert "predicted false positive" in out
+        assert "san_sqli(" in out
+        assert "real vulnerabilities remaining: 0" in out
+
+    def test_triage_narrative(self, capsys):
+        _load_example("false_positive_triage.py").main()
+        out = capsys.readouterr().out
+        assert out.count("FALSE POSITIVE") >= 3
+        assert "not even flagged" in out
+
+
+class TestReports:
+    @pytest.fixture()
+    def report(self):
+        tool = Wape()
+        return tool.analyze_source(
+            "<?php mysql_query($_GET['a']); echo $_POST['b']; "
+            "if (is_numeric($_GET['n'])) { mysql_query('x' . $_GET['n']); }",
+            "app.php")
+
+    def test_counts(self, report):
+        assert len(report.outcomes) == 3
+        assert len(report.real_vulnerabilities) == 2
+        assert len(report.predicted_false_positives) == 1
+
+    def test_counts_by_class_real_only_default(self, report):
+        assert report.counts_by_class() == {"sqli": 1, "xss": 1}
+        assert report.counts_by_class(real_only=False)["sqli"] == 2
+
+    def test_group_of_unknown_class_falls_back(self, report):
+        assert report.group_of("never_heard") == "NEVER_HEARD"
+
+    def test_file_report_properties(self, report):
+        fr = report.files[0]
+        assert fr.is_vulnerable
+        assert len(fr.real) == 2
+        assert len(fr.predicted_fp) == 1
+
+    def test_empty_report(self):
+        report = AnalysisReport("WAPe", "empty")
+        assert report.total_files == 0
+        assert report.total_lines == 0
+        assert report.counts_by_group() == {}
+        assert report.to_dict()["summary"]["candidates"] == 0
+        assert "empty" in report.render_text()
+
+    def test_to_dict_round_trips_through_json(self, report):
+        import json
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["summary"]["real_vulnerabilities"] == 2
+        finding = data["files"][0]["findings"][0]
+        assert {"class", "sink", "sink_line", "entry_point", "verdict",
+                "votes", "symptoms", "path"} <= set(finding)
+
+    def test_render_paths_listed(self, report):
+        text = report.render_text(show_paths=True)
+        assert "source" in text and "sink" in text
+
+    def test_summary_line_contents(self, report):
+        line = report.summary_line()
+        assert "app.php" in line
+        assert "2 vulnerabilities" in line
+        assert "1 predicted FPs" in line
+
+    def test_files_without_findings_hidden_in_render(self):
+        report = AnalysisReport("WAPe", "t")
+        report.files.append(FileReport("clean.php", 10))
+        report.files.append(FileReport("bad.php", 5))
+        assert "clean.php" not in report.render_text()

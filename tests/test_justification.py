@@ -1,0 +1,70 @@
+"""Tests for the false-positive justification component (Fig. 3)."""
+
+import pytest
+
+from repro.analysis import generate_detector
+from repro.mining import justify, new_predictor
+
+DET = generate_detector("sqli", ["mysql_query:0"])
+
+
+def analyzed(source):
+    cands = DET.detect_source("<?php " + source, "app.php")
+    assert len(cands) == 1
+    predictor = new_predictor()
+    return cands[0], predictor.predict(cands[0])
+
+
+class TestJustification:
+    def test_fp_justification_mentions_symptom(self):
+        cand, pred = analyzed(
+            "if (is_numeric($_GET['n'])) "
+            "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+            ". $_GET['n']); }")
+        j = justify(cand, pred)
+        assert j.is_false_positive
+        text = j.render()
+        assert "FALSE POSITIVE" in text
+        assert "is_numeric" in text
+        assert "type checking" in text
+        assert "classifier votes" in text
+
+    def test_guard_line_reported(self):
+        cand, pred = analyzed(
+            "if (ctype_digit($_GET['n'])) "
+            "{ mysql_query('n = ' . $_GET['n']); }")
+        j = justify(cand, pred)
+        assert "(line 1)" in j.render()
+
+    def test_rv_justification(self):
+        cand, pred = analyzed(
+            "mysql_query(\"SELECT a FROM t WHERE x = '\" "
+            ". $_GET['x'] . \"'\");")
+        j = justify(cand, pred)
+        assert not j.is_false_positive
+        assert "REAL vulnerability" in j.render()
+
+    def test_evidence_structured(self):
+        cand, pred = analyzed(
+            "if (is_numeric($_GET['n'])) "
+            "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+            ". $_GET['n']); }")
+        j = justify(cand, pred)
+        symptoms = {e[0] for e in j.evidence}
+        assert "is_numeric" in symptoms
+        categories = {e[2] for e in j.evidence}
+        assert "validation" in categories
+
+    def test_sql_evidence_phrasing(self):
+        cand, pred = analyzed(
+            "if (is_numeric($_GET['n'])) "
+            "{ mysql_query(\"SELECT AVG(v) FROM t WHERE n = \" "
+            ". $_GET['n']); }")
+        text = justify(cand, pred).render()
+        assert "query shape" in text
+
+    def test_location_in_header(self):
+        cand, pred = analyzed("mysql_query($_GET['q']);")
+        text = justify(cand, pred).render()
+        assert "app.php:1" in text
+        assert "$_GET['q']" in text

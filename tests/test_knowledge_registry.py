@@ -1,0 +1,69 @@
+"""Tests for whole-registry knowledge-base export/import (§III-A)."""
+
+import pytest
+
+from repro.analysis import load_registry, save_registry
+from repro.exceptions import KnowledgeBaseError
+from repro.tool import Wape
+from repro.vulnerabilities import wape_registry
+
+
+class TestRegistryRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        original = wape_registry(include_weapons=False)
+        save_registry(original, str(tmp_path))
+        loaded = load_registry(str(tmp_path))
+        assert len(loaded) == len(original)
+        for info in original:
+            twin = loaded.get(info.class_id)
+            assert twin.display_name == info.display_name
+            assert twin.table_label == info.table_label
+            assert twin.submodule == info.submodule
+            assert twin.origin == info.origin
+            assert twin.fix_id == info.fix_id
+            assert twin.report_group == info.report_group
+            assert twin.malicious_chars == info.malicious_chars
+            assert set(twin.config.sinks) == set(info.config.sinks)
+            assert twin.config.sanitizers == info.config.sanitizers
+            assert twin.config.entry_points == info.config.entry_points
+            assert twin.config.source_functions == \
+                info.config.source_functions
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(KnowledgeBaseError):
+            load_registry(str(tmp_path / "nope"))
+
+    def test_tool_runs_from_exported_kb(self, tmp_path):
+        save_registry(wape_registry(include_weapons=False), str(tmp_path))
+        tool = Wape(class_registry=load_registry(str(tmp_path)))
+        report = tool.analyze_source(
+            "<?php mysql_query($_GET['q']); echo $_GET['m'];")
+        classes = sorted(o.vuln_class for o in report.outcomes)
+        assert classes == ["sqli", "xss"]
+
+    def test_edited_kb_changes_behavior(self, tmp_path):
+        """The §III-A property: edit a text file, no recompilation."""
+        save_registry(wape_registry(include_weapons=False), str(tmp_path))
+        # add a custom sanitizer line to sqli's san file
+        san = tmp_path / "sqli" / "san.txt"
+        san.write_text(san.read_text() + "escape\n")
+        tool = Wape(class_registry=load_registry(str(tmp_path)))
+        report = tool.analyze_source(
+            "<?php $v = escape($_GET['x']); mysql_query('q' . $v);")
+        assert report.outcomes == []
+
+    def test_new_class_from_text_files_alone(self, tmp_path):
+        """Create a brand-new class by writing text files only."""
+        save_registry(wape_registry(include_weapons=False), str(tmp_path))
+        cls_dir = tmp_path / "logi"
+        cls_dir.mkdir()
+        (cls_dir / "meta.txt").write_text(
+            "class_id = logi\ndisplay_name = Log injection\n"
+            "table_label = LOGI\nsubmodule = query_injection\n"
+            "origin = wape-submodule\nfix_id = san_hei\n")
+        (cls_dir / "ep.txt").write_text("$_GET\n$_POST\n")
+        (cls_dir / "ss.txt").write_text("error_log:0\n")
+        (cls_dir / "san.txt").write_text("")
+        tool = Wape(class_registry=load_registry(str(tmp_path)))
+        report = tool.analyze_source("<?php error_log($_GET['m']);")
+        assert [o.vuln_class for o in report.outcomes] == ["logi"]

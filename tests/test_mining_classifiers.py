@@ -1,0 +1,180 @@
+"""Unit tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ClassifierError
+from repro.mining.classifiers import (
+    BernoulliNaiveBayes,
+    DecisionTree,
+    KNearestNeighbors,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    RandomTree,
+)
+
+ALL = [LogisticRegression, LinearSVM, DecisionTree, RandomTree,
+       RandomForest, BernoulliNaiveBayes, KNearestNeighbors]
+
+
+def _separable(n=60, d=8, seed=3):
+    """Linearly separable binary data."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w > 0).astype(np.int64)
+    return X, y
+
+
+def _binary_patterns(n=80, seed=5):
+    """Binary feature data: class 1 iff the first 2 bits dominate."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 6)).astype(np.float64)
+    y = ((X[:, 0] + X[:, 1]) >= 1).astype(np.int64)
+    return X, y
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommonBehaviour:
+    def test_fit_predict_training_accuracy(self, cls):
+        X, y = _binary_patterns()
+        clf = cls().fit(X, y)
+        acc = (clf.predict(X) == y).mean()
+        assert acc >= 0.9, f"{cls.__name__} training acc {acc}"
+
+    def test_predict_before_fit_raises(self, cls):
+        with pytest.raises(ClassifierError):
+            cls().predict(np.zeros((1, 4)))
+
+    def test_bad_label_raises(self, cls):
+        X = np.zeros((4, 3))
+        with pytest.raises(ClassifierError):
+            cls().fit(X, np.array([0, 1, 2, 1]))
+
+    def test_shape_mismatch_raises(self, cls):
+        X, y = _binary_patterns()
+        clf = cls().fit(X, y)
+        with pytest.raises(ClassifierError):
+            clf.predict(np.zeros((2, X.shape[1] + 1)))
+
+    def test_predictions_are_binary(self, cls):
+        X, y = _binary_patterns()
+        pred = cls().fit(X, y).predict(X)
+        assert set(np.unique(pred).tolist()) <= {0, 1}
+
+    def test_deterministic(self, cls):
+        X, y = _binary_patterns()
+        p1 = cls().fit(X, y).predict(X)
+        p2 = cls().fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_predict_one(self, cls):
+        X, y = _binary_patterns()
+        clf = cls().fit(X, y)
+        assert clf.predict_one(X[0]) in (0, 1)
+
+    def test_single_class_training(self, cls):
+        X = np.ones((6, 3))
+        y = np.ones(6, dtype=np.int64)
+        clf = cls().fit(X, y)
+        assert clf.predict(X).tolist() == [1] * 6
+
+
+class TestLogisticRegression:
+    def test_separable_high_accuracy(self):
+        X, y = _separable()
+        clf = LogisticRegression().fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.95
+
+    def test_proba_in_unit_interval(self):
+        X, y = _separable()
+        p = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_proba_monotone_with_labels(self):
+        X, y = _separable()
+        p = LogisticRegression().fit(X, y).predict_proba(X)
+        assert p[y == 1].mean() > p[y == 0].mean()
+
+
+class TestSVM:
+    def test_separable_high_accuracy(self):
+        X, y = _separable()
+        clf = LinearSVM().fit(X, y)
+        assert (clf.predict(X) == y).mean() >= 0.95
+
+    def test_decision_sign_matches_predict(self):
+        X, y = _separable()
+        clf = LinearSVM().fit(X, y)
+        scores = clf.decision_function(X)
+        assert np.array_equal((scores >= 0).astype(int), clf.predict(X))
+
+
+class TestTrees:
+    def test_pure_leaf_fit(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        clf = DecisionTree().fit(X, y)
+        assert clf.predict(X).tolist() == [0, 1]
+
+    def test_max_depth_limits(self):
+        X, y = _binary_patterns()
+        shallow = DecisionTree(max_depth=1).fit(X, y)
+        assert shallow.depth() <= 1
+
+    def test_xor_needs_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        clf = DecisionTree().fit(X, y)
+        assert clf.predict(X).tolist() == [0, 1, 1, 0]
+
+    def test_random_tree_uses_feature_subsets(self):
+        X, y = _binary_patterns()
+        clf = RandomTree().fit(X, y)
+        assert clf.max_features is not None
+        assert clf.max_features < X.shape[1]
+
+    def test_forest_votes(self):
+        X, y = _binary_patterns()
+        clf = RandomForest(n_trees=9).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_forest_better_or_equal_single_tree_generalization(self):
+        # forest should be at least decent on held-out data
+        X, y = _binary_patterns(n=120)
+        clf = RandomForest(n_trees=15, seed=1).fit(X[:80], y[:80])
+        assert (clf.predict(X[80:]) == y[80:]).mean() >= 0.8
+
+
+class TestKNN:
+    def test_k1_memorizes(self):
+        X, y = _binary_patterns()
+        clf = KNearestNeighbors(k=1).fit(X, y)
+        # with duplicate rows of conflicting labels this can differ;
+        # use unique rows
+        Xu, idx = np.unique(X, axis=0, return_index=True)
+        assert (clf.predict(Xu) == y[idx]).mean() >= 0.9
+
+    def test_invalid_k(self):
+        with pytest.raises(ClassifierError):
+            KNearestNeighbors(k=0)
+
+
+class TestProperties:
+    @given(st.integers(min_value=10, max_value=40),
+           st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_binary_data_fits(self, n, d, seed):
+        """Every classifier handles arbitrary binary data without error."""
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 2, size=(n, d)).astype(np.float64)
+        y = rng.integers(0, 2, size=n).astype(np.int64)
+        for cls in (LogisticRegression, LinearSVM, DecisionTree,
+                    BernoulliNaiveBayes, KNearestNeighbors):
+            pred = cls().fit(X, y).predict(X)
+            assert pred.shape == (n,)

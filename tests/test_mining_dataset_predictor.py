@@ -1,0 +1,214 @@
+"""Tests for symptom extraction, the data set and the FP predictor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import generate_detector
+from repro.mining import (
+    DynamicSymptoms,
+    LABEL_FP,
+    LABEL_RV,
+    build_dataset,
+    build_original_dataset,
+    collect_instances,
+    extract_symptoms,
+    generate_snippets,
+    new_predictor,
+    original_predictor,
+)
+
+DET = generate_detector("sqli", ["mysql_query:0"],
+                        sanitizers=["mysql_real_escape_string"])
+
+
+def candidate(source):
+    cands = DET.detect_source("<?php " + source)
+    assert cands, "snippet produced no candidate"
+    return cands[0]
+
+
+class TestExtraction:
+    def test_guard_symptom(self):
+        c = candidate("if (is_numeric($_GET['n'])) "
+                      "{ mysql_query('x = ' . $_GET['n']); }")
+        assert "is_numeric" in extract_symptoms(c)
+
+    def test_concat_symptom(self):
+        c = candidate("mysql_query('a' . $_GET['x']);")
+        assert "concat_op" in extract_symptoms(c)
+
+    def test_passed_function_symptom(self):
+        c = candidate("$v = trim($_GET['x']); mysql_query($v);")
+        assert "trim" in extract_symptoms(c)
+
+    def test_non_symptom_functions_ignored(self):
+        c = candidate("$v = md5($_GET['x']); mysql_query($v);")
+        symptoms = extract_symptoms(c)
+        assert "md5" not in symptoms
+
+    def test_from_clause_symptom(self):
+        c = candidate("mysql_query(\"SELECT a FROM t WHERE x = '\" "
+                      ". $_GET['x'] . \"'\");")
+        assert "FROM" in extract_symptoms(c)
+
+    def test_aggregate_symptom(self):
+        c = candidate("mysql_query(\"SELECT COUNT(*) FROM t WHERE g = \" "
+                      ". $_GET['g']);")
+        symptoms = extract_symptoms(c)
+        assert "COUNT" in symptoms
+
+    def test_complex_query_symptom(self):
+        c = candidate("mysql_query(\"SELECT a FROM x JOIN y ON x.i = y.i "
+                      "WHERE n = '\" . $_GET['n'] . \"'\");")
+        assert "ComplexSQL" in extract_symptoms(c)
+
+    def test_isnum_symptom(self):
+        c = candidate("mysql_query(\"SELECT a FROM t WHERE id = \" "
+                      ". $_GET['id']);")
+        assert "IsNum" in extract_symptoms(c)
+
+    def test_quoted_string_not_isnum(self):
+        c = candidate("mysql_query(\"SELECT a FROM t WHERE n = '\" "
+                      ". $_GET['n'] . \"'\");")
+        assert "IsNum" not in extract_symptoms(c)
+
+    def test_dynamic_symptom_mapping(self):
+        c = candidate("$v = val_int($_GET['p']); mysql_query('l ' . $v);")
+        plain = extract_symptoms(c)
+        assert "is_int" not in plain
+        dynamic = DynamicSymptoms(mapping={"val_int": "is_int"})
+        assert "is_int" in extract_symptoms(c, dynamic)
+
+    def test_dynamic_whitelist(self):
+        c = candidate("if (allowed_cat($_GET['c'])) "
+                      "{ mysql_query('c = ' . $_GET['c']); }")
+        dynamic = DynamicSymptoms(whitelists=frozenset({"allowed_cat"}))
+        assert "user_whitelist" in extract_symptoms(c, dynamic)
+
+    def test_dynamic_merge(self):
+        a = DynamicSymptoms(mapping={"f": "is_int"})
+        b = DynamicSymptoms(whitelists=frozenset({"g"}))
+        merged = a.merged(b)
+        assert merged.resolve("f") == "is_int"
+        assert merged.resolve("g") == "user_whitelist"
+
+    def test_exit_symptom_on_early_exit(self):
+        c = candidate("if (!preg_match('/^\\d+$/', $_GET['n'])) "
+                      "{ exit('no'); } mysql_query('n = ' . $_GET['n']);")
+        symptoms = extract_symptoms(c)
+        assert "exit" in symptoms and "preg_match" in symptoms
+
+
+class TestDataset:
+    def test_battery_every_snippet_flags(self):
+        snippets = generate_snippets()
+        instances = collect_instances(snippets)
+        # by construction every snippet contains a taintable flow
+        assert len(instances) == len(snippets)
+
+    def test_battery_labels_both_classes(self):
+        labels = {label for _, label, _ in collect_instances()}
+        assert labels == {LABEL_FP, LABEL_RV}
+
+    def test_dataset_size_and_balance(self):
+        ds = build_dataset("new")
+        assert ds.size == 256
+        assert ds.n_false_positives == 128
+        assert ds.n_real_vulnerabilities == 128
+        assert ds.is_balanced()
+
+    def test_dataset_width_per_scheme(self):
+        assert build_dataset("new").X.shape[1] == 60
+        assert build_dataset("original", size=76).X.shape[1] == 15
+
+    def test_original_dataset_counts(self):
+        ds = build_original_dataset()
+        assert ds.size == 76
+        assert ds.n_false_positives == 32
+        assert ds.n_real_vulnerabilities == 44
+
+    def test_deterministic(self):
+        a = build_dataset("new", seed=13)
+        b = build_dataset("new", seed=13)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_no_ambiguous_vectors(self):
+        ds = build_dataset("new")
+        by_vec = {}
+        for row, label in zip(ds.X, ds.y):
+            key = tuple(row.astype(int).tolist())
+            by_vec.setdefault(key, set()).add(int(label))
+        assert all(len(v) == 1 for v in by_vec.values())
+
+    def test_binary_features(self):
+        ds = build_dataset("new")
+        assert set(np.unique(ds.X).tolist()) <= {0.0, 1.0}
+
+
+class TestPredictor:
+    def test_majority_vote(self):
+        predictor = new_predictor()
+        result = predictor.predict_symptoms(frozenset({"is_numeric",
+                                                       "IsNum", "FROM"}))
+        votes = sum(result.votes.values())
+        assert result.is_false_positive == (votes * 2 > len(result.votes))
+
+    def test_fp_predicted_for_validated_flow(self):
+        c = candidate("if (is_numeric($_GET['n'])) "
+                      "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+                      ". $_GET['n']); }")
+        assert new_predictor().predict(c).is_false_positive
+
+    def test_rv_predicted_for_direct_flow(self):
+        c = candidate("mysql_query(\"SELECT a FROM t WHERE n = '\" "
+                      ". $_GET['n'] . \"'\");")
+        assert not new_predictor().predict(c).is_false_positive
+
+    def test_new_symptom_asymmetry(self):
+        """The paper's headline data-mining improvement: a FP whose only
+        evidence is a *new* symptom is caught by WAPe, missed by v2.1."""
+        c = candidate("if (is_integer($_GET['n'])) "
+                      "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+                      ". $_GET['n']); }")
+        assert new_predictor().predict(c).is_false_positive
+        assert not original_predictor().predict(c).is_false_positive
+
+    def test_old_symptom_caught_by_both(self):
+        c = candidate("if (is_numeric($_GET['n'])) "
+                      "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+                      ". $_GET['n']); }")
+        assert new_predictor().predict(c).is_false_positive
+        assert original_predictor().predict(c).is_false_positive
+
+    def test_custom_sanitizer_not_predicted(self):
+        """§V-A: candidates using app-specific helpers (escape) have no
+        symptoms, so the predictor reports them as real (the 18 FP cases),
+        until the function is configured as a sanitizer."""
+        c = candidate("$v = escape($_GET['x']); "
+                      "mysql_query(\"SELECT a FROM t WHERE x = '\" . $v "
+                      ". \"'\");")
+        assert not new_predictor().predict(c).is_false_positive
+
+    def test_dynamic_symptoms_change_prediction(self):
+        c = candidate("if (val_num($_GET['n'])) "
+                      "{ mysql_query(\"SELECT a FROM t WHERE n = \" "
+                      ". $_GET['n']); }")
+        plain = new_predictor()
+        assert not plain.predict(c).is_false_positive
+        dyn = new_predictor(DynamicSymptoms(
+            mapping={"val_num": "is_numeric"}))
+        assert dyn.predict(c).is_false_positive
+
+    def test_even_ensemble_rejected(self):
+        from repro.mining import FalsePositivePredictor, top3_new
+        from repro.mining.dataset import build_dataset
+        ds = build_dataset("new")
+        with pytest.raises(ValueError):
+            FalsePositivePredictor(top3_new()[:2], ds)
+
+    def test_prediction_contains_symptoms(self):
+        c = candidate("if (is_numeric($_GET['n'])) "
+                      "{ mysql_query('n=' . $_GET['n']); }")
+        result = new_predictor().predict(c)
+        assert "is_numeric" in result.symptoms

@@ -1,0 +1,84 @@
+"""Tests for the evaluation helpers (classifier comparison, curves)."""
+
+import pytest
+
+from repro.mining import build_dataset
+from repro.mining.evaluation import (
+    CLASSIFIER_POOL,
+    compare_classifiers,
+    learning_curve,
+    render_rows,
+    select_top3,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("new")
+
+
+@pytest.fixture(scope="module")
+def rows(dataset):
+    # a cheap pool subset keeps the test fast while exercising the code
+    from repro.mining.classifiers import (
+        BernoulliNaiveBayes,
+        KNearestNeighbors,
+        LinearSVM,
+        LogisticRegression,
+    )
+    return compare_classifiers(
+        dataset, (LinearSVM, LogisticRegression, BernoulliNaiveBayes,
+                  KNearestNeighbors), k=5)
+
+
+class TestComparison:
+    def test_one_row_per_classifier(self, rows):
+        assert len(rows) == 4
+        assert len({r.name for r in rows}) == 4
+
+    def test_matrices_cover_dataset(self, rows, dataset):
+        for row in rows:
+            assert row.matrix.total == dataset.size
+
+    def test_select_top3(self, rows):
+        top = select_top3(rows)
+        assert len(top) == 3
+        accs = [r.matrix.acc for r in rows]
+        assert top[0].matrix.acc == max(accs)
+        # the excluded classifier is the least accurate
+        excluded = ({r.name for r in rows}
+                    - {r.name for r in top}).pop()
+        worst = min(rows, key=lambda r: (r.matrix.acc, r.matrix.tpp))
+        assert excluded == worst.name
+
+    def test_render_rows(self, rows):
+        text = render_rows(rows)
+        assert "classifier" in text
+        for row in rows:
+            assert row.name in text
+
+    def test_pool_has_six_members(self):
+        assert len(CLASSIFIER_POOL) == 6
+
+
+class TestLearningCurve:
+    def test_sizes_respected(self, dataset):
+        curve = learning_curve(dataset, sizes=(40, 80), k=4)
+        assert [size for size, _ in curve] == [40, 80]
+        for size, cm in curve:
+            assert cm.total == size
+
+    def test_oversize_clamped(self, dataset):
+        curve = learning_curve(dataset, sizes=(9_999,), k=4)
+        assert curve[0][0] == dataset.size
+
+    def test_subsets_stratified(self, dataset):
+        curve = learning_curve(dataset, sizes=(64,), k=4)
+        cm = curve[0][1]
+        # balanced halves: 32 FP + 32 RV
+        assert cm.tp + cm.fn == 32
+        assert cm.fp + cm.tn == 32
+
+    def test_full_size_beats_small(self, dataset):
+        curve = dict(learning_curve(dataset, sizes=(48, 256), k=8))
+        assert curve[256].acc > curve[48].acc

@@ -1,0 +1,106 @@
+"""Tests for the Table II metrics and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import ConfusionMatrix, cross_validate, kfold_indices
+from repro.mining.classifiers import BernoulliNaiveBayes
+
+
+class TestConfusionMatrix:
+    def test_from_predictions(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        cm = ConfusionMatrix.from_predictions(y_true, y_pred)
+        assert (cm.tp, cm.fp, cm.fn, cm.tn) == (2, 1, 1, 1)
+
+    def test_paper_svm_numbers(self):
+        """Plug in Table III's SVM matrix, expect Table II's SVM column."""
+        cm = ConfusionMatrix(tp=121, fp=6, fn=7, tn=122)
+        assert cm.tpp == pytest.approx(0.945, abs=0.001)
+        assert cm.pfp == pytest.approx(0.047, abs=0.001)
+        assert cm.prfp == pytest.approx(0.953, abs=0.001)
+        assert cm.pd == pytest.approx(0.953, abs=0.001)
+        assert cm.ppd == pytest.approx(0.946, abs=0.001)
+        assert cm.acc == pytest.approx(0.949, abs=0.001)
+        assert cm.pr == pytest.approx(0.949, abs=0.001)
+        assert cm.inform == pytest.approx(0.898, abs=0.001)
+
+    def test_paper_lr_numbers(self):
+        cm = ConfusionMatrix(tp=119, fp=6, fn=9, tn=122)
+        assert cm.tpp == pytest.approx(0.930, abs=0.001)
+        assert cm.pfp == pytest.approx(0.047, abs=0.001)
+        assert cm.acc == pytest.approx(0.941, abs=0.001)
+
+    def test_paper_rf_numbers(self):
+        cm = ConfusionMatrix(tp=116, fp=3, fn=12, tn=125)
+        assert cm.tpp == pytest.approx(0.906, abs=0.001)
+        assert cm.pfp == pytest.approx(0.023, abs=0.001)
+        assert cm.prfp == pytest.approx(0.975, abs=0.001)
+        assert cm.pd == pytest.approx(0.977, abs=0.001)
+
+    def test_inform_identity(self):
+        cm = ConfusionMatrix(tp=10, fp=2, fn=3, tn=20)
+        assert cm.inform == pytest.approx(cm.tpp - cm.pfp)
+
+    def test_addition(self):
+        a = ConfusionMatrix(1, 2, 3, 4)
+        b = ConfusionMatrix(10, 20, 30, 40)
+        assert (a + b).as_row() == (11, 22, 33, 44)
+
+    def test_zero_division_safe(self):
+        cm = ConfusionMatrix(0, 0, 0, 0)
+        for value in cm.metrics().values():
+            assert value == value  # no NaN
+
+    def test_metrics_dict_complete(self):
+        cm = ConfusionMatrix(1, 1, 1, 1)
+        assert set(cm.metrics()) == set(ConfusionMatrix.METRIC_NAMES)
+
+    @given(st.integers(0, 50), st.integers(0, 50),
+           st.integers(0, 50), st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_metric_bounds(self, tp, fp, fn, tn):
+        cm = ConfusionMatrix(tp, fp, fn, tn)
+        for name in ("tpp", "pfp", "prfp", "pd", "ppd", "acc", "pr",
+                     "jacc"):
+            value = getattr(cm, name)
+            assert 0.0 <= value <= 1.0
+        assert -1.0 <= cm.inform <= 1.0
+
+
+class TestKFold:
+    def test_partition_covers_everything(self):
+        folds = kfold_indices(103, 10)
+        joined = np.concatenate(folds)
+        assert sorted(joined.tolist()) == list(range(103))
+
+    def test_folds_disjoint(self):
+        folds = kfold_indices(50, 5)
+        seen = set()
+        for fold in folds:
+            assert not (set(fold.tolist()) & seen)
+            seen |= set(fold.tolist())
+
+    def test_deterministic(self):
+        a = kfold_indices(64, 10, seed=1)
+        b = kfold_indices(64, 10, seed=1)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestCrossValidate:
+    def test_total_matches_dataset_size(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(64, 5)).astype(float)
+        y = (X[:, 0] > 0).astype(np.int64)
+        cm = cross_validate(BernoulliNaiveBayes, X, y, k=8)
+        assert cm.total == 64
+
+    def test_learnable_data_scores_high(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(100, 6)).astype(float)
+        y = X[:, 0].astype(np.int64)
+        cm = cross_validate(BernoulliNaiveBayes, X, y, k=10)
+        assert cm.acc >= 0.95

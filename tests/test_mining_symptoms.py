@@ -1,0 +1,128 @@
+"""Tests for the Table I symptom catalog and attribute schemes."""
+
+import numpy as np
+import pytest
+
+from repro.mining import (
+    CATEGORY_SQL,
+    CATEGORY_STRING,
+    CATEGORY_VALIDATION,
+    NewAttributeScheme,
+    OriginalAttributeScheme,
+    all_symptoms,
+    attribute_groups,
+    describe_scheme,
+    get_symptom,
+    new_symptoms,
+    original_symptoms,
+    scheme_for,
+    symptoms_by_category,
+)
+
+
+class TestTable1Structure:
+    def test_sixty_symptoms_total(self):
+        # 61 attributes = 60 symptom attributes + the class attribute
+        assert len(all_symptoms()) == 60
+
+    def test_twenty_four_original_symptoms(self):
+        # the paper: 15 feature attributes representing 24 symptoms
+        assert len(original_symptoms()) == 24
+
+    def test_new_symptom_count(self):
+        assert len(new_symptoms()) == 36
+
+    def test_categories_cover_everything(self):
+        total = sum(len(symptoms_by_category(c)) for c in
+                    (CATEGORY_VALIDATION, CATEGORY_STRING, CATEGORY_SQL))
+        assert total == 60
+
+    def test_fifteen_attribute_groups(self):
+        groups = attribute_groups()
+        assert len(groups) == 15
+        # every symptom belongs to exactly one group
+        assert sum(len(v) for v in groups.values()) == 60
+
+    def test_specific_new_symptoms_from_paper(self):
+        names = {s.name for s in new_symptoms()}
+        # right-hand column of Table I (a sample)
+        for expected in ("is_integer", "is_long", "is_real", "is_scalar",
+                         "preg_match_all", "implode", "join", "str_pad",
+                         "preg_filter", "str_shuffle", "chunk_split",
+                         "rtrim", "ltrim", "FROM", "AVG", "COUNT"):
+            assert expected in names, expected
+
+    def test_specific_original_symptoms_from_paper(self):
+        names = {s.name for s in original_symptoms()}
+        for expected in ("is_numeric", "ctype_digit", "intval", "isset",
+                         "preg_match", "strcmp", "substr", "concat_op",
+                         "str_replace", "trim"):
+            assert expected in names, expected
+
+    def test_alias_resolution(self):
+        assert get_symptom("die").name == "exit"
+        assert get_symptom("md5") is None  # explicitly not a symptom (§V-A)
+        assert get_symptom("sizeof") is None
+        assert get_symptom("nonexistent_fn") is None
+
+
+class TestAttributeSchemes:
+    def test_new_scheme_width(self):
+        scheme = NewAttributeScheme()
+        assert scheme.width == 60
+        assert describe_scheme(scheme)["attributes_with_class"] == 61
+
+    def test_original_scheme_width(self):
+        scheme = OriginalAttributeScheme()
+        assert scheme.width == 15
+        assert describe_scheme(scheme)["attributes_with_class"] == 16
+
+    def test_new_scheme_one_bit_per_symptom(self):
+        scheme = NewAttributeScheme()
+        vec = scheme.vectorize({"is_numeric", "trim"})
+        assert vec.sum() == 2
+        assert vec[scheme.names.index("is_numeric")] == 1
+
+    def test_original_scheme_groups_symptoms(self):
+        scheme = OriginalAttributeScheme()
+        # two type-checking symptoms collapse into one attribute bit
+        vec = scheme.vectorize({"is_numeric", "ctype_digit"})
+        assert vec.sum() == 1
+        assert vec[scheme.names.index("type_checking")] == 1
+
+    def test_original_scheme_blind_to_new_symptoms(self):
+        scheme = OriginalAttributeScheme()
+        # is_integer is a NEW symptom: the old tool does not see it
+        vec = scheme.vectorize({"is_integer"})
+        assert vec.sum() == 0
+        assert not scheme.recognizes("is_integer")
+        assert scheme.recognizes("is_numeric")
+
+    def test_new_scheme_sees_new_symptoms(self):
+        scheme = NewAttributeScheme()
+        assert scheme.vectorize({"is_integer"}).sum() == 1
+
+    def test_unknown_symptom_ignored(self):
+        for scheme in (NewAttributeScheme(), OriginalAttributeScheme()):
+            assert scheme.vectorize({"never_heard_of_it"}).sum() == 0
+
+    def test_vectorize_many(self):
+        scheme = NewAttributeScheme()
+        X = scheme.vectorize_many([frozenset({"trim"}),
+                                   frozenset({"isset", "FROM"})])
+        assert X.shape == (2, 60)
+        assert X[0].sum() == 1 and X[1].sum() == 2
+
+    def test_vectorize_many_empty(self):
+        assert NewAttributeScheme().vectorize_many([]).shape == (0, 60)
+
+    def test_scheme_factory(self):
+        assert isinstance(scheme_for("new"), NewAttributeScheme)
+        assert isinstance(scheme_for("original"), OriginalAttributeScheme)
+        with pytest.raises(ValueError):
+            scheme_for("v3")
+
+    def test_vectors_are_binary(self):
+        scheme = NewAttributeScheme()
+        vec = scheme.vectorize(set(s.name for s in all_symptoms()))
+        assert set(np.unique(vec).tolist()) == {1.0}

@@ -1,0 +1,231 @@
+"""PHP frontend edge cases: tricky real-world constructs."""
+
+import pytest
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast, parse, unparse
+from repro.php.visitor import find_all
+
+
+def body(source):
+    return parse("<?php " + source).body
+
+
+def expr(source):
+    return body(source)[0].expr
+
+
+class TestStringsDeep:
+    def test_escaped_dollar_not_interpolated(self):
+        node = expr(r'$s = "costs \$5";')
+        assert isinstance(node.value, ast.Literal)
+        assert node.value.value == "costs $5"
+
+    def test_hex_and_unicode_escapes(self):
+        node = expr(r'$s = "\x41\u{1F40D}";')
+        assert node.value.value == "A\U0001F40D"
+
+    def test_octal_escape(self):
+        node = expr(r'$s = "\101";')
+        assert node.value.value == "A"
+
+    def test_adjacent_interpolations(self):
+        node = expr('$s = "$a$b";')
+        variables = [p.name for p in node.value.parts
+                     if isinstance(p, ast.Variable)]
+        assert variables == ["a", "b"]
+
+    def test_brace_complex_with_method(self):
+        node = expr('$s = "v={$o->get(1)}";')
+        assert any(isinstance(p, ast.MethodCall)
+                   for p in node.value.parts)
+
+    def test_literal_brace_without_dollar(self):
+        node = expr('$s = "css { color: red }";')
+        assert isinstance(node.value, ast.Literal)
+
+    def test_heredoc_multiline_positions(self):
+        prog = parse('<?php\n$s = <<<EOT\nline1 $x\nline2\nEOT;\n$y = 1;')
+        assert isinstance(prog.body[0].expr.value,
+                          ast.InterpolatedString)
+        assert prog.body[1].line == 6
+
+    def test_nowdoc_never_interpolates(self):
+        prog = parse("<?php $s = <<<'EOT'\nraw $x {$y}\nEOT;\n")
+        assert isinstance(prog.body[0].expr.value, ast.Literal)
+
+    def test_indented_heredoc_terminator(self):
+        prog = parse("<?php $s = <<<EOT\n  text\n  EOT;\n")
+        assert prog.body[0].expr.value.value.strip() == "text"
+
+    def test_simple_index_negative_number(self):
+        node = expr('$s = "$a[-1]";')
+        access = [p for p in node.value.parts
+                  if isinstance(p, ast.ArrayAccess)][0]
+        assert access.index.value == -1
+
+
+class TestOperatorsDeep:
+    def test_precedence_concat_vs_compare(self):
+        # PHP 7: '.' binds tighter than '<'
+        node = expr("$x = 'a' . 'b' == 'ab';")
+        assert node.value.op == "=="
+        assert node.value.left.op == "."
+
+    def test_coalesce_right_assoc(self):
+        node = expr("$x = $a ?? $b ?? $c;")
+        assert node.value.right.op == "??"
+
+    def test_ternary_binds_looser_than_coalesce(self):
+        node = expr("$x = $a ?? $b ? 1 : 2;")
+        assert isinstance(node.value, ast.Ternary)
+        assert node.value.cond.op == "??"
+
+    def test_not_binds_tighter_than_and(self):
+        node = expr("$x = !$a && $b;")
+        assert node.value.op == "&&"
+        assert isinstance(node.value.left, ast.UnaryOp)
+
+    def test_unary_minus_power(self):
+        # -2 ** 2: ** binds tighter than unary minus in PHP
+        node = expr("$x = -$a ** 2;")
+        assert isinstance(node.value, ast.UnaryOp)
+        assert node.value.operand.op == "**"
+
+    def test_instanceof_chain(self):
+        node = expr("$x = $a instanceof A instanceof B;")
+        assert isinstance(node.value, ast.InstanceOf)
+
+    def test_assign_inside_condition(self):
+        stmt = body("if ($row = mysql_fetch_assoc($r)) { echo 1; }")[0]
+        assert isinstance(stmt.cond, ast.Assign)
+
+    def test_spaceship(self):
+        node = expr("$x = $a <=> $b;")
+        assert node.value.op == "<=>"
+
+    def test_bitwise_precedence(self):
+        node = expr("$x = $a | $b & $c;")
+        assert node.value.op == "|"
+        assert node.value.right.op == "&"
+
+
+class TestDeclarationsDeep:
+    def test_method_named_like_keyword(self):
+        prog = parse("<?php class C { public function list() {} "
+                     "public function print() {} }")
+        cls = prog.body[0]
+        assert [m.name for m in cls.members] == ["list", "print"]
+
+    def test_class_const_named_like_keyword(self):
+        prog = parse("<?php class C { const DEFAULT = 1; } "
+                     "$x = C::DEFAULT;")
+        access = list(find_all(prog, ast.ClassConstAccess))
+        assert access[0].name == "DEFAULT"
+
+    def test_static_method_called_on_static(self):
+        node = expr("$x = static::make();")
+        assert isinstance(node.value, ast.StaticCall)
+        assert node.value.cls == "static"
+
+    def test_parent_style_call(self):
+        prog = parse("<?php class C extends B "
+                     "{ function f() { parent::f(); } }")
+        calls = list(find_all(prog, ast.StaticCall))
+        assert calls[0].cls == "parent"
+
+    def test_nullable_union_types(self):
+        prog = parse("<?php function f(?int $a, string|array $b) {}")
+        params = prog.body[0].params
+        assert params[0].type_hint == "?int"
+        assert "array" in params[1].type_hint
+
+    def test_constructor_promotion_tolerated(self):
+        prog = parse("<?php class P { public function __construct("
+                     "private int $x, public $y = 2) {} }")
+        ctor = prog.body[0].members[0]
+        assert [p.name for p in ctor.params] == ["x", "y"]
+
+    def test_interface_extends_many(self):
+        prog = parse("<?php interface I extends A, B {}")
+        assert prog.body[0].interfaces == ["A", "B"]
+
+    def test_use_function_import(self):
+        prog = parse("<?php use function My\\Ns\\helper;")
+        assert prog.body[0].imports == [("My\\Ns\\helper", None)]
+
+    def test_grouped_properties(self):
+        prog = parse("<?php class C { public $a = 1, $b; }")
+        prop = prog.body[0].members[0]
+        assert [name for name, _ in prop.vars] == ["a", "b"]
+
+
+class TestControlFlowDeep:
+    def test_nested_alternative_syntax(self):
+        prog = parse("<?php if ($a): while ($b): echo 1; endwhile; "
+                     "endif;")
+        outer = prog.body[0]
+        assert isinstance(outer.then[0], ast.While)
+
+    def test_for_with_empty_sections(self):
+        stmt = body("for (;;) { break; }")[0]
+        assert stmt.init == [] and stmt.cond == [] and stmt.step == []
+
+    def test_for_multiple_expressions(self):
+        stmt = body("for ($i = 0, $j = 9; $i < $j; $i++, $j--) {}")[0]
+        assert len(stmt.init) == 2 and len(stmt.step) == 2
+
+    def test_break_with_level(self):
+        stmt = body("while (1) { while (1) { break 2; } }")[0]
+        inner_break = list(find_all(parse("<?php while (1) "
+                                          "{ while (1) { break 2; } }"),
+                                    ast.Break))[0]
+        assert inner_break.level == 2
+
+    def test_switch_alternative_syntax(self):
+        stmt = body("switch ($x): case 1: echo 1; break; endswitch;")[0]
+        assert len(stmt.cases) == 1
+
+    def test_foreach_list_destructuring(self):
+        stmt = body("foreach ($pairs as list($a, $b)) { echo $a; }")[0]
+        assert isinstance(stmt, ast.Foreach)
+
+
+class TestHtmlBoundaries:
+    def test_php_islands_between_html(self):
+        prog = parse("<a><?php if ($x) { ?><b><?php } ?></a>")
+        # the InlineHTML inside the if-body is preserved
+        htmls = [n.text for n in find_all(prog, ast.InlineHTML)]
+        assert any("<b>" in t for t in htmls)
+
+    def test_short_echo_expression(self):
+        prog = parse("<p><?= $user ?></p>")
+        echos = list(find_all(prog, ast.Echo))
+        assert len(echos) == 1
+
+    def test_close_tag_terminates_statement(self):
+        prog = parse("<?php $x = 1 ?>html")
+        assert isinstance(prog.body[0], ast.ExpressionStatement)
+
+    def test_unparse_keeps_island_structure(self):
+        src = "<a><?php echo 1; ?></a><b><?php echo 2; ?></b>"
+        out = unparse(parse(src))
+        assert out.index("<a>") < out.index("echo 1")
+        assert out.index("echo 1") < out.index("<b>")
+        assert out.index("<b>") < out.index("echo 2")
+
+
+class TestErrorsPrecise:
+    @pytest.mark.parametrize("source,line", [
+        ("<?php\n$x = ;", 2),
+        ("<?php\n\nfunction f(// broken", 3),
+    ])
+    def test_error_line_numbers(self, source, line):
+        with pytest.raises(PhpSyntaxError) as exc_info:
+            parse(source)
+        assert exc_info.value.line >= line - 1
+
+    def test_error_includes_filename(self):
+        with pytest.raises(PhpSyntaxError) as exc_info:
+            parse("<?php $x = ;", "myfile.php")
+        assert "myfile.php" in str(exc_info.value)

@@ -1,0 +1,203 @@
+"""Unit tests for the PHP lexer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PhpSyntaxError
+from repro.php.lexer import tokenize
+from repro.php.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [(t.type, t.value) for t in tokenize(source)]
+
+
+class TestHtmlMode:
+    def test_pure_html(self):
+        toks = tokenize("<html><body>hi</body></html>")
+        assert [t.type for t in toks] == [T.INLINE_HTML, T.EOF]
+        assert toks[0].value == "<html><body>hi</body></html>"
+
+    def test_html_then_php(self):
+        toks = tokenize("<p><?php echo 1; ?></p>")
+        assert [t.type for t in toks] == [
+            T.INLINE_HTML, T.OPEN_TAG, T.KW_ECHO, T.INT, T.SEMI,
+            T.CLOSE_TAG, T.INLINE_HTML, T.EOF]
+
+    def test_short_echo_tag(self):
+        toks = tokenize("<?= $x ?>")
+        assert toks[0].type is T.OPEN_TAG
+        assert toks[1].type is T.KW_ECHO
+        assert toks[2].type is T.VARIABLE
+
+    def test_close_tag_eats_single_newline(self):
+        toks = tokenize("<?php ?>\nrest")
+        html = [t for t in toks if t.type is T.INLINE_HTML]
+        assert html[0].value == "rest"
+
+    def test_empty_source(self):
+        assert types("") == [T.EOF]
+
+
+class TestVariablesAndIdents:
+    def test_variable(self):
+        toks = tokenize("<?php $foo;")
+        assert (toks[1].type, toks[1].value) == (T.VARIABLE, "foo")
+
+    def test_superglobal(self):
+        toks = tokenize("<?php $_GET;")
+        assert toks[1].value == "_GET"
+
+    def test_keywords_case_insensitive(self):
+        assert types("<?php IF WHILE FuncTion")[1:4] == [
+            T.KW_IF, T.KW_WHILE, T.KW_FUNCTION]
+
+    def test_keyword_value_preserved(self):
+        toks = tokenize("<?php FuncTion")
+        assert toks[1].value == "FuncTion"
+
+    def test_die_is_exit(self):
+        assert types("<?php die;")[1] is T.KW_EXIT
+
+    def test_plain_ident(self):
+        toks = tokenize("<?php my_function")
+        assert (toks[1].type, toks[1].value) == (T.IDENT, "my_function")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("literal,type_", [
+        ("42", T.INT), ("0", T.INT), ("0x1F", T.INT), ("0b101", T.INT),
+        ("1.5", T.FLOAT), (".5", T.FLOAT), ("1e3", T.FLOAT),
+        ("1.5e-3", T.FLOAT),
+    ])
+    def test_number_kinds(self, literal, type_):
+        toks = tokenize(f"<?php {literal};")
+        assert toks[1].type is type_
+        assert toks[1].value == literal
+
+
+class TestStrings:
+    def test_single_quoted_escapes(self):
+        toks = tokenize(r"<?php 'it\'s \\ \n';")
+        assert toks[1].type is T.SQ_STRING
+        assert toks[1].value == "it's \\ \\n"
+
+    def test_double_quoted_raw(self):
+        toks = tokenize(r'<?php "a $x b\n";')
+        assert toks[1].type is T.DQ_STRING
+        assert toks[1].value == r"a $x b\n"
+
+    def test_backtick(self):
+        toks = tokenize("<?php `ls $dir`;")
+        assert toks[1].type is T.BACKTICK
+        assert toks[1].value == "ls $dir"
+
+    def test_heredoc(self):
+        src = "<?php $s = <<<EOT\nhello $name\nEOT;\n"
+        toks = tokenize(src)
+        here = [t for t in toks if t.type is T.HEREDOC]
+        assert here[0].value == "hello $name"
+
+    def test_nowdoc(self):
+        src = "<?php $s = <<<'EOT'\nno $interp\nEOT;\n"
+        toks = tokenize(src)
+        now = [t for t in toks if t.type is T.NOWDOC]
+        assert now[0].value == "no $interp"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("<?php 'oops")
+
+    def test_unterminated_dq_raises(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize('<?php "oops')
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert types("<?php // nope\n1;")[1] is T.INT
+
+    def test_hash_comment(self):
+        assert types("<?php # nope\n1;")[1] is T.INT
+
+    def test_block_comment(self):
+        assert types("<?php /* x\ny */ 1;")[1] is T.INT
+
+    def test_line_comment_ends_at_close_tag(self):
+        toks = tokenize("<?php // comment ?>html")
+        assert T.CLOSE_TAG in [t.type for t in toks]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("<?php /* never ends")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op,type_", [
+        ("===", T.IDENTICAL), ("!==", T.NOT_IDENTICAL), ("<=>", T.SPACESHIP),
+        ("??", T.COALESCE), ("??=", T.COALESCE_ASSIGN), ("->", T.ARROW),
+        ("=>", T.DOUBLE_ARROW), ("::", T.DOUBLE_COLON), (".=", T.CONCAT_ASSIGN),
+        ("**", T.POW), ("<<", T.SHL), ("...", T.ELLIPSIS),
+    ])
+    def test_multichar(self, op, type_):
+        assert types(f"<?php $a {op} $b")[2] is type_
+
+    def test_maximal_munch(self):
+        # "===" must not lex as "==", "="
+        assert types("<?php 1 === 2")[2] is T.IDENTICAL
+
+    def test_cast(self):
+        toks = tokenize("<?php (int)$x; (STRING) $y;")
+        casts = [t for t in toks if t.type is T.CAST]
+        assert [c.value for c in casts] == ["int", "string"]
+
+    def test_parens_not_cast(self):
+        # (foo) is not a cast: foo is not a cast type
+        toks = tokenize("<?php (foo)")
+        assert toks[1].type is T.LPAREN
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(PhpSyntaxError):
+            tokenize("<?php \x01")
+
+
+class TestPositions:
+    def test_line_col_tracking(self):
+        toks = tokenize("<?php\n  $x = 1;")
+        var = [t for t in toks if t.type is T.VARIABLE][0]
+        assert (var.line, var.col) == (2, 3)
+
+    def test_multiline_string_positions(self):
+        toks = tokenize('<?php "a\nb"; $y;')
+        var = [t for t in toks if t.type is T.VARIABLE][0]
+        assert var.line == 2
+
+
+class TestLexerProperties:
+    @given(st.text(alphabet=st.characters(codec="utf-8",
+                                          exclude_characters="\x00"),
+                   max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_html_mode_never_crashes(self, text):
+        """Arbitrary text without <? is one INLINE_HTML token (or empty)."""
+        if "<?" in text:
+            return
+        toks = tokenize(text)
+        assert toks[-1].type is T.EOF
+
+    @given(st.lists(st.sampled_from(
+        ["$a", "1", "'s'", "+", "-", "==", "(", ")", ";", "if", "echo",
+         "foo", "->", "[", "]", ",", "."]), max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_token_soup_lexes(self, pieces):
+        """Any whitespace-joined soup of valid lexemes lexes cleanly."""
+        source = "<?php " + " ".join(pieces)
+        toks = tokenize(source)
+        assert toks[-1].type is T.EOF
+        # every non-structural token came from our soup
+        assert len(toks) >= 2

@@ -1,0 +1,129 @@
+"""Tests for modern PHP syntax support: arrow functions and match."""
+
+import pytest
+
+from repro.php import ast, parse, unparse
+from repro.php.visitor import find_all
+from repro.analysis import generate_detector
+
+
+def first_expr(body):
+    prog = parse("<?php " + body)
+    stmt = prog.body[0]
+    return stmt.expr if isinstance(stmt, ast.ExpressionStatement) else stmt
+
+
+class TestArrowFunctions:
+    def test_basic_arrow(self):
+        node = first_expr("$f = fn($x) => $x * 2;")
+        closure = node.value
+        assert isinstance(closure, ast.Closure)
+        assert closure.is_arrow
+        assert [p.name for p in closure.params] == ["x"]
+        assert isinstance(closure.body[0], ast.Return)
+
+    def test_arrow_no_params(self):
+        node = first_expr("$f = fn() => 42;")
+        assert node.value.is_arrow
+
+    def test_arrow_by_ref(self):
+        node = first_expr("$f = fn&($x) => $x;")
+        assert node.value.by_ref
+
+    def test_arrow_with_return_type(self):
+        node = first_expr("$f = fn($x): int => $x;")
+        assert node.value.is_arrow
+
+    def test_arrow_nested(self):
+        node = first_expr("$f = fn($x) => fn($y) => $x + $y;")
+        outer = node.value
+        inner = outer.body[0].expr
+        assert inner.is_arrow
+
+    def test_legacy_fn_identifier(self):
+        node = first_expr("$x = fn;")
+        assert isinstance(node.value, ast.ConstFetch)
+
+    def test_arrow_round_trip(self):
+        src = "<?php $f = fn ($x) => ($x + 1);"
+        out = unparse(parse(src))
+        assert unparse(parse(out)) == out
+        assert "fn (" in out
+
+
+class TestMatch:
+    def test_basic_match(self):
+        node = first_expr("$v = match ($x) { 1 => 'a', 2 => 'b' };")
+        m = node.value
+        assert isinstance(m, ast.Match)
+        assert len(m.arms) == 2
+        assert m.arms[0].conditions[0].value == 1
+
+    def test_match_multiple_conditions(self):
+        node = first_expr("$v = match ($x) { 1, 2, 3 => 'many' };")
+        assert len(node.value.arms[0].conditions) == 3
+
+    def test_match_default(self):
+        node = first_expr(
+            "$v = match ($x) { 1 => 'a', default => 'z' };")
+        assert node.value.arms[1].conditions is None
+
+    def test_match_trailing_comma(self):
+        node = first_expr("$v = match ($x) { 1 => 'a', };")
+        assert len(node.value.arms) == 1
+
+    def test_legacy_match_call(self):
+        node = first_expr("$r = match($a, $b);")
+        assert isinstance(node.value, ast.FunctionCall)
+        assert node.value.name == "match"
+        assert len(node.value.args) == 2
+
+    def test_legacy_match_call_single_arg(self):
+        # match($x) followed by ';' (no brace) is a call
+        node = first_expr("$r = match($a);")
+        assert isinstance(node.value, ast.FunctionCall)
+
+    def test_match_round_trip(self):
+        src = "<?php $v = match ($x) { 1, 2 => 'a', default => 'z' };"
+        out = unparse(parse(src))
+        assert unparse(parse(out)) == out
+
+    def test_match_walk(self):
+        prog = parse("<?php $v = match ($x) { 1 => f($y) };")
+        assert len(list(find_all(prog, ast.FunctionCall))) == 1
+
+
+class TestTaintThroughModernSyntax:
+    @pytest.fixture(scope="class")
+    def det(self):
+        return generate_detector("sqli", ["mysql_query:0"],
+                                 sanitizers=["mysql_real_escape_string"])
+
+    def test_match_propagates_taint(self, det):
+        cands = det.detect_source(
+            "<?php $q = match ($m) { 1 => 'safe', "
+            "default => $_GET['x'] }; mysql_query($q);")
+        assert len(cands) == 1
+
+    def test_match_all_safe_arms_silent(self, det):
+        cands = det.detect_source(
+            "<?php $q = match ($m) { 1 => 'a', default => 'b' }; "
+            "mysql_query($q);")
+        assert cands == []
+
+    def test_match_sanitized_arm_silent(self, det):
+        cands = det.detect_source(
+            "<?php $q = match ($m) { default => "
+            "mysql_real_escape_string($_GET['x']) }; mysql_query($q);")
+        assert cands == []
+
+    def test_arrow_body_sink_detected(self, det):
+        cands = det.detect_source(
+            "<?php $go = fn($u) => mysql_query('x = ' . $_POST['p']);")
+        assert len(cands) == 1
+
+    def test_arrow_captures_enclosing_scope(self, det):
+        cands = det.detect_source(
+            "<?php $t = $_GET['v']; "
+            "$go = fn() => mysql_query('w = ' . $t);")
+        assert len(cands) == 1

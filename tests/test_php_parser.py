@@ -1,0 +1,488 @@
+"""Unit tests for the PHP parser."""
+
+import pytest
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast, parse
+from repro.php.visitor import find_all
+
+
+def parse_php(body: str):
+    """Parse a PHP snippet (adds the open tag)."""
+    return parse("<?php " + body)
+
+
+def first_stmt(body: str):
+    return parse_php(body).body[0]
+
+
+def first_expr(body: str):
+    stmt = first_stmt(body)
+    assert isinstance(stmt, ast.ExpressionStatement)
+    return stmt.expr
+
+
+class TestExpressions:
+    def test_assignment(self):
+        node = first_expr("$x = 1;")
+        assert isinstance(node, ast.Assign)
+        assert node.target.name == "x"
+        assert node.value.value == 1
+
+    def test_compound_assignment(self):
+        node = first_expr("$x .= 'a';")
+        assert node.op == ".="
+
+    def test_chained_assignment_right_assoc(self):
+        node = first_expr("$a = $b = 1;")
+        assert isinstance(node.value, ast.Assign)
+
+    def test_by_ref_assignment(self):
+        node = first_expr("$a = &$b;")
+        assert node.by_ref is True
+
+    def test_concat_precedence(self):
+        node = first_expr("$a = 'x' . 'y' . 'z';")
+        # left-assoc: ((x . y) . z)
+        assert isinstance(node.value, ast.BinaryOp)
+        assert node.value.op == "."
+        assert isinstance(node.value.left, ast.BinaryOp)
+
+    def test_arithmetic_precedence(self):
+        node = first_expr("$a = 1 + 2 * 3;")
+        assert node.value.op == "+"
+        assert node.value.right.op == "*"
+
+    def test_comparison_and_bool(self):
+        node = first_expr("$a = $x == 1 && $y != 2;")
+        assert node.value.op == "&&"
+
+    def test_low_precedence_and(self):
+        # "or" binds looser than "="
+        node = first_expr("$a = foo() or bar();")
+        assert isinstance(node, ast.BinaryOp)
+        assert node.op == "||"
+        assert isinstance(node.left, ast.Assign)
+
+    def test_ternary(self):
+        node = first_expr("$a = $c ? 1 : 2;")
+        assert isinstance(node.value, ast.Ternary)
+
+    def test_short_ternary(self):
+        node = first_expr("$a = $c ?: 2;")
+        assert node.value.then is None
+
+    def test_coalesce(self):
+        node = first_expr("$a = $_GET['x'] ?? 'd';")
+        assert node.value.op == "??"
+
+    def test_unary_not(self):
+        node = first_expr("$a = !$b;")
+        assert isinstance(node.value, ast.UnaryOp)
+        assert node.value.op == "!"
+
+    def test_cast(self):
+        node = first_expr("$a = (int)$b;")
+        assert isinstance(node.value, ast.Cast)
+        assert node.value.to == "int"
+
+    def test_error_suppress(self):
+        node = first_expr("$a = @foo();")
+        assert isinstance(node.value, ast.ErrorSuppress)
+
+    def test_inc_dec(self):
+        pre = first_expr("++$i;")
+        post = first_expr("$i++;")
+        assert pre.prefix and not post.prefix
+
+    def test_instanceof(self):
+        node = first_expr("$a = $x instanceof Foo;")
+        assert isinstance(node.value, ast.InstanceOf)
+        assert node.value.cls == "Foo"
+
+    def test_power_right_assoc(self):
+        node = first_expr("$a = 2 ** 3 ** 2;")
+        assert node.value.op == "**"
+        assert node.value.right.op == "**"
+
+
+class TestCallsAndAccess:
+    def test_function_call(self):
+        node = first_expr("foo($a, 1, 'x');")
+        assert isinstance(node, ast.FunctionCall)
+        assert node.name == "foo"
+        assert len(node.args) == 3
+
+    def test_namespaced_call(self):
+        node = first_expr("\\My\\Ns\\foo();")
+        assert node.name == "\\My\\Ns\\foo"
+
+    def test_nested_calls(self):
+        node = first_expr("outer(inner($x));")
+        inner = node.args[0].value
+        assert isinstance(inner, ast.FunctionCall)
+
+    def test_method_call(self):
+        node = first_expr("$db->query($sql);")
+        assert isinstance(node, ast.MethodCall)
+        assert node.name == "query"
+        assert node.obj.name == "db"
+
+    def test_chained_method_calls(self):
+        node = first_expr("$a->b()->c();")
+        assert isinstance(node, ast.MethodCall)
+        assert isinstance(node.obj, ast.MethodCall)
+
+    def test_static_call(self):
+        node = first_expr("Db::query($sql);")
+        assert isinstance(node, ast.StaticCall)
+        assert node.cls == "Db"
+
+    def test_static_property(self):
+        node = first_expr("Foo::$bar;")
+        assert isinstance(node, ast.StaticPropertyAccess)
+
+    def test_class_const(self):
+        node = first_expr("Foo::BAR;")
+        assert isinstance(node, ast.ClassConstAccess)
+
+    def test_array_access(self):
+        node = first_expr("$_GET['id'];")
+        assert isinstance(node, ast.ArrayAccess)
+        assert node.base.name == "_GET"
+        assert node.index.value == "id"
+
+    def test_array_append(self):
+        node = first_expr("$a[] = 1;")
+        assert isinstance(node.target, ast.ArrayAccess)
+        assert node.target.index is None
+
+    def test_multidim_access(self):
+        node = first_expr("$a[0]['x'];")
+        assert isinstance(node.base, ast.ArrayAccess)
+
+    def test_property_access(self):
+        node = first_expr("$this->wpdb;")
+        assert isinstance(node, ast.PropertyAccess)
+        assert node.name == "wpdb"
+
+    def test_dynamic_property(self):
+        node = first_expr("$o->$name;")
+        assert isinstance(node.name, ast.Variable)
+
+    def test_new(self):
+        node = first_expr("new PDO($dsn);")
+        assert isinstance(node, ast.New)
+        assert node.cls == "PDO"
+
+    def test_new_no_args(self):
+        node = first_expr("$m = new MongoClient;")
+        assert isinstance(node.value, ast.New)
+
+    def test_variable_function(self):
+        node = first_expr("$f($x);")
+        assert isinstance(node, ast.FunctionCall)
+        assert isinstance(node.name, ast.Variable)
+
+    def test_by_ref_arg(self):
+        node = first_expr("sort(&$arr);")
+        assert node.args[0].by_ref
+
+    def test_variable_variable(self):
+        node = first_expr("$$name;")
+        assert isinstance(node, ast.VariableVariable)
+
+
+class TestLiterals:
+    def test_bool_null(self):
+        assert first_expr("true;").value is True
+        assert first_expr("FALSE;").value is False
+        assert first_expr("null;").kind == "null"
+
+    def test_array_literal_long(self):
+        node = first_expr("array('a' => 1, 2);")
+        assert len(node.items) == 2
+        assert node.items[0].key.value == "a"
+        assert node.items[1].key is None
+
+    def test_array_literal_short(self):
+        node = first_expr("[1, 2, 3];")
+        assert isinstance(node, ast.ArrayLiteral)
+        assert len(node.items) == 3
+
+    def test_nested_arrays(self):
+        node = first_expr("['a' => ['b' => 1]];")
+        assert isinstance(node.items[0].value, ast.ArrayLiteral)
+
+    def test_const_fetch(self):
+        node = first_expr("PHP_EOL;")
+        assert isinstance(node, ast.ConstFetch)
+
+
+class TestInterpolation:
+    def test_no_interpolation_is_literal(self):
+        node = first_expr('"plain text";')
+        assert isinstance(node, ast.Literal)
+        assert node.value == "plain text"
+
+    def test_escape_decoding(self):
+        node = first_expr(r'"a\nb\tc\\d\$e";')
+        assert node.value == "a\nb\tc\\d$e"
+
+    def test_simple_var(self):
+        node = first_expr('"id = $id";')
+        assert isinstance(node, ast.InterpolatedString)
+        variables = [p for p in node.parts if isinstance(p, ast.Variable)]
+        assert variables[0].name == "id"
+
+    def test_simple_array_index(self):
+        node = first_expr('"v = $row[name]";')
+        access = [p for p in node.parts if isinstance(p, ast.ArrayAccess)][0]
+        assert access.index.value == "name"
+
+    def test_simple_property(self):
+        node = first_expr('"v = $obj->prop";')
+        access = [p for p in node.parts
+                  if isinstance(p, ast.PropertyAccess)][0]
+        assert access.name == "prop"
+
+    def test_complex_interpolation(self):
+        node = first_expr('"v = {$row[\'name\']}";')
+        access = [p for p in node.parts if isinstance(p, ast.ArrayAccess)][0]
+        assert access.index.value == "name"
+
+    def test_complex_method_call(self):
+        node = first_expr('"v = {$o->m(1)}";')
+        assert any(isinstance(p, ast.MethodCall) for p in node.parts)
+
+    def test_dollar_without_name_is_literal(self):
+        node = first_expr('"cost: $ 5";')
+        assert isinstance(node, ast.Literal)
+
+    def test_heredoc_interpolates(self):
+        prog = parse("<?php $s = <<<EOT\nhello $name\nEOT;\n")
+        assign = prog.body[0].expr
+        assert isinstance(assign.value, ast.InterpolatedString)
+
+    def test_shell_exec(self):
+        node = first_expr("`ls $dir`;")
+        assert isinstance(node, ast.ShellExec)
+        assert any(isinstance(p, ast.Variable) for p in node.parts)
+
+
+class TestStatements:
+    def test_echo_multiple(self):
+        stmt = first_stmt("echo $a, $b;")
+        assert isinstance(stmt, ast.Echo)
+        assert len(stmt.exprs) == 2
+
+    def test_if_elseif_else(self):
+        stmt = first_stmt("if ($a) { 1; } elseif ($b) { 2; } else { 3; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.elifs) == 1
+        assert stmt.otherwise is not None
+
+    def test_else_if_two_words(self):
+        stmt = first_stmt("if ($a) 1; else if ($b) 2;")
+        assert len(stmt.elifs) == 1
+
+    def test_if_alternative_syntax(self):
+        stmt = first_stmt("if ($a): echo 1; else: echo 2; endif;")
+        assert stmt.otherwise is not None
+
+    def test_while(self):
+        stmt = first_stmt("while ($x) $x--;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = first_stmt("do { $x--; } while ($x);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for(self):
+        stmt = first_stmt("for ($i = 0; $i < 10; $i++) echo $i;")
+        assert isinstance(stmt, ast.For)
+        assert len(stmt.init) == 1
+
+    def test_foreach_value(self):
+        stmt = first_stmt("foreach ($rows as $row) {}")
+        assert stmt.key_var is None
+        assert stmt.value_var.name == "row"
+
+    def test_foreach_key_value(self):
+        stmt = first_stmt("foreach ($rows as $k => $v) {}")
+        assert stmt.key_var.name == "k"
+
+    def test_foreach_by_ref(self):
+        stmt = first_stmt("foreach ($rows as &$row) {}")
+        assert stmt.by_ref
+
+    def test_switch(self):
+        stmt = first_stmt(
+            "switch ($x) { case 1: echo 'a'; break; default: break; }")
+        assert isinstance(stmt, ast.Switch)
+        assert len(stmt.cases) == 2
+        assert stmt.cases[1].test is None
+
+    def test_return(self):
+        stmt = first_stmt("return $x;")
+        assert isinstance(stmt, ast.Return)
+
+    def test_return_void(self):
+        stmt = first_stmt("return;")
+        assert stmt.expr is None
+
+    def test_global(self):
+        stmt = first_stmt("global $db, $conf;")
+        assert stmt.names == ["db", "conf"]
+
+    def test_static_vars(self):
+        stmt = first_stmt("static $count = 0;")
+        assert isinstance(stmt, ast.StaticVarDecl)
+
+    def test_unset(self):
+        stmt = first_stmt("unset($a, $b['x']);")
+        assert len(stmt.vars) == 2
+
+    def test_include_require(self):
+        stmt = first_stmt("require_once 'conf.php';")
+        assert isinstance(stmt.expr, ast.Include)
+        assert stmt.expr.kind == "require_once"
+
+    def test_exit_with_message(self):
+        stmt = first_stmt("exit('bye');")
+        assert isinstance(stmt.expr, ast.ExitExpr)
+
+    def test_try_catch_finally(self):
+        stmt = first_stmt(
+            "try { f(); } catch (A | B $e) { g(); } finally { h(); }")
+        assert isinstance(stmt, ast.Try)
+        assert stmt.catches[0].types == ["A", "B"]
+        assert stmt.finally_body is not None
+
+    def test_throw(self):
+        stmt = first_stmt("throw new Exception('x');")
+        assert isinstance(stmt, ast.Throw)
+
+    def test_list_assign(self):
+        stmt = first_expr("list($a, , $b) = $parts;")
+        assert isinstance(stmt, ast.ListAssign)
+        assert stmt.targets[1] is None
+
+    def test_short_list_assign(self):
+        stmt = first_expr("[$a, $b] = $parts;")
+        assert isinstance(stmt, ast.ListAssign)
+
+    def test_declare_is_tolerated(self):
+        prog = parse_php("declare(strict_types=1); $x = 1;")
+        assert len(prog.body) == 2
+
+
+class TestDeclarations:
+    def test_function_decl(self):
+        stmt = first_stmt("function f($a, $b = 1, &$c) { return $a; }")
+        assert isinstance(stmt, ast.FunctionDecl)
+        assert [p.name for p in stmt.params] == ["a", "b", "c"]
+        assert stmt.params[1].default.value == 1
+        assert stmt.params[2].by_ref
+
+    def test_typed_params(self):
+        stmt = first_stmt("function f(int $a, ?string $b, array $c) {}")
+        assert stmt.params[0].type_hint == "int"
+        assert stmt.params[1].type_hint == "?string"
+        assert stmt.params[2].type_hint == "array"
+
+    def test_variadic_param(self):
+        stmt = first_stmt("function f(...$args) {}")
+        assert stmt.params[0].variadic
+
+    def test_return_type(self):
+        stmt = first_stmt("function f(): string { return 'x'; }")
+        assert stmt.return_type == "string"
+
+    def test_class_decl(self):
+        stmt = first_stmt("""
+            class Repo extends Base implements A, B {
+                public $db;
+                private static $cache = array();
+                const LIMIT = 10;
+                public function find($id) { return $id; }
+                abstract protected function x();
+            }
+        """)
+        assert isinstance(stmt, ast.ClassDecl)
+        assert stmt.parent == "Base"
+        assert stmt.interfaces == ["A", "B"]
+        kinds = [type(m).__name__ for m in stmt.members]
+        assert kinds == ["PropertyDecl", "PropertyDecl", "ClassConstDecl",
+                         "MethodDecl", "MethodDecl"]
+        assert stmt.members[4].body is None  # abstract
+
+    def test_interface(self):
+        stmt = first_stmt("interface I { public function f(); }")
+        assert stmt.kind == "interface"
+
+    def test_trait_use(self):
+        stmt = first_stmt("class C { use T1, T2; }")
+        assert isinstance(stmt.members[0], ast.UseTrait)
+
+    def test_abstract_class(self):
+        stmt = first_stmt("abstract class C {}")
+        assert stmt.modifiers == ["abstract"]
+
+    def test_closure(self):
+        node = first_expr("$f = function ($x) use ($y, &$z) { return $x; };")
+        assert isinstance(node.value, ast.Closure)
+        assert node.value.uses == [("y", False), ("z", True)]
+
+    def test_namespace(self):
+        stmt = first_stmt("namespace My\\App;")
+        assert isinstance(stmt, ast.NamespaceDecl)
+        assert stmt.name == "My\\App"
+
+    def test_use_decl(self):
+        stmt = first_stmt("use Foo\\Bar as Baz;")
+        assert stmt.imports == [("Foo\\Bar", "Baz")]
+
+    def test_anonymous_class(self):
+        node = first_expr("$o = new class { public function f() {} };")
+        assert isinstance(node.value, ast.New)
+        assert isinstance(node.value.cls, ast.ClassDecl)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "if ($x { }",            # missing paren
+        "function () {",         # unterminated
+        "$x = ;",                # missing rhs
+        "foreach ($a $b) {}",    # missing as
+        "class {}",              # missing name
+    ])
+    def test_syntax_errors_raise(self, bad):
+        with pytest.raises(PhpSyntaxError):
+            parse_php(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse("<?php\n  $x = ;")
+        except PhpSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected PhpSyntaxError")
+
+
+class TestPositionsAndWalk:
+    def test_node_positions(self):
+        prog = parse("<?php\n$x = 1;\n$y = 2;")
+        assert prog.body[0].line == 2
+        assert prog.body[1].line == 3
+
+    def test_walk_finds_all_calls(self):
+        prog = parse_php("f(g($x), $h->m(i()));")
+        calls = list(find_all(prog, ast.FunctionCall))
+        assert len(calls) == 3  # f, g, i
+        assert len(list(find_all(prog, ast.MethodCall))) == 1
+
+    def test_walk_into_if_elifs(self):
+        prog = parse_php("if ($a) { f(); } elseif ($b) { g(); }")
+        names = {c.name for c in find_all(prog, ast.FunctionCall)}
+        assert names == {"f", "g"}

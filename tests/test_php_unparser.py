@@ -1,0 +1,133 @@
+"""Tests for the PHP unparser, including the round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.php import ast, parse, unparse, unparse_expr
+
+SNIPPETS = [
+    "<?php $x = 1;",
+    "<?php $x = $_GET['id'];",
+    "<?php echo $a, $b;",
+    "<?php echo \"user: $name\";",
+    "<?php $q = \"SELECT * FROM t WHERE id = {$id}\";",
+    "<?php if ($a) { f(); } elseif ($b) { g(); } else { h(); }",
+    "<?php while ($i < 10) { $i++; }",
+    "<?php do { $i--; } while ($i);",
+    "<?php for ($i = 0; $i < 10; $i++) echo $i;",
+    "<?php foreach ($rows as $k => $v) { echo $v; }",
+    "<?php foreach ($rows as &$v) { $v = 1; }",
+    "<?php switch ($x) { case 1: break; default: exit('no'); }",
+    "<?php function f($a, $b = 1, &$c) { return $a . $b; }",
+    "<?php function f(int $a, ?string $b): string { return $b; }",
+    "<?php class C extends B implements I { public $p = 1; "
+    "const K = 'v'; public function m($x) { return $this->p; } }",
+    "<?php interface I { public function f(); }",
+    "<?php $f = function ($x) use ($y) { return $x + $y; };",
+    "<?php try { f(); } catch (A | B $e) { g($e); } finally { h(); }",
+    "<?php throw new Exception('x');",
+    "<?php $a = isset($_GET['x']) ? (int)$_GET['x'] : 0;",
+    "<?php $a = $_POST['y'] ?? 'default';",
+    "<?php $arr = array('a' => 1, 'b' => [2, 3], [4]);",
+    "<?php list($a, , $c) = explode(',', $s);",
+    "<?php global $db; static $n = 0; unset($tmp);",
+    "<?php $cmd = `ls -la $dir`; $out = @system($cmd);",
+    "<?php require_once 'config.php'; include $path;",
+    "<?php $x = -$y + +$z * ~$w ** 2;",
+    "<?php $s = 'it\\'s';",
+    "<?php Db::query($sql); $o::$prop; C::CONST_NAME;",
+    "<?php $obj->a->b()->c['d'] = 1;",
+    "<?php namespace My\\App; use Foo\\Bar as Baz;",
+    "<?php print $x and $y or $z xor $w;",
+    "<?php $v = new $cls($arg); $w = clone $v;",
+    "<html><p>x</p><?php echo 1; ?><div>y</div>",
+]
+
+
+def normalize(source: str) -> str:
+    """One unparse pass normalizes formatting; output is then a fixpoint."""
+    return unparse(parse(source))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("src", SNIPPETS)
+    def test_unparse_reparses(self, src):
+        out = normalize(src)
+        reparsed = parse(out)  # must not raise
+        assert reparsed.body is not None
+
+    @pytest.mark.parametrize("src", SNIPPETS)
+    def test_unparse_is_fixpoint(self, src):
+        once = normalize(src)
+        twice = normalize(once)
+        assert once == twice
+
+    @pytest.mark.parametrize("src", SNIPPETS)
+    def test_tree_shape_preserved(self, src):
+        tree1 = parse(src)
+        tree2 = parse(unparse(tree1))
+
+        def shape(tree):
+            # node type sequence is invariant under formatting, except
+            # Block collapsing; compare the multiset of node types
+            from collections import Counter
+            return Counter(type(n).__name__ for n in tree.walk()
+                           if not isinstance(n, (ast.InlineHTML, ast.Block)))
+
+        assert shape(tree1) == shape(tree2)
+
+
+class TestExprRendering:
+    def test_string_quoting(self):
+        assert unparse_expr(ast.Literal("a'b", "string")) == "'a\\'b'"
+
+    def test_interpolated_rendering(self):
+        tree = parse('<?php $q = "WHERE id = $id";')
+        out = unparse(tree)
+        assert '"WHERE id = {$id}"' in out
+
+    def test_dq_escapes_rendered(self):
+        tree = parse('<?php $s = "a\\nb$x";')
+        out = unparse(tree)
+        assert "\\n" in out
+
+    def test_null_bool(self):
+        assert unparse_expr(ast.Literal(None, "null")) == "null"
+        assert unparse_expr(ast.Literal(True, "bool")) == "true"
+
+
+class TestHtmlRoundTrip:
+    def test_html_preserved(self):
+        src = "<h1>Title</h1>\n<?php echo 1; ?>\n<footer>f</footer>"
+        out = normalize(src)
+        assert "<h1>Title</h1>" in out
+        assert "<footer>f</footer>" in out
+
+    def test_stability_with_html(self):
+        src = "<a>\n<?php $x = 1; ?>\n</a>\n"
+        once = normalize(src)
+        assert normalize(once) == once
+
+
+@st.composite
+def php_expressions(draw):
+    """Generate small random PHP expressions as source text."""
+    base = draw(st.sampled_from(
+        ["$a", "$b", "1", "2.5", "'s'", "$_GET['x']", "foo()", "$o->p"]))
+    depth = draw(st.integers(min_value=0, max_value=3))
+    expr = base
+    for _ in range(depth):
+        op = draw(st.sampled_from([" . ", " + ", " == ", " && "]))
+        rhs = draw(st.sampled_from(["$c", "3", "'t'", "bar($a)"]))
+        expr = f"({expr}{op}{rhs})"
+    return expr
+
+
+class TestProperties:
+    @given(php_expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_random_expression_round_trip(self, expr):
+        src = f"<?php $x = {expr};"
+        out = normalize(src)
+        assert normalize(out) == out

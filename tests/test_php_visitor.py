@@ -1,0 +1,113 @@
+"""Tests for the visitor / tree-walker framework."""
+
+from repro.php import ast, parse
+from repro.php.visitor import (
+    NodeTransformer,
+    NodeVisitor,
+    count_nodes,
+    find_all,
+    walk,
+)
+
+
+def program(body):
+    return parse("<?php " + body)
+
+
+class TestNodeVisitor:
+    def test_dispatch_to_named_method(self):
+        hits = []
+
+        class CallCollector(NodeVisitor):
+            def visit_FunctionCall(self, node):
+                hits.append(node.name)
+                self.generic_visit(node)
+
+        CallCollector().visit(program("f(g($x)); h();"))
+        assert hits == ["f", "g", "h"]
+
+    def test_generic_visit_recurses_everywhere(self):
+        seen = []
+
+        class Everything(NodeVisitor):
+            def visit_Variable(self, node):
+                seen.append(node.name)
+
+        Everything().visit(program(
+            "if ($a) { foreach ($b as $c) { echo $c; } }"))
+        assert seen == ["a", "b", "c", "c"]
+
+    def test_visitor_return_value(self):
+        class Counter(NodeVisitor):
+            def visit_Literal(self, node):
+                return node.value
+
+        assert Counter().visit(ast.Literal(42, "int")) == 42
+
+
+class TestNodeTransformer:
+    def test_replace_statement_in_list(self):
+        class EchoRemover(NodeTransformer):
+            def visit_Echo(self, node):
+                return None  # drop echos
+
+        tree = program("echo $a; $x = 1; echo $b;")
+        EchoRemover().visit(tree)
+        kinds = [type(n).__name__ for n in tree.body]
+        assert "Echo" not in kinds
+        assert "ExpressionStatement" in kinds
+
+    def test_replace_expression_node(self):
+        class IntDoubler(NodeTransformer):
+            def visit_Literal(self, node):
+                if node.kind == "int":
+                    return ast.Literal(node.value * 2, "int")
+                return node
+
+        tree = program("$x = 21;")
+        IntDoubler().visit(tree)
+        assign = tree.body[0].expr
+        assert assign.value.value == 42
+
+    def test_expand_one_to_many(self):
+        class StatementDoubler(NodeTransformer):
+            def visit_Echo(self, node):
+                return [node, ast.Echo(list(node.exprs))]
+
+        tree = program("echo $a;")
+        StatementDoubler().visit(tree)
+        assert sum(1 for n in tree.body
+                   if isinstance(n, ast.Echo)) == 2
+
+
+class TestHelpers:
+    def test_walk_preorder(self):
+        tree = program("$x = f(1);")
+        kinds = [type(n).__name__ for n in walk(tree)]
+        assert kinds[0] == "Program"
+        assert kinds.index("Assign") < kinds.index("FunctionCall")
+        assert kinds.index("FunctionCall") < kinds.index("Literal")
+
+    def test_find_all_with_predicate(self):
+        tree = program("f(1); g(2); f(3);")
+        fs = list(find_all(tree, ast.FunctionCall,
+                           lambda n: n.name == "f"))
+        assert len(fs) == 2
+
+    def test_count_nodes(self):
+        small = count_nodes(program("$x = 1;"))
+        bigger = count_nodes(program("$x = 1; $y = f($x) + 2;"))
+        assert bigger > small > 1
+
+    def test_children_skip_non_nodes(self):
+        decl = program("static $a = 1, $b;").body[0]
+        children = list(decl.children())
+        # only the default expression is a child node
+        assert len(children) == 1
+        assert isinstance(children[0], ast.Literal)
+
+    def test_if_children_include_elifs(self):
+        tree = program("if ($a) { f(); } elseif ($b) { g(); } "
+                       "else { h(); }")
+        names = {n.name for n in find_all(tree, ast.FunctionCall)}
+        assert names == {"f", "g", "h"}

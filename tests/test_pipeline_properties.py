@@ -1,0 +1,159 @@
+"""Property-based tests over the whole pipeline (DESIGN.md §5 invariants)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Detector, extend_config, generate_detector
+from repro.corrector import CodeCorrector
+from repro.corpus import (
+    SUPPORTED_CLASSES,
+    benign_snippet,
+    fp_snippet,
+    page_wrapper,
+    vuln_snippet,
+)
+from repro.php import parse, unparse
+from repro.vulnerabilities import build_submodules, wape_registry
+from repro.vulnerabilities.catalog import sqli_info
+
+SQLI_CONFIG = sqli_info().config
+
+
+@st.composite
+def corpus_pages(draw):
+    """A page assembled from random corpus snippets."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=1, max_value=4))
+    parts = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["vuln", "fp", "benign"]))
+        if kind == "vuln":
+            cls = draw(st.sampled_from(
+                [c for c in SUPPORTED_CLASSES if c != "ei"]))
+            parts.append(vuln_snippet(cls, rng))
+        elif kind == "fp":
+            parts.append(fp_snippet(
+                draw(st.sampled_from(["old", "new", "custom"])), rng))
+        else:
+            parts.append(benign_snippet(rng))
+    return page_wrapper(parts, "prop", rng)
+
+
+@pytest.fixture(scope="module")
+def full_detector():
+    registry = wape_registry()
+    return Detector([i.config for i in registry
+                     if i.config.sinks or i.config.source_functions])
+
+
+class TestParserProperties:
+    @given(corpus_pages())
+    @settings(max_examples=60, deadline=None)
+    def test_unparse_fixpoint_on_realistic_pages(self, source):
+        once = unparse(parse(source))
+        assert unparse(parse(once)) == once
+
+
+class TestEngineProperties:
+    @given(corpus_pages())
+    @settings(max_examples=50, deadline=None)
+    def test_analysis_deterministic(self, source):
+        det = Detector([SQLI_CONFIG])
+        a = det.detect_source(source)
+        b = det.detect_source(source)
+        assert [c.key() for c in a] == [c.key() for c in b]
+
+    @given(corpus_pages())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_entry_points_is_monotone(self, source):
+        """More entry points can only add candidates, never remove."""
+        base = Detector([SQLI_CONFIG])
+        extended = Detector([extend_config(
+            SQLI_CONFIG, entry_points={"_ENV", "_SESSION"})])
+        base_keys = {c.key() for c in base.detect_source(source)}
+        ext_keys = {c.key() for c in extended.detect_source(source)}
+        assert base_keys <= ext_keys
+
+    @given(corpus_pages())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_sanitizers_is_antitone(self, source):
+        """More sanitizers can only remove candidates, never add."""
+        base = Detector([SQLI_CONFIG])
+        hardened = Detector([extend_config(
+            SQLI_CONFIG,
+            sanitizers={"trim", "substr", "str_replace", "explode"})])
+        base_keys = {c.key() for c in base.detect_source(source)}
+        hard_keys = {c.key() for c in hardened.detect_source(source)}
+        assert hard_keys <= base_keys
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_paths_well_formed(self, seed):
+        rng = random.Random(seed)
+        src = page_wrapper([vuln_snippet("sqli", rng),
+                            fp_snippet("old", rng)], "p", rng)
+        for cand in Detector([SQLI_CONFIG]).detect_source(src):
+            assert cand.path[0].kind == "source"
+            assert cand.path[-1].kind == "sink"
+            assert cand.path[-1].detail == cand.sink_name
+            assert all(step.line >= 0 for step in cand.path)
+
+
+class TestCorrectorProperties:
+    @given(st.sampled_from([c for c in SUPPORTED_CLASSES
+                            if c not in ("ei", "nosqli", "wpsqli")]),
+           st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_fix_then_reanalyze_is_clean(self, class_id, seed,
+                                         ):
+        registry = wape_registry()
+        detector = Detector([i.config for i in registry
+                             if i.config.sinks
+                             or i.config.source_functions])
+        rng = random.Random(seed)
+        src = page_wrapper([vuln_snippet(class_id, rng)], "p", rng)
+        cands = detector.detect_source(src)
+        assert cands, (class_id, seed)
+        corrector = CodeCorrector()
+        fixed = corrector.correct_source(src, cands)
+        assert fixed.changed
+        post = detector.detect_source(fixed.source)
+        assert [c for c in post if c.vuln_class == class_id] == []
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_correction_idempotent(self, seed):
+        detector = Detector([SQLI_CONFIG])
+        rng = random.Random(seed)
+        src = page_wrapper([vuln_snippet("sqli", rng)], "p", rng)
+        corrector = CodeCorrector()
+        once = corrector.correct_source(src, detector.detect_source(src))
+        again = corrector.correct_source(
+            once.source, detector.detect_source(once.source))
+        assert not again.changed
+        assert again.source == once.source
+
+
+class TestWeaponEquivalence:
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_equals_builtin_detector(self, seed):
+        """DESIGN.md invariant: a weapon built from (ep, ss, san) detects
+        exactly what an equivalently-configured builtin detector does."""
+        rng = random.Random(seed)
+        src = page_wrapper([vuln_snippet("sqli", rng),
+                            benign_snippet(rng)], "p", rng)
+        builtin = Detector([SQLI_CONFIG])
+        generated = generate_detector(
+            "sqli",
+            [f"{s.name}:" + ",".join(map(str, s.arg_positions))
+             if s.arg_positions else s.name
+             for s in SQLI_CONFIG.sinks],
+            sanitizers=list(SQLI_CONFIG.sanitizers),
+        )
+        assert {c.key() for c in builtin.detect_source(src)} == \
+            {c.key() for c in generated.detect_source(src)}

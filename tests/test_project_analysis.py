@@ -1,0 +1,150 @@
+"""Tests for whole-project, cross-file analysis."""
+
+import os
+
+import pytest
+
+from repro.analysis import ProjectAnalyzer
+from repro.tool import Wape
+from repro.vulnerabilities.catalog import sqli_info, xss_info
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A small multi-file application."""
+    (tmp_path / "lib.php").write_text("""<?php
+function clean($v) {
+    return mysql_real_escape_string($v);
+}
+function run_query($sql) {
+    return mysql_query($sql);
+}
+function render($html) {
+    echo $html;
+}
+""")
+    (tmp_path / "index.php").write_text("""<?php
+require 'lib.php';
+$a = clean($_GET['a']);
+mysql_query("SELECT x FROM t WHERE a = '" . $a . "'");
+run_query("SELECT y FROM t WHERE b = '" . $_GET['b'] . "'");
+render($_GET['c']);
+""")
+    (tmp_path / "internal.php").write_text("""<?php
+function leaky() {
+    mysql_query($_GET['direct']);
+}
+""")
+    return str(tmp_path)
+
+
+def analyzer():
+    return ProjectAnalyzer([sqli_info().config, xss_info().config])
+
+
+class TestProjectAnalyzer:
+    def test_cross_file_sanitizer_resolved(self, project):
+        result = analyzer().analyze_tree(project)
+        # the clean() flow must NOT be reported
+        entries = {c.entry_point for c in result.candidates}
+        assert "$_GET['a']" not in entries
+
+    def test_cross_file_sink_flow_reported_at_callee(self, project):
+        result = analyzer().analyze_tree(project)
+        flows = [c for c in result.candidates
+                 if c.entry_point == "$_GET['b']"]
+        assert len(flows) == 1
+        assert flows[0].filename.endswith("lib.php")
+        assert flows[0].vuln_class == "sqli"
+
+    def test_cross_file_echo_sink(self, project):
+        result = analyzer().analyze_tree(project)
+        flows = [c for c in result.candidates
+                 if c.entry_point == "$_GET['c']"]
+        assert len(flows) == 1
+        assert flows[0].vuln_class == "xss"
+
+    def test_internal_flow_reported_once(self, project):
+        result = analyzer().analyze_tree(project)
+        directs = [c for c in result.candidates
+                   if c.entry_point == "$_GET['direct']"]
+        assert len(directs) == 1
+        assert directs[0].filename.endswith("internal.php")
+
+    def test_function_table_spans_project(self, project):
+        pa = analyzer()
+        files = pa.load(project)
+        table = pa.build_function_table(files)
+        assert {"clean", "run_query", "render", "leaky"} <= set(table)
+
+    def test_parse_error_does_not_abort_project(self, project):
+        with open(os.path.join(project, "broken.php"), "w") as f:
+            f.write("<?php $x = ;")
+        result = analyzer().analyze_tree(project)
+        broken = [f for f in result.files if f.parse_error]
+        assert len(broken) == 1
+        assert result.candidates  # the rest still analyzed
+
+    def test_candidates_sorted_and_unique(self, project):
+        result = analyzer().analyze_tree(project)
+        keys = [c.key() for c in result.candidates]
+        assert len(keys) == len(set(keys))
+        assert keys == sorted(
+            keys, key=lambda k: (k[1], k[2], k[0]))
+
+    def test_detector_input_accepted(self, project):
+        from repro.analysis import Detector
+        pa = ProjectAnalyzer(Detector([sqli_info().config]))
+        result = pa.analyze_tree(project)
+        assert result.candidates
+
+
+class TestWapeProjectMode:
+    def test_project_mode_beats_per_file_on_both_axes(self, project):
+        tool = Wape()
+        per_file = tool.analyze_tree(project)
+        whole = tool.analyze_project(project)
+        per_file_entries = {o.candidate.entry_point
+                            for o in per_file.real_vulnerabilities}
+        whole_entries = {o.candidate.entry_point
+                         for o in whole.real_vulnerabilities}
+        # the cross-file-sanitized flow is a false alarm only per-file
+        assert "$_GET['a']" in per_file_entries
+        assert "$_GET['a']" not in whole_entries
+        # flows through cross-file helpers into sinks are found only
+        # project-wide
+        assert "$_GET['b']" not in per_file_entries
+        assert {"$_GET['b']", "$_GET['c']"} <= whole_entries
+
+    def test_project_report_structure(self, project):
+        report = Wape().analyze_project(project)
+        assert report.total_files == 3
+        assert report.total_lines > 0
+        data = report.to_dict()
+        assert data["summary"]["real_vulnerabilities"] == \
+            len(report.real_vulnerabilities)
+
+    def test_rfi_lfi_refinement_in_project_mode(self, tmp_path):
+        (tmp_path / "inc.php").write_text(
+            "<?php include 'mods/' . $_GET['m'] . '.php';\n"
+            "include $_GET['full'];\n")
+        report = Wape().analyze_project(str(tmp_path))
+        classes = sorted(o.vuln_class for o in report.outcomes)
+        assert classes == ["lfi", "rfi"]
+
+
+class TestCliProjectAndJson:
+    def test_cli_project_flag(self, project, capsys):
+        from repro.tool.cli import main as cli_main
+        cli_main(["--project", "--quiet", project])
+        out = capsys.readouterr().out
+        assert "vulnerabilities" in out
+
+    def test_cli_json_output(self, project, capsys):
+        import json
+        from repro.tool.cli import main as cli_main
+        cli_main(["--json", project])
+        data = json.loads(capsys.readouterr().out)
+        assert data["tool"] == "WAPe"
+        assert data["summary"]["files"] == 3
+        assert all("findings" in f for f in data["files"])

@@ -1,0 +1,54 @@
+"""The repository ships the knowledge base as editable text files
+(``data/knowledge/``) — §III-A's "external files".  These tests keep the
+shipped files in sync with the Python catalogs."""
+
+import os
+
+import pytest
+
+from repro.analysis import load_registry
+from repro.tool import Wape
+from repro.vulnerabilities import wape_registry
+
+KNOWLEDGE_DIR = os.path.join(os.path.dirname(__file__), "..", "data",
+                             "knowledge")
+
+
+@pytest.fixture(scope="module")
+def shipped():
+    return load_registry(KNOWLEDGE_DIR)
+
+
+class TestShippedKnowledgeBase:
+    def test_directory_exists(self):
+        assert os.path.isdir(KNOWLEDGE_DIR), (
+            "regenerate with: python -m repro.tool.cli "
+            "--export-kb data/knowledge")
+
+    def test_in_sync_with_catalogs(self, shipped):
+        catalogs = wape_registry(include_weapons=False)
+        assert {i.class_id for i in shipped} == \
+            {i.class_id for i in catalogs}
+        for info in catalogs:
+            twin = shipped.get(info.class_id)
+            assert set(twin.config.sinks) == set(info.config.sinks), \
+                info.class_id
+            assert twin.config.sanitizers == info.config.sanitizers, \
+                info.class_id
+            assert twin.config.entry_points == info.config.entry_points
+            assert twin.submodule == info.submodule
+            assert twin.fix_id == info.fix_id
+
+    def test_tool_boots_from_shipped_kb(self, shipped):
+        tool = Wape(class_registry=shipped)
+        report = tool.analyze_source("<?php system($_GET['c']);")
+        assert [o.vuln_class for o in report.outcomes] == ["osci"]
+
+    def test_files_are_plain_text(self):
+        for class_dir in sorted(os.listdir(KNOWLEDGE_DIR)):
+            full = os.path.join(KNOWLEDGE_DIR, class_dir)
+            for name in ("meta.txt", "ep.txt", "ss.txt", "san.txt"):
+                path = os.path.join(full, name)
+                assert os.path.exists(path), path
+                with open(path, encoding="utf-8") as f:
+                    f.read()  # decodable

@@ -1,0 +1,131 @@
+"""Coverage for tool internals: arming, registry extension, versions."""
+
+import pytest
+
+from repro.exceptions import WeaponConfigError
+from repro.mining import DynamicSymptoms
+from repro.tool import Wap21, Wape
+from repro.tool.wap import _extend_registry
+from repro.vulnerabilities import wape_registry
+from repro.weapons import (
+    WeaponClassSpec,
+    WeaponRegistry,
+    WeaponSpec,
+    generate_weapon,
+)
+
+
+def logi_weapon(name="logi", flag="-logi"):
+    return generate_weapon(WeaponSpec(
+        name=name, flag=flag,
+        classes=(WeaponClassSpec(name, "Log injection",
+                                 ("error_log:0",), "LOGI"),),
+        fix_template="user_sanitization",
+        fix_malicious_chars=("\n",),
+    ))
+
+
+class TestArming:
+    def test_arm_twice_same_weapon_ok(self):
+        tool = Wape()
+        weapon = logi_weapon()
+        tool.arm(weapon)
+        tool.arm(weapon)  # idempotent-ish: same object accepted
+        assert tool.class_ids.count("logi") == 1
+
+    def test_arm_name_conflict_rejected(self):
+        tool = Wape()
+        tool.arm(logi_weapon())
+        with pytest.raises(WeaponConfigError):
+            tool.arm(logi_weapon())  # different object, same name
+
+    def test_armed_weapon_dynamic_symptoms_merge(self):
+        spec = WeaponSpec(
+            name="vali", flag="-vali",
+            classes=(WeaponClassSpec("vali", "V", ("risky:0",)),),
+            fix_template="user_validation",
+            fix_malicious_chars=("'",),
+            dynamic_symptoms=DynamicSymptoms(
+                mapping={"check_it": "is_numeric"}),
+        )
+        tool = Wape()
+        tool.arm(generate_weapon(spec))
+        report = tool.analyze_source(
+            "<?php if (check_it($_GET['n'])) "
+            "{ risky('q = ' . $_GET['n']); }")
+        assert len(report.predicted_false_positives) == 1
+
+    def test_weapon_flag_order_irrelevant(self):
+        a = Wape(weapon_flags=["-hei", "-wpsqli"])
+        b = Wape(weapon_flags=["-wpsqli", "-hei"])
+        src = ("<?php header('X: ' . $_GET['h']); "
+               "$wpdb->query('q' . $_GET['q']);")
+        keys_a = sorted(o.candidate.key()
+                        for o in a.analyze_source(src).outcomes)
+        keys_b = sorted(o.candidate.key()
+                        for o in b.analyze_source(src).outcomes)
+        assert keys_a == keys_b
+
+    def test_custom_weapon_registry(self):
+        registry = WeaponRegistry([logi_weapon()])
+        tool = Wape(weapon_flags=["-logi"], weapon_registry=registry)
+        report = tool.analyze_source("<?php error_log($_GET['m']);")
+        assert [o.vuln_class for o in report.outcomes] == ["logi"]
+
+    def test_report_group_from_weapon(self):
+        tool = Wape()
+        tool.arm(logi_weapon())
+        report = tool.analyze_source("<?php error_log($_GET['m']);")
+        assert report.counts_by_group() == {"LOGI": 1}
+
+
+class TestRegistryExtension:
+    def test_extend_registry_is_pure(self):
+        base = wape_registry(include_weapons=False)
+        extended = _extend_registry(base, {"sqli": {"escape"}})
+        assert "escape" in extended.get("sqli").config.sanitizers
+        assert "escape" not in base.get("sqli").config.sanitizers
+
+    def test_extend_registry_untouched_classes_shared(self):
+        base = wape_registry(include_weapons=False)
+        extended = _extend_registry(base, {"sqli": {"escape"}})
+        assert extended.get("xss") is base.get("xss")
+
+    def test_unknown_class_in_extras_ignored(self):
+        tool = Wape(extra_sanitizers={"nonexistent": {"f"}})
+        assert "nonexistent" not in tool.class_ids
+
+
+class TestVersionStrings:
+    def test_versions_distinct(self):
+        assert Wap21.version != Wape.version
+        assert "2.1" in Wap21.version
+
+    def test_report_carries_version(self):
+        assert Wap21().analyze_source("<?php ;").tool_version == "WAP v2.1"
+        assert Wape().analyze_source("<?php ;").tool_version == "WAPe"
+
+
+class TestWeaponBundleEdgeCases:
+    def test_chars_with_percent_sequences(self, tmp_path):
+        from repro.weapons import load_weapon, save_weapon
+        weapon = generate_weapon(WeaponSpec(
+            name="crlf", flag="-crlf",
+            classes=(WeaponClassSpec("crlf", "CRLF", ("header:0",)),),
+            fix_template="user_sanitization",
+            fix_malicious_chars=("\r", "\n", "%0a", "%0d"),
+            fix_neutralizer="_",
+        ))
+        save_weapon(weapon, str(tmp_path / "crlf"))
+        loaded = load_weapon(str(tmp_path / "crlf"))
+        assert loaded.spec.fix_malicious_chars == \
+            ("\r", "\n", "%0a", "%0d")
+        assert loaded.spec.fix_neutralizer == "_"
+        assert loaded.fix.helper_code == weapon.fix.helper_code
+
+    def test_bundle_with_report_groups(self, tmp_path):
+        from repro.weapons import load_weapon, save_weapon
+        weapon = logi_weapon()
+        save_weapon(weapon, str(tmp_path / "w"))
+        loaded = load_weapon(str(tmp_path / "w"))
+        assert loaded.report_group("logi") == "LOGI"

@@ -1,0 +1,191 @@
+"""Tests for the vulnerability class catalogs and sub-modules."""
+
+import pytest
+
+from repro.vulnerabilities import (
+    ORIGIN_SUBMODULE,
+    ORIGIN_V21,
+    ORIGIN_WEAPON,
+    SUBMODULE_CLIENT_SIDE,
+    SUBMODULE_QUERY,
+    SUBMODULE_RCE_FILE,
+    build_submodules,
+    original_registry,
+    wape_registry,
+)
+
+
+class TestRegistries:
+    def test_original_has_eight_classes(self):
+        assert len(original_registry()) == 8
+
+    def test_wape_has_fifteen_classes(self):
+        # 8 original + SF + CS + LDAPI + XPathI + NoSQLI + HI + EI + wpsqli
+        registry = wape_registry()
+        assert len(registry) == 16
+        new = [i for i in registry
+               if i.origin in (ORIGIN_SUBMODULE, ORIGIN_WEAPON)]
+        # the paper's "7 new classes" plus the WordPress SQLI weapon
+        assert len(new) == 8
+
+    def test_original_class_ids(self):
+        ids = {info.class_id for info in original_registry()}
+        assert ids == {"sqli", "xss", "rfi", "lfi", "dt_pt", "scd",
+                       "osci", "phpci"}
+
+    def test_new_class_ids(self):
+        registry = wape_registry()
+        new = {i.class_id for i in registry if i.origin != ORIGIN_V21}
+        assert new == {"sf", "cs", "ldapi", "xpathi", "nosqli", "hi", "ei",
+                       "wpsqli"}
+
+    def test_every_class_has_config(self):
+        for info in wape_registry():
+            assert info.config.class_id == info.class_id
+            assert info.display_name
+
+    def test_duplicate_add_rejected(self):
+        registry = original_registry()
+        with pytest.raises(ValueError):
+            registry.add(registry.get("sqli"))
+
+    def test_table4_sf_sinks(self):
+        info = wape_registry().get("sf")
+        names = {s.name for s in info.config.sinks}
+        assert names == {"setcookie", "setrawcookie", "session_id"}
+        assert info.submodule == SUBMODULE_RCE_FILE
+
+    def test_table4_cs_sinks(self):
+        info = wape_registry().get("cs")
+        names = {s.name for s in info.config.sinks}
+        assert names == {"file_put_contents", "file_get_contents"}
+        assert info.submodule == SUBMODULE_CLIENT_SIDE
+
+    def test_table4_ldapi_sinks(self):
+        info = wape_registry().get("ldapi")
+        names = {s.name for s in info.config.sinks}
+        assert names == {"ldap_add", "ldap_delete", "ldap_list",
+                         "ldap_read", "ldap_search"}
+        assert info.submodule == SUBMODULE_QUERY
+
+    def test_table4_xpathi_sinks(self):
+        info = wape_registry().get("xpathi")
+        names = {s.name for s in info.config.sinks}
+        assert names == {"xpath_eval", "xptr_eval",
+                         "xpath_eval_expression"}
+        assert info.submodule == SUBMODULE_QUERY
+
+    def test_nosqli_weapon_config(self):
+        info = wape_registry().get("nosqli")
+        names = {s.name for s in info.config.sinks}
+        assert names == {"find", "findone", "findandmodify", "insert",
+                         "remove", "save", "execute"}
+        # the paper's §IV-C1 configuration
+        assert "mysql_real_escape_string" in info.config.sanitizers
+
+    def test_wpsqli_weapon_config(self):
+        info = wape_registry().get("wpsqli")
+        names = {s.name for s in info.config.sinks}
+        assert "query" in names and "get_results" in names
+        assert "prepare" in info.config.sanitizer_methods
+        assert "esc_sql" in info.config.sanitizers
+
+    def test_report_groups(self):
+        registry = wape_registry()
+        assert registry.get("rfi").group() == "Files"
+        assert registry.get("lfi").group() == "Files"
+        assert registry.get("dt_pt").group() == "Files"
+        assert registry.get("wpsqli").group() == "SQLI"
+        assert registry.get("sqli").group() == "SQLI"
+
+
+class TestSubModules:
+    def test_three_submodules_built(self):
+        subs = build_submodules(wape_registry())
+        assert set(subs) == {SUBMODULE_RCE_FILE, SUBMODULE_CLIENT_SIDE,
+                             SUBMODULE_QUERY}
+
+    def test_rce_file_membership(self):
+        subs = build_submodules(wape_registry())
+        ids = set(subs[SUBMODULE_RCE_FILE].class_ids)
+        assert ids == {"osci", "phpci", "rfi", "lfi", "dt_pt", "scd", "sf"}
+
+    def test_query_membership(self):
+        subs = build_submodules(wape_registry())
+        assert set(subs[SUBMODULE_QUERY].class_ids) == \
+            {"sqli", "ldapi", "xpathi"}
+
+    def test_client_side_membership(self):
+        subs = build_submodules(wape_registry())
+        assert set(subs[SUBMODULE_CLIENT_SIDE].class_ids) == {"xss", "cs"}
+
+
+class TestDetectionPerClass:
+    """One end-to-end detection per class proves each catalog works."""
+
+    @pytest.fixture(scope="class")
+    def subs(self):
+        return build_submodules(wape_registry())
+
+    def detect(self, subs, source):
+        out = []
+        for sub in subs.values():
+            out.extend(sub.detect_source("<?php " + source))
+        return sorted({c.vuln_class for c in out})
+
+    def test_sqli(self, subs):
+        assert self.detect(subs, "mysql_query($_GET['q']);") == ["sqli"]
+
+    def test_xss_reflected(self, subs):
+        assert self.detect(subs, "echo $_GET['m'];") == ["xss"]
+
+    def test_xss_stored(self, subs):
+        src = ("$r = mysql_fetch_assoc($res); echo $r['comment'];")
+        assert self.detect(subs, src) == ["xss"]
+
+    def test_rfi(self, subs):
+        assert self.detect(subs, "include $_GET['page'];") == ["rfi"]
+
+    def test_lfi_refinement(self, subs):
+        src = "include 'pages/' . $_GET['page'] . '.php';"
+        assert self.detect(subs, src) == ["lfi"]
+
+    def test_dt_pt(self, subs):
+        assert self.detect(subs, "$f = fopen($_GET['p'], 'r');") == ["dt_pt"]
+
+    def test_scd(self, subs):
+        assert self.detect(subs, "readfile($_GET['f']);") == ["scd"]
+
+    def test_osci(self, subs):
+        assert self.detect(subs, "system($_GET['cmd']);") == ["osci"]
+
+    def test_osci_backtick(self, subs):
+        assert self.detect(subs, "$o = `ls {$_GET['d']}`;") == ["osci"]
+
+    def test_phpci(self, subs):
+        assert self.detect(subs, "eval($_POST['code']);") == ["phpci"]
+
+    def test_sf(self, subs):
+        assert self.detect(subs, "session_id($_GET['sid']);") == ["sf"]
+
+    def test_cs(self, subs):
+        src = "file_put_contents('comments.txt', $_POST['comment']);"
+        assert self.detect(subs, src) == ["cs"]
+
+    def test_ldapi(self, subs):
+        src = "ldap_search($ds, $dn, '(uid=' . $_GET['u'] . ')');"
+        assert self.detect(subs, src) == ["ldapi"]
+
+    def test_xpathi(self, subs):
+        src = "xpath_eval($ctx, \"//user[name='\" . $_GET['u'] . \"']\");"
+        assert self.detect(subs, src) == ["xpathi"]
+
+    def test_sanitized_sqli_silent(self, subs):
+        src = ("$q = mysql_real_escape_string($_GET['q']); "
+               "mysql_query($q);")
+        assert self.detect(subs, src) == []
+
+    def test_ldap_escape_sanitizes(self, subs):
+        src = ("$u = ldap_escape($_GET['u']); "
+               "ldap_search($ds, $dn, $u);")
+        assert self.detect(subs, src) == []

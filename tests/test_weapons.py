@@ -1,0 +1,249 @@
+"""Tests for the weapon framework: specs, generator, bundles, builtins."""
+
+import pytest
+
+from repro.exceptions import WeaponConfigError
+from repro.corrector.templates import (
+    TEMPLATE_PHP_SANITIZATION,
+    TEMPLATE_USER_SANITIZATION,
+    TEMPLATE_USER_VALIDATION,
+)
+from repro.mining.extraction import DynamicSymptoms
+from repro.weapons import (
+    WeaponClassSpec,
+    WeaponRegistry,
+    WeaponSpec,
+    builtin_weapons,
+    generate_weapon,
+    hei_spec,
+    load_weapon,
+    nosqli_spec,
+    save_weapon,
+    wpsqli_spec,
+)
+
+
+def simple_spec(**overrides):
+    base = dict(
+        name="testw",
+        flag="-testw",
+        classes=(WeaponClassSpec("testc", "Test class",
+                                 ("dangerous_sink:0",)),),
+        fix_template=TEMPLATE_USER_VALIDATION,
+        fix_malicious_chars=("'",),
+    )
+    base.update(overrides)
+    return WeaponSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        simple_spec().validate()
+
+    @pytest.mark.parametrize("overrides", [
+        {"name": "Bad Name"},
+        {"name": ""},
+        {"flag": "noflag"},
+        {"flag": "-NOT"},
+        {"classes": ()},
+        {"classes": (WeaponClassSpec("x", "X", ()),)},  # no sinks
+        {"fix_template": "bogus"},
+        {"fix_template": TEMPLATE_PHP_SANITIZATION,
+         "fix_sanitization_function": None},
+        {"fix_template": TEMPLATE_USER_SANITIZATION,
+         "fix_malicious_chars": ()},
+    ])
+    def test_invalid_specs_rejected(self, overrides):
+        with pytest.raises(WeaponConfigError):
+            simple_spec(**overrides).validate()
+
+    def test_fix_id_derived_from_name(self):
+        assert simple_spec().fix_id == "san_testw"
+
+
+class TestGenerator:
+    def test_weapon_has_three_parts(self):
+        weapon = generate_weapon(simple_spec())
+        assert weapon.detector is not None
+        assert weapon.fix.fix_id == "san_testw"
+        assert weapon.dynamic_symptoms is not None
+
+    def test_generated_detector_works(self):
+        weapon = generate_weapon(simple_spec())
+        cands = weapon.detector.detect_source(
+            "<?php dangerous_sink($_GET['x']);")
+        assert len(cands) == 1
+        assert cands[0].vuln_class == "testc"
+
+    def test_weapon_with_sanitizer(self):
+        spec = simple_spec(sanitizers=("make_safe",))
+        weapon = generate_weapon(spec)
+        cands = weapon.detector.detect_source(
+            "<?php dangerous_sink(make_safe($_GET['x']));")
+        assert cands == []
+
+    def test_own_fix_recognized_as_sanitizer(self):
+        weapon = generate_weapon(simple_spec())
+        cands = weapon.detector.detect_source(
+            "<?php dangerous_sink(san_testw($_GET['x']));")
+        assert cands == []
+
+    def test_weapon_with_extra_entry_point(self):
+        spec = simple_spec(entry_points=("_ENV",))
+        weapon = generate_weapon(spec)
+        cands = weapon.detector.detect_source(
+            "<?php dangerous_sink($_ENV['x']);")
+        assert len(cands) == 1
+
+    def test_weapon_with_source_function(self):
+        spec = simple_spec(source_functions=("read_input",))
+        weapon = generate_weapon(spec)
+        cands = weapon.detector.detect_source(
+            "<?php $v = read_input(); dangerous_sink($v);")
+        assert len(cands) == 1
+
+    def test_multi_class_weapon(self):
+        spec = simple_spec(classes=(
+            WeaponClassSpec("c1", "C1", ("sink_one:0",)),
+            WeaponClassSpec("c2", "C2", ("sink_two",)),
+        ))
+        weapon = generate_weapon(spec)
+        assert weapon.class_ids == ["c1", "c2"]
+        cands = weapon.detector.detect_source(
+            "<?php sink_one($_GET['a']); sink_two($_GET['b']);")
+        assert sorted(c.vuln_class for c in cands) == ["c1", "c2"]
+
+    def test_invalid_spec_raises_at_generation(self):
+        with pytest.raises(WeaponConfigError):
+            generate_weapon(simple_spec(flag="bad"))
+
+
+class TestBundles:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = simple_spec(
+            sanitizers=("cleaner",),
+            dynamic_symptoms=DynamicSymptoms(
+                mapping={"val_num": "is_numeric"},
+                whitelists=frozenset({"allow"}),
+                blacklists=frozenset({"deny"})),
+        )
+        weapon = generate_weapon(spec)
+        directory = str(tmp_path / "testw")
+        save_weapon(weapon, directory)
+        loaded = load_weapon(directory)
+        assert loaded.name == weapon.name
+        assert loaded.flag == weapon.flag
+        assert loaded.class_ids == weapon.class_ids
+        assert loaded.spec.sanitizers == ("cleaner",)
+        assert loaded.dynamic_symptoms.mapping == {"val_num": "is_numeric"}
+        assert loaded.dynamic_symptoms.whitelists == frozenset({"allow"})
+
+    def test_loaded_weapon_detects(self, tmp_path):
+        weapon = generate_weapon(simple_spec())
+        directory = str(tmp_path / "w")
+        save_weapon(weapon, directory)
+        loaded = load_weapon(directory)
+        cands = loaded.detector.detect_source(
+            "<?php dangerous_sink($_POST['y']);")
+        assert len(cands) == 1
+
+    def test_builtin_weapons_round_trip(self, tmp_path):
+        for weapon in builtin_weapons():
+            directory = str(tmp_path / weapon.name)
+            save_weapon(weapon, directory)
+            loaded = load_weapon(directory)
+            assert loaded.class_ids == weapon.class_ids
+            assert loaded.fix.helper_code == weapon.fix.helper_code
+
+    def test_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(WeaponConfigError):
+            load_weapon(str(tmp_path / "nope"))
+
+
+class TestBuiltinWeapons:
+    def test_three_builtins(self):
+        weapons = builtin_weapons()
+        assert sorted(w.name for w in weapons) == ["hei", "nosqli",
+                                                   "wpsqli"]
+
+    def test_nosqli_paper_configuration(self):
+        spec = nosqli_spec()
+        sink_names = {s.lstrip("->").split("@")[0] for s in
+                      spec.classes[0].sinks}
+        assert sink_names == {"find", "findone", "findandmodify",
+                              "insert", "remove", "save", "execute"}
+        assert spec.fix_sanitization_function == "mysql_real_escape_string"
+        assert spec.fix_template == TEMPLATE_PHP_SANITIZATION
+        assert spec.flag == "-nosqli"
+
+    def test_hei_covers_hi_and_ei(self):
+        weapon = generate_weapon(hei_spec())
+        assert weapon.class_ids == ["hi", "ei"]
+        cands = weapon.detector.detect_source(
+            "<?php header('L: ' . $_GET['u']); "
+            "mail($_POST['to'], 'subject', 'body');")
+        assert sorted(c.vuln_class for c in cands) == ["ei", "hi"]
+
+    def test_hei_fix_uses_user_sanitization(self):
+        weapon = generate_weapon(hei_spec())
+        assert weapon.fix.fix_id == "san_hei"
+        assert "str_replace" in weapon.fix.helper_code
+
+    def test_wpsqli_detects_wpdb_flows(self):
+        weapon = generate_weapon(wpsqli_spec())
+        cands = weapon.detector.detect_source(
+            "<?php $wpdb->query(\"SELECT x FROM p WHERE t = '\" "
+            ". $_GET['t'] . \"'\");")
+        assert [c.vuln_class for c in cands] == ["wpsqli"]
+
+    def test_wpsqli_prepare_sanitizes(self):
+        weapon = generate_weapon(wpsqli_spec())
+        cands = weapon.detector.detect_source(
+            "<?php $sql = $wpdb->prepare('t=%s', $_GET['t']); "
+            "$wpdb->query($sql);")
+        assert cands == []
+
+    def test_wpsqli_dynamic_symptoms(self):
+        weapon = generate_weapon(wpsqli_spec())
+        assert weapon.dynamic_symptoms.resolve("absint") == "intval"
+        assert weapon.dynamic_symptoms.resolve("sanitize_text_field") \
+            == "preg_replace"
+
+    def test_weapon_configs_match_catalog(self):
+        """The generated weapons reproduce the catalog's handwritten
+        configurations (sinks and sanitizers)."""
+        from repro.vulnerabilities import wape_registry
+        registry = wape_registry()
+        for weapon in builtin_weapons():
+            for config in weapon.configs:
+                catalog = registry.get(config.class_id).config
+                assert {s.name for s in config.sinks} == \
+                    {s.name for s in catalog.sinks}, config.class_id
+
+
+class TestRegistry:
+    def test_with_builtins(self):
+        reg = WeaponRegistry.with_builtins()
+        assert len(reg) == 3
+        assert reg.flags() == ["-hei", "-nosqli", "-wpsqli"]
+
+    def test_lookup_by_flag_and_name(self):
+        reg = WeaponRegistry.with_builtins()
+        assert reg.by_flag("-nosqli").name == "nosqli"
+        assert reg.by_name("hei").flag == "-hei"
+
+    def test_unknown_flag_raises(self):
+        reg = WeaponRegistry()
+        with pytest.raises(WeaponConfigError):
+            reg.by_flag("-nothing")
+
+    def test_duplicate_rejected(self):
+        reg = WeaponRegistry.with_builtins()
+        with pytest.raises(WeaponConfigError):
+            reg.register(generate_weapon(nosqli_spec()))
+
+    def test_register_custom(self):
+        reg = WeaponRegistry.with_builtins()
+        reg.register(generate_weapon(simple_spec()))
+        assert "testw" in reg
+        assert "-testw" in reg
