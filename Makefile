@@ -1,0 +1,28 @@
+# Developer entry points.  Everything runs against the in-repo sources
+# (PYTHONPATH=src) so no install step is needed.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench bench-smoke bench-throughput
+
+# tier-1: the full suite, exactly what CI runs
+test:
+	$(PYTHON) -m pytest -x -q
+
+# the fast split: skips subprocess CLI tests, multi-process scans and
+# full-corpus evaluations (see the `slow` marker in pyproject.toml)
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# every paper table/figure benchmark
+bench:
+	$(PYTHON) -m pytest benchmarks/ -s -q
+
+# scan-throughput trajectory: full corpus, records BENCH_scan_throughput.json
+bench-throughput:
+	$(PYTHON) benchmarks/bench_scan_throughput.py
+
+# tiny-tree pipeline regression guard (fast; writes no trajectory file)
+bench-smoke:
+	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke

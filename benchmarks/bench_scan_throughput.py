@@ -1,0 +1,168 @@
+"""Scan-pipeline throughput: parallel jobs and cold/warm cache.
+
+Measures the whole-tree scan path (``Wape.analyze_tree``: fused engine +
+scheduler + predictor) over the synthesized corpus at ``--jobs 1/2/4``,
+cold-cache and warm-cache, and records files/sec and LoC/sec in
+``BENCH_scan_throughput.json`` at the repository root so the performance
+trajectory is tracked PR over PR.
+
+Run under pytest (full corpus)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scan_throughput.py -s
+
+or standalone, optionally in smoke mode (tiny tree, no JSON written —
+``make bench-smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_scan_throughput.py --smoke
+
+Speedup expectations are hardware-conditional: ``--jobs 4`` can only beat
+``--jobs 1`` when there are cores to run on, so the 2x assertion is
+applied when >= 4 CPUs are available.  The warm-cache assertion (>= 5x
+faster than cold) holds on any hardware: a warm scan only hashes file
+contents and unpickles results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_scan_throughput.json")
+
+JOB_LEVELS = (1, 2, 4)
+
+
+def _build_corpus(root: str, smoke: bool) -> dict:
+    from repro.corpus import (
+        VULNERABLE_WEBAPPS,
+        build_webapp_corpus,
+        build_wordpress_corpus,
+        materialize_package,
+    )
+
+    if smoke:
+        packages = [materialize_package(p, root)
+                    for p in VULNERABLE_WEBAPPS[:3]]
+    else:
+        packages = build_webapp_corpus(root) + build_wordpress_corpus(root)
+
+    from repro.analysis.pipeline import ScanScheduler
+    files = ScanScheduler.discover(root)
+    loc = 0
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            loc += f.read().count("\n") + 1
+    return {"packages": len(packages), "files": len(files), "loc": loc}
+
+
+def _timed_scan(tool, root: str, jobs: int, cache_dir: str | None):
+    start = time.perf_counter()
+    report = tool.analyze_tree(root, jobs=jobs, cache_dir=cache_dir)
+    return time.perf_counter() - start, report
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    from repro.tool import Wape
+
+    with tempfile.TemporaryDirectory(prefix="bench-scan-") as workdir:
+        corpus_root = os.path.join(workdir, "corpus")
+        os.makedirs(corpus_root)
+        corpus = _build_corpus(corpus_root, smoke)
+        tool = Wape(weapon_flags=["-nosqli", "-hei", "-wpsqli"])
+
+        runs = []
+        keysets = []
+        warm_cache = None
+        for jobs in JOB_LEVELS:
+            cache_dir = os.path.join(workdir, f"cache-j{jobs}")
+            seconds, report = _timed_scan(tool, corpus_root, jobs,
+                                          cache_dir)
+            runs.append({"jobs": jobs, "cache": "cold",
+                         "seconds": round(seconds, 4),
+                         "files_per_sec": round(corpus["files"] / seconds,
+                                                1),
+                         "loc_per_sec": round(corpus["loc"] / seconds, 1)})
+            keysets.append(sorted(o.candidate.key()
+                                  for o in report.outcomes))
+            warm_cache = cache_dir
+        for jobs in (1, JOB_LEVELS[-1]):
+            seconds, report = _timed_scan(tool, corpus_root, jobs,
+                                          warm_cache)
+            runs.append({"jobs": jobs, "cache": "warm",
+                         "seconds": round(seconds, 4),
+                         "files_per_sec": round(corpus["files"] / seconds,
+                                                1),
+                         "loc_per_sec": round(corpus["loc"] / seconds, 1)})
+            keysets.append(sorted(o.candidate.key()
+                                  for o in report.outcomes))
+
+    assert all(k == keysets[0] for k in keysets), \
+        "jobs/cache settings changed the candidate set"
+
+    cold = {r["jobs"]: r["seconds"] for r in runs if r["cache"] == "cold"}
+    warm = {r["jobs"]: r["seconds"] for r in runs if r["cache"] == "warm"}
+    result = {
+        "benchmark": "scan_throughput",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "corpus": corpus,
+        "candidates": len(keysets[0]),
+        "runs": runs,
+        "speedup_jobs4_vs_jobs1_cold": round(cold[1] / cold[4], 2),
+        "speedup_warm_vs_cold_jobs1": round(cold[1] / warm[1], 2),
+    }
+    return result
+
+
+def print_summary(result: dict) -> None:
+    corpus = result["corpus"]
+    print(f"\n### scan throughput — {corpus['packages']} packages, "
+          f"{corpus['files']} files, {corpus['loc']} LoC, "
+          f"{result['cpu_count']} CPU(s)")
+    for run in result["runs"]:
+        print(f"  jobs={run['jobs']} {run['cache']:<4}: "
+              f"{run['seconds']:>7.3f}s  "
+              f"{run['files_per_sec']:>8.1f} files/s  "
+              f"{run['loc_per_sec']:>9.1f} LoC/s")
+    print(f"  speedup jobs=4 vs jobs=1 (cold): "
+          f"{result['speedup_jobs4_vs_jobs1_cold']}x")
+    print(f"  speedup warm vs cold (jobs=1):   "
+          f"{result['speedup_warm_vs_cold_jobs1']}x")
+
+
+def check_expectations(result: dict) -> None:
+    assert result["speedup_warm_vs_cold_jobs1"] >= 5.0, \
+        "warm-cache re-scan should be >= 5x faster than cold"
+    if (os.cpu_count() or 1) >= 4:
+        assert result["speedup_jobs4_vs_jobs1_cold"] >= 2.0, \
+            "--jobs 4 should be >= 2x faster than --jobs 1 on >= 4 cores"
+
+
+def test_scan_throughput():
+    """Full-corpus run: records BENCH_scan_throughput.json at repo root."""
+    result = run_benchmark(smoke=False)
+    print_summary(result)
+    with open(RESULT_PATH, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(f"  recorded -> {RESULT_PATH}")
+    check_expectations(result)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = run_benchmark(smoke=smoke)
+    print_summary(outcome)
+    if smoke:
+        # smoke mode guards the pipeline, it does not record trajectory
+        check_expectations(outcome)
+    else:
+        with open(RESULT_PATH, "w", encoding="utf-8") as f:
+            json.dump(outcome, f, indent=2)
+            f.write("\n")
+        print(f"recorded -> {RESULT_PATH}")
+        check_expectations(outcome)

@@ -9,6 +9,8 @@ Public surface:
 * :class:`~repro.analysis.detector.Detector` — file/tree-level driver;
 * :func:`~repro.analysis.detector.generate_detector` — the vulnerability
   detector generator (new classes with zero code);
+* :mod:`~repro.analysis.pipeline` — the fused single-pass engine, the
+  parallel scan scheduler and the content-hash result cache;
 * :mod:`~repro.analysis.knowledge` — external ep/ss/san file I/O.
 """
 
@@ -27,6 +29,13 @@ from repro.analysis.knowledge import (  # noqa: F401
     render_sink_line,
     save_config,
     save_registry,
+)
+from repro.analysis.pipeline import (  # noqa: F401
+    ConfigGroup,
+    FusedDetector,
+    ResultCache,
+    ScanScheduler,
+    config_fingerprint,
 )
 from repro.analysis.project import (  # noqa: F401
     ProjectAnalyzer,
@@ -50,6 +59,11 @@ from repro.analysis.model import (  # noqa: F401
 
 __all__ = [
     "DEFAULT_ENTRY_POINTS",
+    "ConfigGroup",
+    "FusedDetector",
+    "ResultCache",
+    "ScanScheduler",
+    "config_fingerprint",
     "ProjectAnalyzer",
     "ProjectFile",
     "ProjectResult",

@@ -14,6 +14,7 @@ property.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
@@ -41,6 +42,7 @@ class FileResult:
     candidates: list[CandidateVulnerability] = field(default_factory=list)
     lines_of_code: int = 0
     parse_error: str | None = None
+    seconds: float = 0.0
 
 
 class Detector:
@@ -68,12 +70,14 @@ class Detector:
 
     def detect_file(self, path: str) -> FileResult:
         """Analyze one file on disk; parse errors are captured, not raised."""
+        start = time.perf_counter()
         result = FileResult(filename=path)
         try:
             with open(path, encoding="utf-8", errors="replace") as f:
                 source = f.read()
         except OSError as exc:
             result.parse_error = str(exc)
+            result.seconds = time.perf_counter() - start
             return result
         result.lines_of_code = source.count("\n") + 1
         try:
@@ -82,6 +86,7 @@ class Detector:
             result.parse_error = str(exc)
         except RecursionError:
             result.parse_error = "recursion limit during analysis"
+        result.seconds = time.perf_counter() - start
         return result
 
     def detect_tree(self, root: str) -> list[FileResult]:

@@ -77,9 +77,19 @@ class _Frame:
 
 
 class TaintEngine:
-    """Multi-class taint analyzer over a single parsed PHP file."""
+    """Multi-class taint analyzer over a single parsed PHP file.
 
-    def __init__(self, configs: list[DetectorConfig]) -> None:
+    When *groups* is given (a partition of *configs*, one group per
+    detector sub-module / weapon), the engine runs all groups in a single
+    AST traversal while keeping group semantics: a taint born at a source
+    that only group G declares (its source functions or extra entry
+    points) can only reach sinks of G's classes, exactly as if each group
+    ran its own engine.  This is the substrate of the fused scan pipeline
+    (:mod:`repro.analysis.pipeline`).
+    """
+
+    def __init__(self, configs: list[DetectorConfig],
+                 groups: list[list[DetectorConfig]] | None = None) -> None:
         if not configs:
             raise ValueError("TaintEngine needs at least one DetectorConfig")
         self.configs = list(configs)
@@ -119,6 +129,31 @@ class TaintEngine:
                     self.include_classes.append(cfg.class_id)
                 elif sink.kind == SINK_SHELL:
                     self.shell_classes.append(cfg.class_id)
+
+        # group scoping: taints created at a source only some groups
+        # declare are pre-sanitized for every class outside those groups
+        self.source_masks: dict[str, frozenset[str]] = {}
+        self.entry_masks: dict[str, frozenset[str]] = {}
+        if groups:
+            all_ids = frozenset(cfg.class_id for cfg in self.configs)
+            src_allowed: dict[str, set[str]] = {}
+            ep_allowed: dict[str, set[str]] = {}
+            for group in groups:
+                gids = {cfg.class_id for cfg in group}
+                for cfg in group:
+                    for func in cfg.source_functions:
+                        src_allowed.setdefault(func.lower(),
+                                               set()).update(gids)
+                    for name in cfg.entry_points:
+                        ep_allowed.setdefault(name, set()).update(gids)
+            for name, allowed in src_allowed.items():
+                mask = all_ids - allowed
+                if mask:
+                    self.source_masks[name] = frozenset(mask)
+            for name, allowed in ep_allowed.items():
+                mask = all_ids - allowed
+                if mask:
+                    self.entry_masks[name] = frozenset(mask)
 
     # ------------------------------------------------------------------
     # public API
@@ -575,7 +610,8 @@ class _FileRun:
             if name == "_SERVER":
                 return EMPTY  # only specific keys are tainted
             taint = Taint(f"${name}", node.line,
-                          (PathStep(STEP_SOURCE, f"${name}", node.line),))
+                          (PathStep(STEP_SOURCE, f"${name}", node.line),),
+                          self.engine.entry_masks.get(name, frozenset()))
             for func, gline in _pending_guards(env, f"${name}", name):
                 taint = taint.step(STEP_GUARD, func, gline)
             return frozenset({taint})
@@ -597,7 +633,9 @@ class _FileRun:
                     return EMPTY
             desc = entry_point_desc(base.name, node.index)
             taint = Taint(desc, node.line,
-                          (PathStep(STEP_SOURCE, desc, node.line),))
+                          (PathStep(STEP_SOURCE, desc, node.line),),
+                          self.engine.entry_masks.get(base.name,
+                                                      frozenset()))
             for func, gline in _pending_guards(env, desc, base.name):
                 taint = taint.step(STEP_GUARD, func, gline)
             return frozenset({taint})
@@ -685,7 +723,8 @@ class _FileRun:
 
         if name in eng.source_functions:
             taint = Taint(f"{name}()", node.line,
-                          (PathStep(STEP_SOURCE, f"{name}()", node.line),))
+                          (PathStep(STEP_SOURCE, f"{name}()", node.line),),
+                          eng.source_masks.get(name, frozenset()))
             return frozenset({taint})
 
         summary = self._summary(name)

@@ -1,0 +1,437 @@
+"""The parallel scan pipeline: engine fusion, worker pool, result cache.
+
+Whole-tree scanning (Tables V-VII of the paper run over thousands of PHP
+files) used to pay three avoidable costs: every detector sub-module and
+every armed weapon traversed each file's AST with its *own*
+:class:`~repro.analysis.engine.TaintEngine`, files were analyzed strictly
+one after another, and nothing was remembered between runs.  This module
+removes all three:
+
+* **Engine fusion** — :class:`FusedDetector` merges the
+  :class:`~repro.analysis.model.DetectorConfig` sets of every sub-module
+  and weapon into ONE engine, so each file is traversed once.  Group
+  semantics are preserved via the engine's group scoping (a taint born at
+  a source function only one group declares cannot reach another group's
+  sinks), and the RFI/LFI shape refinement is applied exactly as the
+  RCE/file-injection sub-module would.
+
+* **Parallelism** — :class:`ScanScheduler` fans file analysis out over a
+  ``concurrent.futures`` process pool with deterministic result ordering.
+  A file that kills a worker outright is retried in an isolated
+  single-worker pool and, if it kills that too, becomes a ``parse_error``
+  :class:`~repro.analysis.detector.FileResult` instead of a dead scan.
+  ``jobs=1`` keeps everything in-process (the debugging path).
+
+* **Incremental cache** — :class:`ResultCache` stores per-file detection
+  results keyed by (file content hash, knowledge fingerprint, tool
+  version).  The fingerprint (:func:`config_fingerprint`) covers every
+  config field of every group, so arming a weapon, feeding an extra
+  sanitizer (``--sanitizer sqli:escape``) or editing the ep/ss/san
+  knowledge base all invalidate cleanly.  Predictions are *not* cached:
+  the false-positive predictor re-runs over cached candidates, so
+  dynamic-symptom changes never serve stale verdicts.
+
+Known over-approximation corners where fusion can differ from running the
+groups separately (none occur in the shipped knowledge, and the test
+suite pins equality on the synthesized corpora): a PHP variable shadowing
+a group-specific extra entry point, and a single function name that is a
+sanitizer for one group but a sink or source for another.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast, parse
+from repro.analysis.detector import PHP_EXTENSIONS, FileResult
+from repro.analysis.engine import TaintEngine
+from repro.analysis.model import (
+    STEP_CONCAT,
+    CandidateVulnerability,
+    DetectorConfig,
+)
+
+#: bump when the cached payload layout or engine semantics change.
+CACHE_FORMAT = 1
+
+#: parse_error text for a file that repeatedly kills analysis workers.
+CRASH_ERROR = "analysis worker crashed"
+
+#: test-only seam: when this environment variable is set, a worker that
+#: reads a file containing its value dies immediately, simulating a
+#: hard crash (segfault-style) for the recovery tests.
+_CRASH_ENV = "REPRO_PIPELINE_CRASH_MARKER"
+
+
+@dataclass(frozen=True)
+class ConfigGroup:
+    """One detection unit of the unfused pipeline: a sub-module or weapon.
+
+    Attributes:
+        name: sub-module or weapon name (fingerprint + diagnostics).
+        configs: the group's :class:`DetectorConfig` objects.
+        split_rfi_lfi: whether the group applies the RFI/LFI shape
+            refinement (the RCE/file-injection sub-module does).
+    """
+
+    name: str
+    configs: tuple[DetectorConfig, ...]
+    split_rfi_lfi: bool = False
+
+
+def split_rfi_lfi(cand: CandidateVulnerability) -> CandidateVulnerability:
+    """RFI/LFI split (§III-A): a concatenated include target is local.
+
+    Both classes fire on tainted ``include``-family sinks; an include
+    target concatenated with literal path fragments is a local-file
+    inclusion, a fully attacker-controlled target a remote one.
+    """
+    if cand.vuln_class != "rfi":
+        return cand
+    if any(step.kind == STEP_CONCAT for step in cand.path):
+        return dataclasses.replace(cand, vuln_class="lfi")
+    return cand
+
+
+class FusedDetector:
+    """All sub-modules and weapons evaluated in a single AST traversal.
+
+    Produces, per file, the same candidate set (by
+    :meth:`~repro.analysis.model.CandidateVulnerability.key`) as running
+    each group's own detector and concatenating, but walks the AST once.
+    """
+
+    def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup]
+                 ) -> None:
+        self.groups = tuple(groups)
+        configs = [cfg for g in self.groups for cfg in g.configs]
+        self.engine = TaintEngine(
+            configs, [list(g.configs) for g in self.groups]) \
+            if configs else None
+        self._split = any(g.split_rfi_lfi for g in self.groups)
+
+    @property
+    def class_ids(self) -> list[str]:
+        return [cfg.class_id for g in self.groups for cfg in g.configs]
+
+    # ------------------------------------------------------------------
+    def detect_program(self, program: ast.Program,
+                       filename: str = "<source>"
+                       ) -> list[CandidateVulnerability]:
+        """Analyze an already-parsed program with the fused engine."""
+        if self.engine is None:
+            return []
+        candidates = self.engine.analyze(program, filename)
+        if self._split:
+            candidates = [split_rfi_lfi(c) for c in candidates]
+        seen: set[tuple] = set()
+        unique: list[CandidateVulnerability] = []
+        for cand in candidates:
+            if cand.key() not in seen:
+                seen.add(cand.key())
+                unique.append(cand)
+        return unique
+
+    def detect_source(self, source: str, filename: str = "<source>"
+                      ) -> list[CandidateVulnerability]:
+        return self.detect_program(parse(source, filename), filename)
+
+    def detect_file(self, path: str) -> FileResult:
+        """Analyze one file; errors are captured, wall time recorded."""
+        start = time.perf_counter()
+        result = FileResult(filename=path)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                source = f.read()
+        except OSError as exc:
+            result.parse_error = str(exc)
+            result.seconds = time.perf_counter() - start
+            return result
+        result.lines_of_code = source.count("\n") + 1
+        try:
+            result.candidates = self.detect_source(source, path)
+        except PhpSyntaxError as exc:
+            result.parse_error = str(exc)
+        except RecursionError:
+            result.parse_error = "recursion limit during analysis"
+        result.seconds = time.perf_counter() - start
+        return result
+
+
+# ---------------------------------------------------------------------------
+# knowledge fingerprint + on-disk result cache
+# ---------------------------------------------------------------------------
+
+def _config_token(cfg: DetectorConfig) -> str:
+    """Deterministic serialization of one config for fingerprinting."""
+    sinks = ";".join(
+        f"{s.name}|{s.kind}|{s.arg_positions}|{s.receiver_hint}"
+        for s in cfg.sinks)
+    return "|".join((
+        cfg.class_id,
+        cfg.display_name,
+        ",".join(sorted(cfg.entry_points)),
+        ",".join(sorted(cfg.source_functions)),
+        sinks,
+        ",".join(sorted(cfg.sanitizers)),
+        ",".join(sorted(cfg.sanitizer_methods)),
+        ",".join(sorted(cfg.untaint_casts)),
+    ))
+
+
+def config_fingerprint(groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
+                       tool_version: str = "") -> str:
+    """Stable hash of everything that determines detection results.
+
+    Any change to the knowledge (ep/ss/san edits, extra sanitizers, armed
+    weapons), to the grouping, or to the cache format yields a new
+    fingerprint, so stale cached results can never be served.
+    """
+    digest = hashlib.sha256(
+        f"scan-cache-v{CACHE_FORMAT}|{tool_version}".encode())
+    for group in groups:
+        digest.update(f"\n[{group.name}|{group.split_rfi_lfi}]".encode())
+        for cfg in group.configs:
+            digest.update(("\n" + _config_token(cfg)).encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed per-file detection results on disk.
+
+    Layout: ``<directory>/<fingerprint-prefix>/<content-hash>.pkl``.  The
+    fingerprint directory isolates knowledge configurations from each
+    other; the content hash makes results follow file *contents*, so an
+    unchanged tree re-scans near-instantly and a renamed file still hits.
+    """
+
+    def __init__(self, directory: str, fingerprint: str) -> None:
+        self.directory = os.path.join(directory, fingerprint[:24])
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def content_hash(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    def _entry_path(self, content_hash: str) -> str:
+        return os.path.join(self.directory, content_hash + ".pkl")
+
+    def get(self, content_hash: str, filename: str) -> FileResult | None:
+        """Cached result for *content_hash*, re-attributed to *filename*."""
+        try:
+            with open(self._entry_path(content_hash), "rb") as f:
+                payload = pickle.load(f)
+        except Exception:  # corrupt entries raise anything: treat as miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FileResult(
+            filename=filename,
+            candidates=[dataclasses.replace(c, filename=filename)
+                        for c in payload["candidates"]],
+            lines_of_code=payload["lines_of_code"],
+            parse_error=payload["parse_error"],
+        )
+
+    def put(self, content_hash: str, result: FileResult) -> None:
+        """Store one result atomically (write-to-temp + rename)."""
+        payload = {
+            "candidates": result.candidates,
+            "lines_of_code": result.lines_of_code,
+            "parse_error": result.parse_error,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._entry_path(content_hash))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# worker pool
+# ---------------------------------------------------------------------------
+
+_WORKER_DETECTOR: FusedDetector | None = None
+
+
+def _init_worker(groups: tuple[ConfigGroup, ...]) -> None:
+    """Per-worker initializer: build the fused detector once."""
+    global _WORKER_DETECTOR
+    _WORKER_DETECTOR = FusedDetector(groups)
+
+
+def _scan_path(path: str) -> FileResult:
+    """Worker task: analyze one file with the worker's fused detector."""
+    marker = os.environ.get(_CRASH_ENV)
+    if marker:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                if marker in f.read():
+                    os._exit(3)  # simulated hard crash (tests only)
+        except OSError:
+            pass
+    assert _WORKER_DETECTOR is not None
+    return _WORKER_DETECTOR.detect_file(path)
+
+
+def _scan_chunk(paths: list[str]) -> list[FileResult]:
+    """Worker task: analyze a batch of files in one round-trip.
+
+    Batching amortizes the per-task IPC cost (submit + result pickling)
+    over many files; with ~1 ms of analysis per typical PHP file, per-file
+    dispatch would otherwise dominate the wall clock.
+    """
+    return [_scan_path(path) for path in paths]
+
+
+class ScanScheduler:
+    """Fans whole-tree analysis out over a process pool, with caching.
+
+    Args:
+        groups: detection units (sub-modules + weapons), as built by the
+            tool facades.
+        jobs: worker count; ``1`` (the default) analyzes in-process.
+        cache_dir: root of the on-disk result cache; ``None`` disables
+            caching.
+        tool_version: mixed into the cache fingerprint so different tool
+            versions never share entries.
+    """
+
+    def __init__(self, groups: list[ConfigGroup] | tuple[ConfigGroup, ...],
+                 jobs: int | None = 1,
+                 cache_dir: str | None = None,
+                 tool_version: str = "") -> None:
+        self.groups = tuple(groups)
+        self.jobs = max(1, int(jobs or 1))
+        self.fingerprint = config_fingerprint(self.groups, tool_version)
+        self.cache = ResultCache(cache_dir, self.fingerprint) \
+            if cache_dir else None
+        self._detector: FusedDetector | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def discover(root: str) -> list[str]:
+        """Every PHP file under *root*, in deterministic walk order."""
+        paths: list[str] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.lower().endswith(PHP_EXTENSIONS):
+                    paths.append(os.path.join(dirpath, name))
+        return paths
+
+    def _local_detector(self) -> FusedDetector:
+        if self._detector is None:
+            self._detector = FusedDetector(self.groups)
+        return self._detector
+
+    # ------------------------------------------------------------------
+    def scan_tree(self, root: str) -> list[FileResult]:
+        """Analyze every PHP file under *root* (ordered like the walk)."""
+        return self.scan_files(self.discover(root))
+
+    def scan_files(self, paths: list[str]) -> list[FileResult]:
+        """Analyze *paths*, returning results in the same order."""
+        results: dict[int, FileResult] = {}
+        hashes: dict[int, str] = {}
+        pending: list[tuple[int, str]] = []
+        for i, path in enumerate(paths):
+            if self.cache is not None:
+                try:
+                    with open(path, "rb") as f:
+                        digest = ResultCache.content_hash(f.read())
+                except OSError as exc:
+                    results[i] = FileResult(filename=path,
+                                            parse_error=str(exc))
+                    continue
+                hashes[i] = digest
+                cached = self.cache.get(digest, path)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            pending.append((i, path))
+
+        if pending:
+            if self.jobs == 1:
+                fresh = self._scan_sequential(pending)
+            else:
+                fresh = self._scan_parallel(pending)
+            results.update(fresh)
+            if self.cache is not None:
+                for i, _path in pending:
+                    # crash results are environment-specific; don't pin them
+                    if results[i].parse_error != CRASH_ERROR:
+                        self.cache.put(hashes[i], results[i])
+        return [results[i] for i in range(len(paths))]
+
+    # ------------------------------------------------------------------
+    def _scan_sequential(self, pending: list[tuple[int, str]]
+                         ) -> dict[int, FileResult]:
+        detector = self._local_detector()
+        return {i: detector.detect_file(path) for i, path in pending}
+
+    def _scan_parallel(self, pending: list[tuple[int, str]]
+                       ) -> dict[int, FileResult]:
+        out: dict[int, FileResult] = {}
+        suspect: list[tuple[int, str]] = []
+        workers = min(self.jobs, len(pending))
+        # several chunks per worker: amortizes IPC without losing load
+        # balancing to one slow straggler chunk
+        chunk_size = max(1, len(pending) // (workers * 4))
+        chunks = [pending[i:i + chunk_size]
+                  for i in range(0, len(pending), chunk_size)]
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_init_worker,
+                                     initargs=(self.groups,)) as pool:
+                futures = {pool.submit(_scan_chunk,
+                                       [p for _i, p in chunk]): chunk
+                           for chunk in chunks}
+                for future, chunk in futures.items():
+                    try:
+                        for (i, _path), result in zip(chunk,
+                                                      future.result()):
+                            out[i] = result
+                    except Exception:
+                        # a worker died mid-chunk, or raised something we
+                        # cannot attribute to one file: retry each file of
+                        # the chunk in isolation below
+                        suspect.extend(chunk)
+        except BrokenProcessPool:
+            # the pool died while submitting/shutting down
+            done = {i for i, _p in suspect} | set(out)
+            suspect.extend((i, p) for i, p in pending if i not in done)
+        # files in flight when a worker died: retry each in isolation, so
+        # one poisonous file cannot take down the scan
+        for i, path in suspect:
+            out[i] = self._scan_isolated(path)
+        return out
+
+    def _scan_isolated(self, path: str) -> FileResult:
+        """Analyze one suspect file in its own single-worker pool."""
+        try:
+            with ProcessPoolExecutor(max_workers=1,
+                                     initializer=_init_worker,
+                                     initargs=(self.groups,)) as pool:
+                return pool.submit(_scan_path, path).result()
+        except BrokenProcessPool:
+            return FileResult(filename=path, parse_error=CRASH_ERROR)
+        except Exception as exc:
+            return FileResult(filename=path,
+                              parse_error=f"worker error: {exc}")

@@ -20,6 +20,7 @@ home file, so project-wide results stay deduplicated.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
@@ -37,6 +38,8 @@ class ProjectFile:
     program: ast.Program | None = None
     lines_of_code: int = 0
     parse_error: str | None = None
+    #: real wall time spent on this file (parse + taint analysis).
+    seconds: float = 0.0
 
 
 @dataclass
@@ -58,11 +61,12 @@ class ProjectResult:
 class ProjectAnalyzer:
     """Cross-file taint analysis over a directory tree."""
 
-    def __init__(self, configs: list[DetectorConfig] | Detector) -> None:
+    def __init__(self, configs: list[DetectorConfig] | Detector,
+                 groups: list[list[DetectorConfig]] | None = None) -> None:
         if isinstance(configs, Detector):
             self.engine = configs.engine
         else:
-            self.engine = TaintEngine(list(configs))
+            self.engine = TaintEngine(list(configs), groups)
 
     # ------------------------------------------------------------------
     def load(self, root: str) -> list[ProjectFile]:
@@ -75,6 +79,7 @@ class ProjectAnalyzer:
                     continue
                 path = os.path.join(dirpath, name)
                 pf = ProjectFile(path)
+                start = time.perf_counter()
                 try:
                     with open(path, encoding="utf-8",
                               errors="replace") as f:
@@ -83,6 +88,7 @@ class ProjectAnalyzer:
                     pf.program = parse(source, path)
                 except (OSError, PhpSyntaxError) as exc:
                     pf.parse_error = str(exc)
+                pf.seconds = time.perf_counter() - start
                 out.append(pf)
         return out
 
@@ -127,6 +133,7 @@ class ProjectAnalyzer:
         seen: set[tuple] = set()
         for pf in result.parsed_files:
             assert pf.program is not None
+            start = time.perf_counter()
             # foreign = declarations from every *other* file
             foreign = {name: (decl, home)
                        for name, (decl, home) in table.items()
@@ -136,6 +143,7 @@ class ProjectAnalyzer:
                 if cand.key() not in seen:
                     seen.add(cand.key())
                     result.candidates.append(cand)
+            pf.seconds += time.perf_counter() - start
         result.candidates.sort(
             key=lambda c: (c.filename, c.sink_line, c.vuln_class))
         return result

@@ -64,6 +64,9 @@ class FalsePositivePredictor:
         self.classifiers = classifiers
         self.dataset = dataset
         self.dynamic = dynamic
+        # symptom set -> Prediction; classifiers are frozen after fit, so
+        # identical symptom sets always classify identically
+        self._memo: dict[frozenset[str], Prediction] = {}
         for clf in self.classifiers:
             clf.fit(dataset.X, dataset.y)
 
@@ -78,6 +81,8 @@ class FalsePositivePredictor:
         clone.classifiers = self.classifiers
         clone.dataset = self.dataset
         clone.dynamic = self.dynamic.merged(dynamic)
+        # vote caching only depends on the shared classifiers + scheme
+        clone._memo = self._memo
         return clone
 
     # ------------------------------------------------------------------
@@ -87,12 +92,18 @@ class FalsePositivePredictor:
         return self.predict_symptoms(symptoms)
 
     def predict_symptoms(self, symptoms: frozenset[str]) -> Prediction:
-        """Classify from an already-extracted symptom set."""
+        """Classify from an already-extracted symptom set (memoized)."""
+        cached = self._memo.get(symptoms)
+        if cached is not None:
+            return cached
         vector = self.scheme.vectorize(symptoms).reshape(1, -1)
         votes = {clf.name: int(clf.predict(vector)[0])
                  for clf in self.classifiers}
         is_fp = sum(votes.values()) * 2 > len(votes)
-        return Prediction(is_fp, votes, symptoms)
+        prediction = Prediction(is_fp, votes, symptoms)
+        if len(self._memo) < 65536:
+            self._memo[symptoms] = prediction
+        return prediction
 
 
 # ---------------------------------------------------------------------------

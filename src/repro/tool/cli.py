@@ -61,6 +61,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--project", action="store_true",
                         help="whole-project analysis: resolve user "
                              "functions across files before reporting")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        metavar="N",
+                        help="analysis worker processes for directory "
+                             "targets (default: all CPUs; 1 = in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="on-disk result cache location (default: "
+                             "~/.cache/wape); unchanged files are served "
+                             "from cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     parser.add_argument("--justify", action="store_true",
@@ -157,6 +167,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     import os
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = os.path.join(
+            os.environ.get("XDG_CACHE_HOME")
+            or os.path.join(os.path.expanduser("~"), ".cache"),
+            "wape")
     exit_code = 0
     for target in args.targets:
         if os.path.isdir(target):
@@ -164,9 +183,12 @@ def main(argv: list[str] | None = None) -> int:
                 if args.original:
                     raise SystemExit(
                         "--project requires the new version")
+                # cross-file resolution analyzes as one unit: the scan
+                # pipeline (--jobs/--cache-dir) applies to per-file mode
                 report = tool.analyze_project(target)
             else:
-                report = tool.analyze_tree(target)
+                report = tool.analyze_tree(target, jobs=args.jobs,
+                                           cache_dir=cache_dir)
         else:
             report = tool.analyze_file(target)
         if args.json:

@@ -151,6 +151,7 @@ class AnalysisReport:
                 {
                     "path": f.filename,
                     "lines": f.lines_of_code,
+                    "seconds": round(f.seconds, 6),
                     "parse_error": f.parse_error,
                     "findings": [
                         {

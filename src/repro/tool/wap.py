@@ -23,10 +23,13 @@ import os
 import time
 
 from repro.exceptions import WeaponConfigError
-from repro.php import parse
-from repro.analysis.detector import PHP_EXTENSIONS, Detector
 from repro.analysis.knowledge import extend_config
-from repro.analysis.model import CandidateVulnerability, DetectorConfig
+from repro.analysis.model import CandidateVulnerability
+from repro.analysis.pipeline import (
+    ConfigGroup,
+    FusedDetector,
+    ScanScheduler,
+)
 from repro.corrector import CodeCorrector, CorrectionResult
 from repro.exceptions import PhpSyntaxError
 from repro.mining.extraction import NO_DYNAMIC_SYMPTOMS, DynamicSymptoms
@@ -58,27 +61,35 @@ class _BaseTool:
         self.predictor: FalsePositivePredictor | None = None
         self.corrector = CodeCorrector()
         self.groups: dict[str, str] = {}
+        self._fused: FusedDetector | None = None
 
     # -- pipeline -------------------------------------------------------
-    def _detect(self, source: str,
-                filename: str) -> list[CandidateVulnerability]:
-        candidates: list[CandidateVulnerability] = []
-        program = parse(source, filename)
-        for sub in self.submodules.values():
+    def _config_groups(self) -> list[ConfigGroup]:
+        """Detection units (sub-modules + armed weapons) for the pipeline."""
+        groups: list[ConfigGroup] = []
+        for name, sub in self.submodules.items():
             if sub.detector is None:
                 continue
-            candidates.extend(
-                sub.refine(sub.detector.detect_program(program, filename)))
+            groups.append(ConfigGroup(name, tuple(sub.detector.configs),
+                                      split_rfi_lfi=sub.refines_lfi))
         for weapon in self.weapons:
-            candidates.extend(
-                weapon.detector.detect_program(program, filename))
-        seen: set[tuple] = set()
-        unique = []
-        for cand in candidates:
-            if cand.key() not in seen:
-                seen.add(cand.key())
-                unique.append(cand)
-        return unique
+            groups.append(ConfigGroup(f"weapon:{weapon.name}",
+                                      tuple(weapon.configs)))
+        return groups
+
+    @property
+    def fused_detector(self) -> FusedDetector:
+        """The single-traversal detector over every sub-module and weapon.
+
+        Built once per tool configuration; arming a weapon rebuilds it.
+        """
+        if self._fused is None:
+            self._fused = FusedDetector(self._config_groups())
+        return self._fused
+
+    def _detect(self, source: str,
+                filename: str) -> list[CandidateVulnerability]:
+        return self.fused_detector.detect_source(source, filename)
 
     def analyze_source(self, source: str,
                        filename: str = "<source>") -> AnalysisReport:
@@ -106,18 +117,38 @@ class _BaseTool:
             source = f.read()
         return self.analyze_source(source, path)
 
-    def analyze_tree(self, root: str) -> AnalysisReport:
-        """Analyze every PHP file under *root*."""
+    def analyze_tree(self, root: str, jobs: int | None = 1,
+                     cache_dir: str | None = None) -> AnalysisReport:
+        """Analyze every PHP file under *root*.
+
+        Args:
+            jobs: analysis worker processes.  The default ``1`` keeps
+                everything in-process (deterministic debugging path);
+                ``None`` or >1 fans files out over a process pool with
+                results in deterministic walk order either way.
+            cache_dir: root directory of the on-disk result cache; when
+                given, files whose content (and knowledge configuration)
+                is unchanged are served from cache instead of re-analyzed.
+        """
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
-        for dirpath, dirnames, filenames in os.walk(root):
-            dirnames.sort()
-            for name in sorted(filenames):
-                if not name.lower().endswith(PHP_EXTENSIONS):
-                    continue
-                path = os.path.join(dirpath, name)
-                sub = self.analyze_file(path)
-                report.files.extend(sub.files)
+        assert self.predictor is not None
+        scheduler = ScanScheduler(self._config_groups(),
+                                  jobs=os.cpu_count() if jobs is None
+                                  else jobs,
+                                  cache_dir=cache_dir,
+                                  tool_version=self.version)
+        for result in scheduler.scan_tree(root):
+            start = time.perf_counter()
+            file_report = FileReport(result.filename,
+                                     result.lines_of_code,
+                                     parse_error=result.parse_error)
+            for cand in result.candidates:
+                file_report.outcomes.append(
+                    CandidateOutcome(cand, self.predictor.predict(cand)))
+            file_report.seconds = result.seconds + \
+                (time.perf_counter() - start)
+            report.files.append(file_report)
         return report
 
     def analyze_project(self, root: str) -> AnalysisReport:
@@ -128,21 +159,16 @@ class _BaseTool:
         ``lib.php`` silences flows in ``index.php``, and a sink inside a
         shared helper is reported once, at its declaration site.
         """
-        import time as _time
         from repro.analysis.project import ProjectAnalyzer
 
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
         assert self.predictor is not None
-        start = _time.perf_counter()
 
-        configs = []
-        for sub in self.submodules.values():
-            if sub.detector is not None:
-                configs.extend(sub.detector.configs)
-        for weapon in self.weapons:
-            configs.extend(weapon.configs)
-        analyzer = ProjectAnalyzer(configs)
+        groups = self._config_groups()
+        configs = [cfg for group in groups for cfg in group.configs]
+        analyzer = ProjectAnalyzer(
+            configs, groups=[list(group.configs) for group in groups])
         result = analyzer.analyze_tree(root)
 
         refined = [SubModule._split_rfi_lfi(cand)
@@ -151,18 +177,16 @@ class _BaseTool:
         by_file: dict[str, FileReport] = {}
         for pf in result.files:
             by_file[pf.path] = FileReport(pf.path, pf.lines_of_code,
+                                          seconds=pf.seconds,
                                           parse_error=pf.parse_error)
         for cand in refined:
+            start = time.perf_counter()
             prediction = self.predictor.predict(cand)
-            by_file.setdefault(cand.filename,
-                               FileReport(cand.filename)).outcomes.append(
-                CandidateOutcome(cand, prediction))
-        elapsed = _time.perf_counter() - start
-        files = list(by_file.values())
-        if files:
-            for fr in files:
-                fr.seconds = elapsed / len(files)
-        report.files = files
+            file_report = by_file.setdefault(cand.filename,
+                                             FileReport(cand.filename))
+            file_report.outcomes.append(CandidateOutcome(cand, prediction))
+            file_report.seconds += time.perf_counter() - start
+        report.files = list(by_file.values())
         return report
 
     # -- correction -----------------------------------------------------
@@ -204,6 +228,7 @@ class Wap21(_BaseTool):
         self.submodules = build_submodules(registry)
         self.predictor = original_predictor()
         self.groups = {info.class_id: info.group() for info in registry}
+        self._fused = FusedDetector(self._config_groups())
 
 
 class Wape(_BaseTool):
@@ -255,6 +280,7 @@ class Wape(_BaseTool):
                 self.corrector.class_fixes[class_id] = weapon.fix.fix_id
 
         self.predictor = new_predictor(dynamic)
+        self._fused = FusedDetector(self._config_groups())
 
     def arm(self, weapon: Weapon) -> None:
         """Register and activate a freshly generated weapon."""
@@ -272,6 +298,7 @@ class Wape(_BaseTool):
         assert self.predictor is not None
         self.predictor = self.predictor.with_dynamic(
             weapon.dynamic_symptoms)
+        self._fused = FusedDetector(self._config_groups())
 
 
 def _extend_registry(registry: VulnRegistry,

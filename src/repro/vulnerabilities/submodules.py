@@ -12,10 +12,9 @@ inclusion, a fully attacker-controlled target is a remote-file inclusion.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.analysis.detector import Detector
-from repro.analysis.model import STEP_CONCAT, CandidateVulnerability
+from repro.analysis.model import CandidateVulnerability
+from repro.analysis.pipeline import split_rfi_lfi
 from repro.vulnerabilities.classes import (
     SUBMODULE_CLIENT_SIDE,
     SUBMODULE_QUERY,
@@ -38,7 +37,8 @@ class SubModule:
         self.infos = list(infos)
         configs = [info.config for info in infos if info.config.sinks
                    or info.config.source_functions]
-        self._refine_lfi = any(info.class_id == "lfi" for info in infos)
+        #: whether this group applies the RFI/LFI shape refinement
+        self.refines_lfi = any(info.class_id == "lfi" for info in infos)
         self.detector = Detector(configs) if configs else None
 
     @property
@@ -54,19 +54,13 @@ class SubModule:
     def refine(self, candidates: list[CandidateVulnerability]
                ) -> list[CandidateVulnerability]:
         """Apply class-specific post-processing to raw engine reports."""
-        if not self._refine_lfi:
+        if not self.refines_lfi:
             return candidates
         return [self._split_rfi_lfi(c) for c in candidates]
 
-    @staticmethod
-    def _split_rfi_lfi(cand: CandidateVulnerability
-                       ) -> CandidateVulnerability:
-        if cand.vuln_class != "rfi":
-            return cand
-        concatenated = any(step.kind == STEP_CONCAT for step in cand.path)
-        if concatenated:
-            return dataclasses.replace(cand, vuln_class="lfi")
-        return cand
+    # the shape-based RFI/LFI classification lives in the scan pipeline
+    # (shared with the fused detector); kept as a method for callers
+    _split_rfi_lfi = staticmethod(split_rfi_lfi)
 
 
 def build_submodules(registry: VulnRegistry) -> dict[str, SubModule]:

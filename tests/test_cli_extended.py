@@ -25,6 +25,7 @@ class TestKnowledgeBaseFlags:
         assert os.path.isdir(os.path.join(target, "sqli"))
         assert "exported" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_kb_round_trip_through_cli(self, tmp_path, app, capsys):
         target = str(tmp_path / "kb")
         cli_main(["--export-kb", target])
@@ -65,6 +66,7 @@ class TestJustifyFlag:
 
 
 class TestModuleEntryPoint:
+    @pytest.mark.slow
     def test_python_dash_m(self, app):
         import subprocess
         import sys

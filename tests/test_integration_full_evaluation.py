@@ -6,6 +6,8 @@ from collections import Counter
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.corpus import (
     PAPER_CLASS_TOTALS,
     PAPER_PLUGIN_CLASS_TOTALS,
