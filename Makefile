@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-throughput
+.PHONY: test test-fast bench bench-smoke bench-throughput trace-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -26,3 +26,12 @@ bench-throughput:
 # tiny-tree pipeline regression guard (fast; writes no trajectory file)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke
+
+# telemetry demo: traced 2-worker scan of the demo app, writing
+# trace.json + metrics.prom and printing the --stats footer
+# (the demo app is deliberately vulnerable, so the scan exits 1)
+trace-demo:
+	-$(PYTHON) -m repro --jobs 2 --no-cache --quiet --stats \
+		--trace-out trace.json --metrics-out metrics.prom examples/
+	@echo "trace   -> trace.json"
+	@echo "metrics -> metrics.prom"

@@ -100,6 +100,28 @@ def run_benchmark(smoke: bool = False) -> dict:
             keysets.append(sorted(o.candidate.key()
                                   for o in report.outcomes))
 
+        # one instrumented run: where does the wall clock go?  Records
+        # the telemetry phase-time breakdown into the trajectory file.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        start = time.perf_counter()
+        report = tool.analyze_tree(corpus_root, jobs=JOB_LEVELS[-1],
+                                   cache_dir=None, telemetry=telemetry)
+        traced_seconds = time.perf_counter() - start
+        keysets.append(sorted(o.candidate.key()
+                              for o in report.outcomes))
+        stats = report.stats
+        phase_breakdown = {
+            "jobs": JOB_LEVELS[-1],
+            "seconds": round(traced_seconds, 4),
+            "workers": stats.workers,
+            "wall_phases": [
+                {"phase": name, "seconds": round(seconds, 4)}
+                for name, seconds in stats.wall_phases],
+            "file_phases": stats.file_phases,
+        }
+
     assert all(k == keysets[0] for k in keysets), \
         "jobs/cache settings changed the candidate set"
 
@@ -112,6 +134,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         "corpus": corpus,
         "candidates": len(keysets[0]),
         "runs": runs,
+        "phase_breakdown": phase_breakdown,
         "speedup_jobs4_vs_jobs1_cold": round(cold[1] / cold[4], 2),
         "speedup_warm_vs_cold_jobs1": round(cold[1] / warm[1], 2),
     }
@@ -132,6 +155,11 @@ def print_summary(result: dict) -> None:
           f"{result['speedup_jobs4_vs_jobs1_cold']}x")
     print(f"  speedup warm vs cold (jobs=1):   "
           f"{result['speedup_warm_vs_cold_jobs1']}x")
+    breakdown = result["phase_breakdown"]
+    print(f"  phase breakdown (traced, jobs={breakdown['jobs']}, "
+          f"{breakdown['seconds']}s):")
+    for row in breakdown["wall_phases"]:
+        print(f"    {row['phase']:<10} {row['seconds']:>8.4f}s")
 
 
 def check_expectations(result: dict) -> None:

@@ -1,0 +1,6 @@
+<?php
+// Deliberately malformed: exercises parse-error reporting in the demo
+// scan (the file shows up under "parse errors" in --stats and JSON).
+function broken( {
+    echo "this never parses
+?>

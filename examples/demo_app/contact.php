@@ -1,0 +1,5 @@
+<?php
+// Contact form: message preview is printed without encoding.
+$msg = $_POST['message'];
+printf("Your message: %s", $msg);
+?>

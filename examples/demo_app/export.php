@@ -1,0 +1,6 @@
+<?php
+// CSV export: the sort column flows into pg_query untouched.
+$col = $_GET['sort'];
+$rows = pg_query($conn, "SELECT * FROM orders ORDER BY " . $col);
+shell_exec("gzip " . $_GET['outfile']);
+?>

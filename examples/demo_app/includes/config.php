@@ -1,0 +1,6 @@
+<?php
+// Static configuration (clean file).
+$db_host = "localhost";
+$db_name = "shop";
+$page_size = 25;
+?>

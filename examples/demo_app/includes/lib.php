@@ -1,0 +1,11 @@
+<?php
+// Shared helpers (clean file: nothing user-controlled reaches a sink).
+function format_price($cents) {
+    return "$" . number_format($cents / 100, 2);
+}
+
+function site_header($title) {
+    return "<html><head><title>" . htmlspecialchars($title)
+        . "</title></head>";
+}
+?>

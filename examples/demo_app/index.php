@@ -1,0 +1,8 @@
+<?php
+// Front page: looks up a product straight from the query string.
+$id = $_GET['id'];
+$result = mysql_query("SELECT * FROM products WHERE id = " . $id);
+while ($row = mysql_fetch_assoc($result)) {
+    echo "<li>" . $row['name'] . "</li>";
+}
+?>

@@ -1,0 +1,9 @@
+<?php
+// Login: the user id is cast to int before reaching the query, and the
+// name is escaped — both flows should be predicted false positives.
+$uid = intval($_POST['uid']);
+$r1 = mysql_query("SELECT * FROM users WHERE id = " . $uid);
+
+$name = mysql_real_escape_string($_POST['name']);
+$r2 = mysql_query("SELECT * FROM users WHERE name = '" . $name . "'");
+?>

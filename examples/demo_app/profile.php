@@ -1,0 +1,7 @@
+<?php
+// Profile page: cookie-driven lookup plus an unescaped echo of it.
+$user = $_COOKIE['user'];
+$res = mysqli_query($db, "SELECT * FROM profiles WHERE login = '"
+    . $user . "'");
+echo "Logged in as " . $user;
+?>

@@ -1,0 +1,5 @@
+<?php
+// Diagnostics endpoint: pings a host name taken from the request.
+$host = $_POST['host'];
+system("ping -c 1 " . $host);
+?>

@@ -1,0 +1,7 @@
+<?php
+// Reflected search box: the query is echoed back unescaped.
+$q = $_GET['q'];
+echo "<h2>Results for " . $q . "</h2>";
+$safe = htmlentities($_GET['page_title']);
+echo "<title>" . $safe . "</title>";
+?>

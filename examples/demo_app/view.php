@@ -1,0 +1,9 @@
+<?php
+// Template loader: includes whatever page the visitor asks for.
+$page = $_GET['page'];
+include($page);
+
+// Local variant: the prefix pins the file to the templates directory.
+$tpl = "templates/" . $_GET['tpl'] . ".php";
+require($tpl);
+?>

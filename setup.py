@@ -19,5 +19,8 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
-    entry_points={"console_scripts": ["wape = repro.tool.cli:main"]},
+    entry_points={"console_scripts": [
+        "wape = repro.tool.cli:main",
+        "wape-explain = repro.tool.explain:main",
+    ]},
 )

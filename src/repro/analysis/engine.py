@@ -89,10 +89,18 @@ class TaintEngine:
     """
 
     def __init__(self, configs: list[DetectorConfig],
-                 groups: list[list[DetectorConfig]] | None = None) -> None:
+                 groups: list[list[DetectorConfig]] | None = None,
+                 telemetry=None) -> None:
         if not configs:
             raise ValueError("TaintEngine needs at least one DetectorConfig")
         self.configs = list(configs)
+        # instrumentation hook (repro.telemetry): when enabled, analyze()
+        # wraps the traversal in a `taint` span and counts summaries; the
+        # lazy import keeps the engine importable on its own
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
 
         self.entry_points: set[str] = set()
         self.source_functions: set[str] = set()
@@ -174,8 +182,16 @@ class TaintEngine:
                 function are NOT re-reported here (the home file reports
                 them).
         """
-        run = _FileRun(self, program, filename, extra_functions)
-        return run.run()
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return _FileRun(self, program, filename, extra_functions).run()
+        with telemetry.tracer.span("taint", phase="taint", file=filename):
+            run = _FileRun(self, program, filename, extra_functions)
+            out = run.run()
+        metrics = telemetry.metrics
+        metrics.counter("functions_summarized").inc(len(run.summaries))
+        metrics.counter("candidates_emitted").inc(len(out))
+        return out
 
 
 class _FileRun:

@@ -204,6 +204,15 @@ class CandidateVulnerability:
         return (self.vuln_class, self.filename, self.sink_line,
                 self.sink_name, self.entry_point)
 
+    def provenance(self, prediction=None, sanitizers: Iterable[str] = ()):
+        """Explained decision trace of this candidate's path.
+
+        See :func:`repro.telemetry.provenance.build_provenance` (imported
+        lazily: provenance depends on this module).
+        """
+        from repro.telemetry.provenance import build_provenance
+        return build_provenance(self, prediction, sanitizers)
+
 
 @dataclass
 class FunctionSummary:

@@ -51,7 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import PhpSyntaxError
-from repro.php import ast, parse
+from repro.php import Parser, ast, parse, tokenize
 from repro.analysis.detector import PHP_EXTENSIONS, FileResult
 from repro.analysis.engine import TaintEngine
 from repro.analysis.model import (
@@ -59,6 +59,7 @@ from repro.analysis.model import (
     CandidateVulnerability,
     DetectorConfig,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: bump when the cached payload layout or engine semantics change.
 CACHE_FORMAT = 1
@@ -110,12 +111,14 @@ class FusedDetector:
     each group's own detector and concatenating, but walks the AST once.
     """
 
-    def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup]
-                 ) -> None:
+    def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
+                 telemetry: Telemetry | None = None) -> None:
         self.groups = tuple(groups)
+        self.telemetry = telemetry or NULL_TELEMETRY
         configs = [cfg for g in self.groups for cfg in g.configs]
         self.engine = TaintEngine(
-            configs, [list(g.configs) for g in self.groups]) \
+            configs, [list(g.configs) for g in self.groups],
+            telemetry=self.telemetry) \
             if configs else None
         self._split = any(g.split_rfi_lfi for g in self.groups)
 
@@ -132,7 +135,12 @@ class FusedDetector:
             return []
         candidates = self.engine.analyze(program, filename)
         if self._split:
-            candidates = [split_rfi_lfi(c) for c in candidates]
+            if self.telemetry.enabled:
+                with self.telemetry.tracer.span("split", phase="split",
+                                                file=filename):
+                    candidates = [split_rfi_lfi(c) for c in candidates]
+            else:
+                candidates = [split_rfi_lfi(c) for c in candidates]
         seen: set[tuple] = set()
         unique: list[CandidateVulnerability] = []
         for cand in candidates:
@@ -143,10 +151,32 @@ class FusedDetector:
 
     def detect_source(self, source: str, filename: str = "<source>"
                       ) -> list[CandidateVulnerability]:
-        return self.detect_program(parse(source, filename), filename)
+        if not self.telemetry.enabled:
+            return self.detect_program(parse(source, filename), filename)
+        tracer = self.telemetry.tracer
+        with tracer.span("lex", phase="lex", file=filename):
+            tokens = tokenize(source, filename)
+        with tracer.span("parse", phase="parse", file=filename):
+            program = Parser(tokens, filename).parse_program()
+        return self.detect_program(program, filename)
 
     def detect_file(self, path: str) -> FileResult:
         """Analyze one file; errors are captured, wall time recorded."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._detect_file(path)
+        with telemetry.tracer.span("file", phase="file", file=path):
+            result = self._detect_file(path)
+        metrics = telemetry.metrics
+        metrics.counter("files_scanned").inc()
+        metrics.counter("lines_scanned").inc(result.lines_of_code)
+        if result.parse_error:
+            metrics.counter("parse_errors").inc()
+        for cand in result.candidates:
+            metrics.counter(f"candidates.{cand.vuln_class}").inc()
+        return result
+
+    def _detect_file(self, path: str) -> FileResult:
         start = time.perf_counter()
         result = FileResult(filename=path)
         try:
@@ -212,6 +242,12 @@ class ResultCache:
     fingerprint directory isolates knowledge configurations from each
     other; the content hash makes results follow file *contents*, so an
     unchanged tree re-scans near-instantly and a renamed file still hits.
+
+    Behaviour is always counted — ``hits``/``misses``/``evictions``/
+    ``puts`` — so the report can surface cache effectiveness even when
+    telemetry is off.  A corrupt entry is *evicted* (deleted) on the miss
+    that discovers it, so it cannot keep costing a failed unpickle on
+    every scan.
     """
 
     def __init__(self, directory: str, fingerprint: str) -> None:
@@ -219,6 +255,8 @@ class ResultCache:
         os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.puts = 0
 
     @staticmethod
     def content_hash(data: bytes) -> str:
@@ -229,11 +267,20 @@ class ResultCache:
 
     def get(self, content_hash: str, filename: str) -> FileResult | None:
         """Cached result for *content_hash*, re-attributed to *filename*."""
+        entry = self._entry_path(content_hash)
         try:
-            with open(self._entry_path(content_hash), "rb") as f:
+            with open(entry, "rb") as f:
                 payload = pickle.load(f)
-        except Exception:  # corrupt entries raise anything: treat as miss
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except Exception:  # corrupt entries raise anything: miss + evict
+            self.misses += 1
+            try:
+                os.unlink(entry)
+                self.evictions += 1
+            except OSError:
+                pass
             return None
         self.hits += 1
         return FileResult(
@@ -256,6 +303,7 @@ class ResultCache:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._entry_path(content_hash))
+            self.puts += 1
         except OSError:
             try:
                 os.unlink(tmp)
@@ -268,12 +316,20 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 _WORKER_DETECTOR: FusedDetector | None = None
+_WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
 
 
-def _init_worker(groups: tuple[ConfigGroup, ...]) -> None:
-    """Per-worker initializer: build the fused detector once."""
-    global _WORKER_DETECTOR
-    _WORKER_DETECTOR = FusedDetector(groups)
+def _init_worker(groups: tuple[ConfigGroup, ...],
+                 telemetry_enabled: bool = False) -> None:
+    """Per-worker initializer: build the fused detector once.
+
+    When the parent scan is traced, each worker records spans and counters
+    into its own registry; every chunk result ships them back for merging
+    (:meth:`~repro.telemetry.Tracer.merge`), stamped with the worker pid.
+    """
+    global _WORKER_DETECTOR, _WORKER_TELEMETRY
+    _WORKER_TELEMETRY = Telemetry(enabled=telemetry_enabled)
+    _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY)
 
 
 def _scan_path(path: str) -> FileResult:
@@ -290,14 +346,25 @@ def _scan_path(path: str) -> FileResult:
     return _WORKER_DETECTOR.detect_file(path)
 
 
-def _scan_chunk(paths: list[str]) -> list[FileResult]:
+def _scan_chunk(paths: list[str]
+                ) -> tuple[list[FileResult], list[dict] | None,
+                           dict[str, int] | None]:
     """Worker task: analyze a batch of files in one round-trip.
 
     Batching amortizes the per-task IPC cost (submit + result pickling)
     over many files; with ~1 ms of analysis per typical PHP file, per-file
     dispatch would otherwise dominate the wall clock.
+
+    Returns the per-file results plus, when the scan is traced, the
+    worker-side span records and counter snapshot for this chunk.
     """
-    return [_scan_path(path) for path in paths]
+    telemetry = _WORKER_TELEMETRY
+    if not telemetry.enabled:
+        return [_scan_path(path) for path in paths], None, None
+    with telemetry.tracer.span("chunk", phase="chunk", files=len(paths)):
+        results = [_scan_path(path) for path in paths]
+    return (results, telemetry.tracer.drain(worker=os.getpid()),
+            telemetry.metrics.drain_counters())
 
 
 class ScanScheduler:
@@ -311,17 +378,27 @@ class ScanScheduler:
             caching.
         tool_version: mixed into the cache fingerprint so different tool
             versions never share entries.
+        telemetry: the run's :class:`~repro.telemetry.Telemetry`; the
+            disabled default records nothing.
     """
 
     def __init__(self, groups: list[ConfigGroup] | tuple[ConfigGroup, ...],
                  jobs: int | None = 1,
                  cache_dir: str | None = None,
-                 tool_version: str = "") -> None:
+                 tool_version: str = "",
+                 telemetry: Telemetry | None = None) -> None:
         self.groups = tuple(groups)
         self.jobs = max(1, int(jobs or 1))
         self.fingerprint = config_fingerprint(self.groups, tool_version)
         self.cache = ResultCache(cache_dir, self.fingerprint) \
             if cache_dir else None
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: (file, exception class) for files retried in isolation after a
+        #: worker died mid-chunk — never silent (satellite of ISSUE 2).
+        self.retries: list[tuple[str, str]] = []
+        #: (file, exception class) for files whose isolated retry ALSO
+        #: crashed; these become ``parse_error`` results.
+        self.crashes: list[tuple[str, str]] = []
         self._detector: FusedDetector | None = None
 
     # ------------------------------------------------------------------
@@ -338,16 +415,39 @@ class ScanScheduler:
 
     def _local_detector(self) -> FusedDetector:
         if self._detector is None:
-            self._detector = FusedDetector(self.groups)
+            self._detector = FusedDetector(self.groups,
+                                           telemetry=self.telemetry)
         return self._detector
 
     # ------------------------------------------------------------------
     def scan_tree(self, root: str) -> list[FileResult]:
         """Analyze every PHP file under *root* (ordered like the walk)."""
-        return self.scan_files(self.discover(root))
+        with self.telemetry.tracer.span("discover", phase="discover",
+                                        root=root):
+            paths = self.discover(root)
+        return self.scan_files(paths)
 
     def scan_files(self, paths: list[str]) -> list[FileResult]:
         """Analyze *paths*, returning results in the same order."""
+        telemetry = self.telemetry
+        with telemetry.tracer.span("scan", phase="scan",
+                                   files=len(paths)):
+            results = self._scan_files_traced(paths)
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            for result in results:
+                if result.parse_error:
+                    metrics.counter("parse_errors_total").inc()
+            if self.cache is not None:
+                metrics.gauge("cache_hits").set(self.cache.hits)
+                metrics.gauge("cache_misses").set(self.cache.misses)
+                metrics.gauge("cache_evictions").set(self.cache.evictions)
+                metrics.gauge("cache_puts").set(self.cache.puts)
+        return results
+
+    def _scan_files_traced(self, paths: list[str]) -> list[FileResult]:
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
         results: dict[int, FileResult] = {}
         hashes: dict[int, str] = {}
         pending: list[tuple[int, str]] = []
@@ -361,7 +461,13 @@ class ScanScheduler:
                                             parse_error=str(exc))
                     continue
                 hashes[i] = digest
-                cached = self.cache.get(digest, path)
+                if telemetry.enabled:
+                    with tracer.span("cache_get", phase="cache",
+                                     file=path) as span:
+                        cached = self.cache.get(digest, path)
+                        span.set(hit=cached is not None)
+                else:
+                    cached = self.cache.get(digest, path)
                 if cached is not None:
                     results[i] = cached
                     continue
@@ -377,7 +483,12 @@ class ScanScheduler:
                 for i, _path in pending:
                     # crash results are environment-specific; don't pin them
                     if results[i].parse_error != CRASH_ERROR:
-                        self.cache.put(hashes[i], results[i])
+                        if telemetry.enabled:
+                            with tracer.span("cache_put", phase="cache",
+                                             file=_path):
+                                self.cache.put(hashes[i], results[i])
+                        else:
+                            self.cache.put(hashes[i], results[i])
         return [results[i] for i in range(len(paths))]
 
     # ------------------------------------------------------------------
@@ -388,8 +499,10 @@ class ScanScheduler:
 
     def _scan_parallel(self, pending: list[tuple[int, str]]
                        ) -> dict[int, FileResult]:
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
         out: dict[int, FileResult] = {}
-        suspect: list[tuple[int, str]] = []
+        suspect: list[tuple[int, str, str]] = []  # (idx, path, cause)
         workers = min(self.jobs, len(pending))
         # several chunks per worker: amortizes IPC without losing load
         # balancing to one slow straggler chunk
@@ -399,39 +512,69 @@ class ScanScheduler:
         try:
             with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_init_worker,
-                                     initargs=(self.groups,)) as pool:
+                                     initargs=(self.groups,
+                                               telemetry.enabled)) as pool:
                 futures = {pool.submit(_scan_chunk,
                                        [p for _i, p in chunk]): chunk
                            for chunk in chunks}
                 for future, chunk in futures.items():
                     try:
+                        chunk_results, spans, counters = future.result()
                         for (i, _path), result in zip(chunk,
-                                                      future.result()):
+                                                      chunk_results):
                             out[i] = result
-                    except Exception:
+                        tracer.merge(spans or [],
+                                     parent_id=tracer.current_id)
+                        telemetry.metrics.merge_counters(counters)
+                    except Exception as exc:
                         # a worker died mid-chunk, or raised something we
                         # cannot attribute to one file: retry each file of
                         # the chunk in isolation below
-                        suspect.extend(chunk)
-        except BrokenProcessPool:
+                        cause = type(exc).__name__
+                        suspect.extend((i, p, cause) for i, p in chunk)
+        except BrokenProcessPool as exc:
             # the pool died while submitting/shutting down
-            done = {i for i, _p in suspect} | set(out)
-            suspect.extend((i, p) for i, p in pending if i not in done)
+            done = {i for i, _p, _c in suspect} | set(out)
+            suspect.extend((i, p, type(exc).__name__)
+                           for i, p in pending if i not in done)
         # files in flight when a worker died: retry each in isolation, so
-        # one poisonous file cannot take down the scan
-        for i, path in suspect:
-            out[i] = self._scan_isolated(path)
+        # one poisonous file cannot take down the scan — each retry is
+        # logged to the trace/metrics with the failing file and the
+        # exception class that triggered it
+        for i, path, cause in suspect:
+            out[i] = self._scan_isolated(path, cause)
         return out
 
-    def _scan_isolated(self, path: str) -> FileResult:
-        """Analyze one suspect file in its own single-worker pool."""
-        try:
-            with ProcessPoolExecutor(max_workers=1,
-                                     initializer=_init_worker,
-                                     initargs=(self.groups,)) as pool:
-                return pool.submit(_scan_path, path).result()
-        except BrokenProcessPool:
-            return FileResult(filename=path, parse_error=CRASH_ERROR)
-        except Exception as exc:
-            return FileResult(filename=path,
-                              parse_error=f"worker error: {exc}")
+    def _scan_isolated(self, path: str, cause: str = "") -> FileResult:
+        """Analyze one suspect file in its own single-worker pool.
+
+        The retry (and, if the isolated worker dies too, the crash) is
+        recorded: ``retries``/``crashes`` on the scheduler, the
+        ``worker_retries``/``worker_crashes`` counters, and an
+        ``isolated_retry`` span carrying the file and exception class.
+        """
+        telemetry = self.telemetry
+        self.retries.append((path, cause or "unknown"))
+        telemetry.metrics.counter("worker_retries").inc()
+        with telemetry.tracer.span("isolated_retry", phase="retry",
+                                   file=path, cause=cause) as span:
+            try:
+                with ProcessPoolExecutor(max_workers=1,
+                                         initializer=_init_worker,
+                                         initargs=(self.groups,
+                                                   False)) as pool:
+                    result, _spans, _counters = pool.submit(
+                        _scan_chunk, [path]).result()
+                    return result[0]
+            except BrokenProcessPool as exc:
+                self._record_crash(path, type(exc).__name__, span)
+                return FileResult(filename=path, parse_error=CRASH_ERROR)
+            except Exception as exc:
+                self._record_crash(path, type(exc).__name__, span)
+                return FileResult(filename=path,
+                                  parse_error=f"worker error: {exc}")
+
+    def _record_crash(self, path: str, exc_class: str, span) -> None:
+        self.crashes.append((path, exc_class))
+        self.telemetry.metrics.counter("worker_crashes").inc()
+        span.set(crashed=True, error=exc_class)

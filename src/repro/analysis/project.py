@@ -62,11 +62,18 @@ class ProjectAnalyzer:
     """Cross-file taint analysis over a directory tree."""
 
     def __init__(self, configs: list[DetectorConfig] | Detector,
-                 groups: list[list[DetectorConfig]] | None = None) -> None:
+                 groups: list[list[DetectorConfig]] | None = None,
+                 telemetry=None) -> None:
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+            telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
         if isinstance(configs, Detector):
             self.engine = configs.engine
+            self.engine.telemetry = telemetry
         else:
-            self.engine = TaintEngine(list(configs), groups)
+            self.engine = TaintEngine(list(configs), groups,
+                                      telemetry=telemetry)
 
     # ------------------------------------------------------------------
     def load(self, root: str) -> list[ProjectFile]:
@@ -128,22 +135,27 @@ class ProjectAnalyzer:
     # ------------------------------------------------------------------
     def analyze_tree(self, root: str) -> ProjectResult:
         """Parse, table-build and analyze the whole project."""
-        result = ProjectResult(root, self.load(root))
-        table = self.build_function_table(result.parsed_files)
-        seen: set[tuple] = set()
-        for pf in result.parsed_files:
-            assert pf.program is not None
-            start = time.perf_counter()
-            # foreign = declarations from every *other* file
-            foreign = {name: (decl, home)
-                       for name, (decl, home) in table.items()
-                       if home != pf.path}
-            for cand in self.engine.analyze(pf.program, pf.path,
-                                            extra_functions=foreign):
-                if cand.key() not in seen:
-                    seen.add(cand.key())
-                    result.candidates.append(cand)
-            pf.seconds += time.perf_counter() - start
+        tracer = self.telemetry.tracer
+        with tracer.span("load", phase="parse", root=root):
+            result = ProjectResult(root, self.load(root))
+        with tracer.span("function_table", phase="link"):
+            table = self.build_function_table(result.parsed_files)
+        with tracer.span("scan", phase="scan",
+                         files=len(result.parsed_files)):
+            seen: set[tuple] = set()
+            for pf in result.parsed_files:
+                assert pf.program is not None
+                start = time.perf_counter()
+                # foreign = declarations from every *other* file
+                foreign = {name: (decl, home)
+                           for name, (decl, home) in table.items()
+                           if home != pf.path}
+                for cand in self.engine.analyze(pf.program, pf.path,
+                                                extra_functions=foreign):
+                    if cand.key() not in seen:
+                        seen.add(cand.key())
+                        result.candidates.append(cand)
+                pf.seconds += time.perf_counter() - start
         result.candidates.sort(
             key=lambda c: (c.filename, c.sink_line, c.vuln_class))
         return result

@@ -65,8 +65,11 @@ class FalsePositivePredictor:
         self.dataset = dataset
         self.dynamic = dynamic
         # symptom set -> Prediction; classifiers are frozen after fit, so
-        # identical symptom sets always classify identically
+        # identical symptom sets always classify identically.  Hit/miss
+        # counts make memoization effectiveness observable (--stats).
         self._memo: dict[frozenset[str], Prediction] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
         for clf in self.classifiers:
             clf.fit(dataset.X, dataset.y)
 
@@ -83,6 +86,8 @@ class FalsePositivePredictor:
         clone.dynamic = self.dynamic.merged(dynamic)
         # vote caching only depends on the shared classifiers + scheme
         clone._memo = self._memo
+        clone.memo_hits = 0
+        clone.memo_misses = 0
         return clone
 
     # ------------------------------------------------------------------
@@ -95,7 +100,9 @@ class FalsePositivePredictor:
         """Classify from an already-extracted symptom set (memoized)."""
         cached = self._memo.get(symptoms)
         if cached is not None:
+            self.memo_hits += 1
             return cached
+        self.memo_misses += 1
         vector = self.scheme.vectorize(symptoms).reshape(1, -1)
         votes = {clf.name: int(clf.predict(vector)[0])
                  for clf in self.classifiers}

@@ -1,0 +1,94 @@
+"""Scan telemetry: phase-scoped tracing, pipeline metrics, provenance.
+
+Dependency-free instrumentation for the whole scan stack.  One
+:class:`Telemetry` value bundles a tracer and a metrics registry and is
+threaded through the pipeline (``FusedDetector`` → ``TaintEngine`` →
+``ScanScheduler`` → the tool facades); the disabled default
+(:data:`NULL_TELEMETRY`) is a shared no-op whose hot paths are guarded by
+a single boolean check, so scans without telemetry pay nothing.
+
+>>> from repro.telemetry import Telemetry
+>>> telemetry = Telemetry()
+>>> with telemetry.tracer.span("scan", phase="scan"):
+...     telemetry.metrics.counter("files_scanned").inc()
+"""
+
+from repro.telemetry.export import (  # noqa: F401
+    TRACE_FORMAT,
+    load_trace,
+    metrics_to_text,
+    trace_to_dict,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.telemetry.metrics import (  # noqa: F401
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.telemetry.tracing import (  # noqa: F401
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class Telemetry:
+    """A tracer + metrics registry pair threaded through one run."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer() if enabled else NULL_TRACER
+        self.metrics = Metrics() if enabled else NULL_METRICS
+
+
+#: the shared disabled default — costs one attribute read to check.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+# provenance reaches into repro.analysis, which imports this package back
+# for NULL_TELEMETRY — so Telemetry must exist before these two imports.
+from repro.telemetry.provenance import (  # noqa: E402,F401
+    Provenance,
+    ProvenanceEvent,
+    build_provenance,
+)
+from repro.telemetry.stats import (  # noqa: E402,F401
+    CacheStats,
+    ScanStats,
+    build_scan_stats,
+)
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Provenance",
+    "ProvenanceEvent",
+    "build_provenance",
+    "CacheStats",
+    "ScanStats",
+    "build_scan_stats",
+    "TRACE_FORMAT",
+    "trace_to_dict",
+    "validate_trace",
+    "load_trace",
+    "write_trace",
+    "metrics_to_text",
+    "write_metrics",
+]

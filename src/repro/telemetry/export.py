@@ -1,0 +1,114 @@
+"""Exporters: JSON trace files and Prometheus-style metrics text.
+
+Two machine-readable outputs and their loaders/validators:
+
+* **JSON trace** (``--trace-out``): the full span tree of a run, format
+  :data:`TRACE_FORMAT`.  :func:`load_trace` reads a file back and
+  :func:`validate_trace` checks the schema (unique ids, resolvable parent
+  links, non-negative durations) so round-trips are testable.
+
+* **Prometheus text** (``--metrics-out``): the classic exposition format —
+  ``# TYPE`` comments plus one ``name value`` line per instrument, with
+  histogram summaries flattened into ``{quantile="..."}`` labels.  The
+  output is scrapable as-is by any Prometheus-compatible collector.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: bump when the span record layout changes.
+TRACE_FORMAT = 1
+
+_REQUIRED_SPAN_KEYS = frozenset(
+    {"id", "parent", "name", "phase", "start", "duration"})
+
+
+def trace_to_dict(tracer, tool: str = "", target: str = "") -> dict:
+    """The JSON document for ``--trace-out``."""
+    return {
+        "trace_format": TRACE_FORMAT,
+        "tool": tool,
+        "target": target,
+        "spans": [span.to_record() for span in tracer.spans],
+    }
+
+
+def write_trace(path: str, tracer, tool: str = "",
+                target: str = "") -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace_to_dict(tracer, tool, target), f, indent=2)
+        f.write("\n")
+
+
+def load_trace(path: str) -> dict:
+    """Read a ``--trace-out`` file back, validating the schema."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    validate_trace(data)
+    return data
+
+
+def validate_trace(data: dict) -> None:
+    """Raise ``ValueError`` unless *data* is a well-formed trace."""
+    if data.get("trace_format") != TRACE_FORMAT:
+        raise ValueError(
+            f"unsupported trace_format {data.get('trace_format')!r}")
+    spans = data.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace has no span list")
+    ids = set()
+    for rec in spans:
+        missing = _REQUIRED_SPAN_KEYS - set(rec)
+        if missing:
+            raise ValueError(f"span missing keys: {sorted(missing)}")
+        if rec["id"] in ids:
+            raise ValueError(f"duplicate span id {rec['id']}")
+        ids.add(rec["id"])
+        if rec["duration"] < 0:
+            raise ValueError(f"span {rec['id']} has negative duration")
+    for rec in spans:
+        parent = rec["parent"]
+        if parent is not None and parent not in ids:
+            raise ValueError(
+                f"span {rec['id']} has dangling parent {parent}")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style text format
+# ---------------------------------------------------------------------------
+
+def _metric_name(prefix: str, name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                   for ch in name)
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def metrics_to_text(metrics, prefix: str = "wape") -> str:
+    """Prometheus exposition-format dump of a metrics registry."""
+    lines: list[str] = []
+    for name, counter in sorted(metrics.counters.items()):
+        full = _metric_name(prefix, name)
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {counter.value}")
+    for name, gauge in sorted(metrics.gauges.items()):
+        full = _metric_name(prefix, name)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {gauge.value:.6g}")
+    for name, hist in sorted(metrics.histograms.items()):
+        full = _metric_name(prefix, name)
+        summary = hist.summary()
+        lines.append(f"# TYPE {full} summary")
+        lines.append(f"{full}_count {summary['count']}")
+        lines.append(f"{full}_sum {summary['sum']:.6g}")
+        for q in ("p50", "p95"):
+            quantile = "0.5" if q == "p50" else "0.95"
+            lines.append(f"{full}{{quantile=\"{quantile}\"}} "
+                         f"{summary[q]:.6g}")
+        lines.append(f"{full}{{quantile=\"1\"}} {summary['max']:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path: str, metrics, prefix: str = "wape") -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(metrics_to_text(metrics, prefix))

@@ -81,6 +81,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "candidate")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the summary lines")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a scan-statistics footer: phase-time "
+                             "breakdown, slowest files, cache and worker "
+                             "health")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the full span trace (nested phase "
+                             "timings, worker chunks) as JSON to FILE")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write pipeline metrics in Prometheus text "
+                             "exposition format to FILE")
     return parser
 
 
@@ -166,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
+    telemetry = Telemetry() if (args.stats or args.trace_out
+                                or args.metrics_out) else NULL_TELEMETRY
+
     import os
     if args.no_cache:
         cache_dir = None
@@ -185,12 +199,14 @@ def main(argv: list[str] | None = None) -> int:
                         "--project requires the new version")
                 # cross-file resolution analyzes as one unit: the scan
                 # pipeline (--jobs/--cache-dir) applies to per-file mode
-                report = tool.analyze_project(target)
+                report = tool.analyze_project(target,
+                                              telemetry=telemetry)
             else:
                 report = tool.analyze_tree(target, jobs=args.jobs,
-                                           cache_dir=cache_dir)
+                                           cache_dir=cache_dir,
+                                           telemetry=telemetry)
         else:
-            report = tool.analyze_file(target)
+            report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:
             import json
             print(json.dumps(report.to_dict(), indent=2))
@@ -198,6 +214,10 @@ def main(argv: list[str] | None = None) -> int:
             print(report.summary_line())
         else:
             print(report.render_text(show_paths=args.show_paths))
+        if args.stats and not args.json:
+            footer = report.render_stats()
+            if footer:
+                print(footer)
         if args.justify and not args.json:
             from repro.mining import justify
             for outcome in report.predicted_false_positives:
@@ -218,6 +238,13 @@ def main(argv: list[str] | None = None) -> int:
                 if result.changed:
                     print(f"fixed {len(result.applied)} "
                           f"vulnerabilities -> {output}")
+    if args.trace_out:
+        from repro.telemetry import write_trace
+        write_trace(args.trace_out, telemetry.tracer,
+                    tool=tool.version, target=" ".join(args.targets))
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+        write_metrics(args.metrics_out, telemetry.metrics)
     return exit_code
 
 

@@ -1,0 +1,143 @@
+"""``wape-explain``: explainable provenance for flagged candidates.
+
+Re-analyzes one or more PHP files and prints, for every candidate, the
+full decision trace the pipeline followed: where the taint was born, how
+it propagated (and why each traversed function did *not* sanitize it),
+which validation guards were recorded as symptoms, where it reached a
+sink, and what the false-positive predictor decided on which symptom
+vector.
+
+Examples::
+
+    python -m repro.tool.explain app/index.php
+    python -m repro.tool.explain --class sqli --line 42 app/index.php
+    python -m repro.tool.explain --sanitizer sqli:escape app/   # §V-A
+    python -m repro.tool.explain --json app/view.php
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.exceptions import ReproError
+from repro.tool.cli import (
+    _parse_dynamic,
+    _parse_extra_sanitizers,
+    split_weapon_flags,
+)
+from repro.tool.report import AnalysisReport
+from repro.tool.wap import Wape
+from repro.weapons import WeaponRegistry, load_weapon
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wape-explain",
+        description="explain every decision behind each candidate "
+                    "vulnerability: source, propagation, sanitization "
+                    "checks, guards, sink, predictor verdict",
+    )
+    parser.add_argument("targets", nargs="+",
+                        help="PHP files or directories to explain")
+    parser.add_argument("--class", dest="vuln_class", default=None,
+                        metavar="ID",
+                        help="only candidates of this class (e.g. sqli)")
+    parser.add_argument("--line", type=int, default=None, metavar="N",
+                        help="only candidates whose sink is on line N")
+    parser.add_argument("--weapon-dir", action="append", default=[],
+                        metavar="DIR",
+                        help="load a weapon bundle directory "
+                             "(may be repeated)")
+    parser.add_argument("--sanitizer", action="append", default=[],
+                        metavar="CLASS:FUNC",
+                        help="treat FUNC as a sanitization function for "
+                             "CLASS (e.g. sqli:escape)")
+    parser.add_argument("--symptom", action="append", default=[],
+                        metavar="FUNC:STATIC",
+                        help="dynamic symptom: user FUNC behaves like "
+                             "static symptom STATIC")
+    parser.add_argument("--json", action="store_true",
+                        help="emit provenance records as JSON")
+    return parser
+
+
+def _class_sanitizers(tool: Wape) -> dict[str, frozenset[str]]:
+    """class id -> registered sanitizer names, from the armed config."""
+    out: dict[str, set[str]] = {}
+    for group in tool._config_groups():
+        for cfg in group.configs:
+            out.setdefault(cfg.class_id, set()).update(cfg.sanitizers)
+    # the RFI/LFI split renames rfi candidates; share the sanitizer set
+    if "rfi" in out:
+        out.setdefault("lfi", set()).update(out["rfi"])
+    return {cls: frozenset(names) for cls, names in out.items()}
+
+
+def explain_report(report: AnalysisReport, tool: Wape,
+                   vuln_class: str | None = None,
+                   line: int | None = None) -> list:
+    """Provenance records for (a filtered subset of) a report."""
+    sanitizers = _class_sanitizers(tool)
+    out = []
+    for outcome in report.outcomes:
+        cand = outcome.candidate
+        if vuln_class and cand.vuln_class != vuln_class:
+            continue
+        if line is not None and cand.sink_line != line:
+            continue
+        out.append(cand.provenance(
+            outcome.prediction,
+            sanitizers.get(cand.vuln_class, frozenset())))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    registry = WeaponRegistry.with_builtins()
+    pre = argparse.ArgumentParser(add_help=False)
+    pre.add_argument("--weapon-dir", action="append", default=[])
+    pre_args, _ = pre.parse_known_args(argv)
+    for directory in pre_args.weapon_dir:
+        registry.register(load_weapon(directory))
+
+    weapon_flags, rest = split_weapon_flags(argv, registry)
+    args = build_arg_parser().parse_args(rest)
+
+    try:
+        tool = Wape(
+            weapon_flags=weapon_flags,
+            weapon_registry=registry,
+            extra_sanitizers=_parse_extra_sanitizers(args.sanitizer),
+            dynamic_symptoms=_parse_dynamic(args.symptom),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    provenances = []
+    for target in args.targets:
+        if os.path.isdir(target):
+            report = tool.analyze_tree(target, jobs=1, cache_dir=None)
+        else:
+            report = tool.analyze_file(target)
+        provenances.extend(explain_report(report, tool,
+                                          args.vuln_class, args.line))
+
+    if args.json:
+        print(json.dumps([p.to_dict() for p in provenances], indent=2))
+    else:
+        if not provenances:
+            print("no matching candidates")
+        for i, prov in enumerate(provenances):
+            if i:
+                print()
+            print(prov.render())
+    return 0 if provenances or args.json else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

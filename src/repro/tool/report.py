@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.model import CandidateVulnerability
 from repro.mining.predictor import Prediction
+from repro.telemetry.stats import CacheStats, ScanStats
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,11 @@ class AnalysisReport:
     files: list[FileReport] = field(default_factory=list)
     #: class id -> report group used for table columns.
     groups: dict[str, str] = field(default_factory=dict)
+    #: result-cache behaviour; populated whenever a cache was used,
+    #: independently of telemetry.
+    cache: CacheStats | None = None
+    #: full scan statistics; populated only when telemetry is enabled.
+    stats: ScanStats | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -145,8 +151,11 @@ class AnalysisReport:
                 "real_vulnerabilities": len(self.real_vulnerabilities),
                 "predicted_false_positives":
                     len(self.predicted_false_positives),
+                "parse_errors": len(self.parse_errors),
                 "by_class": dict(self.counts_by_group()),
             },
+            "cache": self.cache.to_dict() if self.cache else None,
+            "stats": self.stats.to_dict() if self.stats else None,
             "files": [
                 {
                     "path": f.filename,
@@ -212,3 +221,17 @@ class AnalysisReport:
                      f"predicted FPs: "
                      f"{len(self.predicted_false_positives)}")
         return "\n".join(lines)
+
+    def render_stats(self) -> str:
+        """The ``--stats`` footer (falls back to cache-only when the run
+        had no telemetry but did use the result cache)."""
+        if self.stats is not None:
+            return self.stats.render()
+        if self.cache is not None:
+            return (f"== scan statistics\n"
+                    f"   cache: {self.cache.hits} hits, "
+                    f"{self.cache.misses} misses, "
+                    f"{self.cache.evictions} evictions, "
+                    f"{self.cache.puts} puts "
+                    f"(hit rate {self.cache.hit_rate * 100:.1f}%)")
+        return ""

@@ -38,6 +38,12 @@ from repro.mining.predictor import (
     new_predictor,
     original_predictor,
 )
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    CacheStats,
+    Telemetry,
+    build_scan_stats,
+)
 from repro.tool.report import AnalysisReport, CandidateOutcome, FileReport
 from repro.vulnerabilities import (
     ORIGIN_WEAPON,
@@ -87,38 +93,56 @@ class _BaseTool:
             self._fused = FusedDetector(self._config_groups())
         return self._fused
 
-    def _detect(self, source: str,
-                filename: str) -> list[CandidateVulnerability]:
+    def _detect(self, source: str, filename: str,
+                telemetry: Telemetry | None = None
+                ) -> list[CandidateVulnerability]:
+        if telemetry is not None and telemetry.enabled:
+            # traced runs get their own detector so spans land in the
+            # run's tracer; the shared fused detector stays untouched
+            detector = FusedDetector(self._config_groups(),
+                                     telemetry=telemetry)
+            return detector.detect_source(source, filename)
         return self.fused_detector.detect_source(source, filename)
 
     def analyze_source(self, source: str,
-                       filename: str = "<source>") -> AnalysisReport:
+                       filename: str = "<source>",
+                       telemetry: Telemetry | None = None
+                       ) -> AnalysisReport:
         """Run the pipeline on source text, returning a full report."""
+        telem = telemetry if telemetry is not None else NULL_TELEMETRY
         report = AnalysisReport(self.version, filename,
                                 groups=dict(self.groups))
-        start = time.perf_counter()
-        file_report = FileReport(filename,
-                                 lines_of_code=source.count("\n") + 1)
-        try:
-            candidates = self._detect(source, filename)
-        except PhpSyntaxError as exc:
-            file_report.parse_error = str(exc)
-            candidates = []
         assert self.predictor is not None
-        for cand in candidates:
-            prediction = self.predictor.predict(cand)
-            file_report.outcomes.append(CandidateOutcome(cand, prediction))
-        file_report.seconds = time.perf_counter() - start
-        report.files.append(file_report)
+        with telem.tracer.span("analyze_source", phase="run",
+                               file=filename) as root_span:
+            start = time.perf_counter()
+            file_report = FileReport(filename,
+                                     lines_of_code=source.count("\n") + 1)
+            try:
+                candidates = self._detect(source, filename, telem)
+            except PhpSyntaxError as exc:
+                file_report.parse_error = str(exc)
+                candidates = []
+            with telem.tracer.span("predict", phase="predict"):
+                for cand in candidates:
+                    prediction = self.predictor.predict(cand)
+                    file_report.outcomes.append(
+                        CandidateOutcome(cand, prediction))
+            file_report.seconds = time.perf_counter() - start
+            report.files.append(file_report)
+        if telem.enabled:
+            report.stats = build_scan_stats(report, telem, root_span)
         return report
 
-    def analyze_file(self, path: str) -> AnalysisReport:
+    def analyze_file(self, path: str,
+                     telemetry: Telemetry | None = None) -> AnalysisReport:
         with open(path, encoding="utf-8", errors="replace") as f:
             source = f.read()
-        return self.analyze_source(source, path)
+        return self.analyze_source(source, path, telemetry=telemetry)
 
     def analyze_tree(self, root: str, jobs: int | None = 1,
-                     cache_dir: str | None = None) -> AnalysisReport:
+                     cache_dir: str | None = None,
+                     telemetry: Telemetry | None = None) -> AnalysisReport:
         """Analyze every PHP file under *root*.
 
         Args:
@@ -129,7 +153,11 @@ class _BaseTool:
             cache_dir: root directory of the on-disk result cache; when
                 given, files whose content (and knowledge configuration)
                 is unchanged are served from cache instead of re-analyzed.
+            telemetry: when enabled, the whole run is traced (discover →
+                scan → predict, per-file stage spans, worker chunks) and
+                ``report.stats`` carries the phase-time breakdown.
         """
+        telem = telemetry if telemetry is not None else NULL_TELEMETRY
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
         assert self.predictor is not None
@@ -137,21 +165,56 @@ class _BaseTool:
                                   jobs=os.cpu_count() if jobs is None
                                   else jobs,
                                   cache_dir=cache_dir,
-                                  tool_version=self.version)
-        for result in scheduler.scan_tree(root):
-            start = time.perf_counter()
-            file_report = FileReport(result.filename,
-                                     result.lines_of_code,
-                                     parse_error=result.parse_error)
+                                  tool_version=self.version,
+                                  telemetry=telem)
+        memo0 = (self.predictor.memo_hits, self.predictor.memo_misses)
+        with telem.tracer.span("analyze_tree", phase="run",
+                               root=root) as root_span:
+            results = scheduler.scan_tree(root)
+            with telem.tracer.span("predict", phase="predict",
+                                   files=len(results)):
+                for result in results:
+                    report.files.append(self._predict_result(result, telem))
+        if scheduler.cache is not None:
+            report.cache = CacheStats(scheduler.cache.hits,
+                                      scheduler.cache.misses,
+                                      scheduler.cache.evictions,
+                                      scheduler.cache.puts)
+        if telem.enabled:
+            telem.metrics.counter("predictor_memo_hits").inc(
+                self.predictor.memo_hits - memo0[0])
+            telem.metrics.counter("predictor_memo_misses").inc(
+                self.predictor.memo_misses - memo0[1])
+            report.stats = build_scan_stats(
+                report, telem, root_span, cache=scheduler.cache,
+                retries=scheduler.retries, crashes=scheduler.crashes)
+        return report
+
+    def _predict_result(self, result, telem: Telemetry) -> FileReport:
+        """Classify one scan result's candidates into a file report."""
+        assert self.predictor is not None
+        start = time.perf_counter()
+        file_report = FileReport(result.filename,
+                                 result.lines_of_code,
+                                 parse_error=result.parse_error)
+        if telem.enabled and result.candidates:
+            with telem.tracer.span("predict_file", phase="predict",
+                                   file=result.filename) as span:
+                for cand in result.candidates:
+                    file_report.outcomes.append(CandidateOutcome(
+                        cand, self.predictor.predict(cand)))
+                span.set(candidates=len(result.candidates))
+        else:
             for cand in result.candidates:
                 file_report.outcomes.append(
                     CandidateOutcome(cand, self.predictor.predict(cand)))
-            file_report.seconds = result.seconds + \
-                (time.perf_counter() - start)
-            report.files.append(file_report)
-        return report
+        file_report.seconds = result.seconds + \
+            (time.perf_counter() - start)
+        return file_report
 
-    def analyze_project(self, root: str) -> AnalysisReport:
+    def analyze_project(self, root: str,
+                        telemetry: Telemetry | None = None
+                        ) -> AnalysisReport:
         """Whole-project analysis with cross-file call resolution.
 
         Unlike :meth:`analyze_tree` (per-file, like the original tool),
@@ -161,6 +224,7 @@ class _BaseTool:
         """
         from repro.analysis.project import ProjectAnalyzer
 
+        telem = telemetry if telemetry is not None else NULL_TELEMETRY
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
         assert self.predictor is not None
@@ -168,25 +232,33 @@ class _BaseTool:
         groups = self._config_groups()
         configs = [cfg for group in groups for cfg in group.configs]
         analyzer = ProjectAnalyzer(
-            configs, groups=[list(group.configs) for group in groups])
-        result = analyzer.analyze_tree(root)
+            configs, groups=[list(group.configs) for group in groups],
+            telemetry=telem)
+        with telem.tracer.span("analyze_project", phase="run",
+                               root=root) as root_span:
+            result = analyzer.analyze_tree(root)
 
-        refined = [SubModule._split_rfi_lfi(cand)
-                   for cand in result.candidates]
+            refined = [SubModule._split_rfi_lfi(cand)
+                       for cand in result.candidates]
 
-        by_file: dict[str, FileReport] = {}
-        for pf in result.files:
-            by_file[pf.path] = FileReport(pf.path, pf.lines_of_code,
-                                          seconds=pf.seconds,
-                                          parse_error=pf.parse_error)
-        for cand in refined:
-            start = time.perf_counter()
-            prediction = self.predictor.predict(cand)
-            file_report = by_file.setdefault(cand.filename,
-                                             FileReport(cand.filename))
-            file_report.outcomes.append(CandidateOutcome(cand, prediction))
-            file_report.seconds += time.perf_counter() - start
-        report.files = list(by_file.values())
+            by_file: dict[str, FileReport] = {}
+            for pf in result.files:
+                by_file[pf.path] = FileReport(pf.path, pf.lines_of_code,
+                                              seconds=pf.seconds,
+                                              parse_error=pf.parse_error)
+            with telem.tracer.span("predict", phase="predict",
+                                   candidates=len(refined)):
+                for cand in refined:
+                    start = time.perf_counter()
+                    prediction = self.predictor.predict(cand)
+                    file_report = by_file.setdefault(
+                        cand.filename, FileReport(cand.filename))
+                    file_report.outcomes.append(
+                        CandidateOutcome(cand, prediction))
+                    file_report.seconds += time.perf_counter() - start
+            report.files = list(by_file.values())
+        if telem.enabled:
+            report.stats = build_scan_stats(report, telem, root_span)
         return report
 
     # -- correction -----------------------------------------------------
