@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke bench-throughput trace-demo
+.PHONY: test test-fast test-grammar bench bench-smoke bench-throughput \
+	trace-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -14,6 +15,14 @@ test:
 # full-corpus evaluations (see the `slow` marker in pyproject.toml)
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# the PHP frontend only: lexer/parser/unparser suites plus the grammar
+# regression corpus (interleaved HTML, anon classes, goto, recovery)
+test-grammar:
+	$(PYTHON) -m pytest -x -q tests/test_php_lexer.py \
+		tests/test_php_parser.py tests/test_php_unparser.py \
+		tests/test_php_visitor.py tests/test_php_edge_cases.py \
+		tests/test_php_modern_syntax.py tests/test_php_grammar_corpus.py
 
 # every paper table/figure benchmark
 bench:

@@ -1,0 +1,8 @@
+<?php
+// Activity feed: both flows cross a file boundary — the source lives in
+// includes/input.php and only whole-project analysis connects them.
+require __DIR__ . "/includes/input.php";
+
+echo "<h1>Feed for " . request_param("tag") . "</h1>";
+echo "<p>Signed in as " . $current_user . "</p>";
+?>

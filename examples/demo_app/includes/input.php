@@ -1,0 +1,9 @@
+<?php
+// Request helpers (tainted): callers that echo these without encoding
+// only show up when the include graph links this file to them.
+function request_param($key) {
+    return $_GET[$key];
+}
+
+$current_user = $_COOKIE['user_name'];
+?>

@@ -1,0 +1,8 @@
+<?php
+// Half-migrated page: one statement is damaged (exercises statement-level
+// recovery — the file reports a parse warning, not a parse error) while
+// the rest still carries a real reflected-XSS flow.
+$theme = = "dark";
+$term = $_GET['term'];
+echo "<h2>Archive search: " . $term . "</h2>";
+?>

@@ -21,6 +21,12 @@ from repro.analysis.detector import (  # noqa: F401
     generate_detector,
 )
 from repro.analysis.engine import GUARD_FUNCTIONS, TaintEngine  # noqa: F401
+from repro.analysis.includes import (  # noqa: F401
+    IncludeContext,
+    IncludeGraph,
+    IncludeResolver,
+    build_include_graph,
+)
 from repro.analysis.knowledge import (  # noqa: F401
     extend_config,
     load_config,
@@ -64,6 +70,10 @@ __all__ = [
     "ResultCache",
     "ScanScheduler",
     "config_fingerprint",
+    "IncludeContext",
+    "IncludeGraph",
+    "IncludeResolver",
+    "build_include_graph",
     "ProjectAnalyzer",
     "ProjectFile",
     "ProjectResult",

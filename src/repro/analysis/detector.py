@@ -43,6 +43,14 @@ class FileResult:
     lines_of_code: int = 0
     parse_error: str | None = None
     seconds: float = 0.0
+    #: set when the parser recovered from damaged statements: the first
+    #: skipped syntax error (the file was still analyzed).
+    parse_warning: str | None = None
+    #: number of damaged statements recovery skipped over.
+    recovered_statements: int = 0
+    #: include statements statically resolved / not resolved in this file.
+    resolved_includes: int = 0
+    unresolved_includes: int = 0
 
 
 class Detector:

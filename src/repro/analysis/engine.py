@@ -16,7 +16,7 @@ flaws); user functions get on-demand summaries with a recursion guard.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.php import ast
 from repro.analysis.model import (
@@ -66,6 +66,26 @@ TAINTED_SERVER_KEYS = frozenset({
 })
 
 _TERMINATORS = (ast.Return, ast.Throw, ast.Break, ast.Continue)
+
+
+def _stamp_steps(steps: tuple[PathStep, ...],
+                 fname: str) -> tuple[PathStep, ...]:
+    """Fill in the ``file`` of any hop that does not have one yet."""
+    return tuple(s if s.file else PathStep(s.kind, s.detail, s.line, fname)
+                 for s in steps)
+
+
+def _stamp_taint(taint: Taint, fname: str) -> Taint:
+    return Taint(taint.source, taint.source_line,
+                 _stamp_steps(taint.path, fname), taint.sanitized_for)
+
+
+def _stamp_candidate(cand: CandidateVulnerability,
+                     fname: str) -> CandidateVulnerability:
+    path = _stamp_steps(cand.path, fname)
+    if path == cand.path:
+        return cand
+    return replace(cand, path=path)
 
 
 @dataclass
@@ -169,6 +189,7 @@ class TaintEngine:
     def analyze(self, program: ast.Program,
                 filename: str = "<source>",
                 extra_functions: dict | None = None,
+                initial_env: Env | None = None,
                 ) -> list[CandidateVulnerability]:
         """Analyze one parsed file, returning deduplicated candidates.
 
@@ -177,21 +198,41 @@ class TaintEngine:
             filename: used in the reports.
             extra_functions: project-wide declarations from *other* files,
                 mapping lowercase name -> (decl node, home filename); used
-                by :class:`~repro.analysis.project.ProjectAnalyzer` for
-                cross-file call resolution.  Flows fully inside a foreign
-                function are NOT re-reported here (the home file reports
-                them).
+                by :class:`~repro.analysis.project.ProjectAnalyzer` and the
+                include resolver for cross-file call resolution.  Flows
+                fully inside a foreign function are NOT re-reported here
+                (the home file reports them).
+            initial_env: taint state of global variables established by
+                resolved includes before this file's top level runs.
+        """
+        out, _ = self.analyze_with_env(program, filename, extra_functions,
+                                       initial_env)
+        return out
+
+    def analyze_with_env(self, program: ast.Program,
+                         filename: str = "<source>",
+                         extra_functions: dict | None = None,
+                         initial_env: Env | None = None,
+                         ) -> tuple[list[CandidateVulnerability], Env]:
+        """Like :meth:`analyze`, also returning the final top-level env.
+
+        The returned env is what the file exports to anything that
+        includes it: the taint sets of its global variables after the top
+        level ran (path steps stamped with this file's name).
         """
         telemetry = self.telemetry
         if not telemetry.enabled:
-            return _FileRun(self, program, filename, extra_functions).run()
+            run = _FileRun(self, program, filename, extra_functions,
+                           initial_env)
+            return run.run(), run.final_env
         with telemetry.tracer.span("taint", phase="taint", file=filename):
-            run = _FileRun(self, program, filename, extra_functions)
+            run = _FileRun(self, program, filename, extra_functions,
+                           initial_env)
             out = run.run()
         metrics = telemetry.metrics
         metrics.counter("functions_summarized").inc(len(run.summaries))
         metrics.counter("candidates_emitted").inc(len(out))
-        return out
+        return out, run.final_env
 
 
 class _FileRun:
@@ -199,12 +240,15 @@ class _FileRun:
 
     def __init__(self, engine: TaintEngine, program: ast.Program,
                  filename: str,
-                 extra_functions: dict | None = None) -> None:
+                 extra_functions: dict | None = None,
+                 initial_env: Env | None = None) -> None:
         self.engine = engine
         self.program = program
         self.filename = filename
         self.functions: dict[str, ast.FunctionDecl | ast.MethodDecl] = {}
         self.extra_functions = extra_functions or {}
+        self.initial_env: Env = dict(initial_env or {})
+        self.final_env: Env = {}
         self.summaries: dict[str, FunctionSummary] = {}
         self.in_progress: set[str] = set()
         self.frames: list[_Frame] = [_Frame()]
@@ -237,8 +281,12 @@ class _FileRun:
         # are reported even if the function is never called from this file
         for name in list(self.functions):
             self._summary(name)
-        env: Env = {}
+        env: Env = dict(self.initial_env)
         self._exec_block(self.program.body, env)
+        self.final_env = {
+            key: frozenset(_stamp_taint(t, self.filename)
+                           if isinstance(t, Taint) else t for t in value)
+            for key, value in env.items()}
         out: list[CandidateVulnerability] = []
         seen: set[tuple] = set()
         for summary in self.summaries.values():
@@ -251,7 +299,7 @@ class _FileRun:
                 seen.add(cand.key())
                 out.append(cand)
         out.sort(key=lambda c: (c.sink_line, c.vuln_class))
-        return out
+        return [_stamp_candidate(c, self.filename) for c in out]
 
     # ------------------------------------------------------------------
     # function summaries
@@ -322,6 +370,21 @@ class _FileRun:
         if sanitized_sets:
             common = frozenset.intersection(*sanitized_sets)
             summary.return_sanitized_for = common
+
+        # stamp the hops produced inside this function with its home file
+        # so cross-file candidates can show which file each hop is in
+        fname = summary.filename
+        summary.returns_params = {
+            i: _stamp_steps(steps, fname)
+            for i, steps in summary.returns_params.items()}
+        summary.param_sinks = [
+            (i, cls, sink_name, sink_kind, line, _stamp_steps(steps, fname))
+            for (i, cls, sink_name, sink_kind, line, steps)
+            in summary.param_sinks]
+        summary.internal_candidates = [
+            _stamp_candidate(c, fname) for c in summary.internal_candidates]
+        summary.returned_sources = [
+            _stamp_taint(t, fname) for t in summary.returned_sources]
         return summary
 
     # ------------------------------------------------------------------
@@ -334,7 +397,8 @@ class _FileRun:
     def _exec(self, node: ast.Node, env: Env) -> None:  # noqa: C901
         if isinstance(node, (ast.InlineHTML, ast.FunctionDecl,
                              ast.ClassDecl, ast.UseDecl, ast.ConstStatement,
-                             ast.Global, ast.StaticVarDecl)):
+                             ast.Global, ast.StaticVarDecl,
+                             ast.Goto, ast.Label)):
             return
         if isinstance(node, ast.NamespaceDecl):
             if node.body:

@@ -1,0 +1,320 @@
+"""Static resolution of ``include``/``require`` targets.
+
+The paper's tool analyzes whole applications: taint entering in one file
+must be observable at a sink in another when the files are linked by an
+``include``.  This module provides the static half of that story:
+
+* :class:`IncludeResolver` inspects every project file for
+  ``include``/``require``(``_once``) statements and resolves their targets
+  **statically** — literal paths, ``dirname(__FILE__)`` / ``__DIR__``
+  concatenations and, as a last resort, a unique-basename match anywhere
+  in the project.  Dynamic targets (variables, function results) are
+  counted as *unresolved* and the file simply falls back to per-file
+  analysis — never an error.
+* :class:`IncludeGraph` is the resolved project graph: a picklable mapping
+  from each file to its direct dependencies, plus per-file
+  resolved/unresolved counters for telemetry.
+* :class:`IncludeContext` turns the graph into what the
+  :class:`~repro.analysis.engine.TaintEngine` needs per analyzed file: the
+  merged function-declaration table of the include closure and the
+  propagated global taint state of every included file's top level.  All
+  per-dependency work (parsing, summary computation, top-level execution)
+  is memoized, so a dependency shared by many files is processed once per
+  worker process.
+
+``include_once``/``require_once`` cycles are handled the way PHP handles
+them: each file contributes its state once; re-entry contributes nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast
+from repro.php.parser import parse_with_recovery
+from repro.php.visitor import find_all
+
+#: cheap textual pre-filter: files without these substrings are never
+#: parsed by the resolver (the common case in big trees).
+_HINTS = ("include", "require")
+
+
+@dataclass
+class IncludeGraph:
+    """The resolved include graph of one project scan.
+
+    Attributes:
+        deps: file path -> direct, statically resolved include targets
+            (paths exactly as the scan pipeline addresses them).
+        resolved: file path -> number of include statements resolved.
+        unresolved: file path -> number of include statements whose
+            target could not be determined statically.
+    """
+
+    deps: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    resolved: dict[str, int] = field(default_factory=dict)
+    unresolved: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.deps)
+
+    def closure(self, path: str) -> tuple[str, ...]:
+        """Every file reachable from *path* via includes (cycle-safe).
+
+        *path* itself is excluded; order is deterministic breadth-first.
+        """
+        out: list[str] = []
+        seen = {path}
+        queue = list(self.deps.get(path, ()))
+        while queue:
+            dep = queue.pop(0)
+            if dep in seen:
+                continue
+            seen.add(dep)
+            out.append(dep)
+            queue.extend(self.deps.get(dep, ()))
+        return tuple(out)
+
+    def components(self, paths: list[str]) -> list[list[str]]:
+        """Partition *paths* into include-connected groups.
+
+        Files linked by an include edge (in either direction) end up in
+        the same group, so a scheduler can keep them in one worker chunk
+        and reuse the memoized dependency state.  Group order follows the
+        first appearance of a member in *paths*.
+        """
+        index = {p: i for i, p in enumerate(paths)}
+        parent = list(range(len(paths)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for path in paths:
+            for dep in self.deps.get(path, ()):
+                if dep in index:
+                    ra, rb = find(index[path]), find(index[dep])
+                    if ra != rb:
+                        parent[max(ra, rb)] = min(ra, rb)
+        groups: dict[int, list[str]] = {}
+        for i, path in enumerate(paths):
+            groups.setdefault(find(i), []).append(path)
+        return [groups[root] for root in sorted(groups)]
+
+
+class IncludeResolver:
+    """Builds an :class:`IncludeGraph` from the files of one scan."""
+
+    def __init__(self, paths: list[str]) -> None:
+        self.paths = list(paths)
+        # membership indexes: absolute normalized path and basename
+        self._by_abs: dict[str, str] = {}
+        self._by_base: dict[str, list[str]] = {}
+        for path in self.paths:
+            self._by_abs.setdefault(self._abs(path), path)
+            self._by_base.setdefault(os.path.basename(path), []).append(path)
+
+    @staticmethod
+    def _abs(path: str) -> str:
+        return os.path.normcase(os.path.normpath(os.path.abspath(path)))
+
+    # ------------------------------------------------------------------
+    def build(self, sources: dict[str, str] | None = None) -> IncludeGraph:
+        """Resolve every include in every project file.
+
+        Args:
+            sources: optional path -> source text map; files not in it are
+                read from disk.  Lets the scheduler reuse the bytes it
+                already read for content hashing.
+        """
+        graph = IncludeGraph()
+        for path in self.paths:
+            source = (sources or {}).get(path)
+            if source is None:
+                try:
+                    with open(path, encoding="utf-8",
+                              errors="replace") as f:
+                        source = f.read()
+                except OSError:
+                    continue
+            lowered = source.lower()
+            if not any(hint in lowered for hint in _HINTS):
+                continue
+            try:
+                program, _ = parse_with_recovery(source, path)
+            except PhpSyntaxError:
+                continue  # unparseable file: no edges, scanned standalone
+            deps: list[str] = []
+            resolved = unresolved = 0
+            for node in find_all(program, ast.Include):
+                target = self.resolve(node.expr, path)
+                if target is None:
+                    unresolved += 1
+                    continue
+                resolved += 1
+                if target != path and target not in deps:
+                    deps.append(target)
+            if deps:
+                graph.deps[path] = tuple(deps)
+            if resolved:
+                graph.resolved[path] = resolved
+            if unresolved:
+                graph.unresolved[path] = unresolved
+        return graph
+
+    # ------------------------------------------------------------------
+    def resolve(self, expr: ast.Node | None, src_path: str) -> str | None:
+        """Resolve one include target expression to a project file path."""
+        text = self._static_text(expr, src_path)
+        if not text:
+            return None
+        if os.path.isabs(text):
+            candidate = os.path.normcase(os.path.normpath(text))
+        else:
+            candidate = self._abs(
+                os.path.join(os.path.dirname(src_path), text))
+        hit = self._by_abs.get(candidate)
+        if hit is not None:
+            return hit
+        # best effort: a unique basename anywhere in the project
+        matches = self._by_base.get(os.path.basename(text), [])
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _static_text(self, expr: ast.Node | None,
+                     src_path: str) -> str | None:
+        """Fold *expr* to a constant string, or None if it is dynamic."""
+        if isinstance(expr, ast.Literal) and expr.kind == "string":
+            return str(expr.value)
+        if isinstance(expr, ast.ConstFetch) \
+                and expr.name.lower() == "__dir__":
+            return os.path.dirname(os.path.abspath(src_path))
+        if isinstance(expr, ast.FunctionCall) \
+                and isinstance(expr.name, str) \
+                and expr.name.lower() == "dirname" and len(expr.args) == 1:
+            inner = expr.args[0].value \
+                if isinstance(expr.args[0], ast.Argument) else expr.args[0]
+            if isinstance(inner, ast.ConstFetch) \
+                    and inner.name.lower() == "__file__":
+                return os.path.dirname(os.path.abspath(src_path))
+        if isinstance(expr, ast.BinaryOp) and expr.op == ".":
+            left = self._static_text(expr.left, src_path)
+            right = self._static_text(expr.right, src_path)
+            if left is not None and right is not None:
+                return left + right
+        if isinstance(expr, ast.InterpolatedString):
+            parts = []
+            for part in expr.parts:
+                folded = self._static_text(part, src_path)
+                if folded is None:
+                    return None
+                parts.append(folded)
+            return "".join(parts)
+        return None
+
+
+def build_include_graph(paths: list[str],
+                        sources: dict[str, str] | None = None
+                        ) -> IncludeGraph:
+    """Convenience wrapper: resolve the include graph of *paths*."""
+    return IncludeResolver(paths).build(sources)
+
+
+class IncludeContext:
+    """Per-process provider of cross-file analysis state.
+
+    One instance lives in each scan worker (and in the in-process
+    detector).  Given a file, it supplies the taint engine with the merged
+    function table and propagated global taint state of the file's include
+    closure, memoizing all per-dependency work.
+    """
+
+    def __init__(self, graph: IncludeGraph) -> None:
+        self.graph = graph
+        self._programs: dict[str, ast.Program | None] = {}
+        self._tables: dict[str, dict] = {}
+        self._envs: dict[str, dict] = {}
+        self._active: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def context_for(self, filename: str, engine) -> tuple[dict | None,
+                                                          dict | None]:
+        """(extra_functions, initial_env) for analyzing *filename*.
+
+        Returns ``(None, None)`` when the file has no resolved includes —
+        the per-file fast path stays untouched.
+        """
+        closure = self.graph.closure(filename)
+        if not closure:
+            return None, None
+        extra: dict = {}
+        for dep in closure:
+            for name, entry in self._function_table(dep).items():
+                extra.setdefault(name, entry)
+        env: dict = {}
+        for dep in closure:
+            for var, taints in self._exported_env(dep, engine).items():
+                if var in env:
+                    env[var] = env[var] | taints
+                else:
+                    env[var] = taints
+        return (extra or None), (env or None)
+
+    # ------------------------------------------------------------------
+    def _program(self, path: str) -> ast.Program | None:
+        if path not in self._programs:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    source = f.read()
+                self._programs[path], _ = parse_with_recovery(source, path)
+            except (OSError, PhpSyntaxError):
+                self._programs[path] = None
+        return self._programs[path]
+
+    def _function_table(self, path: str) -> dict:
+        table = self._tables.get(path)
+        if table is None:
+            program = self._program(path)
+            if program is None:
+                table = {}
+            else:
+                from repro.analysis.project import (
+                    ProjectAnalyzer,
+                    ProjectFile,
+                )
+                table = ProjectAnalyzer.build_function_table(
+                    [ProjectFile(path, program)])
+            self._tables[path] = table
+        return table
+
+    def _exported_env(self, path: str, engine) -> dict:
+        """Global taint state *path* leaves behind after its top level.
+
+        Candidates found while executing the dependency are discarded —
+        the dependency reports its own flows when it is scanned itself.
+        Cycles contribute nothing on re-entry (PHP ``include_once``
+        semantics).
+        """
+        env = self._envs.get(path)
+        if env is not None:
+            return env
+        if path in self._active:
+            return {}
+        self._active.add(path)
+        try:
+            program = self._program(path)
+            if program is None:
+                env = {}
+            else:
+                extra, init = self.context_for(path, engine)
+                _, env = engine.analyze_with_env(
+                    program, path, extra_functions=extra, initial_env=init)
+        finally:
+            self._active.discard(path)
+        self._envs[path] = env
+        return env

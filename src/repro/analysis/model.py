@@ -33,11 +33,14 @@ class PathStep:
         detail: what happened — a variable name for assigns, a function
             name for calls/guards, the sink name for the final step.
         line: source line of the hop.
+        file: file the hop happened in; empty means "the candidate's own
+            file" (only cross-file analysis stamps foreign hops).
     """
 
     kind: str
     detail: str
     line: int
+    file: str = ""
 
 
 @dataclass(frozen=True, slots=True)

@@ -51,9 +51,14 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import PhpSyntaxError
-from repro.php import Parser, ast, parse, tokenize
+from repro.php import Parser, ast, parse_with_recovery, tokenize
 from repro.analysis.detector import PHP_EXTENSIONS, FileResult
 from repro.analysis.engine import TaintEngine
+from repro.analysis.includes import (
+    IncludeContext,
+    IncludeGraph,
+    build_include_graph,
+)
 from repro.analysis.model import (
     STEP_CONCAT,
     CandidateVulnerability,
@@ -62,7 +67,7 @@ from repro.analysis.model import (
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: bump when the cached payload layout or engine semantics change.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 #: parse_error text for a file that repeatedly kills analysis workers.
 CRASH_ERROR = "analysis worker crashed"
@@ -112,7 +117,8 @@ class FusedDetector:
     """
 
     def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 include_graph: IncludeGraph | None = None) -> None:
         self.groups = tuple(groups)
         self.telemetry = telemetry or NULL_TELEMETRY
         configs = [cfg for g in self.groups for cfg in g.configs]
@@ -121,6 +127,9 @@ class FusedDetector:
             telemetry=self.telemetry) \
             if configs else None
         self._split = any(g.split_rfi_lfi for g in self.groups)
+        self.include_graph = include_graph
+        self._includes = IncludeContext(include_graph) \
+            if include_graph else None
 
     @property
     def class_ids(self) -> list[str]:
@@ -133,7 +142,12 @@ class FusedDetector:
         """Analyze an already-parsed program with the fused engine."""
         if self.engine is None:
             return []
-        candidates = self.engine.analyze(program, filename)
+        extra = init = None
+        if self._includes is not None:
+            extra, init = self._includes.context_for(filename, self.engine)
+        candidates = self.engine.analyze(program, filename,
+                                         extra_functions=extra,
+                                         initial_env=init)
         if self._split:
             if self.telemetry.enabled:
                 with self.telemetry.tracer.span("split", phase="split",
@@ -151,14 +165,34 @@ class FusedDetector:
 
     def detect_source(self, source: str, filename: str = "<source>"
                       ) -> list[CandidateVulnerability]:
+        candidates, _warnings = self.detect_source_recovering(source,
+                                                             filename)
+        return candidates
+
+    def detect_source_recovering(
+            self, source: str, filename: str = "<source>"
+            ) -> tuple[list[CandidateVulnerability], list[PhpSyntaxError]]:
+        """Analyze *source*, recovering from damaged statements.
+
+        Returns the candidates plus the syntax errors that were skipped
+        (empty for a clean file).  Still raises :class:`PhpSyntaxError`
+        when nothing was salvageable: lexer errors, or a file recovery
+        could not extract a single PHP statement from.
+        """
         if not self.telemetry.enabled:
-            return self.detect_program(parse(source, filename), filename)
-        tracer = self.telemetry.tracer
-        with tracer.span("lex", phase="lex", file=filename):
-            tokens = tokenize(source, filename)
-        with tracer.span("parse", phase="parse", file=filename):
-            program = Parser(tokens, filename).parse_program()
-        return self.detect_program(program, filename)
+            program, warnings = parse_with_recovery(source, filename)
+        else:
+            tracer = self.telemetry.tracer
+            with tracer.span("lex", phase="lex", file=filename):
+                tokens = tokenize(source, filename)
+            with tracer.span("parse", phase="parse", file=filename):
+                parser = Parser(tokens, filename, recover=True)
+                program = parser.parse_program()
+                warnings = list(parser.warnings)
+        if warnings and not any(not isinstance(node, ast.InlineHTML)
+                                for node in program.body):
+            raise warnings[0]  # recovery salvaged no PHP at all
+        return self.detect_program(program, filename), warnings
 
     def detect_file(self, path: str) -> FileResult:
         """Analyze one file; errors are captured, wall time recorded."""
@@ -172,6 +206,10 @@ class FusedDetector:
         metrics.counter("lines_scanned").inc(result.lines_of_code)
         if result.parse_error:
             metrics.counter("parse_errors").inc()
+        if result.parse_warning:
+            metrics.counter("parse_warnings").inc()
+            metrics.counter("statements_recovered").inc(
+                result.recovered_statements)
         for cand in result.candidates:
             metrics.counter(f"candidates.{cand.vuln_class}").inc()
         return result
@@ -188,7 +226,12 @@ class FusedDetector:
             return result
         result.lines_of_code = source.count("\n") + 1
         try:
-            result.candidates = self.detect_source(source, path)
+            result.candidates, warnings = \
+                self.detect_source_recovering(source, path)
+            if warnings:
+                result.parse_warning = str(warnings[0]) if len(warnings) == 1 \
+                    else f"{warnings[0]} (+{len(warnings) - 1} more)"
+                result.recovered_statements = len(warnings)
         except PhpSyntaxError as exc:
             result.parse_error = str(exc)
         except RecursionError:
@@ -289,6 +332,8 @@ class ResultCache:
                         for c in payload["candidates"]],
             lines_of_code=payload["lines_of_code"],
             parse_error=payload["parse_error"],
+            parse_warning=payload.get("parse_warning"),
+            recovered_statements=payload.get("recovered_statements", 0),
         )
 
     def put(self, content_hash: str, result: FileResult) -> None:
@@ -297,18 +342,46 @@ class ResultCache:
             "candidates": result.candidates,
             "lines_of_code": result.lines_of_code,
             "parse_error": result.parse_error,
+            "parse_warning": result.parse_warning,
+            "recovered_statements": result.recovered_statements,
         }
+        if self._write(self._entry_path(content_hash), payload):
+            self.puts += 1
+
+    # ------------------------------------------------------------------
+    # generic blobs (e.g. the resolved include graph) share the store but
+    # deliberately do NOT count toward the per-file hit/miss statistics
+    def get_blob(self, key: str):
+        entry = self._entry_path(key)
+        try:
+            with open(entry, "rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                os.unlink(entry)
+                self.evictions += 1
+            except OSError:
+                pass
+            return None
+
+    def put_blob(self, key: str, value) -> None:
+        self._write(self._entry_path(key), value)
+
+    def _write(self, entry: str, payload) -> bool:
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._entry_path(content_hash))
-            self.puts += 1
+            os.replace(tmp, entry)
+            return True
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return False
 
 
 # ---------------------------------------------------------------------------
@@ -320,16 +393,21 @@ _WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
 
 
 def _init_worker(groups: tuple[ConfigGroup, ...],
-                 telemetry_enabled: bool = False) -> None:
+                 telemetry_enabled: bool = False,
+                 include_graph: IncludeGraph | None = None) -> None:
     """Per-worker initializer: build the fused detector once.
 
     When the parent scan is traced, each worker records spans and counters
     into its own registry; every chunk result ships them back for merging
     (:meth:`~repro.telemetry.Tracer.merge`), stamped with the worker pid.
+    The include graph (resolved once in the parent) rides along so each
+    worker can supply cross-file context; per-dependency state is
+    memoized inside the worker's :class:`IncludeContext`.
     """
     global _WORKER_DETECTOR, _WORKER_TELEMETRY
     _WORKER_TELEMETRY = Telemetry(enabled=telemetry_enabled)
-    _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY)
+    _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY,
+                                     include_graph=include_graph)
 
 
 def _scan_path(path: str) -> FileResult:
@@ -380,19 +458,26 @@ class ScanScheduler:
             versions never share entries.
         telemetry: the run's :class:`~repro.telemetry.Telemetry`; the
             disabled default records nothing.
+        includes: resolve the project include graph before scanning so
+            taint crosses file boundaries (``--no-includes`` turns this
+            off and restores strictly per-file analysis).
     """
 
     def __init__(self, groups: list[ConfigGroup] | tuple[ConfigGroup, ...],
                  jobs: int | None = 1,
                  cache_dir: str | None = None,
                  tool_version: str = "",
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 includes: bool = True) -> None:
         self.groups = tuple(groups)
         self.jobs = max(1, int(jobs or 1))
         self.fingerprint = config_fingerprint(self.groups, tool_version)
         self.cache = ResultCache(cache_dir, self.fingerprint) \
             if cache_dir else None
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.includes = includes
+        #: the resolved include graph of the last scan (telemetry + tests).
+        self.include_graph: IncludeGraph | None = None
         #: (file, exception class) for files retried in isolation after a
         #: worker died mid-chunk — never silent (satellite of ISSUE 2).
         self.retries: list[tuple[str, str]] = []
@@ -400,6 +485,7 @@ class ScanScheduler:
         #: crashed; these become ``parse_error`` results.
         self.crashes: list[tuple[str, str]] = []
         self._detector: FusedDetector | None = None
+        self._detector_graph: IncludeGraph | None = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -414,10 +500,17 @@ class ScanScheduler:
         return paths
 
     def _local_detector(self) -> FusedDetector:
-        if self._detector is None:
+        graph = self._worker_graph()
+        if self._detector is None or self._detector_graph is not graph:
             self._detector = FusedDetector(self.groups,
-                                           telemetry=self.telemetry)
+                                           telemetry=self.telemetry,
+                                           include_graph=graph)
+            self._detector_graph = graph
         return self._detector
+
+    def _worker_graph(self) -> IncludeGraph | None:
+        """The include graph to hand detectors; None when empty/disabled."""
+        return self.include_graph if self.include_graph else None
 
     # ------------------------------------------------------------------
     def scan_tree(self, root: str) -> list[FileResult]:
@@ -430,14 +523,43 @@ class ScanScheduler:
     def scan_files(self, paths: list[str]) -> list[FileResult]:
         """Analyze *paths*, returning results in the same order."""
         telemetry = self.telemetry
+        raw_hashes: dict[str, str] = {}
+        if self.cache is not None:
+            for path in paths:
+                try:
+                    with open(path, "rb") as f:
+                        raw_hashes[path] = ResultCache.content_hash(
+                            f.read())
+                except OSError:
+                    pass  # surfaces as a per-file read error below
+        if self.includes:
+            with telemetry.tracer.span("resolve_includes", phase="link",
+                                       files=len(paths)):
+                self.include_graph = self._resolve_graph(paths, raw_hashes)
+            # cross-file context is memoized per graph: a fresh graph
+            # (file contents may have changed) needs a fresh detector
+            self._detector = None
+        else:
+            self.include_graph = None
         with telemetry.tracer.span("scan", phase="scan",
                                    files=len(paths)):
-            results = self._scan_files_traced(paths)
+            results = self._scan_files_traced(paths, raw_hashes)
+        if self.include_graph is not None:
+            for result in results:
+                result.resolved_includes = \
+                    self.include_graph.resolved.get(result.filename, 0)
+                result.unresolved_includes = \
+                    self.include_graph.unresolved.get(result.filename, 0)
         if telemetry.enabled:
             metrics = telemetry.metrics
             for result in results:
                 if result.parse_error:
                     metrics.counter("parse_errors_total").inc()
+            if self.include_graph is not None:
+                metrics.counter("includes_resolved").inc(
+                    sum(self.include_graph.resolved.values()))
+                metrics.counter("includes_unresolved").inc(
+                    sum(self.include_graph.unresolved.values()))
             if self.cache is not None:
                 metrics.gauge("cache_hits").set(self.cache.hits)
                 metrics.gauge("cache_misses").set(self.cache.misses)
@@ -445,21 +567,52 @@ class ScanScheduler:
                 metrics.gauge("cache_puts").set(self.cache.puts)
         return results
 
-    def _scan_files_traced(self, paths: list[str]) -> list[FileResult]:
+    def _resolve_graph(self, paths: list[str],
+                       raw_hashes: dict[str, str]) -> IncludeGraph:
+        """The project include graph, served from cache when unchanged.
+
+        Building the graph parses every file that textually mentions an
+        include, which would dominate an otherwise fully-cached re-scan;
+        the finished graph is therefore stored as a cache blob keyed by
+        the content hashes of ALL scanned files (any edit, add or remove
+        rebuilds it from scratch).
+        """
+        key = None
+        if self.cache is not None and len(raw_hashes) == len(paths):
+            digest = hashlib.sha256()
+            for path in paths:
+                digest.update(f"{path}\x00{raw_hashes[path]}\n".encode())
+            key = "includes-" + digest.hexdigest()
+            cached = self.cache.get_blob(key)
+            if isinstance(cached, IncludeGraph):
+                return cached
+        graph = build_include_graph(paths)
+        if key is not None:
+            self.cache.put_blob(key, graph)
+        return graph
+
+    def _scan_files_traced(self, paths: list[str],
+                           raw_hashes: dict[str, str] | None = None
+                           ) -> list[FileResult]:
         telemetry = self.telemetry
         tracer = telemetry.tracer
         results: dict[int, FileResult] = {}
         hashes: dict[int, str] = {}
+        raw_hashes = dict(raw_hashes or {})
         pending: list[tuple[int, str]] = []
         for i, path in enumerate(paths):
             if self.cache is not None:
-                try:
-                    with open(path, "rb") as f:
-                        digest = ResultCache.content_hash(f.read())
-                except OSError as exc:
-                    results[i] = FileResult(filename=path,
-                                            parse_error=str(exc))
-                    continue
+                raw = raw_hashes.get(path)
+                if raw is None:
+                    try:
+                        with open(path, "rb") as f:
+                            raw = ResultCache.content_hash(f.read())
+                    except OSError as exc:
+                        results[i] = FileResult(filename=path,
+                                                parse_error=str(exc))
+                        continue
+                    raw_hashes[path] = raw
+                digest = self._closure_hash(path, raw, raw_hashes)
                 hashes[i] = digest
                 if telemetry.enabled:
                     with tracer.span("cache_get", phase="cache",
@@ -491,6 +644,32 @@ class ScanScheduler:
                             self.cache.put(hashes[i], results[i])
         return [results[i] for i in range(len(paths))]
 
+    def _closure_hash(self, path: str, raw: str,
+                      raw_hashes: dict[str, str]) -> str:
+        """Cache key for *path*: its content hash + its include closure.
+
+        A file analyzed with cross-file context depends on the contents
+        of every resolved include; mixing the (dep path, dep content
+        hash) pairs of the closure into the key makes an edit to any
+        included file invalidate the includer's cached result.
+        """
+        closure = self.include_graph.closure(path) \
+            if self.include_graph else ()
+        if not closure:
+            return raw
+        digest = hashlib.sha256(raw.encode())
+        for dep in closure:
+            dep_hash = raw_hashes.get(dep)
+            if dep_hash is None:
+                try:
+                    with open(dep, "rb") as f:
+                        dep_hash = ResultCache.content_hash(f.read())
+                except OSError:
+                    dep_hash = "missing"
+                raw_hashes[dep] = dep_hash
+            digest.update(f"\n{dep}\x00{dep_hash}".encode())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     def _scan_sequential(self, pending: list[tuple[int, str]]
                          ) -> dict[int, FileResult]:
@@ -507,13 +686,14 @@ class ScanScheduler:
         # several chunks per worker: amortizes IPC without losing load
         # balancing to one slow straggler chunk
         chunk_size = max(1, len(pending) // (workers * 4))
-        chunks = [pending[i:i + chunk_size]
-                  for i in range(0, len(pending), chunk_size)]
+        chunks = self._build_chunks(pending, chunk_size)
         try:
             with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_init_worker,
                                      initargs=(self.groups,
-                                               telemetry.enabled)) as pool:
+                                               telemetry.enabled,
+                                               self._worker_graph())
+                                     ) as pool:
                 futures = {pool.submit(_scan_chunk,
                                        [p for _i, p in chunk]): chunk
                            for chunk in chunks}
@@ -545,6 +725,34 @@ class ScanScheduler:
             out[i] = self._scan_isolated(path, cause)
         return out
 
+    def _build_chunks(self, pending: list[tuple[int, str]],
+                      chunk_size: int) -> list[list[tuple[int, str]]]:
+        """Batch pending files, keeping include-connected files together.
+
+        Files linked by include edges share dependency state (parsed
+        programs, summaries, exported envs) that each worker memoizes;
+        co-locating a component in one chunk means that state is built
+        once instead of once per worker that happens to see a member.
+        """
+        if not self._worker_graph():
+            return [pending[i:i + chunk_size]
+                    for i in range(0, len(pending), chunk_size)]
+        entries: dict[str, list[tuple[int, str]]] = {}
+        for i, path in pending:
+            entries.setdefault(path, []).append((i, path))
+        chunks: list[list[tuple[int, str]]] = []
+        current: list[tuple[int, str]] = []
+        for component in self.include_graph.components(
+                [p for _i, p in pending]):
+            for path in component:
+                current.extend(entries.pop(path, ()))
+            if len(current) >= chunk_size:
+                chunks.append(current)
+                current = []
+        if current:
+            chunks.append(current)
+        return chunks
+
     def _scan_isolated(self, path: str, cause: str = "") -> FileResult:
         """Analyze one suspect file in its own single-worker pool.
 
@@ -561,8 +769,9 @@ class ScanScheduler:
             try:
                 with ProcessPoolExecutor(max_workers=1,
                                          initializer=_init_worker,
-                                         initargs=(self.groups,
-                                                   False)) as pool:
+                                         initargs=(self.groups, False,
+                                                   self._worker_graph())
+                                         ) as pool:
                     result, _spans, _counters = pool.submit(
                         _scan_chunk, [path]).result()
                     return result[0]

@@ -10,7 +10,12 @@ surface is small:
 
 from repro.php import ast_nodes as ast  # noqa: F401  (re-export namespace)
 from repro.php.lexer import Lexer, tokenize  # noqa: F401
-from repro.php.parser import Parser, parse, parse_interpolated  # noqa: F401
+from repro.php.parser import (  # noqa: F401
+    Parser,
+    parse,
+    parse_interpolated,
+    parse_with_recovery,
+)
 from repro.php.unparser import (  # noqa: F401
     Unparser,
     quote_php_string,
@@ -32,6 +37,7 @@ __all__ = [
     "Parser",
     "parse",
     "parse_interpolated",
+    "parse_with_recovery",
     "Unparser",
     "unparse",
     "unparse_expr",

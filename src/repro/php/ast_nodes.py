@@ -454,6 +454,20 @@ class Continue(Node):
 
 
 @dataclass
+class Goto(Node):
+    """``goto label;`` — a no-op for the flow-insensitive analysis."""
+
+    label: str = ""
+
+
+@dataclass
+class Label(Node):
+    """``label:`` target of a goto."""
+
+    name: str = ""
+
+
+@dataclass
 class Return(Node):
     expr: Node | None = None
 

@@ -302,6 +302,11 @@ class Lexer:
         assert m is not None
         word = m.group(0)
         self._advance(len(word))
+        if word in ("b", "B") and self.pos < len(self.source) \
+                and self.source[self.pos] in ("'", '"'):
+            # binary string prefix (b"..."): the prefix is a no-op in our
+            # model; drop it and let the string lexer take over
+            return
         kw = KEYWORDS.get(word.lower())
         if kw is not None:
             self._emit(kw, word, line, col)

@@ -64,10 +64,16 @@ _DQ_ESCAPES = {
 class Parser:
     """Parses a token stream into a :class:`repro.php.ast_nodes.Program`."""
 
-    def __init__(self, tokens: list[Token], filename: str = "<source>") -> None:
+    #: recovery gives up after this many damaged statements in one file
+    MAX_WARNINGS = 200
+
+    def __init__(self, tokens: list[Token], filename: str = "<source>",
+                 recover: bool = False) -> None:
         self.tokens = tokens
         self.filename = filename
         self.pos = 0
+        self.recover = recover
+        self.warnings: list[PhpSyntaxError] = []
 
     # ------------------------------------------------------------------
     # token helpers
@@ -113,7 +119,8 @@ class Parser:
         body: list[ast.Node] = []
         first = self._peek()
         while not self._at(T.EOF):
-            stmt = self._parse_statement()
+            stmt = (self._parse_statement_recovering()
+                    if self.recover else self._parse_statement())
             if stmt is not None:
                 body.append(stmt)
         return ast.Program(body, line=first.line, col=first.col)
@@ -121,10 +128,53 @@ class Parser:
     def _parse_statement_list(self, *stop: T) -> list[ast.Node]:
         body: list[ast.Node] = []
         while not self._at(T.EOF, *stop):
-            stmt = self._parse_statement()
+            stmt = (self._parse_statement_recovering(stop)
+                    if self.recover else self._parse_statement())
             if stmt is not None:
                 body.append(stmt)
         return body
+
+    def _parse_statement_recovering(
+            self, stop: tuple[T, ...] = ()) -> ast.Node | None:
+        """One statement; on a syntax error, record it and resynchronize.
+
+        Damaged statements become warnings instead of killing the whole
+        file: we skip forward to the next plausible statement boundary
+        (``;``, a balanced ``}``, a close tag or a *stop* token) and keep
+        going, guaranteeing at least one token of progress per attempt.
+        """
+        start = self.pos
+        try:
+            return self._parse_statement()
+        except PhpSyntaxError as exc:
+            self.warnings.append(exc)
+            if len(self.warnings) > self.MAX_WARNINGS:
+                raise  # the file is hopeless; report it as a parse error
+            self._synchronize(stop)
+            if self.pos == start and not self._at(T.EOF, *stop):
+                self._advance()
+            return None
+
+    def _synchronize(self, stop: tuple[T, ...]) -> None:
+        """Skip tokens until a likely statement boundary.
+
+        Consumes through the next ``;``, but stops *before* close tags,
+        stray HTML, ``}``, EOF and the caller's *stop* tokens so the
+        enclosing construct can resume normally.  A truly stray ``}`` at
+        the top level is swallowed (there is nothing for it to close).
+        """
+        while not self._at(T.EOF):
+            tt = self._peek().type
+            if tt is T.SEMI:
+                self._advance()
+                return
+            if tt in stop or tt in (T.CLOSE_TAG, T.OPEN_TAG, T.INLINE_HTML):
+                return
+            if tt is T.RBRACE:
+                if not stop:
+                    self._advance()  # stray closing brace at top level
+                return
+            self._advance()
 
     def _parse_block_or_single(self) -> list[ast.Node]:
         """Parse ``{ ... }`` or a single statement, returning a list."""
@@ -243,6 +293,19 @@ class Parser:
                     break
             self._expect_semi()
             return ast.ConstStatement(consts, **self._pos_of(tok))
+
+        if tt is T.IDENT and tok.value.lower() == "goto" \
+                and self._peek(1).type is T.IDENT:
+            self._advance()
+            label = self._advance().value
+            self._expect_semi()
+            return ast.Goto(label, **self._pos_of(tok))
+        if tt is T.IDENT and self._peek(1).type is T.COLON:
+            # "label:" goto target (":" after a bare name can be nothing
+            # else at statement level — "::" lexes as one token)
+            self._advance()
+            self._advance()
+            return ast.Label(tok.value, **self._pos_of(tok))
 
         # expression statement
         expr = self.parse_expression()
@@ -398,6 +461,10 @@ class Parser:
         cases: list[ast.SwitchCase] = []
         end = (T.KW_ENDSWITCH,) if alt else (T.RBRACE,)
         while not self._at(T.EOF, *end):
+            if self._at(T.CLOSE_TAG, T.OPEN_TAG, T.INLINE_HTML):
+                # "?> ... <?php" between the switch brace and its cases
+                self._advance()
+                continue
             ctok = self._peek()
             if self._accept(T.KW_CASE):
                 test: ast.Node | None = self.parse_expression()
@@ -1383,3 +1450,19 @@ def _parse_embedded_expr(source: str, line: int, col: int,
 def parse(source: str, filename: str = "<source>") -> ast.Program:
     """Lex and parse *source*, returning the :class:`Program` AST."""
     return Parser(tokenize(source, filename), filename).parse_program()
+
+
+def parse_with_recovery(
+        source: str,
+        filename: str = "<source>") -> tuple[ast.Program,
+                                             list[PhpSyntaxError]]:
+    """Parse *source* with statement-level error recovery.
+
+    Returns the program plus the syntax errors that were skipped over
+    (one per damaged statement).  Lexer errors and files with more than
+    :attr:`Parser.MAX_WARNINGS` damaged statements still raise
+    :class:`PhpSyntaxError` — those files are genuinely unparseable.
+    """
+    parser = Parser(tokenize(source, filename), filename, recover=True)
+    program = parser.parse_program()
+    return program, list(parser.warnings)

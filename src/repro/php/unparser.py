@@ -185,6 +185,10 @@ class Unparser:
             decls = [f"{name} = {self.expr(value)}"
                      for name, value in node.consts]
             self._emit("const " + ", ".join(decls) + ";")
+        elif isinstance(node, ast.Goto):
+            self._emit(f"goto {node.label};")
+        elif isinstance(node, ast.Label):
+            self._emit(f"{node.name}:")
         else:
             # expression used in statement position
             self._emit(self.expr(node) + ";")
@@ -294,6 +298,8 @@ class Unparser:
             return (f"{self._cls(node.cls)}::{self._member(node.name)}"
                     f"({self._args(node.args)})")
         if isinstance(node, ast.New):
+            if isinstance(node.cls, ast.ClassDecl):
+                return self._anon_class(node)
             cls = self._cls(node.cls)
             return f"new {cls}({self._args(node.args)})"
         if isinstance(node, ast.Clone):
@@ -453,6 +459,23 @@ class Unparser:
         if isinstance(part, ast.Literal):
             return True
         return self.expr(part).startswith("$")
+
+    def _anon_class(self, node: ast.New) -> str:
+        """Render ``new class(...) ... { members }`` on one line."""
+        decl = node.cls
+        head = "new class"
+        if node.args:
+            head += f"({self._args(node.args)})"
+        if decl.parent:
+            head += f" extends {decl.parent}"
+        if decl.interfaces:
+            head += " implements " + ", ".join(decl.interfaces)
+        sub = Unparser()
+        sub._in_php = True
+        for member in decl.members:
+            sub._class_member(member)
+        body = " ".join(line.strip() for line in sub._lines)
+        return f"{head} {{ {body} }}" if body else head + " {}"
 
     def _concat(self, parts: list[ast.Node]) -> str:
         pieces = []

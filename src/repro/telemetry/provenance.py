@@ -19,7 +19,7 @@ the JSON report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.analysis.model import (
@@ -50,10 +50,16 @@ class ProvenanceEvent:
     detail: str
     line: int
     note: str = ""
+    #: set when the hop happened in a *different* file than the candidate
+    #: (cross-file flow through a resolved include); empty otherwise.
+    file: str = ""
 
     def to_dict(self) -> dict:
-        return {"stage": self.stage, "detail": self.detail,
-                "line": self.line, "note": self.note}
+        out = {"stage": self.stage, "detail": self.detail,
+               "line": self.line, "note": self.note}
+        if self.file:
+            out["file"] = self.file
+        return out
 
 
 @dataclass(frozen=True)
@@ -84,7 +90,10 @@ class Provenance:
                  f"{self.filename}:{head.line if head else '?'}")
         lines = [title]
         for event in self.events:
-            where = f" (line {event.line})" if event.line else ""
+            if event.file:
+                where = f" ({event.file}:{event.line})"
+            else:
+                where = f" (line {event.line})" if event.line else ""
             note = f" — {event.note}" if event.note else ""
             lines.append(f"  {event.stage:>9}: {event.detail}"
                          f"{where}{note}")
@@ -168,6 +177,9 @@ def build_provenance(candidate: CandidateVulnerability,
         else:  # future step kinds degrade gracefully
             events.append(ProvenanceEvent(
                 STAGE_PROPAGATE, f"{step.kind}: {step.detail}", step.line))
+        hop_file = getattr(step, "file", "")
+        if hop_file and hop_file != candidate.filename:
+            events[-1] = replace(events[-1], file=hop_file)
 
     verdict = None
     symptoms: tuple[str, ...] = ()

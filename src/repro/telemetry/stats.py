@@ -66,6 +66,13 @@ class ScanStats:
     worker_crashes: list[tuple[str, str]] = field(default_factory=list)
     parse_errors: int = 0
     first_parse_error: tuple[str, str] | None = None
+    #: files where statement-level recovery skipped damaged statements
+    #: (still analyzed) and how many statements were dropped in total.
+    parse_warnings: int = 0
+    recovered_statements: int = 0
+    #: include statements statically resolved / not resolvable.
+    resolved_includes: int = 0
+    unresolved_includes: int = 0
     candidates: int = 0
     predicted_fp: int = 0
 
@@ -106,6 +113,10 @@ class ScanStats:
                 {"file": self.first_parse_error[0],
                  "error": self.first_parse_error[1]}
                 if self.first_parse_error else None),
+            "parse_warnings": self.parse_warnings,
+            "recovered_statements": self.recovered_statements,
+            "resolved_includes": self.resolved_includes,
+            "unresolved_includes": self.unresolved_includes,
             "candidates": self.candidates,
             "predicted_false_positives": self.predicted_fp,
             "predictor_fp_rate": round(self.fp_rate, 4),
@@ -158,6 +169,15 @@ class ScanStats:
                 first = (f" (first: {self.first_parse_error[0]}: "
                          f"{self.first_parse_error[1]})")
             lines.append(f"   parse errors: {self.parse_errors}{first}")
+        if self.parse_warnings:
+            lines.append(
+                f"   parse warnings: {self.parse_warnings} file(s), "
+                f"{self.recovered_statements} damaged statement(s) "
+                f"skipped by recovery")
+        if self.resolved_includes or self.unresolved_includes:
+            lines.append(
+                f"   includes: {self.resolved_includes} resolved, "
+                f"{self.unresolved_includes} unresolved")
         lines.append(
             f"   candidates: {self.candidates}   predicted FPs: "
             f"{self.predicted_fp} "
@@ -224,6 +244,12 @@ def build_scan_stats(report, telemetry, root_span=None,
     if failed:
         stats.first_parse_error = (failed[0].filename,
                                    failed[0].parse_error)
+    for f in report.files:
+        if getattr(f, "parse_warning", None):
+            stats.parse_warnings += 1
+        stats.recovered_statements += getattr(f, "recovered_statements", 0)
+        stats.resolved_includes += getattr(f, "resolved_includes", 0)
+        stats.unresolved_includes += getattr(f, "unresolved_includes", 0)
 
     metrics = telemetry.metrics
     if metrics.enabled:

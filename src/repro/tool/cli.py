@@ -71,6 +71,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "from cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache entirely")
+    parser.add_argument("--no-includes", action="store_true",
+                        help="disable static include/require resolution "
+                             "(each file is analyzed in isolation)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     parser.add_argument("--justify", action="store_true",
@@ -202,9 +205,10 @@ def main(argv: list[str] | None = None) -> int:
                 report = tool.analyze_project(target,
                                               telemetry=telemetry)
             else:
-                report = tool.analyze_tree(target, jobs=args.jobs,
-                                           cache_dir=cache_dir,
-                                           telemetry=telemetry)
+                report = tool.analyze_tree(
+                    target, jobs=args.jobs, cache_dir=cache_dir,
+                    telemetry=telemetry,
+                    includes=not args.no_includes)
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:

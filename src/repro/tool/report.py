@@ -47,6 +47,13 @@ class FileReport:
     seconds: float = 0.0
     outcomes: list[CandidateOutcome] = field(default_factory=list)
     parse_error: str | None = None
+    #: first syntax error statement-level recovery skipped over (the file
+    #: was still analyzed) and how many statements were dropped.
+    parse_warning: str | None = None
+    recovered_statements: int = 0
+    #: include statements statically resolved / not resolvable in this file.
+    resolved_includes: int = 0
+    unresolved_includes: int = 0
 
     @property
     def real(self) -> list[CandidateOutcome]:
@@ -92,6 +99,10 @@ class AnalysisReport:
     @property
     def parse_errors(self) -> list[FileReport]:
         return [f for f in self.files if f.parse_error]
+
+    @property
+    def parse_warnings(self) -> list[FileReport]:
+        return [f for f in self.files if f.parse_warning]
 
     # ------------------------------------------------------------------
     @property
@@ -152,6 +163,13 @@ class AnalysisReport:
                 "predicted_false_positives":
                     len(self.predicted_false_positives),
                 "parse_errors": len(self.parse_errors),
+                "parse_warnings": len(self.parse_warnings),
+                "recovered_statements":
+                    sum(f.recovered_statements for f in self.files),
+                "resolved_includes":
+                    sum(f.resolved_includes for f in self.files),
+                "unresolved_includes":
+                    sum(f.unresolved_includes for f in self.files),
                 "by_class": dict(self.counts_by_group()),
             },
             "cache": self.cache.to_dict() if self.cache else None,
@@ -162,6 +180,10 @@ class AnalysisReport:
                     "lines": f.lines_of_code,
                     "seconds": round(f.seconds, 6),
                     "parse_error": f.parse_error,
+                    "parse_warning": f.parse_warning,
+                    "recovered_statements": f.recovered_statements,
+                    "resolved_includes": f.resolved_includes,
+                    "unresolved_includes": f.unresolved_includes,
                     "findings": [
                         {
                             "class": o.vuln_class,
@@ -176,7 +198,11 @@ class AnalysisReport:
                             "symptoms": sorted(o.prediction.symptoms),
                             "path": [
                                 {"kind": s.kind, "detail": s.detail,
-                                 "line": s.line}
+                                 "line": s.line,
+                                 **({"file": s.file}
+                                    if s.file and
+                                    s.file != o.candidate.filename
+                                    else {})}
                                 for s in o.candidate.path
                             ],
                         }
@@ -184,7 +210,7 @@ class AnalysisReport:
                     ],
                 }
                 for f in self.files
-                if f.outcomes or f.parse_error
+                if f.outcomes or f.parse_error or f.parse_warning
             ],
         }
 
@@ -195,11 +221,17 @@ class AnalysisReport:
                  f"lines: {self.total_lines}   "
                  f"time: {self.total_seconds:.2f}s"]
         for file_report in self.files:
-            if not file_report.outcomes and not file_report.parse_error:
+            if not file_report.outcomes and not file_report.parse_error \
+                    and not file_report.parse_warning:
                 continue
             lines.append(f"-- {file_report.filename}")
             if file_report.parse_error:
                 lines.append(f"   parse error: {file_report.parse_error}")
+            if file_report.parse_warning:
+                lines.append(
+                    f"   parse warning: {file_report.parse_warning} "
+                    f"({file_report.recovered_statements} statement(s) "
+                    f"skipped, rest of the file analyzed)")
             for outcome in file_report.outcomes:
                 cand = outcome.candidate
                 verdict = ("real vulnerability" if outcome.is_real
@@ -211,8 +243,10 @@ class AnalysisReport:
                     f" : {verdict}")
                 if show_paths:
                     for step in cand.path:
+                        where = f"{step.file}:" if step.file and \
+                            step.file != cand.filename else ""
                         lines.append(f"        {step.kind:>7} "
-                                     f"{step.detail} @ {step.line}")
+                                     f"{step.detail} @ {where}{step.line}")
         counts = self.counts_by_group()
         lines.append("== summary")
         for group, count in sorted(counts.items()):

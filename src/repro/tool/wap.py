@@ -142,7 +142,8 @@ class _BaseTool:
 
     def analyze_tree(self, root: str, jobs: int | None = 1,
                      cache_dir: str | None = None,
-                     telemetry: Telemetry | None = None) -> AnalysisReport:
+                     telemetry: Telemetry | None = None,
+                     includes: bool = True) -> AnalysisReport:
         """Analyze every PHP file under *root*.
 
         Args:
@@ -156,6 +157,9 @@ class _BaseTool:
             telemetry: when enabled, the whole run is traced (discover →
                 scan → predict, per-file stage spans, worker chunks) and
                 ``report.stats`` carries the phase-time breakdown.
+            includes: statically resolve ``include``/``require`` targets
+                so taint crosses file boundaries; ``False``
+                (``--no-includes``) restores strictly per-file analysis.
         """
         telem = telemetry if telemetry is not None else NULL_TELEMETRY
         report = AnalysisReport(self.version, root,
@@ -166,7 +170,8 @@ class _BaseTool:
                                   else jobs,
                                   cache_dir=cache_dir,
                                   tool_version=self.version,
-                                  telemetry=telem)
+                                  telemetry=telem,
+                                  includes=includes)
         memo0 = (self.predictor.memo_hits, self.predictor.memo_misses)
         with telem.tracer.span("analyze_tree", phase="run",
                                root=root) as root_span:
@@ -194,9 +199,14 @@ class _BaseTool:
         """Classify one scan result's candidates into a file report."""
         assert self.predictor is not None
         start = time.perf_counter()
-        file_report = FileReport(result.filename,
-                                 result.lines_of_code,
-                                 parse_error=result.parse_error)
+        file_report = FileReport(
+            result.filename,
+            result.lines_of_code,
+            parse_error=result.parse_error,
+            parse_warning=getattr(result, "parse_warning", None),
+            recovered_statements=getattr(result, "recovered_statements", 0),
+            resolved_includes=getattr(result, "resolved_includes", 0),
+            unresolved_includes=getattr(result, "unresolved_includes", 0))
         if telem.enabled and result.candidates:
             with telem.tracer.span("predict_file", phase="predict",
                                    file=result.filename) as span:

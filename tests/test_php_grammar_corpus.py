@@ -1,0 +1,209 @@
+"""Grammar regression corpus (ISSUE 3 satellites).
+
+Small real-world PHP shapes the frontend used to reject or crash on:
+interleaved HTML inside braced blocks, anonymous classes through the
+unparser, binary-string literals, ``goto``/``label:`` statements, and
+statement-level error recovery (a damaged region yields a warning while
+the rest of the file is still parsed and analyzed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PhpSyntaxError
+from repro.php import ast, parse, parse_with_recovery, tokenize, unparse
+from repro.tool import Wape
+
+
+def roundtrip(source: str) -> ast.Program:
+    """Unparse then re-parse: the output must stay valid PHP."""
+    program = parse(source, "t.php")
+    return parse(unparse(program), "t.php")
+
+
+# ---------------------------------------------------------------------------
+# interleaved HTML
+# ---------------------------------------------------------------------------
+
+class TestInterleavedHtml:
+    def test_html_inside_if_block(self):
+        program = parse(
+            "<?php if ($a) { ?><b>yes</b><?php } else { ?>no<?php } ?>",
+            "t.php")
+        assert any(isinstance(n, ast.If) for n in program.body)
+
+    def test_html_between_switch_brace_and_cases(self):
+        source = ("<?php switch ($x) { ?>\n<!-- legacy -->\n"
+                  "<?php case 1: echo 'one'; break; default: echo 'n'; }")
+        program = parse(source, "t.php")
+        switch = next(n for n in program.body
+                      if isinstance(n, ast.Switch))
+        assert len(switch.cases) == 2
+
+    def test_html_inside_function_body(self):
+        source = "<?php function f() { ?><hr><?php return 1; }"
+        program = parse(source, "t.php")
+        decl = next(n for n in program.body
+                    if isinstance(n, ast.FunctionDecl))
+        assert any(isinstance(n, ast.Return) for n in decl.body)
+
+
+# ---------------------------------------------------------------------------
+# anonymous classes
+# ---------------------------------------------------------------------------
+
+class TestAnonymousClass:
+    SOURCE = ("<?php $h = new class(1) extends Base implements Loggable {"
+              " public $level = 1;"
+              " function log($m) { return $m; } };")
+
+    def test_parses(self):
+        program = parse(self.SOURCE, "t.php")
+        assign = program.body[0].expr
+        assert isinstance(assign.value, ast.New)
+        assert isinstance(assign.value.cls, ast.ClassDecl)
+
+    def test_unparse_does_not_crash_and_roundtrips(self):
+        # regression: unparse() raised TypeError ("cannot unparse
+        # ClassDecl") on new-class expressions
+        program = roundtrip(self.SOURCE)
+        assign = program.body[0].expr
+        decl = assign.value.cls
+        assert decl.parent == "Base"
+        assert decl.interfaces == ["Loggable"]
+        assert len(decl.members) == 2
+
+    def test_unparse_empty_anon_class(self):
+        program = roundtrip("<?php $o = new class {};")
+        assert isinstance(program.body[0].expr.value.cls, ast.ClassDecl)
+
+
+# ---------------------------------------------------------------------------
+# binary strings
+# ---------------------------------------------------------------------------
+
+class TestBinaryStrings:
+    @pytest.mark.parametrize("literal, value", [
+        ('b"abc"', "abc"),
+        ("b'abc'", "abc"),
+        ('B"x"', "x"),
+        ("B'x'", "x"),
+    ])
+    def test_prefix_is_dropped(self, literal, value):
+        program = parse(f"<?php $s = {literal};", "t.php")
+        assert program.body[0].expr.value.value == value
+
+    def test_bare_b_is_still_an_identifier(self):
+        program = parse("<?php $x = b;", "t.php")
+        assert isinstance(program.body[0].expr.value, ast.ConstFetch)
+
+    def test_b_function_call_unaffected(self):
+        tokens = tokenize("<?php b($x);", "t.php")
+        assert any(t.value == "b" for t in tokens)
+
+    def test_roundtrip(self):
+        program = roundtrip('<?php echo b"safe";')
+        assert program.body[0].exprs[0].value == "safe"
+
+
+# ---------------------------------------------------------------------------
+# goto / labels
+# ---------------------------------------------------------------------------
+
+class TestGoto:
+    SOURCE = ("<?php start:\n"
+              "$i = $i + 1;\n"
+              "if ($i < 3) { goto start; }\n"
+              "echo $i;")
+
+    def test_parses(self):
+        program = parse(self.SOURCE, "t.php")
+        assert isinstance(program.body[0], ast.Label)
+        assert program.body[0].name == "start"
+        gotos = [n for n in program.body[2].then
+                 if isinstance(n, ast.Goto)]
+        assert gotos and gotos[0].label == "start"
+
+    def test_roundtrip(self):
+        text = unparse(parse(self.SOURCE, "t.php"))
+        assert "goto start;" in text
+        assert "start:" in text
+        parse(text, "t.php")
+
+    def test_taint_flows_past_labels(self):
+        found = Wape().fused_detector.detect_source(
+            "<?php retry: $q = $_GET['q']; goto done; done: echo $q;",
+            "t.php")
+        assert any(c.vuln_class == "xss" for c in found)
+
+    def test_static_call_not_mistaken_for_label(self):
+        # "A::f()" must still parse as a static call ("::"
+        # lexes as one token, so the label rule cannot fire)
+        program = parse("<?php A::f();", "t.php")
+        assert isinstance(program.body[0].expr, ast.StaticCall)
+
+
+# ---------------------------------------------------------------------------
+# statement-level error recovery
+# ---------------------------------------------------------------------------
+
+class TestRecovery:
+    DAMAGED = ("<?php\n"
+               "$theme = = 'dark';\n"          # damaged statement
+               "$q = $_GET['q'];\n"
+               "echo $q;\n")
+
+    def test_parse_with_recovery_salvages_the_rest(self):
+        program, warnings = parse_with_recovery(self.DAMAGED, "t.php")
+        assert len(warnings) == 1
+        kinds = [type(n).__name__ for n in program.body]
+        assert kinds.count("ExpressionStatement") >= 1
+        assert any(isinstance(n, ast.Echo) for n in program.body)
+
+    def test_strict_parse_still_raises(self):
+        with pytest.raises(PhpSyntaxError):
+            parse(self.DAMAGED, "t.php")
+
+    def test_detector_reports_warning_and_candidates(self):
+        candidates, warnings = \
+            Wape().fused_detector.detect_source_recovering(
+                self.DAMAGED, "t.php")
+        assert len(warnings) == 1
+        assert any(c.vuln_class == "xss" for c in candidates)
+
+    def test_fully_broken_file_still_escalates_to_error(self):
+        # nothing salvageable -> recovery re-raises: the file must stay
+        # a parse *error*, not become a warning with zero findings
+        with pytest.raises(PhpSyntaxError):
+            Wape().fused_detector.detect_source_recovering(
+                "<?php if ( { {{", "t.php")
+
+    def test_lexer_errors_stay_fatal(self):
+        with pytest.raises(PhpSyntaxError):
+            parse_with_recovery('<?php echo "unterminated;', "t.php")
+
+    def test_recovery_inside_function_body(self):
+        source = ("<?php function f() { $x = = 1; return $_GET['p']; }\n"
+                  "echo f();")
+        program, warnings = parse_with_recovery(source, "t.php")
+        assert len(warnings) == 1
+        candidates, _ = Wape().fused_detector.detect_source_recovering(
+            source, "t.php")
+        assert any(c.vuln_class == "xss" for c in candidates)
+
+    def test_warning_cap_escalates(self):
+        from repro.php.parser import Parser
+        damaged = "<?php\n" + "$a = = 1;\n" * (Parser.MAX_WARNINGS + 5)
+        with pytest.raises(PhpSyntaxError):
+            parse_with_recovery(damaged, "t.php")
+
+    def test_file_result_carries_warning_fields(self, tmp_path):
+        target = tmp_path / "legacy.php"
+        target.write_text(self.DAMAGED)
+        report = Wape().analyze_tree(str(tmp_path), jobs=1)
+        entry = report.files[0]
+        assert entry.parse_error is None
+        assert entry.parse_warning
+        assert entry.recovered_statements == 1
+        assert any(o.vuln_class == "xss" for o in entry.outcomes)

@@ -102,7 +102,9 @@ class TestProjectAnalyzer:
 class TestWapeProjectMode:
     def test_project_mode_beats_per_file_on_both_axes(self, project):
         tool = Wape()
-        per_file = tool.analyze_tree(project)
+        # includes=False is the pure per-file baseline; the default tree
+        # scan resolves the require edge and matches project mode here
+        per_file = tool.analyze_tree(project, includes=False)
         whole = tool.analyze_project(project)
         per_file_entries = {o.candidate.entry_point
                             for o in per_file.real_vulnerabilities}
@@ -115,6 +117,14 @@ class TestWapeProjectMode:
         # project-wide
         assert "$_GET['b']" not in per_file_entries
         assert {"$_GET['b']", "$_GET['c']"} <= whole_entries
+
+    def test_include_aware_tree_scan_matches_project_mode(self, project):
+        tool = Wape()
+        tree = tool.analyze_tree(project)
+        entries = {o.candidate.entry_point
+                   for o in tree.real_vulnerabilities}
+        assert "$_GET['a']" not in entries   # cross-file sanitizer seen
+        assert "$_GET['c']" in entries       # cross-file helper-to-sink
 
     def test_project_report_structure(self, project):
         report = Wape().analyze_project(project)
