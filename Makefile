@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-grammar bench bench-smoke bench-throughput \
-	trace-demo
+.PHONY: test test-fast test-grammar test-service bench bench-smoke \
+	bench-throughput trace-demo serve-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -24,6 +24,12 @@ test-grammar:
 		tests/test_php_visitor.py tests/test_php_edge_cases.py \
 		tests/test_php_modern_syntax.py tests/test_php_grammar_corpus.py
 
+# the embedding API, scan daemon, and report-schema suites (includes
+# the slow daemon-vs-CLI oracle and the `wape serve` subprocess test)
+test-service:
+	$(PYTHON) -m pytest -x -q tests/test_api.py tests/test_service.py \
+		tests/test_report_schema.py
+
 # every paper table/figure benchmark
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s -q
@@ -40,7 +46,14 @@ bench-smoke:
 # trace.json + metrics.prom and printing the --stats footer
 # (the demo app is deliberately vulnerable, so the scan exits 1)
 trace-demo:
-	-$(PYTHON) -m repro --jobs 2 --no-cache --quiet --stats \
+	-$(PYTHON) -m repro scan --jobs 2 --no-cache --quiet --stats \
 		--trace-out trace.json --metrics-out metrics.prom examples/
 	@echo "trace   -> trace.json"
 	@echo "metrics -> metrics.prom"
+
+# scan daemon on the demo app; scan it from another shell with
+#   curl -s -X POST http://127.0.0.1:8711/v1/scan \
+#        -d '{"root": "examples/demo_app"}'
+# and stop it with  curl -s -X POST http://127.0.0.1:8711/v1/shutdown
+serve-demo:
+	$(PYTHON) -m repro serve --port 8711

@@ -20,7 +20,7 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
     entry_points={"console_scripts": [
-        "wape = repro.tool.cli:main",
-        "wape-explain = repro.tool.explain:main",
+        "wape = repro.tool.main:main",
+        "wape-explain = repro.tool.legacy:explain_main",
     ]},
 )

@@ -1,8 +1,12 @@
-"""``python -m repro`` runs the WAPe command-line interface."""
+"""``python -m repro`` runs the consolidated ``wape`` entry point.
+
+``python -m repro scan app/`` etc.; bare flag-style arguments still
+dispatch to ``scan`` with a deprecation notice on stderr.
+"""
 
 import sys
 
-from repro.tool.cli import main
+from repro.tool.main import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -26,7 +26,9 @@ from repro.analysis.includes import (  # noqa: F401
     IncludeGraph,
     IncludeResolver,
     build_include_graph,
+    update_include_graph,
 )
+from repro.analysis.options import ScanOptions  # noqa: F401
 from repro.analysis.knowledge import (  # noqa: F401
     extend_config,
     load_config,
@@ -41,6 +43,7 @@ from repro.analysis.pipeline import (  # noqa: F401
     FusedDetector,
     ResultCache,
     ScanScheduler,
+    closure_key,
     config_fingerprint,
 )
 from repro.analysis.project import (  # noqa: F401
@@ -74,6 +77,9 @@ __all__ = [
     "IncludeGraph",
     "IncludeResolver",
     "build_include_graph",
+    "update_include_graph",
+    "ScanOptions",
+    "closure_key",
     "ProjectAnalyzer",
     "ProjectFile",
     "ProjectResult",

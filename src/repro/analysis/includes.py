@@ -133,38 +133,47 @@ class IncludeResolver:
         """
         graph = IncludeGraph()
         for path in self.paths:
-            source = (sources or {}).get(path)
-            if source is None:
-                try:
-                    with open(path, encoding="utf-8",
-                              errors="replace") as f:
-                        source = f.read()
-                except OSError:
-                    continue
-            lowered = source.lower()
-            if not any(hint in lowered for hint in _HINTS):
-                continue
-            try:
-                program, _ = parse_with_recovery(source, path)
-            except PhpSyntaxError:
-                continue  # unparseable file: no edges, scanned standalone
-            deps: list[str] = []
-            resolved = unresolved = 0
-            for node in find_all(program, ast.Include):
-                target = self.resolve(node.expr, path)
-                if target is None:
-                    unresolved += 1
-                    continue
-                resolved += 1
-                if target != path and target not in deps:
-                    deps.append(target)
-            if deps:
-                graph.deps[path] = tuple(deps)
-            if resolved:
-                graph.resolved[path] = resolved
-            if unresolved:
-                graph.unresolved[path] = unresolved
+            self._resolve_into(graph, path, (sources or {}).get(path))
         return graph
+
+    def _resolve_into(self, graph: IncludeGraph, path: str,
+                      source: str | None) -> None:
+        """Resolve one file's includes and record them on *graph*.
+
+        A file's edges depend only on its own source text and the project
+        file *set* (the resolver's membership indexes) — which is what
+        makes :func:`update_include_graph` sound: unchanged files of an
+        unchanged file set keep their old edges verbatim.
+        """
+        if source is None:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    source = f.read()
+            except OSError:
+                return
+        lowered = source.lower()
+        if not any(hint in lowered for hint in _HINTS):
+            return
+        try:
+            program, _ = parse_with_recovery(source, path)
+        except PhpSyntaxError:
+            return  # unparseable file: no edges, scanned standalone
+        deps: list[str] = []
+        resolved = unresolved = 0
+        for node in find_all(program, ast.Include):
+            target = self.resolve(node.expr, path)
+            if target is None:
+                unresolved += 1
+                continue
+            resolved += 1
+            if target != path and target not in deps:
+                deps.append(target)
+        if deps:
+            graph.deps[path] = tuple(deps)
+        if resolved:
+            graph.resolved[path] = resolved
+        if unresolved:
+            graph.unresolved[path] = unresolved
 
     # ------------------------------------------------------------------
     def resolve(self, expr: ast.Node | None, src_path: str) -> str | None:
@@ -223,6 +232,38 @@ def build_include_graph(paths: list[str],
                         ) -> IncludeGraph:
     """Convenience wrapper: resolve the include graph of *paths*."""
     return IncludeResolver(paths).build(sources)
+
+
+def update_include_graph(graph: IncludeGraph, paths: list[str],
+                         dirty: set[str] | list[str],
+                         sources: dict[str, str] | None = None
+                         ) -> IncludeGraph:
+    """Re-resolve only *dirty* files of an otherwise-unchanged project.
+
+    Incremental counterpart of :func:`build_include_graph` for warm
+    re-scans: a file's include edges depend solely on its own source and
+    the project file set, so when the file set is unchanged only edited
+    files need re-parsing — clean files carry their edges over verbatim.
+
+    Callers must fall back to a full :func:`build_include_graph` whenever
+    files were added or removed (a new file can steal a unique-basename
+    resolution from every other file).  Returns a fresh graph; *graph*
+    itself is never mutated.
+    """
+    resolver = IncludeResolver(paths)
+    dirty_set = set(dirty)
+    out = IncludeGraph()
+    for path in paths:
+        if path in dirty_set:
+            resolver._resolve_into(out, path, (sources or {}).get(path))
+            continue
+        if path in graph.deps:
+            out.deps[path] = graph.deps[path]
+        if path in graph.resolved:
+            out.resolved[path] = graph.resolved[path]
+        if path in graph.unresolved:
+            out.unresolved[path] = graph.unresolved[path]
+    return out
 
 
 class IncludeContext:

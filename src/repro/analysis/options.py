@@ -1,0 +1,117 @@
+"""Scan configuration: one options object threaded end to end.
+
+The scan stack used to grow a keyword argument per feature —
+``analyze_tree(root, jobs=..., cache_dir=..., telemetry=..., includes=...)``
+and the same sprawl again on :class:`~repro.analysis.pipeline.ScanScheduler`
+— which made every new knob a signature change on three layers.
+:class:`ScanOptions` is the single carrier instead: the tool facades, the
+scheduler, the :class:`repro.api.Scanner` facade and the scan service all
+accept one frozen options value.
+
+The legacy keyword signatures keep working for one release: call sites
+passing ``jobs=``/``cache_dir=``/``telemetry=``/``includes=`` directly are
+routed through :func:`merge_legacy_options`, which builds the equivalent
+:class:`ScanOptions` and emits a :class:`DeprecationWarning` pointing at
+the replacement.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: default value of every legacy keyword shim parameter.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ScanOptions:
+    """Everything a scan run can be configured with.
+
+    Attributes:
+        jobs: analysis worker processes; ``1`` (the default) keeps the
+            whole scan in-process, ``None`` means one per CPU.
+        cache_dir: root of the on-disk result cache; ``None`` disables
+            on-disk caching (warm in-memory state is unaffected).
+        includes: statically resolve ``include``/``require`` targets so
+            taint crosses file boundaries; ``False`` restores strictly
+            per-file analysis.
+        telemetry: ``True`` builds a fresh enabled
+            :class:`~repro.telemetry.Telemetry` for the run, ``False`` /
+            ``None`` runs untraced, and an explicit ``Telemetry`` instance
+            is used as-is (the CLI passes its own so ``--trace-out`` can
+            export it afterwards).
+        predictor: override the tool's false-positive predictor for this
+            run; ``None`` uses the tool's own.
+    """
+
+    jobs: int | None = 1
+    cache_dir: str | None = None
+    includes: bool = True
+    telemetry: object | None = None
+    predictor: object | None = None
+
+    # ------------------------------------------------------------------
+    def resolved_jobs(self) -> int:
+        """Effective worker count (``None`` means one per CPU)."""
+        if self.jobs is None:
+            return os.cpu_count() or 1
+        return max(1, int(self.jobs))
+
+    def resolve_telemetry(self):
+        """The run's ``Telemetry``: never ``None``, disabled by default."""
+        from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+        if self.telemetry is None or self.telemetry is False:
+            return NULL_TELEMETRY
+        if self.telemetry is True:
+            return Telemetry()
+        return self.telemetry
+
+    def state_key(self) -> tuple:
+        """The fields that change *detection results or warm state*.
+
+        Two scans whose options share this key may reuse each other's
+        warm incremental state; jobs/telemetry/predictor only change how
+        (or how observably) the same results are computed.
+        """
+        return (self.includes, self.cache_dir)
+
+
+def merge_legacy_options(options: ScanOptions | None, caller: str,
+                         **legacy) -> ScanOptions:
+    """Resolve an ``options=`` value against legacy keyword arguments.
+
+    Legacy keywords whose value is :data:`UNSET` were not passed.  Passing
+    any of them warns (once per call site) and is rejected when an
+    explicit ``options`` is also given — mixing the two would make it
+    ambiguous which value wins.
+    """
+    passed = {name: value for name, value in legacy.items()
+              if value is not UNSET}
+    if not passed:
+        return options if options is not None else ScanOptions()
+    if options is not None:
+        raise TypeError(
+            f"{caller}: pass either options=ScanOptions(...) or the legacy "
+            f"keywords {sorted(passed)}, not both")
+    warnings.warn(
+        f"{caller}: the {sorted(passed)} keyword(s) are deprecated; pass "
+        f"options=ScanOptions(...) instead",
+        DeprecationWarning, stacklevel=3)
+    known = {f.name for f in fields(ScanOptions)}
+    unknown = set(passed) - known
+    if unknown:  # defensive: a shim wired up a keyword ScanOptions lacks
+        raise TypeError(f"{caller}: unknown scan option(s) {sorted(unknown)}")
+    return ScanOptions(**passed)

@@ -64,10 +64,13 @@ from repro.analysis.model import (
     CandidateVulnerability,
     DetectorConfig,
 )
+from repro.analysis.options import UNSET, ScanOptions, merge_legacy_options
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: bump when the cached payload layout or engine semantics change.
-CACHE_FORMAT = 2
+#: 3: cache keys and stored paths are project-relative (a moved or
+#: renamed checkout keeps hitting and reports correct file paths).
+CACHE_FORMAT = 3
 
 #: parse_error text for a file that repeatedly kills analysis workers.
 CRASH_ERROR = "analysis worker crashed"
@@ -278,6 +281,90 @@ def config_fingerprint(groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
     return digest.hexdigest()
 
 
+def closure_key(path: str, raw_hash: str,
+                graph, raw_hashes: dict[str, str]) -> str:
+    """Cache key for *path*: its content hash + its include closure.
+
+    A file analyzed with cross-file context depends on the contents of
+    every resolved include; mixing the (dep identity, dep content hash)
+    pairs of the closure into the key makes an edit to any included file
+    invalidate the includer's cached result.  Dependencies are identified
+    by their path *relative to the including file*, never absolutely, so
+    a project scanned from a moved or renamed checkout still hits the
+    entries it populated at the old location.
+
+    Missing hashes of closure members are computed on demand and written
+    back into *raw_hashes*.  Used by both the :class:`ScanScheduler` and
+    the warm incremental :class:`repro.api.Scanner`, which must agree
+    byte-for-byte on what invalidates a file.
+    """
+    closure = graph.closure(path) if graph else ()
+    if not closure:
+        return raw_hash
+    base = os.path.dirname(path)
+    digest = hashlib.sha256(raw_hash.encode())
+    for dep in closure:
+        dep_hash = raw_hashes.get(dep)
+        if dep_hash is None:
+            try:
+                with open(dep, "rb") as f:
+                    dep_hash = ResultCache.content_hash(f.read())
+            except OSError:
+                dep_hash = "missing"
+            raw_hashes[dep] = dep_hash
+        rel = os.path.relpath(dep, base)
+        digest.update(f"\n{rel}\x00{dep_hash}".encode())
+    return digest.hexdigest()
+
+
+def _relativize_candidates(candidates: list[CandidateVulnerability],
+                           base: str) -> list[CandidateVulnerability]:
+    """Strip checkout-specific prefixes before a result is cached.
+
+    Cross-file hops carry the dependency's path in ``PathStep.file``;
+    stored absolutely, a cache populated in one checkout would report the
+    *old* checkout's paths when served to a moved or renamed project
+    root.  Stored relative to the scanned file's directory, they can be
+    re-joined against whatever path the file has at load time.
+    """
+    out = []
+    for cand in candidates:
+        steps = tuple(
+            dataclasses.replace(step, file=os.path.relpath(step.file, base))
+            if step.file else step
+            for step in cand.path)
+        out.append(dataclasses.replace(cand, filename="", path=steps))
+    return out
+
+
+#: placeholder substituted for the scanned file's own path inside cached
+#: diagnostic strings (syntax/OS error messages quote the path verbatim).
+_FILE_MARKER = "\x00file\x00"
+
+
+def _strip_file_marker(text: str | None, filename: str) -> str | None:
+    return text.replace(filename, _FILE_MARKER) if text else text
+
+
+def _expand_file_marker(text: str | None, filename: str) -> str | None:
+    return text.replace(_FILE_MARKER, filename) if text else text
+
+
+def _absolutize_candidates(candidates: list[CandidateVulnerability],
+                           filename: str) -> list[CandidateVulnerability]:
+    """Rebase cached candidates onto the file's current path."""
+    base = os.path.dirname(filename)
+    out = []
+    for cand in candidates:
+        steps = tuple(
+            dataclasses.replace(
+                step, file=os.path.normpath(os.path.join(base, step.file)))
+            if step.file else step
+            for step in cand.path)
+        out.append(dataclasses.replace(cand, filename=filename, path=steps))
+    return out
+
+
 class ResultCache:
     """Content-addressed per-file detection results on disk.
 
@@ -285,6 +372,11 @@ class ResultCache:
     fingerprint directory isolates knowledge configurations from each
     other; the content hash makes results follow file *contents*, so an
     unchanged tree re-scans near-instantly and a renamed file still hits.
+
+    Entries never embed the paths of the checkout that populated them:
+    candidate filenames and cross-file hop attributions are stored
+    relative to the scanned file and re-joined at load, so a cache can be
+    shared across moved, renamed or duplicated project roots.
 
     Behaviour is always counted — ``hits``/``misses``/``evictions``/
     ``puts`` — so the report can surface cache effectiveness even when
@@ -328,21 +420,26 @@ class ResultCache:
         self.hits += 1
         return FileResult(
             filename=filename,
-            candidates=[dataclasses.replace(c, filename=filename)
-                        for c in payload["candidates"]],
+            candidates=_absolutize_candidates(payload["candidates"],
+                                              filename),
             lines_of_code=payload["lines_of_code"],
-            parse_error=payload["parse_error"],
-            parse_warning=payload.get("parse_warning"),
+            parse_error=_expand_file_marker(payload["parse_error"],
+                                            filename),
+            parse_warning=_expand_file_marker(payload.get("parse_warning"),
+                                              filename),
             recovered_statements=payload.get("recovered_statements", 0),
         )
 
     def put(self, content_hash: str, result: FileResult) -> None:
         """Store one result atomically (write-to-temp + rename)."""
         payload = {
-            "candidates": result.candidates,
+            "candidates": _relativize_candidates(
+                result.candidates, os.path.dirname(result.filename)),
             "lines_of_code": result.lines_of_code,
-            "parse_error": result.parse_error,
-            "parse_warning": result.parse_warning,
+            "parse_error": _strip_file_marker(result.parse_error,
+                                              result.filename),
+            "parse_warning": _strip_file_marker(result.parse_warning,
+                                                result.filename),
             "recovered_statements": result.recovered_statements,
         }
         if self._write(self._entry_path(content_hash), payload):
@@ -451,31 +548,33 @@ class ScanScheduler:
     Args:
         groups: detection units (sub-modules + weapons), as built by the
             tool facades.
-        jobs: worker count; ``1`` (the default) analyzes in-process.
-        cache_dir: root of the on-disk result cache; ``None`` disables
-            caching.
+        options: the run's :class:`~repro.analysis.options.ScanOptions`
+            (jobs, cache_dir, includes, telemetry).  The ``jobs=`` /
+            ``cache_dir=`` / ``telemetry=`` / ``includes=`` keywords are
+            the deprecated pre-options spelling; passing them still works
+            for one release but warns.
         tool_version: mixed into the cache fingerprint so different tool
             versions never share entries.
-        telemetry: the run's :class:`~repro.telemetry.Telemetry`; the
-            disabled default records nothing.
-        includes: resolve the project include graph before scanning so
-            taint crosses file boundaries (``--no-includes`` turns this
-            off and restores strictly per-file analysis).
     """
 
     def __init__(self, groups: list[ConfigGroup] | tuple[ConfigGroup, ...],
-                 jobs: int | None = 1,
-                 cache_dir: str | None = None,
+                 jobs=UNSET,
+                 cache_dir=UNSET,
                  tool_version: str = "",
-                 telemetry: Telemetry | None = None,
-                 includes: bool = True) -> None:
+                 telemetry=UNSET,
+                 includes=UNSET,
+                 options: ScanOptions | None = None) -> None:
+        opts = merge_legacy_options(options, "ScanScheduler",
+                                    jobs=jobs, cache_dir=cache_dir,
+                                    telemetry=telemetry, includes=includes)
+        self.options = opts
         self.groups = tuple(groups)
-        self.jobs = max(1, int(jobs or 1))
+        self.jobs = opts.resolved_jobs()
         self.fingerprint = config_fingerprint(self.groups, tool_version)
-        self.cache = ResultCache(cache_dir, self.fingerprint) \
-            if cache_dir else None
-        self.telemetry = telemetry or NULL_TELEMETRY
-        self.includes = includes
+        self.cache = ResultCache(opts.cache_dir, self.fingerprint) \
+            if opts.cache_dir else None
+        self.telemetry = opts.resolve_telemetry()
+        self.includes = opts.includes
         #: the resolved include graph of the last scan (telemetry + tests).
         self.include_graph: IncludeGraph | None = None
         #: (file, exception class) for files retried in isolation after a
@@ -612,7 +711,8 @@ class ScanScheduler:
                                                 parse_error=str(exc))
                         continue
                     raw_hashes[path] = raw
-                digest = self._closure_hash(path, raw, raw_hashes)
+                digest = closure_key(path, raw, self.include_graph,
+                                     raw_hashes)
                 hashes[i] = digest
                 if telemetry.enabled:
                     with tracer.span("cache_get", phase="cache",
@@ -643,32 +743,6 @@ class ScanScheduler:
                         else:
                             self.cache.put(hashes[i], results[i])
         return [results[i] for i in range(len(paths))]
-
-    def _closure_hash(self, path: str, raw: str,
-                      raw_hashes: dict[str, str]) -> str:
-        """Cache key for *path*: its content hash + its include closure.
-
-        A file analyzed with cross-file context depends on the contents
-        of every resolved include; mixing the (dep path, dep content
-        hash) pairs of the closure into the key makes an edit to any
-        included file invalidate the includer's cached result.
-        """
-        closure = self.include_graph.closure(path) \
-            if self.include_graph else ()
-        if not closure:
-            return raw
-        digest = hashlib.sha256(raw.encode())
-        for dep in closure:
-            dep_hash = raw_hashes.get(dep)
-            if dep_hash is None:
-                try:
-                    with open(dep, "rb") as f:
-                        dep_hash = ResultCache.content_hash(f.read())
-                except OSError:
-                    dep_hash = "missing"
-                raw_hashes[dep] = dep_hash
-            digest.update(f"\n{dep}\x00{dep_hash}".encode())
-        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     def _scan_sequential(self, pending: list[tuple[int, str]]

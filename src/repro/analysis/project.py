@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
@@ -28,6 +29,7 @@ from repro.php import ast, parse
 from repro.analysis.detector import PHP_EXTENSIONS, Detector
 from repro.analysis.engine import TaintEngine
 from repro.analysis.model import CandidateVulnerability, DetectorConfig
+from repro.analysis.options import UNSET, ScanOptions
 
 
 @dataclass
@@ -59,21 +61,46 @@ class ProjectResult:
 
 
 class ProjectAnalyzer:
-    """Cross-file taint analysis over a directory tree."""
+    """Cross-file taint analysis over a directory tree.
 
-    def __init__(self, configs: list[DetectorConfig] | Detector,
-                 groups: list[list[DetectorConfig]] | None = None,
-                 telemetry=None) -> None:
-        if telemetry is None:
-            from repro.telemetry import NULL_TELEMETRY
-            telemetry = NULL_TELEMETRY
-        self.telemetry = telemetry
-        if isinstance(configs, Detector):
-            self.engine = configs.engine
-            self.engine.telemetry = telemetry
+    Args:
+        units: what to detect — a list of
+            :class:`~repro.analysis.pipeline.ConfigGroup` detection units
+            (the tool facades' native currency), a plain list of
+            :class:`DetectorConfig` objects, or a :class:`Detector`.
+        options: the run's :class:`~repro.analysis.options.ScanOptions`
+            (only ``telemetry`` and ``predictor`` apply to project mode).
+        groups/telemetry: deprecated pre-options keywords; honored for
+            one release with a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, units, groups=UNSET, telemetry=UNSET,
+                 options: ScanOptions | None = None) -> None:
+        legacy = {k: v for k, v in
+                  (("groups", groups), ("telemetry", telemetry))
+                  if v is not UNSET}
+        if legacy:
+            warnings.warn(
+                "ProjectAnalyzer: the ['groups', 'telemetry'] keywords are "
+                "deprecated; pass ConfigGroup units and "
+                "options=ScanOptions(...) instead",
+                DeprecationWarning, stacklevel=2)
+        self.options = options or ScanOptions()
+        self.telemetry = legacy.get("telemetry") \
+            or self.options.resolve_telemetry()
+        engine_groups = legacy.get("groups")
+        if isinstance(units, Detector):
+            self.engine = units.engine
+            self.engine.telemetry = self.telemetry
+            return
+        units = list(units)
+        if units and hasattr(units[0], "configs"):  # ConfigGroup units
+            engine_groups = [list(u.configs) for u in units]
+            configs = [cfg for u in units for cfg in u.configs]
         else:
-            self.engine = TaintEngine(list(configs), groups,
-                                      telemetry=telemetry)
+            configs = units
+        self.engine = TaintEngine(list(configs), engine_groups,
+                                  telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
     def load(self, root: str) -> list[ProjectFile]:

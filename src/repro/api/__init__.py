@@ -1,0 +1,23 @@
+"""The embedding API: programmatic scanning without the CLI or daemon.
+
+This package is the stable surface both front-ends are built on — the
+``wape`` command line constructs a :class:`Scanner` per process, the scan
+daemon (:mod:`repro.service`) keeps one alive across requests:
+
+* :class:`~repro.analysis.options.ScanOptions` — every tunable of a scan
+  (worker count, result cache, include resolution, telemetry, predictor
+  override) in one frozen value;
+* :class:`~repro.api.scanner.Scanner` — holds a configured tool plus
+  per-root warm state and answers :meth:`~repro.api.scanner.Scanner.scan`
+  requests, re-analyzing only the dirty include-closure on repeat scans;
+* :class:`~repro.api.scanner.ScanResult` — the report plus what the scan
+  actually did (incremental or not, files re-analyzed vs reused).
+
+Importing :mod:`repro.api` never imports the HTTP server; embedders that
+just want in-process scanning pay nothing for the service layer.
+"""
+
+from repro.analysis.options import ScanOptions  # noqa: F401
+from repro.api.scanner import ScanResult, Scanner  # noqa: F401
+
+__all__ = ["ScanOptions", "ScanResult", "Scanner"]

@@ -1,0 +1,329 @@
+"""Warm, incremental project scanning for embedders and the daemon.
+
+A cold ``wape scan`` pays three big fixed costs on every invocation:
+interpreter + import time, predictor training (the dominant term — the
+classifiers of §III-B are fit when the tool is constructed), and a full
+tree analysis.  :class:`Scanner` amortizes all three: it holds one
+configured tool and, per scanned root, the *warm state* of the last scan —
+the file snapshot, the resolved include graph and every per-file result.
+A repeat scan then
+
+1. re-stats the tree and re-hashes only files whose ``(mtime, size)``
+   changed,
+2. patches the include graph incrementally
+   (:func:`~repro.analysis.includes.update_include_graph`) when the file
+   set is unchanged, rebuilding it only when files appeared/disappeared,
+3. re-analyzes exactly the files whose
+   :func:`~repro.analysis.pipeline.closure_key` changed — the edited
+   files plus everything whose include closure reaches them — and reuses
+   every other result verbatim,
+4. re-runs the false-positive predictor over all candidates (memoized, so
+   unchanged candidates cost a dict lookup) and builds the report through
+   the same code path as the batch pipeline.
+
+Sharing :func:`closure_key` with :class:`~repro.analysis.pipeline
+.ScanScheduler` is what makes the warm path trustworthy: the scheduler
+and the scanner agree byte-for-byte on what invalidates a file, so a warm
+scan can never reuse a result the batch pipeline would have recomputed.
+
+Instances are not thread-safe; the daemon serializes scans through a
+single worker thread.  A concurrent edit *during* a scan is safe in the
+conservative direction: the snapshot is taken before analysis, so the
+file hashes as dirty again on the next scan.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.detector import FileResult
+from repro.analysis.includes import (
+    IncludeGraph,
+    build_include_graph,
+    update_include_graph,
+)
+from repro.analysis.options import ScanOptions
+from repro.analysis.pipeline import (
+    CRASH_ERROR,
+    FusedDetector,
+    ResultCache,
+    ScanScheduler,
+    closure_key,
+    config_fingerprint,
+)
+from repro.telemetry import CacheStats, build_scan_stats
+from repro.tool.report import AnalysisReport
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One :meth:`Scanner.scan` answer: the report plus what was done.
+
+    Attributes:
+        report: the full :class:`~repro.tool.report.AnalysisReport`, the
+            same object a batch ``wape scan`` of the tree would produce.
+        incremental: whether warm state was reused (``False`` for the
+            first scan of a root or after the tool's knowledge changed).
+        analyzed_files: files actually (re-)analyzed this scan.
+        reused_files: files served from warm state untouched.
+        dirty: project-relative paths of the re-analyzed files — the
+            edited files plus their include-closure dependents.
+        seconds: wall time of the whole scan call.
+    """
+
+    report: AnalysisReport
+    incremental: bool
+    analyzed_files: int
+    reused_files: int
+    dirty: tuple[str, ...]
+    seconds: float
+
+    def service_info(self) -> dict:
+        """The ``service`` block of the report schema (request fields
+        — ``request_id``, ``queue_seconds`` — are filled by the daemon).
+        """
+        return {
+            "request_id": None,
+            "incremental": self.incremental,
+            "analyzed_files": self.analyzed_files,
+            "reused_files": self.reused_files,
+            "dirty": list(self.dirty),
+            "seconds": round(self.seconds, 6),
+            "queue_seconds": 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        """Schema-versioned report dict with the ``service`` block set."""
+        data = self.report.to_dict()
+        data["service"] = self.service_info()
+        return data
+
+
+#: snapshot entry for a file that vanished or cannot be read: always
+#: hashes unequal to any real content, so the file stays dirty.
+_MISSING = (0, -1, "missing")
+
+
+@dataclass
+class _RootState:
+    """Everything remembered about one scanned root between scans."""
+
+    fingerprint: str
+    snapshot: dict[str, tuple[int, int, str]]
+    graph: IncludeGraph | None
+    keys: dict[str, str]
+    results: dict[str, FileResult] = field(default_factory=dict)
+    cache: ResultCache | None = None
+
+
+class Scanner:
+    """A warm scanning session over one configured tool.
+
+    Args:
+        tool: the tool facade to scan with (:class:`~repro.tool.wap.Wape`
+            or :class:`~repro.tool.wap.Wap21`); built fresh — predictor
+            training included — when omitted.
+        options: the :class:`ScanOptions` applied to every scan.  ``jobs``
+            affects only cold scans (warm re-scans run in-process — the
+            dirty set is almost always far too small to win from worker
+            startup); a ``cache_dir`` is shared with the batch pipeline,
+            so a daemon and CLI runs feed each other's caches.
+    """
+
+    def __init__(self, tool=None, options: ScanOptions | None = None
+                 ) -> None:
+        if tool is None:
+            from repro.tool.wap import Wape
+            tool = Wape()
+        self.tool = tool
+        self.options = options if options is not None else ScanOptions()
+        self._states: dict[str, _RootState] = {}
+
+    # ------------------------------------------------------------------
+    def roots(self) -> list[str]:
+        """The roots currently holding warm state."""
+        return sorted(self._states)
+
+    def forget(self, root: str | None = None) -> None:
+        """Drop warm state for *root* (or for every root)."""
+        if root is None:
+            self._states.clear()
+        else:
+            self._states.pop(os.path.abspath(root), None)
+
+    # ------------------------------------------------------------------
+    def scan(self, root: str) -> ScanResult:
+        """Scan *root*, incrementally when warm state allows it."""
+        start = time.perf_counter()
+        root = os.path.abspath(root)
+        groups = self.tool._config_groups()
+        fingerprint = config_fingerprint(groups, self.tool.version)
+        state = self._states.get(root)
+        if state is not None and state.fingerprint != fingerprint:
+            state = None  # knowledge changed: every warm result is stale
+        paths = ScanScheduler.discover(root)
+        snapshot = self._snapshot(paths, state)
+        if state is None:
+            return self._cold_scan(root, groups, fingerprint, paths,
+                                   snapshot, start)
+        return self._warm_scan(root, groups, fingerprint, paths, snapshot,
+                               state, start)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot(paths: list[str], state: _RootState | None
+                  ) -> dict[str, tuple[int, int, str]]:
+        """(mtime_ns, size, content-hash) per file, hashing lazily.
+
+        Files whose stat signature matches the previous snapshot keep
+        their recorded hash without being re-read — the common case on a
+        warm re-scan is one ``stat()`` per file and zero reads.
+        """
+        snap: dict[str, tuple[int, int, str]] = {}
+        for path in paths:
+            prev = state.snapshot.get(path) if state is not None else None
+            try:
+                st = os.stat(path)
+            except OSError:
+                snap[path] = _MISSING
+                continue
+            if prev is not None and prev[0] == st.st_mtime_ns \
+                    and prev[1] == st.st_size:
+                snap[path] = prev
+                continue
+            try:
+                with open(path, "rb") as f:
+                    digest = ResultCache.content_hash(f.read())
+            except OSError:
+                snap[path] = _MISSING
+                continue
+            snap[path] = (st.st_mtime_ns, st.st_size, digest)
+        return snap
+
+    # ------------------------------------------------------------------
+    def _cold_scan(self, root: str, groups, fingerprint: str,
+                   paths: list[str],
+                   snapshot: dict[str, tuple[int, int, str]],
+                   start: float) -> ScanResult:
+        """First scan of a root: the batch pipeline, then seed the state."""
+        scheduler = ScanScheduler(groups, tool_version=self.tool.version,
+                                  options=self.options)
+        results: list[FileResult] = []
+        report = self.tool.run_scheduler(scheduler, root, paths=paths,
+                                         collect=results)
+        telem = scheduler.telemetry
+        telem.metrics.counter("scans_cold").inc()
+        raw_hashes = {p: snapshot[p][2] for p in paths}
+        graph = scheduler.include_graph
+        keys = {p: closure_key(p, snapshot[p][2], graph, raw_hashes)
+                for p in paths}
+        self._states[root] = _RootState(
+            fingerprint, snapshot, graph, keys,
+            dict(zip(paths, results)), scheduler.cache)
+        hits = scheduler.cache.hits if scheduler.cache else 0
+        return ScanResult(report, incremental=False,
+                          analyzed_files=len(paths) - hits,
+                          reused_files=hits, dirty=(),
+                          seconds=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def _warm_scan(self, root: str, groups, fingerprint: str,
+                   paths: list[str],
+                   snapshot: dict[str, tuple[int, int, str]],
+                   state: _RootState, start: float) -> ScanResult:
+        """Repeat scan: re-analyze only the dirty include-closure."""
+        opts = self.options
+        telem = opts.resolve_telemetry()
+        predictor = opts.predictor or self.tool.predictor
+        assert predictor is not None
+
+        report = AnalysisReport(self.tool.version, root,
+                                groups=dict(self.tool.groups))
+        cache = state.cache
+        stats0 = (cache.hits, cache.misses, cache.evictions, cache.puts) \
+            if cache is not None else None
+        with telem.tracer.span("warm_scan", phase="run",
+                               root=root) as root_span:
+            prev_snapshot = state.snapshot
+            dirty = [p for p in paths
+                     if prev_snapshot.get(p, _MISSING)[2] != snapshot[p][2]]
+            with telem.tracer.span("resolve_includes", phase="link",
+                                   files=len(paths), dirty=len(dirty)):
+                graph = self._updated_graph(state, paths, dirty,
+                                            prev_snapshot)
+            raw_hashes = {p: snapshot[p][2] for p in paths}
+            keys = {p: closure_key(p, snapshot[p][2], graph, raw_hashes)
+                    for p in paths}
+            to_run = [p for p in paths
+                      if keys[p] != state.keys.get(p)
+                      or p not in state.results
+                      or state.results[p].parse_error == CRASH_ERROR]
+            results: dict[str, FileResult] = {
+                p: state.results[p] for p in paths if p not in set(to_run)}
+
+            if to_run:
+                # a fresh detector per scan with changes: IncludeContext
+                # memoizes dependency state, which edited files invalidate
+                detector = FusedDetector(groups, telemetry=telem,
+                                         include_graph=graph)
+                with telem.tracer.span("scan", phase="scan",
+                                       files=len(to_run)):
+                    for path in to_run:
+                        cached = cache.get(keys[path], path) \
+                            if cache is not None else None
+                        if cached is not None:
+                            results[path] = cached
+                            continue
+                        results[path] = detector.detect_file(path)
+                        if cache is not None:
+                            cache.put(keys[path], results[path])
+            if graph is not None:
+                for path, result in results.items():
+                    result.resolved_includes = graph.resolved.get(path, 0)
+                    result.unresolved_includes = \
+                        graph.unresolved.get(path, 0)
+            with telem.tracer.span("predict", phase="predict",
+                                   files=len(paths)):
+                for path in paths:
+                    report.files.append(self.tool._predict_result(
+                        results[path], telem, predictor))
+        if cache is not None and stats0 is not None:
+            report.cache = CacheStats(
+                cache.hits - stats0[0], cache.misses - stats0[1],
+                cache.evictions - stats0[2], cache.puts - stats0[3])
+        if telem.enabled:
+            metrics = telem.metrics
+            metrics.counter("scans_incremental").inc()
+            metrics.counter("files_reanalyzed").inc(len(to_run))
+            metrics.counter("files_reused").inc(len(paths) - len(to_run))
+            report.stats = build_scan_stats(report, telem, root_span)
+
+        state.snapshot = snapshot
+        state.graph = graph
+        state.keys = keys
+        state.results = results
+        return ScanResult(
+            report, incremental=True, analyzed_files=len(to_run),
+            reused_files=len(paths) - len(to_run),
+            dirty=tuple(os.path.relpath(p, root) for p in to_run),
+            seconds=time.perf_counter() - start)
+
+    def _updated_graph(self, state: _RootState, paths: list[str],
+                       dirty: list[str],
+                       prev_snapshot: dict) -> IncludeGraph | None:
+        """The include graph for this scan, patched incrementally.
+
+        Content-only edits re-resolve just the dirty files; any change to
+        the file *set* rebuilds from scratch (a new file can steal a
+        unique-basename resolution from an untouched one).
+        """
+        if not self.options.includes:
+            return None
+        if set(paths) != set(prev_snapshot):
+            return build_include_graph(paths)
+        if not dirty:
+            return state.graph
+        return update_include_graph(state.graph or IncludeGraph(),
+                                    paths, dirty)

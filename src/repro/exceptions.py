@@ -57,3 +57,11 @@ class ClassifierError(ReproError):
 
 class CorpusError(ReproError):
     """Raised when corpus synthesis hits an inconsistent profile."""
+
+
+class ReportSchemaError(ReproError):
+    """Raised when a JSON report has an unknown or malformed schema."""
+
+
+class ServiceError(ReproError):
+    """Raised by the scan service on invalid requests or bad state."""

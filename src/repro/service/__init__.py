@@ -1,0 +1,20 @@
+"""The scan daemon: ``wape serve`` and its HTTP client.
+
+A long-running process built on :class:`repro.api.Scanner`: the tool is
+constructed (and its predictor trained) once, parsed state stays warm
+between requests, and repeat scans of an edited project re-analyze only
+the dirty include-closure.  Everything speaks JSON over local HTTP:
+
+* :class:`~repro.service.server.ScanService` — the daemon itself
+  (request queue, per-request timeouts, trace ids, ``/metrics``);
+* :class:`~repro.service.client.ServiceClient` — a thin stdlib client
+  used by tests and by ``wape scan --server``-style embedders.
+
+:mod:`repro.api` never imports this package; only front-ends that
+actually serve or call HTTP pay for it.
+"""
+
+from repro.service.client import ServiceClient  # noqa: F401
+from repro.service.server import ScanService  # noqa: F401
+
+__all__ = ["ScanService", "ServiceClient"]

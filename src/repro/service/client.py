@@ -1,0 +1,105 @@
+"""Thin stdlib HTTP client for the scan daemon.
+
+Used by the service tests and by anything that wants daemon-backed scans
+without hand-rolling :mod:`http.client` calls.  Every scan response is
+passed through :func:`repro.tool.report.upgrade_report_dict`, so callers
+always see the current report schema no matter which daemon version
+answered.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.exceptions import ServiceError
+from repro.tool.report import upgrade_report_dict
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.ScanService`.
+
+    Args:
+        host/port: where the daemon listens.
+        timeout: socket timeout per request; scan calls add the scan's
+            own timeout on top so the daemon, not the socket, decides.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8711,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") \
+                if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot reach scan service at "
+                    f"{self.host}:{self.port}: {exc}")
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, payload: dict | None = None,
+              timeout: float | None = None) -> dict:
+        status, raw = self._request(method, path, payload, timeout)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(
+                f"non-JSON response ({status}) from {path}")
+        if status != 200:
+            raise ServiceError(
+                data.get("error", f"HTTP {status} from {path}"))
+        return data
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/v1/health")
+
+    def metrics_text(self) -> str:
+        status, raw = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"HTTP {status} from /metrics")
+        return raw.decode("utf-8")
+
+    def scan(self, root: str, timeout: float | None = None,
+             forget: bool = False) -> dict:
+        """Scan *root* on the daemon; returns the upgraded report dict."""
+        payload: dict = {"root": root}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if forget:
+            payload["forget"] = True
+        socket_timeout = (timeout if timeout is not None
+                          else self.timeout) + self.timeout
+        return upgrade_report_dict(
+            self._json("POST", "/v1/scan", payload,
+                       timeout=socket_timeout))
+
+    def shutdown(self) -> dict:
+        return self._json("POST", "/v1/shutdown")
+
+    def wait_ready(self, deadline: float = 15.0) -> dict:
+        """Poll ``/v1/health`` until the daemon answers (startup races)."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.health()
+            except ServiceError:
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(0.05)

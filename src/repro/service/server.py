@@ -1,0 +1,340 @@
+"""The scan daemon: a warm :class:`~repro.api.Scanner` behind local HTTP.
+
+Protocol (all JSON unless noted):
+
+==========================  =============================================
+``GET /v1/health``          liveness + uptime, warm roots, request count
+``GET /metrics``            Prometheus text exposition of the service's
+                            metrics registry (scan counters, queue and
+                            latency histograms, plus everything the
+                            analysis pipeline itself records)
+``POST /v1/scan``           body ``{"root": path, "timeout": seconds?,
+                            "forget": bool?}`` → a schema-versioned
+                            report whose ``service`` block says what the
+                            scan did (incremental?, files re-analyzed,
+                            queue time, request id)
+``POST /v1/shutdown``       graceful stop: finish in-flight work, stop
+                            accepting connections
+==========================  =============================================
+
+Concurrency model: HTTP connections are handled on their own threads
+(:class:`~http.server.ThreadingHTTPServer`), but every scan is executed
+on ONE dedicated worker thread — :class:`~repro.api.Scanner` is
+deliberately not thread-safe, and serializing scans is what makes its
+warm-state bookkeeping trivially correct.  Requests therefore queue in
+FIFO order; a bounded queue (``max_queue``) turns overload into an
+immediate ``503`` instead of unbounded memory growth, and a per-request
+timeout turns a stuck scan into a ``504`` *without* killing the scan —
+it keeps running on the worker and warms the state for the retry.
+
+Every response carries an ``X-Request-Id`` header (also in the JSON
+body for scans); the id is stamped on the service's trace spans so a
+slow request can be found in the telemetry afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api import Scanner, ScanOptions
+from repro.exceptions import ServiceError
+from repro.telemetry import Telemetry, metrics_to_text
+from repro.tool.report import SCHEMA_VERSION
+
+#: request bodies above this are rejected outright (a scan request is a
+#: couple hundred bytes; anything larger is a mistake or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+#: default per-request timeout when neither the server nor the request
+#: says otherwise.
+DEFAULT_TIMEOUT = 300.0
+
+
+class _HttpError(ServiceError):
+    """A request failure with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ScanService:
+    """The daemon: owns the scanner, the queue and the HTTP server.
+
+    Args:
+        tool: tool facade to scan with; a fresh ``Wape()`` (predictor
+            training included — the cost the daemon exists to amortize)
+            when omitted.
+        options: :class:`ScanOptions` for every scan.  The service needs
+            live telemetry for ``/metrics``; when *options* does not
+            already carry a :class:`Telemetry` instance, one is created
+            and threaded in.
+        host/port: bind address; ``port=0`` picks an ephemeral port
+            (``self.port`` has the real one — how the tests run).
+        max_queue: scans queued or running before new ones get ``503``.
+        request_timeout: default seconds a request waits for its scan.
+        log: ``callable(str)`` for one-line request logs; ``None`` keeps
+            the daemon silent.
+    """
+
+    def __init__(self, tool=None, options: ScanOptions | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_queue: int = 8,
+                 request_timeout: float = DEFAULT_TIMEOUT,
+                 log=None) -> None:
+        base = options if options is not None else ScanOptions()
+        if isinstance(base.telemetry, Telemetry):
+            self.telemetry = base.telemetry
+        else:
+            self.telemetry = Telemetry(enabled=True)
+            base = dataclasses.replace(base, telemetry=self.telemetry)
+        self.scanner = Scanner(tool, base)
+        self.max_queue = max_queue
+        self.request_timeout = request_timeout
+        self._log = log
+        self._executor = ThreadPoolExecutor(max_workers=1,
+                                            thread_name_prefix="wape-scan")
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._requests = 0
+        self._started = time.time()
+        self._seq = itertools.count(1)
+        self._shutting_down = False
+        self.server = _ScanHTTPServer((host, port), _Handler, self)
+        self.host, self.port = self.server.server_address[:2]
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def new_request_id(self) -> str:
+        return f"req-{next(self._seq):06d}-{os.urandom(4).hex()}"
+
+    def log(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message)
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or ``POST /v1/shutdown``)."""
+        self.log(f"listening on {self.address}")
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns it (tests, embedders)."""
+        thread = threading.Thread(target=self.server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  name="wape-serve", daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and let in-flight work finish."""
+        with self._lock:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the handler thread when triggered by POST /v1/shutdown
+        threading.Thread(target=self.server.shutdown,
+                         name="wape-shutdown", daemon=True).start()
+
+    def close(self) -> None:
+        """Release sockets and the worker (idempotent)."""
+        self._shutting_down = True
+        self.server.server_close()
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # endpoint implementations (called from handler threads)
+    def health(self) -> dict:
+        with self._lock:
+            pending, requests = self._pending, self._requests
+        return {
+            "status": "ok",
+            "version": self.scanner.tool.version,
+            "schema_version": SCHEMA_VERSION,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "warm_roots": self.scanner.roots(),
+            "requests": requests,
+            "pending": pending,
+        }
+
+    def metrics_text(self) -> str:
+        return metrics_to_text(self.telemetry.metrics, prefix="wape")
+
+    def scan(self, payload: dict, request_id: str) -> dict:
+        """Queue one scan and wait for it; returns the report dict."""
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        root = payload.get("root")
+        if not isinstance(root, str) or not root:
+            raise _HttpError(400, "missing required field: root")
+        root = os.path.abspath(root)
+        if not os.path.isdir(root):
+            raise _HttpError(404, f"not a directory: {root}")
+        timeout = payload.get("timeout", self.request_timeout)
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise _HttpError(400, "timeout must be a positive number")
+        forget = bool(payload.get("forget", False))
+
+        metrics = self.telemetry.metrics
+        with self._lock:
+            if self._shutting_down:
+                raise _HttpError(503, "service is shutting down")
+            if self._pending >= self.max_queue:
+                metrics.counter("queue_rejections").inc()
+                raise _HttpError(
+                    503, f"scan queue full ({self.max_queue} pending)")
+            self._pending += 1
+            self._requests += 1
+        queued = time.perf_counter()
+        started: list[float] = []
+
+        def task():
+            started.append(time.perf_counter())
+            try:
+                with self.telemetry.tracer.span("request", phase="service",
+                                                request=request_id,
+                                                root=root):
+                    if forget:
+                        self.scanner.forget(root)
+                    return self.scanner.scan(root)
+            finally:
+                with self._lock:
+                    self._pending -= 1
+
+        future = self._executor.submit(task)
+        try:
+            result = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            # the scan keeps running on the worker and warms the state,
+            # so the retry after a timeout is typically fast
+            metrics.counter("scan_timeouts").inc()
+            raise _HttpError(
+                504, f"scan of {root} exceeded {timeout:g}s "
+                     "(still running; retry to reuse its warm state)")
+        except ServiceError:
+            raise
+        except Exception as exc:  # scanner bug: contain, report, survive
+            metrics.counter("scan_errors").inc()
+            raise _HttpError(500, f"scan failed: "
+                                  f"{type(exc).__name__}: {exc}")
+        queue_seconds = (started[0] if started else queued) - queued
+        metrics.counter("scan_requests").inc()
+        metrics.counter(
+            "scans_served_incremental" if result.incremental
+            else "scans_served_cold").inc()
+        metrics.histogram("scan_seconds").observe(result.seconds)
+        metrics.histogram("queue_seconds").observe(queue_seconds)
+        data = result.to_dict()
+        data["service"]["request_id"] = request_id
+        data["service"]["queue_seconds"] = round(queue_seconds, 6)
+        self.log(f"{request_id} scanned {root}: "
+                 f"{data['service']['analyzed_files']} analyzed, "
+                 f"{data['service']['reused_files']} reused "
+                 f"in {result.seconds:.3f}s")
+        return data
+
+
+class _ScanHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, addr, handler, service: ScanService) -> None:
+        self.service = service
+        super().__init__(addr, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "wape-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ScanService:
+        return self.server.service
+
+    def log_message(self, fmt, *args):  # route through the service log
+        self.service.log("http " + (fmt % args))
+
+    # ------------------------------------------------------------------
+    def _respond(self, status: int, body: bytes, content_type: str,
+                 request_id: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status: int, payload: dict,
+                      request_id: str) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._respond(status, body, "application/json", request_id)
+
+    def _respond_error(self, status: int, message: str,
+                       request_id: str) -> None:
+        self._respond_json(status, {"error": message,
+                                    "request_id": request_id}, request_id)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}")
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        request_id = self.service.new_request_id()
+        try:
+            if self.path == "/v1/health":
+                self._respond_json(200, self.service.health(), request_id)
+            elif self.path == "/metrics":
+                body = self.service.metrics_text().encode("utf-8")
+                self._respond(200, body,
+                              "text/plain; version=0.0.4", request_id)
+            else:
+                self._respond_error(404, f"no such endpoint: {self.path}",
+                                    request_id)
+        except Exception as exc:
+            self._respond_error(500, f"{type(exc).__name__}: {exc}",
+                                request_id)
+
+    def do_POST(self) -> None:
+        request_id = self.service.new_request_id()
+        try:
+            if self.path == "/v1/scan":
+                payload = self._read_json()
+                self._respond_json(200,
+                                   self.service.scan(payload, request_id),
+                                   request_id)
+            elif self.path == "/v1/shutdown":
+                self._respond_json(200, {"status": "shutting down"},
+                                   request_id)
+                self.service.shutdown()
+            else:
+                self._respond_error(404, f"no such endpoint: {self.path}",
+                                    request_id)
+        except _HttpError as exc:
+            self._respond_error(exc.status, str(exc), request_id)
+        except Exception as exc:
+            self._respond_error(500, f"{type(exc).__name__}: {exc}",
+                                request_id)

@@ -1,0 +1,140 @@
+"""``wape bench``: measure what the daemon buys on a given project.
+
+Copies *target* into a scratch directory (the edit used to trigger the
+incremental path must not touch the real tree), then times the three
+scan regimes a user actually experiences:
+
+* **cold** — what one ``wape scan`` process pays: tool construction
+  (predictor training included) plus a full tree analysis;
+* **warm** — a repeat scan of the unchanged tree against warm state;
+* **incremental** — a repeat scan after appending a comment to one file.
+
+The headline number is ``speedup``: cold seconds over incremental
+seconds — how much faster an edit-rescan loop runs against ``wape
+serve`` than through repeated cold invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wape bench",
+        description="time cold vs warm vs incremental scans of TARGET",
+    )
+    parser.add_argument("target", help="PHP project directory to measure")
+    parser.add_argument("--edit", metavar="FILE", default=None,
+                        help="file (relative to TARGET) to touch for the "
+                             "incremental measurement; default: the "
+                             "first PHP file of the tree")
+    parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                        help="repetitions of the warm/incremental "
+                             "measurements; the minimum is reported "
+                             "(default: 3)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for the cold scan "
+                             "(default: 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the measurements as JSON")
+    return parser
+
+
+def run_bench(target: str, edit: str | None = None, repeat: int = 3,
+              jobs: int = 1) -> dict:
+    """The measurement core; also used by the benchmark suite."""
+    from repro.analysis.options import ScanOptions
+    from repro.analysis.pipeline import ScanScheduler
+    from repro.api import Scanner
+    from repro.tool.wap import Wape
+
+    scratch = tempfile.mkdtemp(prefix="wape-bench-")
+    root = os.path.join(scratch, os.path.basename(os.path.abspath(target)))
+    try:
+        shutil.copytree(target, root)
+        paths = ScanScheduler.discover(root)
+        if not paths:
+            raise SystemExit(f"no PHP files under {target}")
+        if edit is None:
+            edit_path = paths[0]
+        else:
+            edit_path = os.path.join(root, edit)
+            if not os.path.isfile(edit_path):
+                raise SystemExit(f"--edit file not in target: {edit}")
+
+        t0 = time.perf_counter()
+        tool = Wape()
+        tool_seconds = time.perf_counter() - t0
+
+        scanner = Scanner(tool, ScanOptions(jobs=jobs))
+        t0 = time.perf_counter()
+        first = scanner.scan(root)
+        cold_scan_seconds = time.perf_counter() - t0
+
+        warm_seconds = min(
+            scanner.scan(root).seconds for _ in range(max(1, repeat)))
+
+        incremental_seconds = []
+        for i in range(max(1, repeat)):
+            with open(edit_path, "a", encoding="utf-8") as f:
+                f.write(f"\n<?php // bench edit {i} ?>\n")
+            result = scanner.scan(root)
+            if not result.incremental or result.analyzed_files == 0:
+                raise SystemExit("bench edit did not trigger an "
+                                 "incremental re-scan")
+            incremental_seconds.append(result.seconds)
+        incremental = min(incremental_seconds)
+
+        cold = tool_seconds + cold_scan_seconds
+        return {
+            "target": os.path.abspath(target),
+            "files": len(paths),
+            "edited": os.path.relpath(edit_path, root),
+            "dirty_files": result.analyzed_files,
+            "tool_seconds": round(tool_seconds, 6),
+            "cold_scan_seconds": round(cold_scan_seconds, 6),
+            "cold_seconds": round(cold, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "incremental_seconds": round(incremental, 6),
+            "speedup": round(cold / incremental, 2)
+            if incremental > 0 else float("inf"),
+            "candidates": len(first.report.candidates),
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_arg_parser().parse_args(argv)
+    if not os.path.isdir(args.target):
+        print(f"error: not a directory: {args.target}", file=sys.stderr)
+        return 2
+    results = run_bench(args.target, edit=args.edit, repeat=args.repeat,
+                        jobs=args.jobs)
+    if args.json:
+        print(json.dumps(results, indent=2))
+        return 0
+    print(f"target: {results['target']} ({results['files']} PHP files, "
+          f"{results['candidates']} candidates)")
+    print(f"cold   (tool build + full scan): "
+          f"{results['cold_seconds']:8.3f}s  "
+          f"(scan alone {results['cold_scan_seconds']:.3f}s)")
+    print(f"warm   (unchanged tree):         "
+          f"{results['warm_seconds']:8.4f}s")
+    print(f"incremental (1-file edit, {results['dirty_files']} "
+          f"re-analyzed): {results['incremental_seconds']:8.4f}s")
+    print(f"speedup (cold / incremental):    "
+          f"{results['speedup']:8.1f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

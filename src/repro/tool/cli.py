@@ -1,4 +1,4 @@
-"""Command-line frontend.
+"""``wape scan``: the analysis (and correction) command.
 
 Mirrors the paper's usage: weapons are activated with single-dash flags
 named after the weapon (``-nosqli``, ``-hei``, ``-wpsqli``, or any weapon
@@ -6,11 +6,16 @@ bundle loaded with ``--weapon-dir``).
 
 Examples::
 
-    wape app/                          # analyze a tree, 12 builtin classes
-    wape -wpsqli -hei plugin/          # arm two weapons as well
-    wape --original app/               # emulate WAP v2.1
-    wape --fix vulnerable.php          # write corrected source
-    wape --sanitizer sqli:escape app/  # feed a custom sanitizer (§V-A)
+    wape scan app/                       # analyze a tree, 12 classes
+    wape scan -wpsqli -hei plugin/       # arm two weapons as well
+    wape scan --original app/            # emulate WAP v2.1
+    wape scan --fix vulnerable.php       # write corrected source
+    wape scan --sanitizer sqli:escape app/  # custom sanitizer (§V-A)
+
+:func:`main` here is the ``scan`` subcommand implementation; the ``wape``
+executable itself dispatches through :mod:`repro.tool.main`.  Invoking
+this module directly (``python -m repro.tool.cli`` or the historical
+flag-style ``wape [flags]``) still works but is deprecated.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.weapons import WeaponRegistry, load_weapon
 
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="wape",
+        prog="wape scan",
         description="WAPe - modular, extensible detection (and correction)"
                     " of input validation vulnerabilities in PHP code",
     )
@@ -132,18 +137,56 @@ def _parse_dynamic(pairs: list[str]) -> DynamicSymptoms:
     return DynamicSymptoms(mapping=mapping)
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
+def resolve_weapons(argv: list[str]
+                    ) -> tuple[WeaponRegistry, list[str], list[str]]:
+    """The shared weapon preamble of every tool-building command.
 
+    Loads ``--weapon-dir`` bundles (they must resolve before flag
+    splitting so their activation flags are recognized), then separates
+    weapon flags from ordinary arguments.  Returns ``(registry,
+    weapon_flags, rest)``.
+    """
     registry = WeaponRegistry.with_builtins()
-    # weapon bundles must load before flag splitting so their flags resolve
     pre = argparse.ArgumentParser(add_help=False)
     pre.add_argument("--weapon-dir", action="append", default=[])
     pre_args, _ = pre.parse_known_args(argv)
     for directory in pre_args.weapon_dir:
         registry.register(load_weapon(directory))
-
     weapon_flags, rest = split_weapon_flags(argv, registry)
+    return registry, weapon_flags, rest
+
+
+def build_tool(args: argparse.Namespace, weapon_flags: list[str],
+               registry: WeaponRegistry) -> Wap21 | Wape:
+    """Construct the tool facade from parsed common options.
+
+    Understands the options every command shares (``--sanitizer``,
+    ``--symptom``) plus, when present on *args*, ``--original`` and
+    ``--kb``.  Raises :class:`ReproError` exactly like the facades do;
+    callers turn that into exit code 2.
+    """
+    if getattr(args, "original", False):
+        if weapon_flags:
+            raise SystemExit(
+                "weapons require the new version (drop --original)")
+        return Wap21()
+    kb_registry = None
+    if getattr(args, "kb", None):
+        from repro.analysis import load_registry
+        kb_registry = load_registry(args.kb)
+    return Wape(
+        weapon_flags=weapon_flags,
+        weapon_registry=registry,
+        extra_sanitizers=_parse_extra_sanitizers(args.sanitizer),
+        dynamic_symptoms=_parse_dynamic(args.symptom),
+        class_registry=kb_registry,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    registry, weapon_flags, rest = resolve_weapons(argv)
     args = build_arg_parser().parse_args(rest)
 
     if args.export_kb:
@@ -158,23 +201,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
-        if args.original:
-            if weapon_flags:
-                raise SystemExit(
-                    "weapons require the new version (drop --original)")
-            tool = Wap21()
-        else:
-            kb_registry = None
-            if args.kb:
-                from repro.analysis import load_registry
-                kb_registry = load_registry(args.kb)
-            tool = Wape(
-                weapon_flags=weapon_flags,
-                weapon_registry=registry,
-                extra_sanitizers=_parse_extra_sanitizers(args.sanitizer),
-                dynamic_symptoms=_parse_dynamic(args.symptom),
-                class_registry=kb_registry,
-            )
+        tool = build_tool(args, weapon_flags, registry)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -202,13 +229,15 @@ def main(argv: list[str] | None = None) -> int:
                         "--project requires the new version")
                 # cross-file resolution analyzes as one unit: the scan
                 # pipeline (--jobs/--cache-dir) applies to per-file mode
-                report = tool.analyze_project(target,
-                                              telemetry=telemetry)
+                from repro.analysis.options import ScanOptions
+                report = tool.analyze_project(
+                    target, ScanOptions(telemetry=telemetry))
             else:
-                report = tool.analyze_tree(
-                    target, jobs=args.jobs, cache_dir=cache_dir,
+                from repro.analysis.options import ScanOptions
+                report = tool.analyze_tree(target, ScanOptions(
+                    jobs=args.jobs, cache_dir=cache_dir,
                     telemetry=telemetry,
-                    includes=not args.no_includes)
+                    includes=not args.no_includes))
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:
@@ -253,4 +282,6 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
+    print("note: `python -m repro.tool.cli` is deprecated; "
+          "use `wape scan` (or `python -m repro scan`)", file=sys.stderr)
     sys.exit(main())

@@ -9,10 +9,10 @@ vector.
 
 Examples::
 
-    python -m repro.tool.explain app/index.php
-    python -m repro.tool.explain --class sqli --line 42 app/index.php
-    python -m repro.tool.explain --sanitizer sqli:escape app/   # §V-A
-    python -m repro.tool.explain --json app/view.php
+    wape explain app/index.php
+    wape explain --class sqli --line 42 app/index.php
+    wape explain --sanitizer sqli:escape app/   # §V-A
+    wape explain --json app/view.php
 """
 
 from __future__ import annotations
@@ -23,19 +23,14 @@ import os
 import sys
 
 from repro.exceptions import ReproError
-from repro.tool.cli import (
-    _parse_dynamic,
-    _parse_extra_sanitizers,
-    split_weapon_flags,
-)
+from repro.tool.cli import build_tool, resolve_weapons
 from repro.tool.report import AnalysisReport
 from repro.tool.wap import Wape
-from repro.weapons import WeaponRegistry, load_weapon
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="wape-explain",
+        prog="wape explain",
         description="explain every decision behind each candidate "
                     "vulnerability: source, propagation, sanitization "
                     "checks, guards, sink, predictor verdict",
@@ -97,31 +92,20 @@ def explain_report(report: AnalysisReport, tool: Wape,
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
 
-    registry = WeaponRegistry.with_builtins()
-    pre = argparse.ArgumentParser(add_help=False)
-    pre.add_argument("--weapon-dir", action="append", default=[])
-    pre_args, _ = pre.parse_known_args(argv)
-    for directory in pre_args.weapon_dir:
-        registry.register(load_weapon(directory))
-
-    weapon_flags, rest = split_weapon_flags(argv, registry)
+    registry, weapon_flags, rest = resolve_weapons(argv)
     args = build_arg_parser().parse_args(rest)
 
     try:
-        tool = Wape(
-            weapon_flags=weapon_flags,
-            weapon_registry=registry,
-            extra_sanitizers=_parse_extra_sanitizers(args.sanitizer),
-            dynamic_symptoms=_parse_dynamic(args.symptom),
-        )
+        tool = build_tool(args, weapon_flags, registry)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    from repro.analysis.options import ScanOptions
     provenances = []
     for target in args.targets:
         if os.path.isdir(target):
-            report = tool.analyze_tree(target, jobs=1, cache_dir=None)
+            report = tool.analyze_tree(target, ScanOptions(jobs=1))
         else:
             report = tool.analyze_file(target)
         provenances.extend(explain_report(report, tool,
@@ -140,4 +124,6 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
+    print("note: `python -m repro.tool.explain` is deprecated; "
+          "use `wape explain`", file=sys.stderr)
     sys.exit(main())

@@ -1,0 +1,32 @@
+"""Deprecation shims for the pre-consolidation command surfaces.
+
+Before the single ``wape`` entry point grew subcommands, the tool shipped
+four invocation surfaces: the flag-style ``wape [flags]``, the separate
+``wape-explain`` executable, and their module spellings ``python -m
+repro.tool.cli`` / ``python -m repro.tool.explain``.  All four keep
+working for one release: they print a one-line pointer to the new
+spelling on stderr (stdout stays clean — scripted consumers parse it)
+and dispatch to the unchanged implementations.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _notice(old: str, new: str) -> None:
+    print(f"note: `{old}` is deprecated; use `{new}`", file=sys.stderr)
+
+
+def wape_main(argv: list[str] | None = None) -> int:
+    """The historical flag-style ``wape`` console script."""
+    _notice("wape [flags]", "wape scan [flags]")
+    from repro.tool.cli import main
+    return main(argv)
+
+
+def explain_main(argv: list[str] | None = None) -> int:
+    """The historical ``wape-explain`` console script."""
+    _notice("wape-explain", "wape explain")
+    from repro.tool.explain import main
+    return main(argv)

@@ -18,8 +18,87 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.analysis.model import CandidateVulnerability
+from repro.exceptions import ReportSchemaError
 from repro.mining.predictor import Prediction
 from repro.telemetry.stats import CacheStats, ScanStats
+
+#: current JSON report schema (``docs/report-schema.md``).  Version 1 is
+#: the historical ad-hoc dict emitted before the schema was versioned;
+#: bump this whenever a field is added, removed or changes meaning, and
+#: teach :func:`upgrade_report_dict` how to lift the previous version.
+SCHEMA_VERSION = 2
+
+#: keys every versioned report must carry at the top level.
+_REQUIRED_KEYS = ("tool", "target", "summary", "files")
+
+#: summary counters (with their empty-report defaults) that version 1
+#: reports may lack, depending on how old the producing tool was.
+_SUMMARY_DEFAULTS = (
+    ("files", 0), ("lines", 0), ("seconds", 0.0), ("candidates", 0),
+    ("real_vulnerabilities", 0), ("predicted_false_positives", 0),
+    ("parse_errors", 0), ("parse_warnings", 0),
+    ("recovered_statements", 0), ("resolved_includes", 0),
+    ("unresolved_includes", 0), ("by_class", {}),
+)
+
+
+def upgrade_report_dict(data: dict) -> dict:
+    """Lift a parsed JSON report to the current schema, or reject it.
+
+    Returns a new dict whose ``schema_version`` is :data:`SCHEMA_VERSION`.
+    Version 1 (the pre-versioning ad-hoc dict) is upgraded in place by
+    filling the fields later versions added; a report from a *newer* tool
+    or with a malformed version marker raises :class:`ReportSchemaError`
+    instead of being half-read silently.
+    """
+    if not isinstance(data, dict):
+        raise ReportSchemaError(
+            f"report must be a JSON object, got {type(data).__name__}")
+    version = data.get("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version < 1:
+        raise ReportSchemaError(
+            f"malformed schema_version {version!r} (expected a positive "
+            f"integer)")
+    if version > SCHEMA_VERSION:
+        raise ReportSchemaError(
+            f"report schema_version {version} is newer than this tool "
+            f"supports ({SCHEMA_VERSION}); upgrade the reader")
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise ReportSchemaError(
+            f"report is missing required key(s) {missing}")
+    out = dict(data)
+    if version == 1:
+        out.setdefault("cache", None)
+        out.setdefault("stats", None)
+        summary = dict(out.get("summary") or {})
+        for key, default in _SUMMARY_DEFAULTS:
+            summary.setdefault(key, default)
+        out["summary"] = summary
+        files = []
+        for entry in out.get("files") or []:
+            entry = dict(entry)
+            entry.setdefault("parse_warning", None)
+            entry.setdefault("recovered_statements", 0)
+            entry.setdefault("resolved_includes", 0)
+            entry.setdefault("unresolved_includes", 0)
+            files.append(entry)
+        out["files"] = files
+    out.setdefault("service", None)
+    out["schema_version"] = SCHEMA_VERSION
+    return out
+
+
+def load_report_dict(text: str) -> dict:
+    """Parse serialized report JSON and upgrade it to the current schema."""
+    import json
+
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ReportSchemaError(f"report is not valid JSON: {exc}") from exc
+    return upgrade_report_dict(data)
 
 
 @dataclass(frozen=True)
@@ -150,10 +229,18 @@ class AnalysisReport:
                 f"{self.total_seconds:.2f}s")
 
     def to_dict(self) -> dict:
-        """JSON-serializable representation of the whole report."""
+        """JSON-serializable representation of the whole report.
+
+        The layout is versioned: consumers should route parsed dicts
+        through :func:`upgrade_report_dict` (or :func:`load_report_dict`)
+        rather than assuming a shape.  ``service`` is ``None`` for plain
+        CLI runs; the scan daemon fills it with request metadata.
+        """
         return {
+            "schema_version": SCHEMA_VERSION,
             "tool": self.tool_version,
             "target": self.target,
+            "service": None,
             "summary": {
                 "files": self.total_files,
                 "lines": self.total_lines,

@@ -25,6 +25,7 @@ import time
 from repro.exceptions import WeaponConfigError
 from repro.analysis.knowledge import extend_config
 from repro.analysis.model import CandidateVulnerability
+from repro.analysis.options import UNSET, ScanOptions, merge_legacy_options
 from repro.analysis.pipeline import (
     ConfigGroup,
     FusedDetector,
@@ -140,46 +141,61 @@ class _BaseTool:
             source = f.read()
         return self.analyze_source(source, path, telemetry=telemetry)
 
-    def analyze_tree(self, root: str, jobs: int | None = 1,
-                     cache_dir: str | None = None,
-                     telemetry: Telemetry | None = None,
-                     includes: bool = True) -> AnalysisReport:
+    def analyze_tree(self, root: str, options: ScanOptions | None = None,
+                     jobs=UNSET, cache_dir=UNSET, telemetry=UNSET,
+                     includes=UNSET) -> AnalysisReport:
         """Analyze every PHP file under *root*.
 
         Args:
-            jobs: analysis worker processes.  The default ``1`` keeps
-                everything in-process (deterministic debugging path);
-                ``None`` or >1 fans files out over a process pool with
-                results in deterministic walk order either way.
-            cache_dir: root directory of the on-disk result cache; when
-                given, files whose content (and knowledge configuration)
-                is unchanged are served from cache instead of re-analyzed.
-            telemetry: when enabled, the whole run is traced (discover →
-                scan → predict, per-file stage spans, worker chunks) and
-                ``report.stats`` carries the phase-time breakdown.
-            includes: statically resolve ``include``/``require`` targets
-                so taint crosses file boundaries; ``False``
-                (``--no-includes``) restores strictly per-file analysis.
+            options: the run's :class:`ScanOptions` — worker count, cache
+                directory, include resolution, telemetry and an optional
+                predictor override.  The ``jobs=`` / ``cache_dir=`` /
+                ``telemetry=`` / ``includes=`` keywords are the
+                deprecated pre-options spelling; they keep working for
+                one release but warn.
         """
-        telem = telemetry if telemetry is not None else NULL_TELEMETRY
+        opts = merge_legacy_options(options, "Wape.analyze_tree",
+                                    jobs=jobs, cache_dir=cache_dir,
+                                    telemetry=telemetry, includes=includes)
+        scheduler = ScanScheduler(self._config_groups(),
+                                  tool_version=self.version,
+                                  options=opts)
+        return self.run_scheduler(scheduler, root)
+
+    def run_scheduler(self, scheduler: ScanScheduler, root: str,
+                      paths: list[str] | None = None,
+                      collect: list | None = None) -> AnalysisReport:
+        """Scan *root* with a caller-built scheduler, predict, report.
+
+        Split out of :meth:`analyze_tree` so warm embedders
+        (:class:`repro.api.Scanner`) can keep their own scheduler and
+        still produce byte-identical reports.
+
+        Args:
+            paths: exact file list to scan; defaults to discovering
+                *root*.  Lets a caller that already walked the tree pin
+                the set (no re-discovery race).
+            collect: when given, the raw per-file
+                :class:`~repro.analysis.detector.FileResult` objects are
+                appended to it — the seed of a warm scanner's state.
+        """
+        telem = scheduler.telemetry
+        predictor = scheduler.options.predictor or self.predictor
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
-        assert self.predictor is not None
-        scheduler = ScanScheduler(self._config_groups(),
-                                  jobs=os.cpu_count() if jobs is None
-                                  else jobs,
-                                  cache_dir=cache_dir,
-                                  tool_version=self.version,
-                                  telemetry=telem,
-                                  includes=includes)
-        memo0 = (self.predictor.memo_hits, self.predictor.memo_misses)
+        assert predictor is not None
+        memo0 = (predictor.memo_hits, predictor.memo_misses)
         with telem.tracer.span("analyze_tree", phase="run",
                                root=root) as root_span:
-            results = scheduler.scan_tree(root)
+            results = scheduler.scan_files(paths) if paths is not None \
+                else scheduler.scan_tree(root)
+            if collect is not None:
+                collect.extend(results)
             with telem.tracer.span("predict", phase="predict",
                                    files=len(results)):
                 for result in results:
-                    report.files.append(self._predict_result(result, telem))
+                    report.files.append(
+                        self._predict_result(result, telem, predictor))
         if scheduler.cache is not None:
             report.cache = CacheStats(scheduler.cache.hits,
                                       scheduler.cache.misses,
@@ -187,17 +203,20 @@ class _BaseTool:
                                       scheduler.cache.puts)
         if telem.enabled:
             telem.metrics.counter("predictor_memo_hits").inc(
-                self.predictor.memo_hits - memo0[0])
+                predictor.memo_hits - memo0[0])
             telem.metrics.counter("predictor_memo_misses").inc(
-                self.predictor.memo_misses - memo0[1])
+                predictor.memo_misses - memo0[1])
             report.stats = build_scan_stats(
                 report, telem, root_span, cache=scheduler.cache,
                 retries=scheduler.retries, crashes=scheduler.crashes)
         return report
 
-    def _predict_result(self, result, telem: Telemetry) -> FileReport:
+    def _predict_result(self, result, telem: Telemetry,
+                        predictor: FalsePositivePredictor | None = None
+                        ) -> FileReport:
         """Classify one scan result's candidates into a file report."""
-        assert self.predictor is not None
+        predictor = predictor or self.predictor
+        assert predictor is not None
         start = time.perf_counter()
         file_report = FileReport(
             result.filename,
@@ -212,38 +231,41 @@ class _BaseTool:
                                    file=result.filename) as span:
                 for cand in result.candidates:
                     file_report.outcomes.append(CandidateOutcome(
-                        cand, self.predictor.predict(cand)))
+                        cand, predictor.predict(cand)))
                 span.set(candidates=len(result.candidates))
         else:
             for cand in result.candidates:
                 file_report.outcomes.append(
-                    CandidateOutcome(cand, self.predictor.predict(cand)))
+                    CandidateOutcome(cand, predictor.predict(cand)))
         file_report.seconds = result.seconds + \
             (time.perf_counter() - start)
         return file_report
 
     def analyze_project(self, root: str,
-                        telemetry: Telemetry | None = None
-                        ) -> AnalysisReport:
+                        options: ScanOptions | None = None,
+                        telemetry=UNSET) -> AnalysisReport:
         """Whole-project analysis with cross-file call resolution.
 
         Unlike :meth:`analyze_tree` (per-file, like the original tool),
         this resolves user functions across files: a sanitizing helper in
         ``lib.php`` silences flows in ``index.php``, and a sink inside a
         shared helper is reported once, at its declaration site.
+
+        Accepts a :class:`ScanOptions` like :meth:`analyze_tree`; the
+        bare ``telemetry=`` keyword is deprecated but still honored.
         """
         from repro.analysis.project import ProjectAnalyzer
 
-        telem = telemetry if telemetry is not None else NULL_TELEMETRY
+        opts = merge_legacy_options(options, "Wape.analyze_project",
+                                    telemetry=telemetry)
+        telem = opts.resolve_telemetry()
+        predictor = opts.predictor or self.predictor
         report = AnalysisReport(self.version, root,
                                 groups=dict(self.groups))
-        assert self.predictor is not None
+        assert predictor is not None
 
         groups = self._config_groups()
-        configs = [cfg for group in groups for cfg in group.configs]
-        analyzer = ProjectAnalyzer(
-            configs, groups=[list(group.configs) for group in groups],
-            telemetry=telem)
+        analyzer = ProjectAnalyzer(groups, options=opts)
         with telem.tracer.span("analyze_project", phase="run",
                                root=root) as root_span:
             result = analyzer.analyze_tree(root)
@@ -260,7 +282,7 @@ class _BaseTool:
                                    candidates=len(refined)):
                 for cand in refined:
                     start = time.perf_counter()
-                    prediction = self.predictor.predict(cand)
+                    prediction = predictor.predict(cand)
                     file_report = by_file.setdefault(
                         cand.filename, FileReport(cand.filename))
                     file_report.outcomes.append(

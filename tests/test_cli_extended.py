@@ -65,6 +65,50 @@ class TestJustifyFlag:
         json.loads(out)  # pure JSON, justification suppressed
 
 
+class TestWapeDispatcher:
+    """The unified `wape` entry point and its deprecation shims."""
+
+    def test_help_lists_subcommands(self, capsys):
+        from repro.tool.main import main as wape_main
+        assert wape_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ("scan", "explain", "serve", "bench"):
+            assert command in out
+
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        from repro.tool.main import main as wape_main
+        assert wape_main([]) == 2
+        assert "usage: wape" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        from repro.tool.main import main as wape_main
+        assert wape_main(["--version"]) == 0
+        assert capsys.readouterr().out.startswith("wape (")
+
+    def test_flag_style_falls_back_to_scan_with_notice(self, app,
+                                                       capsys):
+        from repro.tool.main import main as wape_main
+        code = wape_main(["--quiet", app])
+        captured = capsys.readouterr()
+        assert code == 1  # vulnerabilities found, like `wape scan`
+        assert "deprecated" in captured.err
+        assert "wape scan" in captured.err
+
+    def test_scan_subcommand_has_no_notice(self, app, capsys):
+        from repro.tool.main import main as wape_main
+        assert wape_main(["scan", "--quiet", app]) == 1
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_legacy_explain_shim_warns(self, app, capsys):
+        from repro.tool.legacy import explain_main
+        with pytest.raises(SystemExit) as excinfo:
+            explain_main(["--help"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "wape explain" in captured.err
+
+
 class TestModuleEntryPoint:
     @pytest.mark.slow
     def test_python_dash_m(self, app):

@@ -20,6 +20,7 @@ from repro.analysis.includes import (
 from repro.analysis.pipeline import ScanScheduler
 from repro.php import parse
 from repro.tool import Wape
+from repro.analysis.options import ScanOptions
 
 
 def write_tree(tmp_path, files: dict[str, str]) -> str:
@@ -132,13 +133,13 @@ class TestCrossFileTaint:
 
     def test_included_source_function_flags_xss(self, tmp_path):
         root = write_tree(tmp_path, self.TAINTED)
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         hits = xss_in(report, "main.php")
         assert hits, "cross-file flow not detected"
 
     def test_provenance_spans_both_files(self, tmp_path):
         root = write_tree(tmp_path, self.TAINTED)
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         cand = xss_in(report, "main.php")[0].candidate
         files = {s.file for s in cand.path if s.file}
         assert any(f.endswith("lib.php") for f in files)
@@ -152,7 +153,7 @@ class TestCrossFileTaint:
                         "{ return htmlentities($_GET['q']); } ?>"),
             "main.php": "<?php include 'lib.php'; echo getq(); ?>",
         })
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         assert not xss_in(report, "main.php")
 
     def test_propagated_global_state(self, tmp_path):
@@ -160,7 +161,7 @@ class TestCrossFileTaint:
             "glob.php": "<?php $v = $_POST['x']; ?>",
             "use.php": "<?php require 'glob.php'; echo $v; ?>",
         })
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         assert xss_in(report, "use.php")
 
     def test_include_once_cycle_terminates(self, tmp_path):
@@ -170,7 +171,7 @@ class TestCrossFileTaint:
             "b.php": ("<?php include_once 'a.php';\n"
                       "echo $t; ?>"),
         })
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         # analysis must terminate; b.php sees a.php's tainted global
         assert xss_in(report, "b.php")
 
@@ -179,7 +180,7 @@ class TestCrossFileTaint:
             "main.php": ("<?php include $_GET['page'];\n"
                          "echo $_GET['q']; ?>"),
         })
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         # no crash, the per-file flows still reported, counted unresolved
         assert xss_in(report, "main.php")
         entry = report.files[0]
@@ -188,8 +189,8 @@ class TestCrossFileTaint:
 
     def test_no_includes_disables_cross_file(self, tmp_path):
         root = write_tree(tmp_path, self.TAINTED)
-        on = Wape().analyze_tree(root, jobs=1)
-        off = Wape().analyze_tree(root, jobs=1, includes=False)
+        on = Wape().analyze_tree(root, ScanOptions(jobs=1))
+        off = Wape().analyze_tree(root, ScanOptions(jobs=1, includes=False))
         assert xss_in(on, "main.php")
         assert not xss_in(off, "main.php")
 
@@ -200,8 +201,8 @@ class TestCrossFileTaint:
             "use.php": "<?php require 'glob.php'; echo $v; ?>",
             "plain.php": "<?php echo $_GET['z']; ?>",
         })
-        seq = Wape().analyze_tree(root, jobs=1)
-        par = Wape().analyze_tree(root, jobs=3)
+        seq = Wape().analyze_tree(root, ScanOptions(jobs=1))
+        par = Wape().analyze_tree(root, ScanOptions(jobs=3))
         assert sorted(o.candidate.key() for o in seq.outcomes) \
             == sorted(o.candidate.key() for o in par.outcomes)
 
@@ -219,20 +220,18 @@ class TestIncludeCacheInvalidation:
         })
         cache = str(tmp_path / "cache")
         tool = Wape()
-        first = tool.analyze_tree(root, jobs=1, cache_dir=cache)
+        first = tool.analyze_tree(root, ScanOptions(jobs=1, cache_dir=cache))
         assert not xss_in(first, "main.php")
 
         # the edited dependency now returns attacker input: main.php must
         # be re-analyzed even though its own bytes did not change
         (tree / "lib.php").write_text(
             "<?php function getq() { return $_GET['q']; } ?>")
-        scheduler = ScanScheduler(tool._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=tool.version)
+        scheduler = ScanScheduler(tool._config_groups(), tool_version=tool.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(root)
         main = next(r for r in results if r.filename.endswith("main.php"))
         assert main.candidates, "stale cache served after include edit"
-        second = tool.analyze_tree(root, jobs=1, cache_dir=cache)
+        second = tool.analyze_tree(root, ScanOptions(jobs=1, cache_dir=cache))
         assert xss_in(second, "main.php")
 
     def test_unrelated_file_still_hits(self, tmp_path):
@@ -244,13 +243,11 @@ class TestIncludeCacheInvalidation:
         })
         cache = str(tmp_path / "cache")
         tool = Wape()
-        tool.analyze_tree(root, jobs=1, cache_dir=cache)
+        tool.analyze_tree(root, ScanOptions(jobs=1, cache_dir=cache))
 
         (tree / "lib.php").write_text(
             "<?php function getq() { return $_GET['q']; } ?>")
-        scheduler = ScanScheduler(tool._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=tool.version)
+        scheduler = ScanScheduler(tool._config_groups(), tool_version=tool.version, options=ScanOptions(jobs=1, cache_dir=cache))
         scheduler.scan_tree(root)
         # other.php has no include edge to lib.php: still served cached
         assert scheduler.cache.hits >= 1
@@ -265,7 +262,7 @@ class TestReportSurface:
     def test_json_report_carries_include_counters_and_hop_files(
             self, tmp_path):
         root = write_tree(tmp_path, TestCrossFileTaint.TAINTED)
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         data = report.to_dict()
         assert data["summary"]["resolved_includes"] == 1
         assert data["summary"]["unresolved_includes"] == 0
@@ -281,7 +278,7 @@ class TestReportSurface:
 
         root = write_tree(tmp_path, TestCrossFileTaint.TAINTED)
         telemetry = Telemetry(enabled=True)
-        report = Wape().analyze_tree(root, jobs=1, telemetry=telemetry)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1, telemetry=telemetry))
         assert report.stats is not None
         assert report.stats.resolved_includes == 1
         assert "includes: 1 resolved" in report.stats.render()
@@ -290,7 +287,7 @@ class TestReportSurface:
         from repro.telemetry.provenance import build_provenance
 
         root = write_tree(tmp_path, TestCrossFileTaint.TAINTED)
-        report = Wape().analyze_tree(root, jobs=1)
+        report = Wape().analyze_tree(root, ScanOptions(jobs=1))
         outcome = xss_in(report, "main.php")[0]
         prov = build_provenance(outcome.candidate, outcome.prediction)
         foreign = [e for e in prov.events if e.file]

@@ -14,6 +14,7 @@ import pytest
 from repro.exceptions import PhpSyntaxError
 from repro.php import ast, parse, parse_with_recovery, tokenize, unparse
 from repro.tool import Wape
+from repro.analysis.options import ScanOptions
 
 
 def roundtrip(source: str) -> ast.Program:
@@ -201,7 +202,7 @@ class TestRecovery:
     def test_file_result_carries_warning_fields(self, tmp_path):
         target = tmp_path / "legacy.php"
         target.write_text(self.DAMAGED)
-        report = Wape().analyze_tree(str(tmp_path), jobs=1)
+        report = Wape().analyze_tree(str(tmp_path), ScanOptions(jobs=1))
         entry = report.files[0]
         assert entry.parse_error is None
         assert entry.parse_warning

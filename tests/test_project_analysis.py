@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import ProjectAnalyzer
 from repro.tool import Wape
 from repro.vulnerabilities.catalog import sqli_info, xss_info
+from repro.analysis.options import ScanOptions
 
 
 @pytest.fixture()
@@ -104,7 +105,7 @@ class TestWapeProjectMode:
         tool = Wape()
         # includes=False is the pure per-file baseline; the default tree
         # scan resolves the require edge and matches project mode here
-        per_file = tool.analyze_tree(project, includes=False)
+        per_file = tool.analyze_tree(project, ScanOptions(includes=False))
         whole = tool.analyze_project(project)
         per_file_entries = {o.candidate.entry_point
                             for o in per_file.real_vulnerabilities}

@@ -1,0 +1,114 @@
+"""Versioned JSON report schema: emission, upgrade, rejection."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReportSchemaError
+from repro.tool.report import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    FileReport,
+    load_report_dict,
+    upgrade_report_dict,
+)
+
+
+def make_report():
+    report = AnalysisReport("WAPe", "app/")
+    report.files.append(FileReport("app/clean.php", lines_of_code=3,
+                                   seconds=0.001))
+    report.files.append(FileReport("app/bad.php", lines_of_code=1,
+                                   parse_error="app/bad.php:1:1: boom"))
+    return report
+
+
+def make_v1_dict():
+    """The historical unversioned shape: no marker, sparse summary."""
+    return {
+        "tool": "WAPe",
+        "target": "app/",
+        "summary": {"files": 1, "lines": 3, "candidates": 0},
+        "files": [{"path": "app/a.php", "lines": 3, "seconds": 0.0,
+                   "parse_error": None, "findings": []}],
+    }
+
+
+class TestEmission:
+    def test_to_dict_carries_current_version(self):
+        data = make_report().to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["service"] is None
+
+    def test_round_trip_is_identity(self):
+        data = make_report().to_dict()
+        assert load_report_dict(json.dumps(data)) == data
+
+    def test_all_summary_counters_always_present(self):
+        summary = AnalysisReport("WAPe", "x").to_dict()["summary"]
+        for key in ("files", "lines", "seconds", "candidates",
+                    "real_vulnerabilities", "predicted_false_positives",
+                    "parse_errors", "parse_warnings",
+                    "recovered_statements", "resolved_includes",
+                    "unresolved_includes", "by_class"):
+            assert key in summary
+
+
+class TestUpgrade:
+    def test_v1_is_lifted_to_current(self):
+        out = upgrade_report_dict(make_v1_dict())
+        assert out["schema_version"] == SCHEMA_VERSION
+        assert out["cache"] is None
+        assert out["stats"] is None
+        assert out["service"] is None
+        assert out["summary"]["real_vulnerabilities"] == 0
+        assert out["summary"]["by_class"] == {}
+        entry = out["files"][0]
+        assert entry["parse_warning"] is None
+        assert entry["resolved_includes"] == 0
+
+    def test_v1_existing_values_survive(self):
+        out = upgrade_report_dict(make_v1_dict())
+        assert out["summary"]["files"] == 1
+        assert out["files"][0]["path"] == "app/a.php"
+
+    def test_upgrade_does_not_mutate_input(self):
+        original = make_v1_dict()
+        snapshot = json.loads(json.dumps(original))
+        upgrade_report_dict(original)
+        assert original == snapshot
+
+    def test_current_version_passes_through(self):
+        data = make_report().to_dict()
+        assert upgrade_report_dict(data) == data
+
+
+class TestRejection:
+    def test_newer_version_is_rejected(self):
+        data = make_report().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ReportSchemaError, match="upgrade the reader"):
+            upgrade_report_dict(data)
+
+    @pytest.mark.parametrize("version", ["2", 2.0, True, 0, -1, None])
+    def test_malformed_version_marker(self, version):
+        data = make_v1_dict()
+        data["schema_version"] = version
+        with pytest.raises(ReportSchemaError, match="schema_version"):
+            upgrade_report_dict(data)
+
+    @pytest.mark.parametrize("missing", ["tool", "target", "summary",
+                                         "files"])
+    def test_missing_required_key(self, missing):
+        data = make_v1_dict()
+        del data[missing]
+        with pytest.raises(ReportSchemaError, match=missing):
+            upgrade_report_dict(data)
+
+    def test_non_object_report(self):
+        with pytest.raises(ReportSchemaError, match="JSON object"):
+            upgrade_report_dict([1, 2, 3])
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ReportSchemaError, match="not valid JSON"):
+            load_report_dict("{nope")

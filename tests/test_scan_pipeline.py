@@ -28,6 +28,7 @@ from repro.corpus.wordpress import VULNERABLE_PLUGINS
 from repro.php import parse
 from repro.tool import Wap21, Wape
 from repro.tool.cli import main as cli_main
+from repro.analysis.options import ScanOptions
 
 
 # ---------------------------------------------------------------------------
@@ -153,8 +154,8 @@ class TestFusedDetector:
 
 class TestScanScheduler:
     def test_parallel_equals_sequential(self, armed_wape, corpus_tree):
-        seq = armed_wape.analyze_tree(corpus_tree, jobs=1)
-        par = armed_wape.analyze_tree(corpus_tree, jobs=4)
+        seq = armed_wape.analyze_tree(corpus_tree, ScanOptions(jobs=1))
+        par = armed_wape.analyze_tree(corpus_tree, ScanOptions(jobs=4))
         assert keys_of(seq) == keys_of(par)
         # deterministic ordering: same files in the same walk order
         assert [f.filename for f in seq.files] == \
@@ -168,7 +169,7 @@ class TestScanScheduler:
         (tmp_path / "other.php").write_text(
             "<?php echo $_GET['x'];")
         for jobs in (1, 2):
-            report = armed_wape.analyze_tree(str(tmp_path), jobs=jobs)
+            report = armed_wape.analyze_tree(str(tmp_path), ScanOptions(jobs=jobs))
             by_name = {os.path.basename(f.filename): f
                        for f in report.files}
             assert set(by_name) == {"good.php", "broken.php", "other.php"}
@@ -187,7 +188,7 @@ class TestScanScheduler:
         (tmp_path / "kill.php").write_text("<?php /* CRASH-ME */ echo 1;")
         (tmp_path / "z.php").write_text("<?php echo $_GET['x'];")
         monkeypatch.setenv(pipeline._CRASH_ENV, "CRASH-ME")
-        report = armed_wape.analyze_tree(str(tmp_path), jobs=2)
+        report = armed_wape.analyze_tree(str(tmp_path), ScanOptions(jobs=2))
         by_name = {os.path.basename(f.filename): f for f in report.files}
         assert by_name["kill.php"].parse_error == CRASH_ERROR
         assert by_name["a.php"].outcomes
@@ -210,16 +211,14 @@ class TestResultCache:
     def test_warm_rescan_hits_for_every_file(self, armed_wape, corpus_tree,
                                              tmp_path):
         cache = str(tmp_path / "cache")
-        cold = armed_wape.analyze_tree(corpus_tree, jobs=1, cache_dir=cache)
+        cold = armed_wape.analyze_tree(corpus_tree, ScanOptions(jobs=1, cache_dir=cache))
 
-        scheduler = ScanScheduler(armed_wape._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=armed_wape.version)
+        scheduler = ScanScheduler(armed_wape._config_groups(), tool_version=armed_wape.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(corpus_tree)
         assert scheduler.cache.hits == len(results)
         assert scheduler.cache.misses == 0
 
-        warm = armed_wape.analyze_tree(corpus_tree, jobs=1, cache_dir=cache)
+        warm = armed_wape.analyze_tree(corpus_tree, ScanOptions(jobs=1, cache_dir=cache))
         assert keys_of(cold) == keys_of(warm)
 
     def test_content_change_invalidates_only_that_file(
@@ -229,12 +228,10 @@ class TestResultCache:
         (tree / "one.php").write_text("<?php mysql_query($_GET['a']);")
         (tree / "two.php").write_text("<?php echo 'static';")
         cache = str(tmp_path / "cache")
-        armed_wape.analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        armed_wape.analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
 
         (tree / "two.php").write_text("<?php echo $_GET['b'];")
-        scheduler = ScanScheduler(armed_wape._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=armed_wape.version)
+        scheduler = ScanScheduler(armed_wape._config_groups(), tool_version=armed_wape.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(str(tree))
         assert scheduler.cache.hits == 1    # one.php unchanged
         assert scheduler.cache.misses == 1  # two.php re-analyzed
@@ -247,12 +244,10 @@ class TestResultCache:
         tree.mkdir()
         (tree / "old.php").write_text("<?php mysql_query($_GET['a']);")
         cache = str(tmp_path / "cache")
-        armed_wape.analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        armed_wape.analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
 
         (tree / "old.php").rename(tree / "new.php")
-        scheduler = ScanScheduler(armed_wape._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=armed_wape.version)
+        scheduler = ScanScheduler(armed_wape._config_groups(), tool_version=armed_wape.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(str(tree))
         assert scheduler.cache.hits == 1
         assert results[0].filename.endswith("new.php")
@@ -268,11 +263,9 @@ class TestResultCache:
         cache = str(tmp_path / "cache")
 
         plain = Wape()
-        plain.analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        plain.analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
         hardened = Wape(extra_sanitizers={"sqli": {"escape"}})
-        scheduler = ScanScheduler(hardened._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=hardened.version)
+        scheduler = ScanScheduler(hardened._config_groups(), tool_version=hardened.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(str(tree))
         assert scheduler.cache.hits == 0
         assert scheduler.cache.misses == 1
@@ -283,12 +276,10 @@ class TestResultCache:
         tree.mkdir()
         (tree / "app.php").write_text("<?php echo 1;")
         cache = str(tmp_path / "cache")
-        Wape().analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        Wape().analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
 
         armed = Wape(weapon_flags=["-nosqli"])
-        scheduler = ScanScheduler(armed._config_groups(), jobs=1,
-                                  cache_dir=cache,
-                                  tool_version=armed.version)
+        scheduler = ScanScheduler(armed._config_groups(), tool_version=armed.version, options=ScanOptions(jobs=1, cache_dir=cache))
         scheduler.scan_tree(str(tree))
         assert scheduler.cache.hits == 0
 
@@ -308,14 +299,14 @@ class TestResultCache:
         tree.mkdir()
         (tree / "a.php").write_text("<?php mysql_query($_GET['q']);")
         cache = str(tmp_path / "cache")
-        first = armed_wape.analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        first = armed_wape.analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
 
         # truncate every cache entry on disk
         for dirpath, _dirs, files in os.walk(cache):
             for name in files:
                 with open(os.path.join(dirpath, name), "wb") as f:
                     f.write(b"\x80garbage")
-        again = armed_wape.analyze_tree(str(tree), jobs=1, cache_dir=cache)
+        again = armed_wape.analyze_tree(str(tree), ScanOptions(jobs=1, cache_dir=cache))
         assert keys_of(first) == keys_of(again)
 
     def test_cache_roundtrip_unit(self, tmp_path):
@@ -374,7 +365,7 @@ class TestPipelineCli:
     def test_per_file_seconds_are_real(self, armed_wape, tree):
         """No more elapsed/len(files) smearing: timings are per file and
         every analyzed file carries its own measurement."""
-        report = armed_wape.analyze_tree(tree, jobs=1)
+        report = armed_wape.analyze_tree(tree, ScanOptions(jobs=1))
         assert all(f.seconds >= 0 for f in report.files)
         assert report.total_seconds > 0
         payload = report.to_dict()

@@ -1,0 +1,243 @@
+"""End-to-end scan daemon tests: HTTP protocol, warm re-scans, oracle."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.options import ScanOptions
+from repro.exceptions import ServiceError
+from repro.service import ScanService, ServiceClient
+from repro.tool.report import SCHEMA_VERSION
+
+DEMO_APP = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "demo_app")
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One daemon (ephemeral port) shared by the module's tests."""
+    svc = ScanService(options=ScanOptions(jobs=1))
+    svc.start_background()
+    yield svc
+    svc.server.shutdown()
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    c = ServiceClient(port=service.port)
+    c.wait_ready()
+    return c
+
+
+@pytest.fixture()
+def app(tmp_path):
+    root = tmp_path / "demo_app"
+    shutil.copytree(DEMO_APP, root)
+    return str(root)
+
+
+def finding_set(report_dict):
+    """Hashable identity of every finding in a report dict."""
+    out = set()
+    for entry in report_dict["files"]:
+        rel = os.path.relpath(entry["path"], report_dict["target"])
+        for finding in entry["findings"]:
+            out.add((rel, finding["class"], finding["sink_line"],
+                     finding["entry_line"], finding["verdict"]))
+    return out
+
+
+class TestProtocol:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["version"] == "WAPe"
+
+    def test_scan_roundtrip(self, client, app):
+        report = client.scan(app)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["service"]["incremental"] is False
+        assert report["service"]["request_id"].startswith("req-")
+        assert report["summary"]["real_vulnerabilities"] > 0
+
+    def test_missing_root_field(self, client, service):
+        with pytest.raises(ServiceError, match="root"):
+            client.scan("")
+
+    def test_nonexistent_root(self, client):
+        with pytest.raises(ServiceError, match="not a directory"):
+            client.scan("/no/such/dir/anywhere")
+
+    def test_unknown_endpoint(self, client):
+        status, raw = client._request("GET", "/v1/nope")
+        assert status == 404
+        assert "no such endpoint" in json.loads(raw)["error"]
+
+    def test_invalid_json_body(self, client):
+        import http.client
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/scan", body=b"{nope",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "invalid JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_request_ids_are_unique_and_echoed(self, client):
+        import http.client
+        seen = set()
+        for _ in range(3):
+            conn = http.client.HTTPConnection(client.host, client.port,
+                                              timeout=10)
+            try:
+                conn.request("GET", "/v1/health")
+                response = conn.getresponse()
+                response.read()
+                seen.add(response.getheader("X-Request-Id"))
+            finally:
+                conn.close()
+        assert len(seen) == 3
+        assert all(rid and rid.startswith("req-") for rid in seen)
+
+    def test_metrics_endpoint(self, client, app):
+        client.scan(app)
+        text = client.metrics_text()
+        assert "# TYPE wape_scans_served_cold counter" in text
+        assert "wape_scan_seconds_count" in text
+        assert "wape_files_scanned" in text  # pipeline metrics flow in
+
+
+class TestWarmRescans:
+    def test_edit_reanalyzes_only_the_closure(self, client, app):
+        first = client.scan(app)
+        assert first["service"]["incremental"] is False
+        dep = os.path.join(app, "includes", "input.php")
+        with open(dep, "a", encoding="utf-8") as f:
+            f.write("\n<?php // touched ?>\n")
+        second = client.scan(app)
+        info = second["service"]
+        assert info["incremental"] is True
+        # feed.php requires includes/input.php: exactly those two rescan
+        assert set(info["dirty"]) == {"feed.php",
+                                      os.path.join("includes",
+                                                   "input.php")}
+        assert info["analyzed_files"] == 2
+        assert info["reused_files"] == \
+            first["summary"]["files"] - 2
+
+    def test_findings_diff_after_edit_is_exactly_the_new_flaw(
+            self, client, app):
+        base = finding_set(client.scan(app))
+        with open(os.path.join(app, "profile.php"), "a",
+                  encoding="utf-8") as f:
+            f.write("\n<?php echo $_GET['svc_probe']; ?>\n")
+        edited = finding_set(client.scan(app))
+        assert base - edited == set()
+        added = edited - base
+        assert {(key[0], key[1]) for key in added} == \
+            {("profile.php", "xss")}
+
+    def test_forget_flag_forces_cold_scan(self, client, app):
+        client.scan(app)
+        report = client.scan(app, forget=True)
+        assert report["service"]["incremental"] is False
+
+    def test_timeout_turns_into_504_then_warm_retry(self, client,
+                                                    service, app):
+        with pytest.raises(ServiceError, match="exceeded"):
+            client.scan(app, timeout=1e-6)
+        # the timed-out scan kept running and warmed the state
+        report = client.scan(app)
+        assert report["service"]["incremental"] is True
+
+    def test_queue_full_is_503_not_a_hang(self, service, app):
+        svc = ScanService(tool=service.scanner.tool, max_queue=0,
+                          options=ScanOptions(jobs=1))
+        svc.start_background()
+        try:
+            c = ServiceClient(port=svc.port)
+            c.wait_ready()
+            with pytest.raises(ServiceError, match="queue full"):
+                c.scan(app)
+        finally:
+            svc.server.shutdown()
+            svc.close()
+
+
+class TestOracle:
+    @pytest.mark.slow
+    def test_daemon_and_cli_findings_are_byte_identical(self, client,
+                                                        app, capsys):
+        """Acceptance oracle: `wape scan --json` == daemon scan."""
+        from repro.tool.cli import main as cli_main
+
+        daemon_report = client.scan(app)
+        cli_main(["--json", "--jobs", "1", "--no-cache", app])
+        cli_report = json.loads(capsys.readouterr().out)
+
+        def canonical(report):
+            files = []
+            for entry in sorted(report["files"],
+                                key=lambda e: e["path"]):
+                entry = dict(entry)
+                entry.pop("seconds")
+                entry["path"] = os.path.relpath(entry["path"],
+                                                report["target"])
+                files.append(entry)
+            return json.dumps(files, sort_keys=True)
+
+        assert canonical(daemon_report) == canonical(cli_report)
+
+
+class TestServeCommand:
+    @pytest.mark.slow
+    def test_wape_serve_subprocess_end_to_end(self, app):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__),
+                                         os.pardir, "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://127.0.0.1:" in line
+            port = int(line.rsplit(":", 1)[1])
+            client = ServiceClient(port=port)
+            client.wait_ready(deadline=30.0)
+            report = client.scan(app)
+            assert report["summary"]["real_vulnerabilities"] > 0
+            assert client.scan(app)["service"]["incremental"] is True
+            client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_stops_the_daemon(self, service):
+        svc = ScanService(tool=service.scanner.tool,
+                          options=ScanOptions(jobs=1))
+        thread = svc.start_background()
+        try:
+            c = ServiceClient(port=svc.port)
+            c.wait_ready()
+            assert c.shutdown() == {"status": "shutting down"}
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            with pytest.raises(ServiceError, match="cannot reach"):
+                c.health()
+        finally:
+            svc.close()

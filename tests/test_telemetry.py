@@ -33,6 +33,7 @@ from repro.telemetry import (
 )
 from repro.telemetry.tracing import NULL_SPAN
 from repro.tool.wap import Wape
+from repro.analysis.options import ScanOptions
 
 
 @pytest.fixture(scope="module")
@@ -168,8 +169,7 @@ class TestScanTracing:
             self, tool, tmp_path):
         _write_app(tmp_path)
         telemetry = Telemetry()
-        report = tool.analyze_tree(str(tmp_path), jobs=1,
-                                   telemetry=telemetry)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         tracer = telemetry.tracer
         root = next(s for s in tracer.spans if s.parent_id is None)
         assert root.name == "analyze_tree"
@@ -192,8 +192,7 @@ class TestScanTracing:
         # enough tiny files that both workers get chunks with certainty
         _write_app(tmp_path, n_files=48)
         telemetry = Telemetry()
-        report = tool.analyze_tree(str(tmp_path), jobs=2,
-                                   telemetry=telemetry)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=2, telemetry=telemetry))
         tracer = telemetry.tracer
         root = next(s for s in tracer.spans if s.parent_id is None)
         scoped = tracer.descendants_of(root.span_id)
@@ -211,8 +210,7 @@ class TestScanTracing:
     def test_stats_phase_table_sums_to_wall_time(self, tool, tmp_path):
         _write_app(tmp_path)
         telemetry = Telemetry()
-        report = tool.analyze_tree(str(tmp_path), jobs=1,
-                                   telemetry=telemetry)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         stats = report.stats
         total = sum(seconds for _name, seconds in stats.wall_phases)
         assert stats.total_seconds > 0
@@ -226,7 +224,7 @@ class TestScanTracing:
     def test_trace_json_round_trip(self, tool, tmp_path):
         _write_app(tmp_path)
         telemetry = Telemetry()
-        tool.analyze_tree(str(tmp_path), jobs=1, telemetry=telemetry)
+        tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         out = tmp_path / "trace.json"
         write_trace(str(out), telemetry.tracer, tool=tool.version,
                     target=str(tmp_path))
@@ -250,7 +248,7 @@ class TestScanTracing:
         _write_app(tmp_path)
         (tmp_path / "bad.php").write_text("<?php if ( { {{")
         telemetry = Telemetry()
-        tool.analyze_tree(str(tmp_path), jobs=1, telemetry=telemetry)
+        tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         counters = telemetry.metrics.snapshot()["counters"]
         assert counters["files_scanned"] == 4
         assert counters["parse_errors"] == 1
@@ -265,10 +263,8 @@ class TestScanHealth:
     def test_cache_counts_surface_without_telemetry(self, tool, tmp_path):
         _write_app(tmp_path)
         cache_dir = tmp_path / "cache"
-        cold = tool.analyze_tree(str(tmp_path), jobs=1,
-                                 cache_dir=str(cache_dir))
-        warm = tool.analyze_tree(str(tmp_path), jobs=1,
-                                 cache_dir=str(cache_dir))
+        cold = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, cache_dir=str(cache_dir)))
+        warm = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, cache_dir=str(cache_dir)))
         assert cold.cache is not None and cold.stats is None
         assert (cold.cache.hits, cold.cache.misses) == (0, 3)
         assert cold.cache.puts == 3
@@ -295,8 +291,7 @@ class TestScanHealth:
         (tmp_path / "bad.php").write_text("<?php if ( { {{")
         (tmp_path / "ok.php").write_text("<?php echo 1;")
         telemetry = Telemetry()
-        report = tool.analyze_tree(str(tmp_path), jobs=1,
-                                   telemetry=telemetry)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         doc = report.to_dict()
         assert doc["summary"]["parse_errors"] == 1
         errored = [f for f in doc["files"] if f["parse_error"]]
@@ -313,8 +308,7 @@ class TestScanHealth:
         (tmp_path / "z.php").write_text("<?php echo $_GET['x'];")
         monkeypatch.setenv(pipeline._CRASH_ENV, "DIE-NOW")
         telemetry = Telemetry()
-        report = tool.analyze_tree(str(tmp_path), jobs=2,
-                                   telemetry=telemetry)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=2, telemetry=telemetry))
         stats = report.stats
         assert any("kill.php" in path for path, _ in stats.worker_retries)
         assert any("kill.php" in path and cause == "BrokenProcessPool"
@@ -350,7 +344,7 @@ class TestDisabledOverhead:
 
     def test_disabled_scan_records_nothing(self, tool, tmp_path):
         _write_app(tmp_path)
-        report = tool.analyze_tree(str(tmp_path), jobs=1)
+        report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1))
         assert report.stats is None
         assert NULL_TRACER.spans == []
         assert NULL_METRICS.snapshot()["counters"] == {}
@@ -369,7 +363,7 @@ class TestDisabledOverhead:
 
         monkeypatch.setattr(NULL_TRACER, "span", counting_span,
                             raising=False)
-        tool.analyze_tree(str(tmp_path), jobs=1)
+        tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1))
         monkeypatch.undo()
         # constant per-scan spans may pass through the null tracer, but
         # nothing proportional to the file count may
