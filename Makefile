@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-grammar test-service bench bench-smoke \
-	bench-throughput trace-demo serve-demo
+	bench-throughput bench-frontend trace-demo serve-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -38,9 +38,14 @@ bench:
 bench-throughput:
 	$(PYTHON) benchmarks/bench_scan_throughput.py
 
-# tiny-tree pipeline regression guard (fast; writes no trajectory file)
+# frontend trajectory (lex/parse/AST-cache): records BENCH_frontend.json
+bench-frontend:
+	$(PYTHON) benchmarks/bench_frontend.py
+
+# tiny-tree regression guard (fast; writes no trajectory files)
 bench-smoke:
 	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke
+	$(PYTHON) benchmarks/bench_frontend.py --smoke
 
 # telemetry demo: traced 2-worker scan of the demo app, writing
 # trace.json + metrics.prom and printing the --stats footer

@@ -194,6 +194,9 @@ def run_benchmark(smoke: bool = False) -> dict:
         "benchmark": "scan_throughput",
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
+        # honesty flag: with fewer CPUs than the largest jobs level the
+        # parallel numbers measure oversubscription, not speedup
+        "jobs_capped_by_cpu": (os.cpu_count() or 1) < JOB_LEVELS[-1],
         "corpus": corpus,
         "candidates": len(keysets[0]),
         "runs": runs,
@@ -238,7 +241,10 @@ def check_expectations(result: dict) -> None:
     if not result["smoke"]:
         assert result["incremental"]["speedup_vs_cold"] >= 10.0, \
             "warm incremental re-scan should be >= 10x faster than cold"
-    if (os.cpu_count() or 1) >= 4:
+    if result["jobs_capped_by_cpu"]:
+        print("  (speedup assertion skipped: "
+              f"{result['cpu_count']} CPU(s) < jobs={JOB_LEVELS[-1]})")
+    elif (os.cpu_count() or 1) >= 4:
         assert result["speedup_jobs4_vs_jobs1_cold"] >= 2.0, \
             "--jobs 4 should be >= 2x faster than --jobs 1 on >= 4 cores"
 

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
 from repro.php import ast
-from repro.php.parser import parse_with_recovery
+from repro.php.ast_store import AstStore
 from repro.php.visitor import find_all
 
 #: cheap textual pre-filter: files without these substrings are never
@@ -109,8 +109,12 @@ class IncludeGraph:
 class IncludeResolver:
     """Builds an :class:`IncludeGraph` from the files of one scan."""
 
-    def __init__(self, paths: list[str]) -> None:
+    def __init__(self, paths: list[str],
+                 ast_store: AstStore | None = None) -> None:
         self.paths = list(paths)
+        # shared frontend memo: the ASTs parsed while resolving includes
+        # are handed on to the scan phase instead of being thrown away
+        self.ast_store = ast_store if ast_store is not None else AstStore()
         # membership indexes: absolute normalized path and basename
         self._by_abs: dict[str, str] = {}
         self._by_base: dict[str, list[str]] = {}
@@ -155,7 +159,7 @@ class IncludeResolver:
         if not any(hint in lowered for hint in _HINTS):
             return
         try:
-            program, _ = parse_with_recovery(source, path)
+            program, _ = self.ast_store.parse_recovering(source, path)
         except PhpSyntaxError:
             return  # unparseable file: no edges, scanned standalone
         deps: list[str] = []
@@ -228,15 +232,17 @@ class IncludeResolver:
 
 
 def build_include_graph(paths: list[str],
-                        sources: dict[str, str] | None = None
+                        sources: dict[str, str] | None = None,
+                        ast_store: AstStore | None = None
                         ) -> IncludeGraph:
     """Convenience wrapper: resolve the include graph of *paths*."""
-    return IncludeResolver(paths).build(sources)
+    return IncludeResolver(paths, ast_store=ast_store).build(sources)
 
 
 def update_include_graph(graph: IncludeGraph, paths: list[str],
                          dirty: set[str] | list[str],
-                         sources: dict[str, str] | None = None
+                         sources: dict[str, str] | None = None,
+                         ast_store: AstStore | None = None
                          ) -> IncludeGraph:
     """Re-resolve only *dirty* files of an otherwise-unchanged project.
 
@@ -250,7 +256,7 @@ def update_include_graph(graph: IncludeGraph, paths: list[str],
     resolution from every other file).  Returns a fresh graph; *graph*
     itself is never mutated.
     """
-    resolver = IncludeResolver(paths)
+    resolver = IncludeResolver(paths, ast_store=ast_store)
     dirty_set = set(dirty)
     out = IncludeGraph()
     for path in paths:
@@ -275,8 +281,10 @@ class IncludeContext:
     closure, memoizing all per-dependency work.
     """
 
-    def __init__(self, graph: IncludeGraph) -> None:
+    def __init__(self, graph: IncludeGraph,
+                 ast_store: AstStore | None = None) -> None:
         self.graph = graph
+        self.ast_store = ast_store if ast_store is not None else AstStore()
         self._programs: dict[str, ast.Program | None] = {}
         self._tables: dict[str, dict] = {}
         self._envs: dict[str, dict] = {}
@@ -308,11 +316,14 @@ class IncludeContext:
 
     # ------------------------------------------------------------------
     def _program(self, path: str) -> ast.Program | None:
+        # the per-path memo sits in front of the content-keyed store so a
+        # repeat dependency costs neither a read nor a hash
         if path not in self._programs:
             try:
                 with open(path, encoding="utf-8", errors="replace") as f:
                     source = f.read()
-                self._programs[path], _ = parse_with_recovery(source, path)
+                self._programs[path], _ = \
+                    self.ast_store.parse_recovering(source, path)
             except (OSError, PhpSyntaxError):
                 self._programs[path] = None
         return self._programs[path]

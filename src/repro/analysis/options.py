@@ -47,6 +47,10 @@ class ScanOptions:
         includes: statically resolve ``include``/``require`` targets so
             taint crosses file boundaries; ``False`` restores strictly
             per-file analysis.
+        ast_cache: keep pickled ASTs on disk next to the result cache so
+            re-parses of unchanged content are served from disk (only
+            effective when ``cache_dir`` is set); ``False`` disables the
+            AST tier without touching the result cache.
         telemetry: ``True`` builds a fresh enabled
             :class:`~repro.telemetry.Telemetry` for the run, ``False`` /
             ``None`` runs untraced, and an explicit ``Telemetry`` instance
@@ -59,6 +63,7 @@ class ScanOptions:
     jobs: int | None = 1
     cache_dir: str | None = None
     includes: bool = True
+    ast_cache: bool = True
     telemetry: object | None = None
     predictor: object | None = None
 

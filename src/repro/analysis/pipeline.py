@@ -51,7 +51,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import PhpSyntaxError
-from repro.php import Parser, ast, parse_with_recovery, tokenize
+from repro.php import Parser, ast, tokenize
+from repro.php.ast_store import AstCache, AstStore
 from repro.analysis.detector import PHP_EXTENSIONS, FileResult
 from repro.analysis.engine import TaintEngine
 from repro.analysis.includes import (
@@ -121,7 +122,8 @@ class FusedDetector:
 
     def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
                  telemetry: Telemetry | None = None,
-                 include_graph: IncludeGraph | None = None) -> None:
+                 include_graph: IncludeGraph | None = None,
+                 ast_store: AstStore | None = None) -> None:
         self.groups = tuple(groups)
         self.telemetry = telemetry or NULL_TELEMETRY
         configs = [cfg for g in self.groups for cfg in g.configs]
@@ -131,7 +133,16 @@ class FusedDetector:
             if configs else None
         self._split = any(g.split_rfi_lfi for g in self.groups)
         self.include_graph = include_graph
-        self._includes = IncludeContext(include_graph) \
+        # one parse per unique content: the scan phase and the include
+        # context draw from the same store (shared with the resolver when
+        # the scheduler passes its own)
+        if ast_store is None:
+            ast_store = AstStore(
+                metrics=self.telemetry.metrics
+                if self.telemetry.enabled else None)
+        self.ast_store = ast_store
+        self._includes = IncludeContext(include_graph,
+                                        ast_store=ast_store) \
             if include_graph else None
 
     @property
@@ -182,16 +193,30 @@ class FusedDetector:
         when nothing was salvageable: lexer errors, or a file recovery
         could not extract a single PHP statement from.
         """
+        store = self.ast_store
         if not self.telemetry.enabled:
-            program, warnings = parse_with_recovery(source, filename)
+            program, warnings = store.parse_recovering(source, filename)
         else:
-            tracer = self.telemetry.tracer
-            with tracer.span("lex", phase="lex", file=filename):
-                tokens = tokenize(source, filename)
-            with tracer.span("parse", phase="parse", file=filename):
-                parser = Parser(tokens, filename, recover=True)
-                program = parser.parse_program()
-                warnings = list(parser.warnings)
+            # traced variant of AstStore.parse_recovering: lex and parse
+            # keep their own spans, and a store hit skips both entirely
+            key = store.source_key(source)
+            entry = store.lookup(key)
+            if entry is None:
+                tracer = self.telemetry.tracer
+                try:
+                    with tracer.span("lex", phase="lex", file=filename):
+                        tokens = tokenize(source, filename)
+                    with tracer.span("parse", phase="parse",
+                                     file=filename):
+                        parser = Parser(tokens, filename, recover=True)
+                        program = parser.parse_program()
+                        warnings = list(parser.warnings)
+                except PhpSyntaxError as exc:
+                    store.store_error(key, exc)
+                    raise
+                store.store(key, program, warnings)
+            else:
+                program, warnings = store.materialize(entry, filename)
         if warnings and not any(not isinstance(node, ast.InlineHTML)
                                 for node in program.body):
             raise warnings[0]  # recovery salvaged no PHP at all
@@ -491,7 +516,8 @@ _WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
 
 def _init_worker(groups: tuple[ConfigGroup, ...],
                  telemetry_enabled: bool = False,
-                 include_graph: IncludeGraph | None = None) -> None:
+                 include_graph: IncludeGraph | None = None,
+                 ast_cache_dir: str | None = None) -> None:
     """Per-worker initializer: build the fused detector once.
 
     When the parent scan is traced, each worker records spans and counters
@@ -499,12 +525,19 @@ def _init_worker(groups: tuple[ConfigGroup, ...],
     (:meth:`~repro.telemetry.Tracer.merge`), stamped with the worker pid.
     The include graph (resolved once in the parent) rides along so each
     worker can supply cross-file context; per-dependency state is
-    memoized inside the worker's :class:`IncludeContext`.
+    memoized inside the worker's :class:`IncludeContext`.  Each worker
+    keeps a per-process :class:`AstStore` (scan phase + include context
+    share one parse per content), backed by the on-disk AST cache when
+    the scan has a cache directory.
     """
     global _WORKER_DETECTOR, _WORKER_TELEMETRY
     _WORKER_TELEMETRY = Telemetry(enabled=telemetry_enabled)
+    ast_store = AstStore(
+        disk=AstCache(ast_cache_dir) if ast_cache_dir else None,
+        metrics=_WORKER_TELEMETRY.metrics if telemetry_enabled else None)
     _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY,
-                                     include_graph=include_graph)
+                                     include_graph=include_graph,
+                                     ast_store=ast_store)
 
 
 def _scan_path(path: str) -> FileResult:
@@ -575,6 +608,19 @@ class ScanScheduler:
             if opts.cache_dir else None
         self.telemetry = opts.resolve_telemetry()
         self.includes = opts.includes
+        #: on-disk AST tier (None without a cache dir or with
+        #: ``--no-ast-cache``); workers open their own handle to the
+        #: same directory.
+        self.ast_cache_dir = opts.cache_dir \
+            if (opts.cache_dir and opts.ast_cache) else None
+        self.ast_cache = AstCache(self.ast_cache_dir) \
+            if self.ast_cache_dir else None
+        #: the scan's shared parse memo: include resolution and the
+        #: ``jobs=1`` scan phase parse each unique content exactly once.
+        self.ast_store = AstStore(
+            disk=self.ast_cache,
+            metrics=self.telemetry.metrics
+            if self.telemetry.enabled else None)
         #: the resolved include graph of the last scan (telemetry + tests).
         self.include_graph: IncludeGraph | None = None
         #: (file, exception class) for files retried in isolation after a
@@ -603,7 +649,8 @@ class ScanScheduler:
         if self._detector is None or self._detector_graph is not graph:
             self._detector = FusedDetector(self.groups,
                                            telemetry=self.telemetry,
-                                           include_graph=graph)
+                                           include_graph=graph,
+                                           ast_store=self.ast_store)
             self._detector_graph = graph
         return self._detector
 
@@ -664,6 +711,9 @@ class ScanScheduler:
                 metrics.gauge("cache_misses").set(self.cache.misses)
                 metrics.gauge("cache_evictions").set(self.cache.evictions)
                 metrics.gauge("cache_puts").set(self.cache.puts)
+            if self.ast_cache is not None:
+                metrics.gauge("ast_cache_hits").set(self.ast_cache.hits)
+                metrics.gauge("ast_cache_puts").set(self.ast_cache.puts)
         return results
 
     def _resolve_graph(self, paths: list[str],
@@ -685,7 +735,7 @@ class ScanScheduler:
             cached = self.cache.get_blob(key)
             if isinstance(cached, IncludeGraph):
                 return cached
-        graph = build_include_graph(paths)
+        graph = build_include_graph(paths, ast_store=self.ast_store)
         if key is not None:
             self.cache.put_blob(key, graph)
         return graph
@@ -766,7 +816,8 @@ class ScanScheduler:
                                      initializer=_init_worker,
                                      initargs=(self.groups,
                                                telemetry.enabled,
-                                               self._worker_graph())
+                                               self._worker_graph(),
+                                               self.ast_cache_dir)
                                      ) as pool:
                 futures = {pool.submit(_scan_chunk,
                                        [p for _i, p in chunk]): chunk
@@ -844,7 +895,8 @@ class ScanScheduler:
                 with ProcessPoolExecutor(max_workers=1,
                                          initializer=_init_worker,
                                          initargs=(self.groups, False,
-                                                   self._worker_graph())
+                                                   self._worker_graph(),
+                                                   self.ast_cache_dir)
                                          ) as pool:
                     result, _spans, _counters = pool.submit(
                         _scan_chunk, [path]).result()

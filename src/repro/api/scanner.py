@@ -53,6 +53,7 @@ from repro.analysis.pipeline import (
     closure_key,
     config_fingerprint,
 )
+from repro.php.ast_store import AstCache, AstStore
 from repro.telemetry import CacheStats, build_scan_stats
 from repro.tool.report import AnalysisReport
 
@@ -266,8 +267,16 @@ class Scanner:
             if to_run:
                 # a fresh detector per scan with changes: IncludeContext
                 # memoizes dependency state, which edited files invalidate
+                # (the AST store persists across scans via its disk tier)
+                opts_ = self.options
+                disk = AstCache(opts_.cache_dir) \
+                    if (opts_.cache_dir and opts_.ast_cache) else None
+                store = AstStore(
+                    disk=disk,
+                    metrics=telem.metrics if telem.enabled else None)
                 detector = FusedDetector(groups, telemetry=telem,
-                                         include_graph=graph)
+                                         include_graph=graph,
+                                         ast_store=store)
                 with telem.tracer.span("scan", phase="scan",
                                        files=len(to_run)):
                     for path in to_run:

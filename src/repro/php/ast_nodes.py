@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """Base class for all AST nodes."""
 
@@ -51,21 +51,21 @@ def _iter_nodes(value: object) -> Iterator[Node]:
 # top level
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class Program(Node):
     """A whole PHP file: a sequence of statements (including inline HTML)."""
 
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class InlineHTML(Node):
     """Raw HTML text outside ``<?php ... ?>``."""
 
     text: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Block(Node):
     """A ``{ ... }`` statement list."""
 
@@ -76,21 +76,21 @@ class Block(Node):
 # expressions
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class Variable(Node):
     """``$name``. ``name`` excludes the dollar sign."""
 
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class VariableVariable(Node):
     """``$$expr`` or ``${expr}``."""
 
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Literal(Node):
     """A scalar literal.
 
@@ -102,7 +102,7 @@ class Literal(Node):
     kind: str = "null"
 
 
-@dataclass
+@dataclass(slots=True)
 class InterpolatedString(Node):
     """A double-quoted string / heredoc with interpolation.
 
@@ -113,14 +113,14 @@ class InterpolatedString(Node):
     parts: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ShellExec(Node):
     """A backtick string: executes a shell command (an OSCI sink)."""
 
     parts: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayItem(Node):
     """One element of an array literal: optional key, value, by-ref flag."""
 
@@ -130,14 +130,14 @@ class ArrayItem(Node):
     spread: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayLiteral(Node):
     """``array(...)`` or ``[...]``."""
 
     items: list[ArrayItem] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ArrayAccess(Node):
     """``base[index]``; index is None for ``base[] = ...`` appends."""
 
@@ -145,7 +145,7 @@ class ArrayAccess(Node):
     index: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PropertyAccess(Node):
     """``obj->name``; ``name`` is a string or an expression node."""
 
@@ -154,7 +154,7 @@ class PropertyAccess(Node):
     nullsafe: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class StaticPropertyAccess(Node):
     """``Cls::$name``."""
 
@@ -162,7 +162,7 @@ class StaticPropertyAccess(Node):
     name: Union[str, Node] = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassConstAccess(Node):
     """``Cls::NAME``."""
 
@@ -170,7 +170,7 @@ class ClassConstAccess(Node):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Argument(Node):
     """A call argument: expression, optional by-ref / spread / name."""
 
@@ -180,7 +180,7 @@ class Argument(Node):
     name: str | None = None  # PHP 8 named arguments
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionCall(Node):
     """``name(args)``; ``name`` is a string for plain calls or an
     expression for variable functions (``$f()``)."""
@@ -189,7 +189,7 @@ class FunctionCall(Node):
     args: list[Argument] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class MethodCall(Node):
     """``obj->name(args)``."""
 
@@ -199,7 +199,7 @@ class MethodCall(Node):
     nullsafe: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class StaticCall(Node):
     """``Cls::name(args)``."""
 
@@ -208,7 +208,7 @@ class StaticCall(Node):
     args: list[Argument] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class New(Node):
     """``new Cls(args)``."""
 
@@ -216,12 +216,12 @@ class New(Node):
     args: list[Argument] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Clone(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Assign(Node):
     """``target op value`` where op is ``=``, ``.=``, ``+=``, ... .
 
@@ -234,7 +234,7 @@ class Assign(Node):
     by_ref: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ListAssign(Node):
     """``list($a, $b) = expr`` / ``[$a, $b] = expr``."""
 
@@ -242,7 +242,7 @@ class ListAssign(Node):
     value: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BinaryOp(Node):
     """Any binary operator, including ``.`` concatenation."""
 
@@ -251,7 +251,7 @@ class BinaryOp(Node):
     right: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class UnaryOp(Node):
     """Prefix ``!``, ``-``, ``+``, ``~``; ``op`` stores the operator text."""
 
@@ -259,7 +259,7 @@ class UnaryOp(Node):
     operand: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class IncDec(Node):
     """``++$x`` / ``$x--`` etc.  ``prefix`` distinguishes the two forms."""
 
@@ -268,7 +268,7 @@ class IncDec(Node):
     prefix: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class Cast(Node):
     """``(int)$x`` — ``to`` is the normalized cast type."""
 
@@ -276,7 +276,7 @@ class Cast(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Ternary(Node):
     """``cond ? then : else`` (``then`` is None for the short form)."""
 
@@ -285,38 +285,38 @@ class Ternary(Node):
     otherwise: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ErrorSuppress(Node):
     """``@expr``."""
 
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Isset(Node):
     vars: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Empty(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PrintExpr(Node):
     """``print expr`` (an expression in PHP)."""
 
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ExitExpr(Node):
     """``exit(expr)`` / ``die(expr)`` (usable as an expression)."""
 
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Include(Node):
     """``include/include_once/require/require_once expr``.
 
@@ -327,20 +327,20 @@ class Include(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class InstanceOf(Node):
     expr: Node | None = None
     cls: Union[str, Node] = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstFetch(Node):
     """A bare identifier used as a constant (``PHP_EOL``, ``SORT_ASC``...)."""
 
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class MatchArm(Node):
     """One arm of a ``match`` expression; ``conditions`` is None for
     ``default``."""
@@ -349,7 +349,7 @@ class MatchArm(Node):
     body: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Match(Node):
     """PHP 8 ``match (subject) { cond, ... => expr, default => expr }``."""
 
@@ -357,7 +357,7 @@ class Match(Node):
     arms: list[MatchArm] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Closure(Node):
     """``function (params) use (...) { body }`` and arrow functions."""
 
@@ -372,17 +372,17 @@ class Closure(Node):
 # statements
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class ExpressionStatement(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Echo(Node):
     exprs: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class If(Node):
     cond: Node | None = None
     then: list[Node] = field(default_factory=list)
@@ -400,19 +400,19 @@ class If(Node):
             yield from self.otherwise
 
 
-@dataclass
+@dataclass(slots=True)
 class While(Node):
     cond: Node | None = None
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class DoWhile(Node):
     body: list[Node] = field(default_factory=list)
     cond: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class For(Node):
     init: list[Node] = field(default_factory=list)
     cond: list[Node] = field(default_factory=list)
@@ -420,7 +420,7 @@ class For(Node):
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Foreach(Node):
     subject: Node | None = None
     key_var: Node | None = None
@@ -429,7 +429,7 @@ class Foreach(Node):
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchCase(Node):
     """One ``case expr:`` arm; ``test`` is None for ``default:``."""
 
@@ -437,47 +437,47 @@ class SwitchCase(Node):
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Switch(Node):
     subject: Node | None = None
     cases: list[SwitchCase] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Break(Node):
     level: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Continue(Node):
     level: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Goto(Node):
     """``goto label;`` — a no-op for the flow-insensitive analysis."""
 
     label: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Label(Node):
     """``label:`` target of a goto."""
 
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class Return(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Global(Node):
     names: list[str] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class StaticVarDecl(Node):
     """``static $x = 1, $y;`` inside a function."""
 
@@ -489,31 +489,31 @@ class StaticVarDecl(Node):
                 yield default
 
 
-@dataclass
+@dataclass(slots=True)
 class Unset(Node):
     vars: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Throw(Node):
     expr: Node | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CatchClause(Node):
     types: list[str] = field(default_factory=list)
     var: str | None = None
     body: list[Node] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class Try(Node):
     body: list[Node] = field(default_factory=list)
     catches: list[CatchClause] = field(default_factory=list)
     finally_body: list[Node] | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Param(Node):
     """A function/method parameter."""
 
@@ -524,7 +524,7 @@ class Param(Node):
     type_hint: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionDecl(Node):
     name: str = ""
     params: list[Param] = field(default_factory=list)
@@ -533,7 +533,7 @@ class FunctionDecl(Node):
     return_type: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PropertyDecl(Node):
     """``public $x = 1, $y;`` inside a class body."""
 
@@ -547,7 +547,7 @@ class PropertyDecl(Node):
                 yield default
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassConstDecl(Node):
     modifiers: list[str] = field(default_factory=list)
     consts: list[tuple[str, Node]] = field(default_factory=list)
@@ -557,7 +557,7 @@ class ClassConstDecl(Node):
             yield value
 
 
-@dataclass
+@dataclass(slots=True)
 class MethodDecl(Node):
     name: str = ""
     params: list[Param] = field(default_factory=list)
@@ -567,12 +567,12 @@ class MethodDecl(Node):
     return_type: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class UseTrait(Node):
     names: list[str] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class ClassDecl(Node):
     name: str = ""
     parent: str | None = None
@@ -582,13 +582,13 @@ class ClassDecl(Node):
     kind: str = "class"  # class | interface | trait
 
 
-@dataclass
+@dataclass(slots=True)
 class NamespaceDecl(Node):
     name: str = ""
     body: list[Node] | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class UseDecl(Node):
     """``use Foo\\Bar as Baz;`` — recorded but not resolved."""
 
@@ -598,7 +598,7 @@ class UseDecl(Node):
         return iter(())
 
 
-@dataclass
+@dataclass(slots=True)
 class ConstStatement(Node):
     """Top-level ``const NAME = value;``."""
 

@@ -1,0 +1,227 @@
+"""Parse-once frontend: shared AST store with an optional on-disk cache.
+
+A scan used to parse most files twice: once while resolving includes
+(:class:`repro.analysis.includes.IncludeResolver` walks every file that
+textually mentions ``include``/``require``) and again in the scan phase
+(:meth:`repro.analysis.pipeline.FusedDetector.detect_source_recovering`),
+with :class:`repro.analysis.includes.IncludeContext` adding a third parse
+for dependency files.  :class:`AstStore` removes the duplication: every
+frontend consumer asks the store, which memoizes parse results keyed by a
+content hash of the source text, so each unique content is lexed and
+parsed exactly once per process.
+
+Parse results are content-addressed, not path-addressed: two identical
+files share one entry, and cached syntax errors/warnings are re-attributed
+to the *requesting* filename on every hit (error messages never embed the
+path; only :class:`~repro.exceptions.PhpSyntaxError` carries it).
+
+:class:`AstCache` adds an optional on-disk tier (pickled, content-hash
+keyed, format-versioned via :data:`AST_FORMAT` the way ``ResultCache``
+uses the knowledge fingerprint), so incremental re-scans of a dirty
+include closure stop re-lexing unchanged includer files.  Corrupt entries
+are evicted on the miss that discovers them; writes are atomic
+(temp + rename).
+
+The store deliberately has no dependency on :mod:`repro.telemetry`
+(which transitively imports the analysis layer): callers may hand it any
+object with the ``Metrics`` counter interface via ``metrics=`` and the
+store then also publishes ``frontend_reparse_avoided`` /
+``ast_cache_hit`` counters; the plain integer counters on the store
+itself are always maintained.
+
+Shared ``Program`` objects must be treated as read-only by consumers.
+Every analysis-side consumer already is; the corrector, which mutates
+ASTs, parses its own private copy and never goes through the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+from repro.exceptions import PhpSyntaxError
+from repro.php.ast_nodes import Program
+from repro.php.parser import parse_with_recovery
+
+#: bump whenever the token stream, grammar, or AST node layout changes —
+#: pickled programs from an older frontend must never be served.
+AST_FORMAT = 1
+
+#: (message, line, col) triples: enough to rebuild a PhpSyntaxError
+#: against whatever filename the current request used.
+_ErrorSpec = tuple[str, int, int]
+
+#: a memoized parse: (program, recovery warnings, fatal error).  Exactly
+#: one of ``program``/``error`` is set.
+_Entry = tuple[Program | None, tuple[_ErrorSpec, ...], _ErrorSpec | None]
+
+
+def _spec_of(exc: PhpSyntaxError) -> _ErrorSpec:
+    return (exc.message, exc.line, exc.col)
+
+
+class AstCache:
+    """Content-addressed parse results on disk.
+
+    Layout: ``<directory>/ast-v<AST_FORMAT>/<content-hash>.pkl``.  The
+    format-version directory plays the role the knowledge fingerprint
+    plays for :class:`~repro.analysis.pipeline.ResultCache`: any frontend
+    change that alters tokens, grammar or node layout bumps
+    :data:`AST_FORMAT` and strands the old entries.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.join(directory, f"ast-v{AST_FORMAT}")
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".pkl")
+
+    def get(self, key: str) -> _Entry | None:
+        entry = self._entry_path(key)
+        try:
+            with open(entry, "rb") as f:
+                program, warnings, error = pickle.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # corrupt entries raise anything: miss + evict
+            self.misses += 1
+            try:
+                os.unlink(entry)
+                self.evictions += 1
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return (program, warnings, error)
+
+    def put(self, key: str, value: _Entry) -> None:
+        """Store one parse result atomically (write-to-temp + rename)."""
+        entry = self._entry_path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, entry)
+            self.puts += 1
+        except (OSError, RecursionError, pickle.PicklingError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+class AstStore:
+    """Process-local memo of parse results, keyed by source content hash.
+
+    One store is shared by every frontend consumer of a scan (include
+    resolver, include context, fused detector), so the resolve phase
+    hands its ASTs to the scan phase instead of throwing them away.
+
+    Args:
+        disk: optional :class:`AstCache` second tier.
+        metrics: optional ``Metrics``-shaped counter sink (kept
+            duck-typed to avoid importing the telemetry layer).
+    """
+
+    def __init__(self, disk: AstCache | None = None,
+                 metrics=None) -> None:
+        self._memory: dict[str, _Entry] = {}
+        self.disk = disk
+        self.metrics = metrics
+        self.parses = 0           # unique contents actually parsed
+        self.reparse_avoided = 0  # requests served from the in-memory memo
+        self.disk_hits = 0        # requests served from the on-disk cache
+
+    @staticmethod
+    def source_key(source: str) -> str:
+        """Content hash of decoded source text (the store's cache key)."""
+        return hashlib.sha256(
+            source.encode("utf-8", "backslashreplace")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # primitives (used by traced callers that lex/parse themselves)
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> _Entry | None:
+        """The memoized entry for *key*, or None (counts the outcome)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self.reparse_avoided += 1
+            if self.metrics is not None:
+                self.metrics.counter("frontend_reparse_avoided").inc()
+            return entry
+        if self.disk is not None:
+            entry = self.disk.get(key)
+            if entry is not None:
+                self._memory[key] = entry
+                self.disk_hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("ast_cache_hit").inc()
+                return entry
+        return entry
+
+    def store(self, key: str, program: Program,
+              warnings: list[PhpSyntaxError]) -> None:
+        """Memoize a successful parse (and write it to the disk tier)."""
+        entry: _Entry = (program, tuple(_spec_of(w) for w in warnings),
+                         None)
+        self._memory[key] = entry
+        self.parses += 1
+        if self.disk is not None:
+            self.disk.put(key, entry)
+
+    def store_error(self, key: str, exc: PhpSyntaxError) -> None:
+        """Memoize a fatal parse failure (re-raised on later hits)."""
+        entry: _Entry = (None, (), _spec_of(exc))
+        self._memory[key] = entry
+        self.parses += 1
+        if self.disk is not None:
+            self.disk.put(key, entry)
+
+    @staticmethod
+    def materialize(entry: _Entry, filename: str
+                    ) -> tuple[Program, list[PhpSyntaxError]]:
+        """Turn an entry into (program, warnings) attributed to *filename*.
+
+        Raises the memoized :class:`PhpSyntaxError` for failure entries.
+        """
+        program, warning_specs, error = entry
+        if error is not None:
+            message, line, col = error
+            raise PhpSyntaxError(message, line, col, filename)
+        assert program is not None
+        return program, [PhpSyntaxError(message, line, col, filename)
+                         for message, line, col in warning_specs]
+
+    # ------------------------------------------------------------------
+    # the all-in-one path
+    # ------------------------------------------------------------------
+    def parse_recovering(self, source: str, filename: str = "<source>"
+                         ) -> tuple[Program, list[PhpSyntaxError]]:
+        """Memoized :func:`repro.php.parser.parse_with_recovery`.
+
+        Same contract: returns ``(program, warnings)`` and raises
+        :class:`PhpSyntaxError` when nothing was salvageable — including
+        on cache hits for sources that previously failed.
+        """
+        key = self.source_key(source)
+        entry = self.lookup(key)
+        if entry is None:
+            try:
+                program, warnings = parse_with_recovery(source, filename)
+            except PhpSyntaxError as exc:
+                self.store_error(key, exc)
+                raise
+            self.store(key, program, warnings)
+            return program, warnings
+        return self.materialize(entry, filename)

@@ -8,11 +8,21 @@ mode* until a closing ``?>`` is found.
 Double-quoted strings, heredocs and backtick strings are emitted with their
 raw inner text; interpolation is resolved later by the parser (see
 :mod:`repro.php.interpolation`), keeping the lexer free of recursion.
+
+PHP mode is driven by a single master regular expression whose alternatives
+cover whitespace, comments, tags, variables, names, numbers, casts and
+operators; one ``re.match`` per token replaces the per-character dispatch the
+lexer used to do, and line/col positions are derived from a precomputed
+newline-offset table instead of being maintained character by character.
+Quoted strings and unusual characters fall through to dedicated handlers.
 """
 
 from __future__ import annotations
 
 import re
+import sys
+from bisect import bisect_right
+from functools import lru_cache
 
 from repro.exceptions import PhpSyntaxError
 from repro.php.tokens import CAST_TYPES, KEYWORDS, Token, TokenType
@@ -36,8 +46,8 @@ _HEREDOC_OPEN_RE = re.compile(
     r"|(?P<here>[A-Za-z_][A-Za-z0-9_]*))\r?\n"
 )
 
-# Multi-character operators, longest first so maximal munch works by scanning
-# this list in order.
+# Multi-character operators, longest first so maximal munch works: the master
+# regex tries the alternatives in this order.
 _OPERATORS: list[tuple[str, TokenType]] = [
     ("<<=", TokenType.SHL_ASSIGN),
     (">>=", TokenType.SHR_ASSIGN),
@@ -104,6 +114,61 @@ _OPERATORS: list[tuple[str, TokenType]] = [
 
 _SQ_ESCAPES = {"\\": "\\", "'": "'"}
 
+# Operator dispatch: matched text -> (token type, canonical shared string).
+# Reusing the dict's own key as the token value keeps one string per
+# operator alive instead of a fresh slice per occurrence.
+_OP_MAP: dict[str, tuple[TokenType, str]] = {
+    text: (type_, text) for text, type_ in _OPERATORS
+}
+
+_intern = sys.intern
+
+# One master regex for the PHP-mode hot path.  Alternative order matters:
+# comments before "/" operators, "?>" before "?", heredoc openers before
+# "<<", numbers before ".", casts before "(", and the operator alternation
+# itself is longest-first (regexes take the first alternative that matches,
+# which gives maximal munch for free).  Quote characters are absent on
+# purpose — they fall through to the string handlers.
+_MASTER_RE = re.compile(
+    r"(?P<ws>[ \t\r\n]+)"
+    r"|(?P<lcomment>(?://|\#)(?:[^\n?]|\?(?!>))*)"
+    r"|(?P<bcomment>/\*)"
+    r"|(?P<close>\?>)"
+    r"|(?P<heredoc><<<[ \t]*(?:\"[A-Za-z_][A-Za-z0-9_]*\""
+    r"|'[A-Za-z_][A-Za-z0-9_]*'"
+    r"|[A-Za-z_][A-Za-z0-9_]*)\r?\n)"
+    r"|(?P<var>\$[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*)"
+    r"|(?P<name>[A-Za-z_\x80-\xff][A-Za-z0-9_\x80-\xff]*)"
+    r"|(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+"
+    r"|\d[\d_]*\.\d[\d_]*(?:[eE][+-]?\d+)?"
+    r"|\.\d[\d_]*(?:[eE][+-]?\d+)?"
+    r"|\d[\d_]*\.(?!\.)(?:[eE][+-]?\d+)?"
+    r"|\d[\d_]*[eE][+-]?\d+"
+    r"|\d[\d_]*)"
+    r"|(?P<cast>\(\s*(?i:integer|int|float|double|real|string|binary"
+    r"|boolean|bool|array|object|unset)\s*\))"
+    r"|(?P<op>" + "|".join(re.escape(text) for text, _ in _OPERATORS) + r")"
+)
+
+# Raw string bodies: escapes are kept verbatim (DOTALL so "\<newline>"
+# counts as an escape pair, matching the old char-by-char scanner).
+_SQ_BODY_RE = re.compile(r"(?:[^'\\]|\\.)*'", re.DOTALL)
+_DQ_BODY_RE = re.compile(r'(?:[^"\\]|\\.)*"', re.DOTALL)
+_BT_BODY_RE = re.compile(r"(?:[^`\\]|\\.)*`", re.DOTALL)
+_SQ_ESCAPE_RE = re.compile(r"\\(.)", re.DOTALL)
+
+
+def _sq_unescape(m: re.Match) -> str:
+    ch = m.group(1)
+    return _SQ_ESCAPES.get(ch, "\\" + ch)
+
+
+@lru_cache(maxsize=256)
+def _heredoc_close_re(label: str) -> re.Pattern:
+    # the closing label at the start of a line (allow indentation,
+    # PHP 7.3+ flexible heredoc)
+    return re.compile(r"^[ \t]*" + re.escape(label) + r"\b", re.MULTILINE)
+
 
 class Lexer:
     """Tokenizes PHP source text.
@@ -117,287 +182,229 @@ class Lexer:
         self.source = source
         self.filename = filename
         self.pos = 0
-        self.line = 1
-        self.col = 1
         self.tokens: list[Token] = []
+        # offset of the first character of each line; token positions are
+        # derived from this table instead of per-character counters
+        self._line_starts = [0]
+        self._line_starts.extend(
+            m.end() for m in re.finditer("\n", source))
+        self._line_idx = 0
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def tokenize(self) -> list[Token]:
         """Lex the entire source and return the token list (ends with EOF)."""
-        while self.pos < len(self.source):
+        n = len(self.source)
+        while self.pos < n:
             self._lex_html()
-            if self.pos >= len(self.source):
+            if self.pos >= n:
                 break
             self._lex_php()
-        self._emit(TokenType.EOF, "")
+        line, col = self._loc(self.pos)
+        self.tokens.append(Token(TokenType.EOF, "", line, col))
         return self.tokens
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _emit(self, type_: TokenType, value: str,
-              line: int | None = None, col: int | None = None) -> None:
-        self.tokens.append(Token(type_, value,
-                                 self.line if line is None else line,
-                                 self.col if col is None else col))
+    def _loc(self, pos: int) -> tuple[int, int]:
+        """(line, col) of *pos*; amortized O(1) for monotonic queries."""
+        starts = self._line_starts
+        i = self._line_idx
+        if starts[i] > pos:  # rare backwards query
+            i = bisect_right(starts, pos) - 1
+        else:
+            n = len(starts)
+            while i + 1 < n and starts[i + 1] <= pos:
+                i += 1
+        self._line_idx = i
+        return i + 1, pos - starts[i] + 1
 
-    def _advance(self, n: int = 1) -> str:
-        """Consume *n* characters, maintaining line/col, and return them."""
-        text = self.source[self.pos:self.pos + n]
-        for ch in text:
-            if ch == "\n":
-                self.line += 1
-                self.col = 1
-            else:
-                self.col += 1
-        self.pos += n
-        return text
+    def _emit(self, type_: TokenType, value: str, pos: int) -> None:
+        line, col = self._loc(pos)
+        self.tokens.append(Token(type_, value, line, col))
 
-    def _peek(self, offset: int = 0) -> str:
-        idx = self.pos + offset
-        return self.source[idx] if idx < len(self.source) else ""
-
-    def _startswith(self, text: str) -> bool:
-        return self.source.startswith(text, self.pos)
-
-    def _error(self, message: str) -> PhpSyntaxError:
-        return PhpSyntaxError(message, self.line, self.col, self.filename)
+    def _error(self, message: str, pos: int) -> PhpSyntaxError:
+        line, col = self._loc(pos)
+        return PhpSyntaxError(message, line, col, self.filename)
 
     # ------------------------------------------------------------------
     # HTML mode
     # ------------------------------------------------------------------
     def _lex_html(self) -> None:
+        src = self.source
         start = self.pos
-        start_line, start_col = self.line, self.col
-        open_idx = self.source.find("<?", self.pos)
+        open_idx = src.find("<?", start)
         if open_idx == -1:
-            html = self._advance(len(self.source) - self.pos)
-            if html:
-                self._emit(TokenType.INLINE_HTML, html, start_line, start_col)
+            if start < len(src):
+                self._emit(TokenType.INLINE_HTML, src[start:], start)
+            self.pos = len(src)
             return
         if open_idx > start:
-            html = self._advance(open_idx - start)
-            self._emit(TokenType.INLINE_HTML, html, start_line, start_col)
+            self._emit(TokenType.INLINE_HTML, src[start:open_idx], start)
         # consume the open tag
-        tag_line, tag_col = self.line, self.col
-        if self._startswith("<?php"):
-            self._advance(5)
-            self._emit(TokenType.OPEN_TAG, "<?php", tag_line, tag_col)
-        elif self._startswith("<?="):
-            self._advance(3)
-            self._emit(TokenType.OPEN_TAG, "<?=", tag_line, tag_col)
+        if src.startswith("<?php", open_idx):
+            self._emit(TokenType.OPEN_TAG, "<?php", open_idx)
+            self.pos = open_idx + 5
+        elif src.startswith("<?=", open_idx):
+            self._emit(TokenType.OPEN_TAG, "<?=", open_idx)
             # <?= behaves like "echo"
-            self._emit(TokenType.KW_ECHO, "echo", tag_line, tag_col)
+            self._emit(TokenType.KW_ECHO, "echo", open_idx)
+            self.pos = open_idx + 3
         else:  # short open tag <?
-            self._advance(2)
-            self._emit(TokenType.OPEN_TAG, "<?", tag_line, tag_col)
+            self._emit(TokenType.OPEN_TAG, "<?", open_idx)
+            self.pos = open_idx + 2
 
     # ------------------------------------------------------------------
     # PHP mode
     # ------------------------------------------------------------------
     def _lex_php(self) -> None:  # noqa: C901 - a lexer dispatch is a big switch
-        while self.pos < len(self.source):
-            ch = self._peek()
-
-            # close tag -> back to HTML mode
-            if ch == "?" and self._peek(1) == ">":
-                line, col = self.line, self.col
-                self._advance(2)
-                self._emit(TokenType.CLOSE_TAG, "?>", line, col)
+        src = self.source
+        n = len(src)
+        pos = self.pos
+        master = _MASTER_RE.match
+        tokens = self.tokens
+        loc = self._loc
+        op_map = _OP_MAP
+        keywords = KEYWORDS
+        while pos < n:
+            m = master(src, pos)
+            if m is None:
+                ch = src[pos]
+                if ch == "'":
+                    pos = self._lex_sq_string(pos)
+                    continue
+                if ch == '"':
+                    pos = self._lex_dq_string(pos)
+                    continue
+                if ch == "`":
+                    pos = self._lex_backtick(pos)
+                    continue
+                self.pos = pos
+                raise self._error(f"unexpected character {ch!r}", pos)
+            kind = m.lastgroup
+            end = m.end()
+            if kind == "name":
+                word = m.group()
+                if (word == "b" or word == "B") and end < n \
+                        and (src[end] == "'" or src[end] == '"'):
+                    # binary string prefix (b"..."): the prefix is a no-op
+                    # in our model; drop it, the string handler takes over
+                    pos = end
+                    continue
+                line, col = loc(pos)
+                kw = keywords.get(word.lower())
+                if kw is not None:
+                    tokens.append(Token(kw, _intern(word), line, col))
+                else:
+                    tokens.append(Token(TokenType.IDENT, _intern(word),
+                                        line, col))
+                pos = end
+                continue
+            if kind == "var":
+                line, col = loc(pos)
+                tokens.append(Token(TokenType.VARIABLE,
+                                    _intern(m.group()[1:]), line, col))
+                pos = end
+                continue
+            if kind == "op":
+                type_, text = op_map[m.group()]
+                line, col = loc(pos)
+                tokens.append(Token(type_, text, line, col))
+                pos = end
+                continue
+            if kind == "ws" or kind == "lcomment":
+                pos = end
+                continue
+            if kind == "num":
+                text = m.group()
+                line, col = loc(pos)
+                prefix = text[:2]
+                if prefix == "0x" or prefix == "0X" \
+                        or prefix == "0b" or prefix == "0B":
+                    type_ = TokenType.INT
+                elif "." in text or "e" in text or "E" in text:
+                    type_ = TokenType.FLOAT
+                else:
+                    type_ = TokenType.INT
+                tokens.append(Token(type_, text, line, col))
+                pos = end
+                continue
+            if kind == "cast":
+                word = m.group()[1:-1].strip().lower()
+                self._emit(TokenType.CAST, CAST_TYPES[word], pos)
+                pos = end
+                continue
+            if kind == "bcomment":
+                idx = src.find("*/", end)
+                if idx == -1:
+                    raise self._error("unterminated block comment", end)
+                pos = idx + 2
+                continue
+            if kind == "heredoc":
+                pos = self._lex_heredoc(pos)
+                continue
+            if kind == "close":
+                self._emit(TokenType.CLOSE_TAG, "?>", pos)
+                pos = end
                 # PHP eats a single newline right after ?>
-                if self._peek() == "\n":
-                    self._advance(1)
-                elif self._peek() == "\r" and self._peek(1) == "\n":
-                    self._advance(2)
+                if pos < n and src[pos] == "\n":
+                    pos += 1
+                elif src.startswith("\r\n", pos):
+                    pos += 2
+                self.pos = pos
                 return
+        self.pos = pos
 
-            if ch in " \t\r\n":
-                self._advance(1)
-                continue
-
-            # comments
-            if ch == "/" and self._peek(1) == "/":
-                self._skip_line_comment()
-                continue
-            if ch == "#":
-                self._skip_line_comment()
-                continue
-            if ch == "/" and self._peek(1) == "*":
-                self._skip_block_comment()
-                continue
-
-            if ch == "$":
-                self._lex_variable()
-                continue
-
-            if ch == "'":
-                self._lex_sq_string()
-                continue
-            if ch == '"':
-                self._lex_dq_string()
-                continue
-            if ch == "`":
-                self._lex_backtick()
-                continue
-            if self._startswith("<<<"):
-                if self._lex_heredoc():
-                    continue
-
-            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
-                self._lex_number()
-                continue
-
-            if _IDENT_START.match(ch):
-                self._lex_ident()
-                continue
-
-            if ch == "(":
-                m = _CAST_RE.match(self.source, self.pos)
-                if m and m.group(1).lower() in CAST_TYPES:
-                    line, col = self.line, self.col
-                    self._advance(m.end() - self.pos)
-                    self._emit(TokenType.CAST, CAST_TYPES[m.group(1).lower()],
-                               line, col)
-                    continue
-
-            for text, type_ in _OPERATORS:
-                if self._startswith(text):
-                    line, col = self.line, self.col
-                    self._advance(len(text))
-                    self._emit(type_, text, line, col)
-                    break
-            else:
-                raise self._error(f"unexpected character {ch!r}")
-
-    def _skip_line_comment(self) -> None:
-        while self.pos < len(self.source) and self._peek() != "\n":
-            # a close tag terminates // and # comments in PHP
-            if self._peek() == "?" and self._peek(1) == ">":
-                return
-            self._advance(1)
-
-    def _skip_block_comment(self) -> None:
-        self._advance(2)
-        end = self.source.find("*/", self.pos)
-        if end == -1:
-            raise self._error("unterminated block comment")
-        self._advance(end + 2 - self.pos)
-
-    def _lex_variable(self) -> None:
-        line, col = self.line, self.col
-        # $$var / ${expr} handled by parser via DOLLAR token
-        m = _IDENT_RE.match(self.source, self.pos + 1)
-        if not m:
-            self._advance(1)
-            self._emit(TokenType.DOLLAR, "$", line, col)
-            return
-        self._advance(1 + (m.end() - m.start()))
-        self._emit(TokenType.VARIABLE, m.group(0), line, col)
-
-    def _lex_ident(self) -> None:
-        line, col = self.line, self.col
-        m = _IDENT_RE.match(self.source, self.pos)
-        assert m is not None
-        word = m.group(0)
-        self._advance(len(word))
-        if word in ("b", "B") and self.pos < len(self.source) \
-                and self.source[self.pos] in ("'", '"'):
-            # binary string prefix (b"..."): the prefix is a no-op in our
-            # model; drop it and let the string lexer take over
-            return
-        kw = KEYWORDS.get(word.lower())
-        if kw is not None:
-            self._emit(kw, word, line, col)
+    def _lex_sq_string(self, pos: int) -> int:
+        m = _SQ_BODY_RE.match(self.source, pos + 1)
+        if m is None:
+            raise self._error("unterminated single-quoted string",
+                              len(self.source))
+        raw = m.group()[:-1]
+        if "\\" in raw:
+            value = _SQ_ESCAPE_RE.sub(_sq_unescape, raw)
         else:
-            self._emit(TokenType.IDENT, word, line, col)
+            value = raw
+        self._emit(TokenType.SQ_STRING, value, pos)
+        return m.end()
 
-    def _lex_number(self) -> None:
-        line, col = self.line, self.col
-        for regex, type_ in ((_HEX_RE, TokenType.INT), (_BIN_RE, TokenType.INT)):
-            m = regex.match(self.source, self.pos)
-            if m:
-                self._advance(m.end() - self.pos)
-                self._emit(type_, m.group(0), line, col)
-                return
-        m = _NUM_RE.match(self.source, self.pos)
-        if not m:
-            raise self._error("malformed number")
-        text = m.group(0)
-        self._advance(len(text))
-        is_float = "." in text or "e" in text.lower()
-        self._emit(TokenType.FLOAT if is_float else TokenType.INT,
-                   text, line, col)
+    def _lex_dq_string(self, pos: int) -> int:
+        m = _DQ_BODY_RE.match(self.source, pos + 1)
+        if m is None:
+            raise self._error("unterminated double-quoted string",
+                              len(self.source))
+        # raw inner text, escapes kept verbatim: interpolation is resolved
+        # later by the parser
+        self._emit(TokenType.DQ_STRING, m.group()[:-1], pos)
+        return m.end()
 
-    def _lex_sq_string(self) -> None:
-        line, col = self.line, self.col
-        self._advance(1)
-        out: list[str] = []
-        while True:
-            if self.pos >= len(self.source):
-                raise self._error("unterminated single-quoted string")
-            ch = self._advance(1)
-            if ch == "'":
-                break
-            if ch == "\\":
-                nxt = self._advance(1) if self.pos < len(self.source) else ""
-                out.append(_SQ_ESCAPES.get(nxt, "\\" + nxt))
-            else:
-                out.append(ch)
-        self._emit(TokenType.SQ_STRING, "".join(out), line, col)
+    def _lex_backtick(self, pos: int) -> int:
+        m = _BT_BODY_RE.match(self.source, pos + 1)
+        if m is None:
+            raise self._error("unterminated backtick string",
+                              len(self.source))
+        self._emit(TokenType.BACKTICK, m.group()[:-1], pos)
+        return m.end()
 
-    def _scan_raw_until(self, terminator: str, what: str) -> str:
-        """Scan raw text (keeping escapes) until an unescaped *terminator*."""
-        out: list[str] = []
-        while True:
-            if self.pos >= len(self.source):
-                raise self._error(f"unterminated {what}")
-            ch = self._advance(1)
-            if ch == terminator:
-                return "".join(out)
-            out.append(ch)
-            if ch == "\\" and self.pos < len(self.source):
-                out.append(self._advance(1))
-
-    def _lex_dq_string(self) -> None:
-        line, col = self.line, self.col
-        self._advance(1)
-        raw = self._scan_raw_until('"', "double-quoted string")
-        self._emit(TokenType.DQ_STRING, raw, line, col)
-
-    def _lex_backtick(self) -> None:
-        line, col = self.line, self.col
-        self._advance(1)
-        raw = self._scan_raw_until("`", "backtick string")
-        self._emit(TokenType.BACKTICK, raw, line, col)
-
-    def _lex_heredoc(self) -> bool:
-        """Try to lex a heredoc/nowdoc; return False if ``<<<`` is not one."""
-        m = _HEREDOC_OPEN_RE.match(self.source, self.pos)
-        if not m:
-            return False
-        line, col = self.line, self.col
+    def _lex_heredoc(self, pos: int) -> int:
+        m = _HEREDOC_OPEN_RE.match(self.source, pos)
+        assert m is not None  # the master regex already matched the opener
         label = m.group("here") or m.group("now") or m.group("nowq")
         is_nowdoc = m.group("now") is not None
-        self._advance(m.end() - self.pos)
-        # find the closing label at the start of a line (allow indentation,
-        # PHP 7.3+ flexible heredoc)
-        close_re = re.compile(
-            r"^[ \t]*" + re.escape(label) + r"\b", re.MULTILINE)
-        mm = close_re.search(self.source, self.pos)
+        mm = _heredoc_close_re(label).search(self.source, m.end())
         if not mm:
-            raise self._error(f"unterminated heredoc <<<{label}")
-        body = self.source[self.pos:mm.start()]
+            raise self._error(f"unterminated heredoc <<<{label}", m.end())
+        body = self.source[m.end():mm.start()]
         # strip the final newline that belongs to the terminator line
         if body.endswith("\r\n"):
             body = body[:-2]
         elif body.endswith("\n"):
             body = body[:-1]
-        self._advance(mm.end() - self.pos)
         self._emit(TokenType.NOWDOC if is_nowdoc else TokenType.HEREDOC,
-                   body, line, col)
-        return True
+                   body, pos)
+        return mm.end()
 
 
 def tokenize(source: str, filename: str = "<source>") -> list[Token]:

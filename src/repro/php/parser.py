@@ -50,6 +50,17 @@ _BINARY_LEVELS: list[dict[T, str]] = [
     {T.MUL: "*", T.DIV: "/", T.MOD: "%"},
 ]
 
+# flattened for precedence climbing: token -> (level, op-text)
+_BINARY_PREC: dict[T, tuple[int, str]] = {
+    tok: (level, op)
+    for level, ops in enumerate(_BINARY_LEVELS)
+    for tok, op in ops.items()
+}
+
+# every KW_* token type, precomputed so keyword-as-name checks avoid
+# string inspection of the enum member name
+_KEYWORD_TYPES = frozenset(t for t in T if t.name.startswith("KW_"))
+
 _MAGIC_CONSTANTS = {
     "__file__", "__line__", "__dir__", "__function__", "__class__",
     "__method__", "__namespace__", "__trait__",
@@ -79,11 +90,14 @@ class Parser:
     # token helpers
     # ------------------------------------------------------------------
     def _peek(self, offset: int = 0) -> Token:
-        idx = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[idx]
+        if offset:
+            idx = min(self.pos + offset, len(self.tokens) - 1)
+            return self.tokens[idx]
+        # the cursor never passes the trailing EOF token
+        return self.tokens[self.pos]
 
     def _at(self, *types: T) -> bool:
-        return self._peek().type in types
+        return self.tokens[self.pos].type in types
 
     def _advance(self) -> Token:
         tok = self.tokens[self.pos]
@@ -108,9 +122,6 @@ class Parser:
     def _error(self, message: str) -> PhpSyntaxError:
         tok = self._peek()
         return PhpSyntaxError(message, tok.line, tok.col, self.filename)
-
-    def _pos_of(self, tok: Token) -> dict[str, int]:
-        return {"line": tok.line, "col": tok.col}
 
     # ------------------------------------------------------------------
     # program / statements
@@ -191,7 +202,7 @@ class Parser:
 
         if tt is T.INLINE_HTML:
             self._advance()
-            return ast.InlineHTML(tok.value, **self._pos_of(tok))
+            return ast.InlineHTML(tok.value, line=tok.line, col=tok.col)
         if tt in (T.OPEN_TAG, T.CLOSE_TAG):
             self._advance()
             return None
@@ -202,7 +213,7 @@ class Parser:
             self._advance()
             body = self._parse_statement_list(T.RBRACE)
             self._expect(T.RBRACE)
-            return ast.Block(body, **self._pos_of(tok))
+            return ast.Block(body, line=tok.line, col=tok.col)
 
         if tt is T.KW_IF:
             return self._parse_if()
@@ -224,28 +235,28 @@ class Parser:
                 level = int(num.value, 0)
             self._expect_semi()
             cls = ast.Break if tt is T.KW_BREAK else ast.Continue
-            return cls(level, **self._pos_of(tok))
+            return cls(level, line=tok.line, col=tok.col)
         if tt is T.KW_RETURN:
             self._advance()
             expr = None
             if not self._at(T.SEMI, T.CLOSE_TAG, T.EOF):
                 expr = self.parse_expression()
             self._expect_semi()
-            return ast.Return(expr, **self._pos_of(tok))
+            return ast.Return(expr, line=tok.line, col=tok.col)
         if tt is T.KW_ECHO:
             self._advance()
             exprs = [self.parse_expression()]
             while self._accept(T.COMMA):
                 exprs.append(self.parse_expression())
             self._expect_semi()
-            return ast.Echo(exprs, **self._pos_of(tok))
+            return ast.Echo(exprs, line=tok.line, col=tok.col)
         if tt is T.KW_GLOBAL:
             self._advance()
             names = [self._expect(T.VARIABLE).value]
             while self._accept(T.COMMA):
                 names.append(self._expect(T.VARIABLE).value)
             self._expect_semi()
-            return ast.Global(names, **self._pos_of(tok))
+            return ast.Global(names, line=tok.line, col=tok.col)
         if tt is T.KW_STATIC and self._peek(1).type is T.VARIABLE:
             return self._parse_static_vars()
         if tt is T.KW_UNSET:
@@ -256,12 +267,12 @@ class Parser:
                 vars_.append(self.parse_expression())
             self._expect(T.RPAREN)
             self._expect_semi()
-            return ast.Unset(vars_, **self._pos_of(tok))
+            return ast.Unset(vars_, line=tok.line, col=tok.col)
         if tt is T.KW_THROW:
             self._advance()
             expr = self.parse_expression()
             self._expect_semi()
-            return ast.Throw(expr, **self._pos_of(tok))
+            return ast.Throw(expr, line=tok.line, col=tok.col)
         if tt is T.KW_TRY:
             return self._parse_try()
         if tt is T.KW_FUNCTION and self._peek(1).type in (T.IDENT, T.AMP):
@@ -292,25 +303,25 @@ class Parser:
                 if not self._accept(T.COMMA):
                     break
             self._expect_semi()
-            return ast.ConstStatement(consts, **self._pos_of(tok))
+            return ast.ConstStatement(consts, line=tok.line, col=tok.col)
 
         if tt is T.IDENT and tok.value.lower() == "goto" \
                 and self._peek(1).type is T.IDENT:
             self._advance()
             label = self._advance().value
             self._expect_semi()
-            return ast.Goto(label, **self._pos_of(tok))
+            return ast.Goto(label, line=tok.line, col=tok.col)
         if tt is T.IDENT and self._peek(1).type is T.COLON:
             # "label:" goto target (":" after a bare name can be nothing
             # else at statement level — "::" lexes as one token)
             self._advance()
             self._advance()
-            return ast.Label(tok.value, **self._pos_of(tok))
+            return ast.Label(tok.value, line=tok.line, col=tok.col)
 
         # expression statement
         expr = self.parse_expression()
         self._expect_semi()
-        return ast.ExpressionStatement(expr, **self._pos_of(tok))
+        return ast.ExpressionStatement(expr, line=tok.line, col=tok.col)
 
     def _expect_semi(self) -> None:
         """Consume a statement terminator (``;`` or an implicit one)."""
@@ -349,7 +360,7 @@ class Parser:
                 otherwise = self._parse_statement_list(T.KW_ENDIF)
             self._expect(T.KW_ENDIF)
             self._expect_semi()
-            return ast.If(cond, then, elifs, otherwise, **self._pos_of(tok))
+            return ast.If(cond, then, elifs, otherwise, line=tok.line, col=tok.col)
 
         then = self._parse_block_or_single()
         elifs = []
@@ -374,7 +385,7 @@ class Parser:
                 break
             else:
                 break
-        return ast.If(cond, then, elifs, otherwise, **self._pos_of(tok))
+        return ast.If(cond, then, elifs, otherwise, line=tok.line, col=tok.col)
 
     def _parse_while(self) -> ast.While:
         tok = self._expect(T.KW_WHILE)
@@ -387,7 +398,7 @@ class Parser:
             self._expect_semi()
         else:
             body = self._parse_block_or_single()
-        return ast.While(cond, body, **self._pos_of(tok))
+        return ast.While(cond, body, line=tok.line, col=tok.col)
 
     def _parse_do_while(self) -> ast.DoWhile:
         tok = self._expect(T.KW_DO)
@@ -397,7 +408,7 @@ class Parser:
         cond = self.parse_expression()
         self._expect(T.RPAREN)
         self._expect_semi()
-        return ast.DoWhile(body, cond, **self._pos_of(tok))
+        return ast.DoWhile(body, cond, line=tok.line, col=tok.col)
 
     def _parse_for(self) -> ast.For:
         tok = self._expect(T.KW_FOR)
@@ -423,7 +434,7 @@ class Parser:
             self._expect_semi()
         else:
             body = self._parse_block_or_single()
-        return ast.For(init, cond, step, body, **self._pos_of(tok))
+        return ast.For(init, cond, step, body, line=tok.line, col=tok.col)
 
     def _parse_foreach(self) -> ast.Foreach:
         tok = self._expect(T.KW_FOREACH)
@@ -446,7 +457,7 @@ class Parser:
         else:
             body = self._parse_block_or_single()
         return ast.Foreach(subject, key_var, value_var, by_ref, body,
-                           **self._pos_of(tok))
+                           line=tok.line, col=tok.col)
 
     def _parse_switch(self) -> ast.Switch:
         tok = self._expect(T.KW_SWITCH)
@@ -476,13 +487,13 @@ class Parser:
                 self._expect(T.SEMI)  # "case 1;" legacy form
             body = self._parse_statement_list(
                 T.KW_CASE, T.KW_DEFAULT, *end)
-            cases.append(ast.SwitchCase(test, body, **self._pos_of(ctok)))
+            cases.append(ast.SwitchCase(test, body, line=ctok.line, col=ctok.col))
         if alt:
             self._expect(T.KW_ENDSWITCH)
             self._expect_semi()
         else:
             self._expect(T.RBRACE)
-        return ast.Switch(subject, cases, **self._pos_of(tok))
+        return ast.Switch(subject, cases, line=tok.line, col=tok.col)
 
     def _parse_try(self) -> ast.Try:
         tok = self._expect(T.KW_TRY)
@@ -503,13 +514,13 @@ class Parser:
             self._expect(T.RBRACE)
             catches.append(ast.CatchClause(
                 types, var_tok.value if var_tok else None, cbody,
-                **self._pos_of(ctok)))
+                line=ctok.line, col=ctok.col))
         finally_body: list[ast.Node] | None = None
         if self._accept(T.KW_FINALLY):
             self._expect(T.LBRACE)
             finally_body = self._parse_statement_list(T.RBRACE)
             self._expect(T.RBRACE)
-        return ast.Try(body, catches, finally_body, **self._pos_of(tok))
+        return ast.Try(body, catches, finally_body, line=tok.line, col=tok.col)
 
     def _parse_static_vars(self) -> ast.StaticVarDecl:
         tok = self._expect(T.KW_STATIC)
@@ -523,7 +534,7 @@ class Parser:
             if not self._accept(T.COMMA):
                 break
         self._expect_semi()
-        return ast.StaticVarDecl(vars_, **self._pos_of(tok))
+        return ast.StaticVarDecl(vars_, line=tok.line, col=tok.col)
 
     # ------------------------------------------------------------------
     # declarations
@@ -545,7 +556,7 @@ class Parser:
         if tok.type is T.IDENT:
             return self._advance().value
         # PHP allows many keywords as method/const names
-        if tok.type.name.startswith("KW_"):
+        if tok.type in _KEYWORD_TYPES:
             return self._advance().value
         raise self._error(
             f"expected name, found {tok.type.value!r}")
@@ -594,7 +605,7 @@ class Parser:
             if self._accept(T.ASSIGN):
                 default = self.parse_expression()
             params.append(ast.Param(name, default, by_ref, variadic,
-                                    type_hint, **self._pos_of(ptok)))
+                                    type_hint, line=ptok.line, col=ptok.col))
             if not self._accept(T.COMMA):
                 break
         self._expect(T.RPAREN)
@@ -612,7 +623,7 @@ class Parser:
         body = self._parse_statement_list(T.RBRACE)
         self._expect(T.RBRACE)
         return ast.FunctionDecl(name, params, body, by_ref, return_type,
-                                **self._pos_of(tok))
+                                line=tok.line, col=tok.col)
 
     def _parse_class_decl(self, modifiers: list[str]) -> ast.ClassDecl:
         tok = self._advance()  # class / interface / trait
@@ -638,7 +649,7 @@ class Parser:
             members.append(self._parse_class_member())
         self._expect(T.RBRACE)
         return ast.ClassDecl(name, parent, interfaces, members, modifiers,
-                             kind, **self._pos_of(tok))
+                             kind, line=tok.line, col=tok.col)
 
     def _parse_class_member(self) -> ast.Node:  # noqa: C901
         tok = self._peek()
@@ -661,7 +672,7 @@ class Parser:
                     self._advance()
             else:
                 self._expect_semi()
-            return ast.UseTrait(names, **self._pos_of(tok))
+            return ast.UseTrait(names, line=tok.line, col=tok.col)
         if self._at(T.KW_CONST):
             self._advance()
             consts: list[tuple[str, ast.Node]] = []
@@ -672,7 +683,7 @@ class Parser:
                 if not self._accept(T.COMMA):
                     break
             self._expect_semi()
-            return ast.ClassConstDecl(mods, consts, **self._pos_of(tok))
+            return ast.ClassConstDecl(mods, consts, line=tok.line, col=tok.col)
         if self._at(T.KW_FUNCTION):
             self._advance()
             by_ref = bool(self._accept(T.AMP))
@@ -688,7 +699,7 @@ class Parser:
             else:
                 self._expect_semi()
             return ast.MethodDecl(name, params, body, mods, by_ref,
-                                  return_type, **self._pos_of(tok))
+                                  return_type, line=tok.line, col=tok.col)
         # property, possibly typed
         type_hint = None
         if not self._at(T.VARIABLE):
@@ -706,7 +717,7 @@ class Parser:
                 break
         self._expect_semi()
         return ast.PropertyDecl(mods or ["public"], vars_, type_hint,
-                                **self._pos_of(tok))
+                                line=tok.line, col=tok.col)
 
     def _parse_namespace(self) -> ast.NamespaceDecl:
         tok = self._expect(T.KW_NAMESPACE)
@@ -716,9 +727,9 @@ class Parser:
         if self._accept(T.LBRACE):
             body = self._parse_statement_list(T.RBRACE)
             self._expect(T.RBRACE)
-            return ast.NamespaceDecl(name, body, **self._pos_of(tok))
+            return ast.NamespaceDecl(name, body, line=tok.line, col=tok.col)
         self._expect_semi()
-        return ast.NamespaceDecl(name, None, **self._pos_of(tok))
+        return ast.NamespaceDecl(name, None, line=tok.line, col=tok.col)
 
     def _parse_use(self) -> ast.UseDecl:
         tok = self._expect(T.KW_USE)
@@ -735,7 +746,7 @@ class Parser:
             if not self._accept(T.COMMA):
                 break
         self._expect_semi()
-        return ast.UseDecl(imports, **self._pos_of(tok))
+        return ast.UseDecl(imports, line=tok.line, col=tok.col)
 
     # ------------------------------------------------------------------
     # expressions
@@ -748,7 +759,7 @@ class Parser:
             op = {"and": "&&", "or": "||", "xor": "xor"}[
                 op_tok.value.lower()]
             right = self._parse_assignment()
-            left = ast.BinaryOp(op, left, right, **self._pos_of(op_tok))
+            left = ast.BinaryOp(op, left, right, line=op_tok.line, col=op_tok.col)
         return left
 
     def _parse_assignment(self) -> ast.Node:
@@ -763,9 +774,9 @@ class Parser:
             if isinstance(target, ast.ArrayLiteral) and \
                     tok.type is T.ASSIGN and not by_ref:
                 targets = [item.value for item in target.items]
-                return ast.ListAssign(targets, value, **self._pos_of(tok))
+                return ast.ListAssign(targets, value, line=tok.line, col=tok.col)
             return ast.Assign(target, _ASSIGN_OPS[tok.type], value, by_ref,
-                              **self._pos_of(tok))
+                              line=tok.line, col=tok.col)
         return target
 
     def _parse_ternary(self) -> ast.Node:
@@ -778,7 +789,7 @@ class Parser:
                 then = self.parse_expression()
             self._expect(T.COLON)
             otherwise = self._parse_assignment()
-            return ast.Ternary(cond, then, otherwise, **self._pos_of(tok))
+            return ast.Ternary(cond, then, otherwise, line=tok.line, col=tok.col)
         return cond
 
     def _parse_coalesce(self) -> ast.Node:
@@ -787,20 +798,24 @@ class Parser:
         if tok.type is T.COALESCE:
             self._advance()
             right = self._parse_coalesce()  # right associative
-            return ast.BinaryOp("??", left, right, **self._pos_of(tok))
+            return ast.BinaryOp("??", left, right, line=tok.line, col=tok.col)
         return left
 
     def _parse_binary(self, level: int) -> ast.Node:
-        if level >= len(_BINARY_LEVELS):
-            return self._parse_instanceof()
-        ops = _BINARY_LEVELS[level]
-        left = self._parse_binary(level + 1)
-        while self._peek().type in ops:
-            tok = self._advance()
-            right = self._parse_binary(level + 1)
-            left = ast.BinaryOp(ops[tok.type], left, right,
-                                **self._pos_of(tok))
-        return left
+        # precedence climbing: one loop over the flattened operator table
+        # replaces a ten-deep recursion per operand (all levels here are
+        # left-associative)
+        prec = _BINARY_PREC
+        left = self._parse_instanceof()
+        while True:
+            tok = self.tokens[self.pos]
+            entry = prec.get(tok.type)
+            if entry is None or entry[0] < level:
+                return left
+            self.pos += 1  # the operator token (never EOF)
+            right = self._parse_binary(entry[0] + 1)
+            left = ast.BinaryOp(entry[1], left, right,
+                                line=tok.line, col=tok.col)
 
     def _parse_instanceof(self) -> ast.Node:
         expr = self._parse_unary()
@@ -810,7 +825,7 @@ class Parser:
                 cls: str | ast.Node = self._parse_qualified_name()
             else:
                 cls = self._parse_unary()
-            expr = ast.InstanceOf(expr, cls, **self._pos_of(tok))
+            expr = ast.InstanceOf(expr, cls, line=tok.line, col=tok.col)
         return expr
 
     def _parse_unary(self) -> ast.Node:  # noqa: C901
@@ -818,32 +833,32 @@ class Parser:
         tt = tok.type
         if tt is T.NOT:
             self._advance()
-            return ast.UnaryOp("!", self._parse_unary(), **self._pos_of(tok))
+            return ast.UnaryOp("!", self._parse_unary(), line=tok.line, col=tok.col)
         if tt is T.MINUS or tt is T.PLUS or tt is T.TILDE:
             self._advance()
             return ast.UnaryOp(tok.value, self._parse_unary(),
-                               **self._pos_of(tok))
+                               line=tok.line, col=tok.col)
         if tt is T.INC or tt is T.DEC:
             self._advance()
             return ast.IncDec(tok.value, self._parse_unary(), True,
-                              **self._pos_of(tok))
+                              line=tok.line, col=tok.col)
         if tt is T.CAST:
             self._advance()
             return ast.Cast(tok.value, self._parse_unary(),
-                            **self._pos_of(tok))
+                            line=tok.line, col=tok.col)
         if tt is T.AT:
             self._advance()
             return ast.ErrorSuppress(self._parse_unary(),
-                                     **self._pos_of(tok))
+                                     line=tok.line, col=tok.col)
         if tt is T.KW_PRINT:
             self._advance()
             return ast.PrintExpr(self.parse_expression(),
-                                 **self._pos_of(tok))
+                                 line=tok.line, col=tok.col)
         if tt in (T.KW_INCLUDE, T.KW_INCLUDE_ONCE,
                   T.KW_REQUIRE, T.KW_REQUIRE_ONCE):
             self._advance()
             return ast.Include(tok.value.lower(), self.parse_expression(),
-                               **self._pos_of(tok))
+                               line=tok.line, col=tok.col)
         if tt is T.KW_NEW:
             self._advance()
             if self._at(T.IDENT, T.BACKSLASH, T.KW_STATIC):
@@ -863,11 +878,11 @@ class Parser:
             args: list[ast.Argument] = []
             if self._at(T.LPAREN):
                 args = self._parse_args()
-            node: ast.Node = ast.New(cls, args, **self._pos_of(tok))
+            node: ast.Node = ast.New(cls, args, line=tok.line, col=tok.col)
             return self._parse_postfix(node)
         if tt is T.KW_CLONE:
             self._advance()
-            return ast.Clone(self._parse_unary(), **self._pos_of(tok))
+            return ast.Clone(self._parse_unary(), line=tok.line, col=tok.col)
         if tt is T.KW_EXIT:
             self._advance()
             expr = None
@@ -875,7 +890,7 @@ class Parser:
                 if not self._at(T.RPAREN):
                     expr = self.parse_expression()
                 self._expect(T.RPAREN)
-            return ast.ExitExpr(expr, **self._pos_of(tok))
+            return ast.ExitExpr(expr, line=tok.line, col=tok.col)
         return self._parse_power()
 
     def _parse_new_class_expr(self) -> ast.Node:
@@ -889,19 +904,19 @@ class Parser:
                 if self._at(T.VARIABLE):
                     vtok = self._advance()
                     name: str | ast.Node = ast.Variable(
-                        vtok.value, **self._pos_of(vtok))
+                        vtok.value, line=vtok.line, col=vtok.col)
                 else:
                     name = self._expect_name()
                 node = ast.PropertyAccess(node, name,
                                           tok.type is T.NULLSAFE_ARROW,
-                                          **self._pos_of(tok))
+                                          line=tok.line, col=tok.col)
             elif tok.type is T.LBRACKET:
                 self._advance()
                 index = None
                 if not self._at(T.RBRACKET):
                     index = self.parse_expression()
                 self._expect(T.RBRACKET)
-                node = ast.ArrayAccess(node, index, **self._pos_of(tok))
+                node = ast.ArrayAccess(node, index, line=tok.line, col=tok.col)
             else:
                 return node
 
@@ -924,15 +939,15 @@ class Parser:
             members.append(self._parse_class_member())
         self._expect(T.RBRACE)
         cls_node = ast.ClassDecl("", parent, interfaces, members, [],
-                                 "class", **self._pos_of(new_tok))
-        return ast.New(cls_node, args, **self._pos_of(new_tok))
+                                 "class", line=new_tok.line, col=new_tok.col)
+        return ast.New(cls_node, args, line=new_tok.line, col=new_tok.col)
 
     def _parse_power(self) -> ast.Node:
         base = self._parse_postfix(self._parse_primary())
         if self._at(T.POW):
             tok = self._advance()
             exponent = self._parse_unary()  # ** is right assoc, binds unary
-            return ast.BinaryOp("**", base, exponent, **self._pos_of(tok))
+            return ast.BinaryOp("**", base, exponent, line=tok.line, col=tok.col)
         return base
 
     def _parse_args(self) -> list[ast.Argument]:
@@ -949,7 +964,7 @@ class Parser:
             spread = bool(self._accept(T.ELLIPSIS))
             value = self.parse_expression()
             args.append(ast.Argument(value, by_ref, spread, name,
-                                     **self._pos_of(atok)))
+                                     line=atok.line, col=atok.col))
             if not self._accept(T.COMMA):
                 break
         self._expect(T.RPAREN)
@@ -969,43 +984,43 @@ class Parser:
                     self._expect(T.RBRACE)
                 elif self._at(T.VARIABLE):
                     vtok = self._advance()
-                    name = ast.Variable(vtok.value, **self._pos_of(vtok))
+                    name = ast.Variable(vtok.value, line=vtok.line, col=vtok.col)
                 else:
                     name = self._expect_name()
                 if self._at(T.LPAREN):
                     args = self._parse_args()
                     node = ast.MethodCall(node, name, args, nullsafe,
-                                          **self._pos_of(tok))
+                                          line=tok.line, col=tok.col)
                 else:
                     node = ast.PropertyAccess(node, name, nullsafe,
-                                              **self._pos_of(tok))
+                                              line=tok.line, col=tok.col)
             elif tt is T.DOUBLE_COLON:
                 self._advance()
                 cls = _node_class_name(node)
                 if self._at(T.VARIABLE):
                     vtok = self._advance()
                     node = ast.StaticPropertyAccess(
-                        cls, vtok.value, **self._pos_of(tok))
+                        cls, vtok.value, line=tok.line, col=tok.col)
                 elif self._at(T.KW_CLASS):
                     self._advance()
                     node = ast.ClassConstAccess(cls, "class",
-                                                **self._pos_of(tok))
+                                                line=tok.line, col=tok.col)
                 else:
                     name = self._expect_name()
                     if self._at(T.LPAREN):
                         args = self._parse_args()
                         node = ast.StaticCall(cls, name, args,
-                                              **self._pos_of(tok))
+                                              line=tok.line, col=tok.col)
                     else:
                         node = ast.ClassConstAccess(cls, name,
-                                                    **self._pos_of(tok))
+                                                    line=tok.line, col=tok.col)
             elif tt is T.LBRACKET:
                 self._advance()
                 index = None
                 if not self._at(T.RBRACKET):
                     index = self.parse_expression()
                 self._expect(T.RBRACKET)
-                node = ast.ArrayAccess(node, index, **self._pos_of(tok))
+                node = ast.ArrayAccess(node, index, line=tok.line, col=tok.col)
             elif tt is T.LBRACE and isinstance(
                     node, (ast.Variable, ast.ArrayAccess,
                            ast.PropertyAccess)):
@@ -1013,18 +1028,18 @@ class Parser:
                 self._advance()
                 index = self.parse_expression()
                 self._expect(T.RBRACE)
-                node = ast.ArrayAccess(node, index, **self._pos_of(tok))
+                node = ast.ArrayAccess(node, index, line=tok.line, col=tok.col)
             elif tt is T.LPAREN and isinstance(
                     node, (ast.Variable, ast.ArrayAccess,
                            ast.PropertyAccess, ast.StaticPropertyAccess,
                            ast.Closure, ast.FunctionCall, ast.MethodCall,
                            ast.StaticCall)):
                 args = self._parse_args()
-                node = ast.FunctionCall(node, args, **self._pos_of(tok))
+                node = ast.FunctionCall(node, args, line=tok.line, col=tok.col)
             elif tt in (T.INC, T.DEC):
                 self._advance()
                 node = ast.IncDec(tok.value, node, False,
-                                  **self._pos_of(tok))
+                                  line=tok.line, col=tok.col)
             else:
                 return node
 
@@ -1034,26 +1049,26 @@ class Parser:
 
         if tt is T.VARIABLE:
             self._advance()
-            return ast.Variable(tok.value, **self._pos_of(tok))
+            return ast.Variable(tok.value, line=tok.line, col=tok.col)
         if tt is T.DOLLAR:
             self._advance()
             if self._accept(T.LBRACE):
                 expr = self.parse_expression()
                 self._expect(T.RBRACE)
-                return ast.VariableVariable(expr, **self._pos_of(tok))
+                return ast.VariableVariable(expr, line=tok.line, col=tok.col)
             inner = self._parse_primary()
-            return ast.VariableVariable(inner, **self._pos_of(tok))
+            return ast.VariableVariable(inner, line=tok.line, col=tok.col)
         if tt is T.INT:
             self._advance()
             text = tok.value.replace("_", "")
-            return ast.Literal(int(text, 0), "int", **self._pos_of(tok))
+            return ast.Literal(int(text, 0), "int", line=tok.line, col=tok.col)
         if tt is T.FLOAT:
             self._advance()
             return ast.Literal(float(tok.value.replace("_", "")), "float",
-                               **self._pos_of(tok))
+                               line=tok.line, col=tok.col)
         if tt is T.SQ_STRING or tt is T.NOWDOC:
             self._advance()
-            return ast.Literal(tok.value, "string", **self._pos_of(tok))
+            return ast.Literal(tok.value, "string", line=tok.line, col=tok.col)
         if tt is T.DQ_STRING or tt is T.HEREDOC:
             self._advance()
             return parse_interpolated(tok.value, tok.line, tok.col,
@@ -1064,7 +1079,7 @@ class Parser:
                                         self.filename)
             parts = (interp.parts if isinstance(interp, ast.InterpolatedString)
                      else [interp])
-            return ast.ShellExec(parts, **self._pos_of(tok))
+            return ast.ShellExec(parts, line=tok.line, col=tok.col)
         if tt is T.LPAREN:
             self._advance()
             expr = self.parse_expression()
@@ -1078,7 +1093,7 @@ class Parser:
                 self._advance()
                 return self._parse_array_literal(T.LPAREN, T.RPAREN)
             self._advance()  # bare 'array' as a type-ish constant
-            return ast.ConstFetch("array", **self._pos_of(tok))
+            return ast.ConstFetch("array", line=tok.line, col=tok.col)
         if tt is T.KW_LIST:
             self._advance()
             self._expect(T.LPAREN)
@@ -1094,9 +1109,9 @@ class Parser:
             if self._accept(T.ASSIGN):
                 value = self.parse_expression()
                 return ast.ListAssign(targets, value,
-                                      **self._pos_of(tok))
+                                      line=tok.line, col=tok.col)
             # bare list(...) pattern (foreach destructuring target)
-            return ast.ListAssign(targets, None, **self._pos_of(tok))
+            return ast.ListAssign(targets, None, line=tok.line, col=tok.col)
         if tt is T.KW_ISSET:
             self._advance()
             self._expect(T.LPAREN)
@@ -1104,13 +1119,13 @@ class Parser:
             while self._accept(T.COMMA):
                 vars_.append(self.parse_expression())
             self._expect(T.RPAREN)
-            return ast.Isset(vars_, **self._pos_of(tok))
+            return ast.Isset(vars_, line=tok.line, col=tok.col)
         if tt is T.KW_EMPTY:
             self._advance()
             self._expect(T.LPAREN)
             expr = self.parse_expression()
             self._expect(T.RPAREN)
-            return ast.Empty(expr, **self._pos_of(tok))
+            return ast.Empty(expr, line=tok.line, col=tok.col)
         if tt is T.KW_FUNCTION:
             return self._parse_closure()
         if tt is T.KW_FN:
@@ -1126,24 +1141,24 @@ class Parser:
                 self._advance()
                 return self._parse_postfix_static("static", tok)
             self._advance()
-            return ast.ConstFetch("static", **self._pos_of(tok))
+            return ast.ConstFetch("static", line=tok.line, col=tok.col)
         if tt is T.IDENT or tt is T.BACKSLASH:
             name = self._parse_qualified_name()
             lowered = name.lower().lstrip("\\")
             if self._at(T.LPAREN):
                 args = self._parse_args()
-                return ast.FunctionCall(name, args, **self._pos_of(tok))
+                return ast.FunctionCall(name, args, line=tok.line, col=tok.col)
             if self._at(T.DOUBLE_COLON):
                 return self._parse_postfix_static(name, tok)
             if lowered == "true":
-                return ast.Literal(True, "bool", **self._pos_of(tok))
+                return ast.Literal(True, "bool", line=tok.line, col=tok.col)
             if lowered == "false":
-                return ast.Literal(False, "bool", **self._pos_of(tok))
+                return ast.Literal(False, "bool", line=tok.line, col=tok.col)
             if lowered == "null":
-                return ast.Literal(None, "null", **self._pos_of(tok))
+                return ast.Literal(None, "null", line=tok.line, col=tok.col)
             if lowered in _MAGIC_CONSTANTS:
-                return ast.ConstFetch(name, **self._pos_of(tok))
-            return ast.ConstFetch(name, **self._pos_of(tok))
+                return ast.ConstFetch(name, line=tok.line, col=tok.col)
+            return ast.ConstFetch(name, line=tok.line, col=tok.col)
         if tt is T.AMP:
             # stray by-ref in expression context (e.g. args list quirk)
             self._advance()
@@ -1158,17 +1173,17 @@ class Parser:
         if self._at(T.VARIABLE):
             vtok = self._advance()
             node: ast.Node = ast.StaticPropertyAccess(
-                cls, vtok.value, **self._pos_of(tok))
+                cls, vtok.value, line=tok.line, col=tok.col)
         elif self._at(T.KW_CLASS):
             self._advance()
-            node = ast.ClassConstAccess(cls, "class", **self._pos_of(tok))
+            node = ast.ClassConstAccess(cls, "class", line=tok.line, col=tok.col)
         else:
             name = self._expect_name()
             if self._at(T.LPAREN):
                 args = self._parse_args()
-                node = ast.StaticCall(cls, name, args, **self._pos_of(tok))
+                node = ast.StaticCall(cls, name, args, line=tok.line, col=tok.col)
             else:
-                node = ast.ClassConstAccess(cls, name, **self._pos_of(tok))
+                node = ast.ClassConstAccess(cls, name, line=tok.line, col=tok.col)
         return self._parse_postfix(node)
 
     def _parse_array_literal(self, open_: T, close: T) -> ast.ArrayLiteral:
@@ -1183,14 +1198,14 @@ class Parser:
                 by_ref = bool(self._accept(T.AMP))
                 value = self.parse_expression()
                 items.append(ast.ArrayItem(first, value, by_ref, spread,
-                                           **self._pos_of(itok)))
+                                           line=itok.line, col=itok.col))
             else:
                 items.append(ast.ArrayItem(None, first, by_ref, spread,
-                                           **self._pos_of(itok)))
+                                           line=itok.line, col=itok.col))
             if not self._accept(T.COMMA):
                 break
         self._expect(close)
-        return ast.ArrayLiteral(items, **self._pos_of(tok))
+        return ast.ArrayLiteral(items, line=tok.line, col=tok.col)
 
     def _parse_arrow_function(self) -> ast.Node:
         """PHP 7.4 arrow function: ``fn($x) => expr``.
@@ -1202,30 +1217,30 @@ class Parser:
         by_ref = bool(self._accept(T.AMP))
         if not self._at(T.LPAREN):
             # legacy: "fn" used as a plain identifier
-            return ast.ConstFetch(tok.value, **self._pos_of(tok))
+            return ast.ConstFetch(tok.value, line=tok.line, col=tok.col)
         params = self._parse_params()
         if self._accept(T.COLON):
             self._parse_type_hint()
         if not self._at(T.DOUBLE_ARROW):
             # it was a call: fn(...) in pre-7.4 code
-            args = [ast.Argument(_param_to_expr(p), **self._pos_of(tok))
+            args = [ast.Argument(_param_to_expr(p), line=tok.line, col=tok.col)
                     for p in params]
             return self._parse_postfix(
-                ast.FunctionCall(tok.value, args, **self._pos_of(tok)))
+                ast.FunctionCall(tok.value, args, line=tok.line, col=tok.col))
         self._expect(T.DOUBLE_ARROW)
         body_expr = self.parse_expression()
         body: list[ast.Node] = [ast.Return(body_expr,
                                            line=body_expr.line,
                                            col=body_expr.col)]
         return ast.Closure(params, [], body, by_ref, True,
-                           **self._pos_of(tok))
+                           line=tok.line, col=tok.col)
 
     def _parse_match(self) -> ast.Node:
         """PHP 8 ``match`` expression, with a fallback for legacy code
         calling a function named ``match``."""
         tok = self._expect(T.KW_MATCH)
         if not self._at(T.LPAREN):
-            return ast.ConstFetch(tok.value, **self._pos_of(tok))
+            return ast.ConstFetch(tok.value, line=tok.line, col=tok.col)
         save = self.pos
         self._expect(T.LPAREN)
         subject = self.parse_expression()
@@ -1234,7 +1249,7 @@ class Parser:
             self.pos = save
             args = self._parse_args()
             return self._parse_postfix(
-                ast.FunctionCall(tok.value, args, **self._pos_of(tok)))
+                ast.FunctionCall(tok.value, args, line=tok.line, col=tok.col))
         self._expect(T.RPAREN)
         self._expect(T.LBRACE)
         arms: list[ast.MatchArm] = []
@@ -1252,11 +1267,11 @@ class Parser:
             self._expect(T.DOUBLE_ARROW)
             body = self.parse_expression()
             arms.append(ast.MatchArm(conditions, body,
-                                     **self._pos_of(atok)))
+                                     line=atok.line, col=atok.col))
             if not self._accept(T.COMMA):
                 break
         self._expect(T.RBRACE)
-        return ast.Match(subject, arms, **self._pos_of(tok))
+        return ast.Match(subject, arms, line=tok.line, col=tok.col)
 
     def _parse_closure(self) -> ast.Closure:
         tok = self._expect(T.KW_FUNCTION)
@@ -1277,7 +1292,7 @@ class Parser:
         body = self._parse_statement_list(T.RBRACE)
         self._expect(T.RBRACE)
         return ast.Closure(params, uses, body, by_ref, False,
-                           **self._pos_of(tok))
+                           line=tok.line, col=tok.col)
 
 
 def _param_to_expr(param: ast.Param) -> ast.Node:

@@ -76,6 +76,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "from cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache entirely")
+    parser.add_argument("--no-ast-cache", action="store_true",
+                        help="disable the on-disk AST cache tier (parsed "
+                             "syntax trees kept next to the result cache)")
     parser.add_argument("--no-includes", action="store_true",
                         help="disable static include/require resolution "
                              "(each file is analyzed in isolation)")
@@ -237,7 +240,8 @@ def main(argv: list[str] | None = None) -> int:
                 report = tool.analyze_tree(target, ScanOptions(
                     jobs=args.jobs, cache_dir=cache_dir,
                     telemetry=telemetry,
-                    includes=not args.no_includes))
+                    includes=not args.no_includes,
+                    ast_cache=not args.no_ast_cache))
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:

@@ -9,6 +9,8 @@ the rest of the file is still parsed and analyzed).
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.exceptions import PhpSyntaxError
@@ -21,6 +23,32 @@ def roundtrip(source: str) -> ast.Program:
     """Unparse then re-parse: the output must stay valid PHP."""
     program = parse(source, "t.php")
     return parse(unparse(program), "t.php")
+
+
+def structural_dump(node) -> object:
+    """A nested, position-free rendering of an AST for equality checks.
+
+    Line/col are excluded on purpose: unparsing reflows the source, so
+    positions legitimately differ while the structure must not.
+    """
+    if isinstance(node, ast.InlineHTML):
+        # unparsing reflows tag boundaries onto their own lines, so
+        # surrounding whitespace in raw HTML is a legitimate diff
+        return ("InlineHTML", node.text.strip())
+    if isinstance(node, ast.Node):
+        return (type(node).__name__, {
+            f.name: structural_dump(getattr(node, f.name))
+            for f in dataclasses.fields(node)
+            if f.name not in ("line", "col")
+        })
+    if isinstance(node, list):
+        return [structural_dump(item) for item in node]
+    if isinstance(node, tuple):
+        return tuple(structural_dump(item) for item in node)
+    if isinstance(node, dict):
+        return {key: structural_dump(value)
+                for key, value in node.items()}
+    return node
 
 
 # ---------------------------------------------------------------------------
@@ -208,3 +236,78 @@ class TestRecovery:
         assert entry.parse_warning
         assert entry.recovered_statements == 1
         assert any(o.vuln_class == "xss" for o in entry.outcomes)
+
+
+# ---------------------------------------------------------------------------
+# unparse -> reparse structural identity (ISSUE 5 satellite)
+# ---------------------------------------------------------------------------
+
+class TestRoundTripIdentity:
+    """``parse(unparse(parse(src)))`` must equal ``parse(src)``.
+
+    This is the structural guard behind the slotted-lexer/parser rewrite:
+    any change to token boundaries, operator precedence or node layout
+    shows up as a structural diff here before it shows up as a wrong
+    finding.  Positions are excluded (unparsing reflows the source).
+    """
+
+    CORPUS = [
+        # operator precedence and associativity (exercises the flattened
+        # precedence-climbing loop)
+        "<?php $x = 1 + 2 * 3 - 4 / 2 % 3;",
+        "<?php while ($a and $b xor $c or !$d) { f(); }",
+        "<?php $s = 'a' . 'b' . $c . ($d . 'e');",
+        "<?php $y = 1 < 2 == 3 >= 4 !== 5 <=> 6;",
+        "<?php $m = $a ?? $b ?? $c; $n = $p ?: $q;",
+        "<?php $t = $a ? $b : ($c ? $d : $e);",
+        "<?php $z = 2 ** 3 ** 2; $w = -$x + ~$y;",
+        "<?php $r = 1 << 2 | 3 & 4 ^ 5 >> 1;",
+        # casts, numbers, strings (master-regex alternative ordering)
+        "<?php $i = (int) '42'; $f = (float) $x; $b = (bool) $y;",
+        "<?php $n = 0x1F + 0b101 + 1.5e3 + .25;",
+        "<?php $s = \"pre $name mid {$arr['k']} post\\n\";",
+        "<?php $q = 'it\\'s'; $h = <<<EOT\nline $v\nEOT;",
+        "<?php echo `ls -l $dir`;",
+        # statements and control flow
+        ("<?php foreach ($rows as $k => &$v) { if ($k) continue; "
+         "unset($v); } while ($i--) do { $j++; } while ($j < 3);"),
+        ("<?php switch ($x) { case 1: echo 'a'; break; "
+         "default: echo 'z'; }"),
+        ("<?php try { f(); } catch (A | B $e) { g($e); } "
+         "finally { h(); }"),
+        ("<?php function f(int $a, ...$rest) { static $n = 0; "
+         "return $a + $n; }"),
+        ("<?php class C extends B implements I { const K = 1; "
+         "public static $p = []; function m() { return self::K; } }"),
+        ("<?php $fn = function ($x) use (&$acc) { $acc[] = $x; }; "
+         "$a = fn($y) => $y * 2;"),
+        "<?php list($a, , $b) = $pair; [$c, $d] = $pair;",
+        "<?php $arr = ['k' => 1, 2, 'n' => [3, 4]]; echo $arr['k'];",
+        "<?php $o->p->q($r)->s[$t] = A::f($u)::$v;",
+        "<?php if ($a): echo 1; elseif ($b): echo 2; "
+        "else: echo 3; endif;",
+        # tag interleaving (InlineHTML text compared whitespace-stripped)
+        "pre<?= $x ?>post",
+        "<?php echo 1; ?>\n<hr>\n<?php echo 2;",
+        # the existing corpus shapes
+        TestAnonymousClass.SOURCE,
+        TestGoto.SOURCE,
+    ]
+
+    @pytest.mark.parametrize("source", CORPUS,
+                             ids=range(len(CORPUS)))
+    def test_roundtrip_is_structurally_identical(self, source):
+        first = parse(source, "t.php")
+        second = parse(unparse(first), "t.php")
+        assert structural_dump(second) == structural_dump(first)
+
+    def test_dump_distinguishes_structures(self):
+        # sanity: the dump is not trivially equal for different code
+        a = parse("<?php $x = 1 + 2 * 3;", "t.php")
+        b = parse("<?php $x = (1 + 2) * 3;", "t.php")
+        assert structural_dump(a) != structural_dump(b)
+
+    def test_dump_ignores_positions(self):
+        a = parse("<?php $x = 1;", "t.php")
+        b = parse("<?php\n\n   $x = 1;", "t.php")
+        assert structural_dump(a) == structural_dump(b)
