@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-grammar test-service bench bench-smoke \
-	bench-throughput bench-frontend trace-demo serve-demo
+.PHONY: test test-fast test-grammar test-ir test-service bench \
+	bench-smoke bench-throughput bench-frontend trace-demo serve-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -23,6 +23,13 @@ test-grammar:
 		tests/test_php_parser.py tests/test_php_unparser.py \
 		tests/test_php_visitor.py tests/test_php_edge_cases.py \
 		tests/test_php_modern_syntax.py tests/test_php_grammar_corpus.py
+
+# the taint IR: lowering unit tests, the differential oracle against
+# the reference AST walker, and the compositional summary-cache tier
+# (all part of the fast suite; this target is the focused loop)
+test-ir:
+	$(PYTHON) -m pytest -x -q tests/test_ir.py tests/test_ir_oracle.py \
+		tests/test_summary_cache.py tests/test_ast_store.py
 
 # the embedding API, scan daemon, and report-schema suites (includes
 # the slow daemon-vs-CLI oracle and the `wape serve` subprocess test)
@@ -42,7 +49,9 @@ bench-throughput:
 bench-frontend:
 	$(PYTHON) benchmarks/bench_frontend.py
 
-# tiny-tree regression guard (fast; writes no trajectory files)
+# tiny-tree regression guard (fast; writes no trajectory files).
+# Covers every scenario including the summary-warm cold scan, whose
+# inline assertions prove dependency bodies are replayed, not re-run.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke
 	$(PYTHON) benchmarks/bench_frontend.py --smoke

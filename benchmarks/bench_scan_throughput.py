@@ -121,6 +121,109 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+def _build_include_project(root: str, libs: int = 8,
+                           pages: int = 48) -> None:
+    """A synthetic include-heavy project for the summary-warm scenario.
+
+    The webapp corpus resolves no includes (its ``require`` calls are
+    dynamic), so the compositional summary tier never engages there.
+    This project is the opposite: every page composes three shared
+    libraries, which is exactly the shape the tier accelerates.
+    """
+    os.makedirs(root, exist_ok=True)
+    for i in range(libs):
+        with open(os.path.join(root, f"lib{i}.php"), "w",
+                  encoding="utf-8") as f:
+            f.write(
+                "<?php\n"
+                f"$g{i} = $_GET['g{i}'];\n"
+                f"function fwd{i}($x) {{\n"
+                "    $y = trim($x);\n"
+                "    for ($j = 0; $j < 3; $j++) { $y = $y . $j; }\n"
+                "    return $y;\n"
+                "}\n"
+                f"function clean{i}($x) {{ return htmlentities($x); }}\n"
+                f"function sink{i}($x) {{ echo fwd{i}($x); }}\n")
+    for p in range(pages):
+        a, b, c = p % libs, (p + 1) % libs, (p + 2) % libs
+        with open(os.path.join(root, f"page{p}.php"), "w",
+                  encoding="utf-8") as f:
+            f.write(
+                "<?php\n"
+                f"include 'lib{a}.php';\n"
+                f"require 'lib{b}.php';\n"
+                f"include_once 'lib{c}.php';\n"
+                f"$q = $_GET['q{p}'];\n"
+                f"echo fwd{a}($q);\n"
+                f"echo clean{b}($q);\n"
+                f"sink{c}($_POST['p{p}']);\n"
+                f"echo $g{a};\n")
+
+
+def _bench_summary_warm(tool, workdir: str) -> dict:
+    """Summary-warm cold scan: result cache gone, ``ast-v<N>/`` kept.
+
+    Simulates the second machine / post-``git clean`` scan: the per-file
+    result cache misses on every file, but the AST + summary pack tiers
+    replay each dependency's (env, summaries) state instead of
+    re-executing its body.  ``summary_cache_miss == 0`` on the warm run
+    is the "no dependency body re-executed" witness.
+    """
+    from repro.analysis.options import ScanOptions
+    from repro.telemetry import Telemetry
+
+    root = os.path.join(workdir, "include-project")
+    _build_include_project(root)
+    cache_dir = os.path.join(workdir, "cache-summary")
+
+    def scan():
+        telemetry = Telemetry()
+        start = time.perf_counter()
+        report = tool.analyze_tree(
+            root, ScanOptions(jobs=1, cache_dir=cache_dir,
+                              telemetry=telemetry))
+        seconds = time.perf_counter() - start
+        counters = telemetry.metrics.counters
+
+        def count(name):
+            counter = counters.get(name)
+            return int(counter.value) if counter is not None else 0
+
+        return seconds, report, count
+
+    cold_seconds, cold_report, cold_count = scan()
+    cold_misses = cold_count("summary_cache_miss")
+
+    # drop the result cache (fingerprint directories), keep ast-v<N>/
+    import shutil
+    for name in os.listdir(cache_dir):
+        if not name.startswith("ast-v"):
+            shutil.rmtree(os.path.join(cache_dir, name))
+
+    warm_seconds, warm_report, warm_count = scan()
+    warm_keys = sorted(o.candidate.key() for o in warm_report.outcomes)
+    cold_keys = sorted(o.candidate.key() for o in cold_report.outcomes)
+    assert warm_keys == cold_keys, \
+        "summary replay changed the candidate set"
+    hits = warm_count("summary_cache_hit")
+    misses = warm_count("summary_cache_miss")
+    assert hits > 0, "summary-warm run never consulted the cache"
+    assert misses == 0, \
+        f"summary-warm run re-executed {misses} dependency bodies"
+
+    return {
+        "jobs": 1,
+        "files": len(warm_report.files),
+        "candidates": len(warm_keys),
+        "cold_seconds": round(cold_seconds, 4),
+        "summary_warm_seconds": round(warm_seconds, 4),
+        "cold_summary_misses": cold_misses,
+        "warm_summary_hits": hits,
+        "warm_summary_misses": misses,
+        "speedup_vs_cold": round(cold_seconds / warm_seconds, 2),
+    }
+
+
 def run_benchmark(smoke: bool = False) -> dict:
     from repro.tool import Wape
 
@@ -160,6 +263,10 @@ def run_benchmark(smoke: bool = False) -> dict:
         # one-file edit (comment-only, so the candidate set is stable)
         incremental = _bench_incremental(tool, corpus_root)
         keysets.append(incremental.pop("_keyset"))
+
+        # summary-warm scenario: include-heavy project, result cache
+        # wiped, dependency state replayed from the summary pack tier
+        summary_warm = _bench_summary_warm(tool, workdir)
 
         # one instrumented run: where does the wall clock go?  Records
         # the telemetry phase-time breakdown into the trajectory file.
@@ -201,6 +308,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         "candidates": len(keysets[0]),
         "runs": runs,
         "incremental": incremental,
+        "summary_warm": summary_warm,
         "phase_breakdown": phase_breakdown,
         "speedup_jobs4_vs_jobs1_cold": round(cold[1] / cold[4], 2),
         "speedup_warm_vs_cold_jobs1": round(cold[1] / warm[1], 2),
@@ -228,6 +336,13 @@ def print_summary(result: dict) -> None:
           f"1-file edit {inc['one_file_edit_seconds']}s "
           f"({inc['dirty_files']} dirty) -> "
           f"{inc['speedup_vs_cold']}x vs cold")
+    sw = result["summary_warm"]
+    print(f"  summary-warm (include project, {sw['files']} files): cold "
+          f"{sw['cold_seconds']}s ({sw['cold_summary_misses']} dep "
+          f"computations), summary-warm {sw['summary_warm_seconds']}s "
+          f"({sw['warm_summary_hits']} replayed, "
+          f"{sw['warm_summary_misses']} re-executed) -> "
+          f"{sw['speedup_vs_cold']}x vs cold")
     breakdown = result["phase_breakdown"]
     print(f"  phase breakdown (traced, jobs={breakdown['jobs']}, "
           f"{breakdown['seconds']}s):")

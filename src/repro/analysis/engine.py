@@ -1,24 +1,40 @@
-"""The generic taint engine.
+"""The generic taint engine, compiled: a tight loop over the flat IR.
 
 One engine instance is configured with any number of
 :class:`~repro.analysis.model.DetectorConfig` objects (one per vulnerability
-class) and walks a file's AST **once**, tracking taint for all classes
-simultaneously.  Per-class behaviour (which sinks fire, which sanitizers
-untaint) is resolved through the merged lookup tables built in
+class) and runs a file's lowered IR module
+(:class:`~repro.ir.opcodes.IRModule`) **once**, tracking taint for all
+classes simultaneously.  Per-class behaviour (which sinks fire, which
+sanitizers untaint) is resolved through the merged lookup tables built in
 ``__init__`` — this is what makes the engine reusable by the *vulnerability
 detector generator*: a new class is purely new data, never new code.
 
-The abstract domain is a set of :class:`~repro.analysis.model.Taint` values
-per variable.  Joins are set unions; loops run two iterations (enough for
+The abstract domain is unchanged from the original AST walker (kept
+verbatim in :mod:`repro.analysis.astwalk` as the differential-test
+oracle): a set of :class:`~repro.analysis.model.Taint` values per
+variable, joins are set unions, loops run two iterations (enough for
 loop-carried string accumulation, the pattern that matters for injection
-flaws); user functions get on-demand summaries with a recursion guard.
+flaws), user functions get on-demand summaries with a recursion guard.
+What changed is the *dispatch*: instead of a ~30-way ``isinstance``
+ladder per AST node with guards/contexts recomputed on every visit, the
+hot path is an integer-opcode ``while`` loop over a linear instruction
+array in which all syntax-only work was precomputed by
+:func:`repro.ir.lower.lower_program`.
+
+Two summary channels make cross-file analysis compositional:
+
+* ``extra_summaries`` — finished :class:`FunctionSummary` objects from
+  already-analyzed dependency files (the include closure), consulted
+  before falling back to re-interpreting a foreign declaration body.
+* ``preset_summaries`` — this file's own summaries replayed from the
+  on-disk cache (:mod:`repro.analysis.summaries`), seeded wholesale so
+  the dedup pass sees candidates in the original completion order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.php import ast
 from repro.analysis.model import (
     EMPTY,
     STEP_ASSIGN,
@@ -43,6 +59,42 @@ from repro.analysis.model import (
     Taint,
     union,
 )
+from repro.ir.lower import lower_function, lower_program
+from repro.ir.opcodes import (
+    APPEND,
+    ARROW,
+    ASSIGN,
+    ASSIGN_KEY,
+    ASSIGN_STATIC,
+    CALL,
+    CALL_FOLD,
+    CALL_METHOD,
+    CALL_STATIC,
+    CAST,
+    CLOSURE,
+    CONCAT,
+    GUARD,
+    IF,
+    JUMP,
+    LIST_ASSIGN,
+    LOAD_KEY,
+    LOOP,
+    RET,
+    SINK,
+    SOURCE,
+    SOURCE_INDEX,
+    STEP,
+    SWITCH,
+    TRY,
+    UNION,
+    UNSET,
+    IfMeta,
+    IRFunction,
+    IRModule,
+    LoopMeta,
+    SwitchMeta,
+    TryMeta,
+)
 
 Env = dict[str, frozenset]
 
@@ -65,7 +117,7 @@ TAINTED_SERVER_KEYS = frozenset({
     "http_accept", "http_accept_language", "http_x_forwarded_for",
 })
 
-_TERMINATORS = (ast.Return, ast.Throw, ast.Break, ast.Continue)
+_NO_MASK = frozenset()
 
 
 def _stamp_steps(steps: tuple[PathStep, ...],
@@ -97,11 +149,11 @@ class _Frame:
 
 
 class TaintEngine:
-    """Multi-class taint analyzer over a single parsed PHP file.
+    """Multi-class taint analyzer over a single lowered PHP file.
 
     When *groups* is given (a partition of *configs*, one group per
     detector sub-module / weapon), the engine runs all groups in a single
-    AST traversal while keeping group semantics: a taint born at a source
+    IR pass while keeping group semantics: a taint born at a source
     that only group G declares (its source functions or extra entry
     points) can only reach sinks of G's classes, exactly as if each group
     ran its own engine.  This is the substrate of the fused scan pipeline
@@ -186,15 +238,20 @@ class TaintEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def analyze(self, program: ast.Program,
+    def analyze(self, program,
                 filename: str = "<source>",
                 extra_functions: dict | None = None,
                 initial_env: Env | None = None,
+                module: IRModule | None = None,
+                extra_summaries: dict | None = None,
+                preset_summaries: dict | None = None,
                 ) -> list[CandidateVulnerability]:
-        """Analyze one parsed file, returning deduplicated candidates.
+        """Analyze one file, returning deduplicated candidates.
 
         Args:
-            program: the parsed file.
+            program: the parsed file; may be ``None`` when *module* is
+                given (the parse-once pipeline lowers eagerly and caches
+                the module next to the AST).
             filename: used in the reports.
             extra_functions: project-wide declarations from *other* files,
                 mapping lowercase name -> (decl node, home filename); used
@@ -204,15 +261,27 @@ class TaintEngine:
                 (the home file reports them).
             initial_env: taint state of global variables established by
                 resolved includes before this file's top level runs.
+            module: the lowered IR of *program*; lowered on the fly when
+                absent.
+            extra_summaries: finished summaries of dependency functions
+                (include closure), consulted before *extra_functions* so
+                dependency bodies are not re-interpreted.
+            preset_summaries: this file's own summaries replayed from the
+                summary cache, in original completion order.
         """
-        out, _ = self.analyze_with_env(program, filename, extra_functions,
-                                       initial_env)
+        out, _, _ = self.analyze_with_state(
+            program, filename, extra_functions, initial_env,
+            module=module, extra_summaries=extra_summaries,
+            preset_summaries=preset_summaries)
         return out
 
-    def analyze_with_env(self, program: ast.Program,
+    def analyze_with_env(self, program,
                          filename: str = "<source>",
                          extra_functions: dict | None = None,
                          initial_env: Env | None = None,
+                         module: IRModule | None = None,
+                         extra_summaries: dict | None = None,
+                         preset_summaries: dict | None = None,
                          ) -> tuple[list[CandidateVulnerability], Env]:
         """Like :meth:`analyze`, also returning the final top-level env.
 
@@ -220,60 +289,70 @@ class TaintEngine:
         includes it: the taint sets of its global variables after the top
         level ran (path steps stamped with this file's name).
         """
+        out, env, _ = self.analyze_with_state(
+            program, filename, extra_functions, initial_env,
+            module=module, extra_summaries=extra_summaries,
+            preset_summaries=preset_summaries)
+        return out, env
+
+    def analyze_with_state(self, program,
+                           filename: str = "<source>",
+                           extra_functions: dict | None = None,
+                           initial_env: Env | None = None,
+                           module: IRModule | None = None,
+                           extra_summaries: dict | None = None,
+                           preset_summaries: dict | None = None,
+                           ) -> tuple[list[CandidateVulnerability],
+                                      Env, dict]:
+        """Like :meth:`analyze_with_env`, also returning the summaries.
+
+        The third element is the run's full name -> :class:`FunctionSummary`
+        map in completion order — the unit the summary cache persists and
+        include closures compose.
+        """
+        if module is None:
+            module = lower_program(program)
         telemetry = self.telemetry
         if not telemetry.enabled:
-            run = _FileRun(self, program, filename, extra_functions,
-                           initial_env)
-            return run.run(), run.final_env
+            run = _FileRun(self, module, filename, extra_functions,
+                           initial_env, extra_summaries, preset_summaries)
+            return run.run(), run.final_env, run.summaries
         with telemetry.tracer.span("taint", phase="taint", file=filename):
-            run = _FileRun(self, program, filename, extra_functions,
-                           initial_env)
+            run = _FileRun(self, module, filename, extra_functions,
+                           initial_env, extra_summaries, preset_summaries)
             out = run.run()
         metrics = telemetry.metrics
         metrics.counter("functions_summarized").inc(len(run.summaries))
         metrics.counter("candidates_emitted").inc(len(out))
-        return out, run.final_env
+        return out, run.final_env, run.summaries
 
 
 class _FileRun:
-    """State for the analysis of a single file."""
+    """Interpreter state for the analysis of a single lowered file."""
 
-    def __init__(self, engine: TaintEngine, program: ast.Program,
+    def __init__(self, engine: TaintEngine, module: IRModule,
                  filename: str,
                  extra_functions: dict | None = None,
-                 initial_env: Env | None = None) -> None:
+                 initial_env: Env | None = None,
+                 extra_summaries: dict | None = None,
+                 preset_summaries: dict | None = None) -> None:
         self.engine = engine
-        self.program = program
+        self.module = module
+        self.code = module.code
+        self.regs: list[frozenset] = [EMPTY] * module.n_regs
         self.filename = filename
-        self.functions: dict[str, ast.FunctionDecl | ast.MethodDecl] = {}
+        self.functions: dict[str, IRFunction] = module.functions
         self.extra_functions = extra_functions or {}
+        self.extra_summaries = extra_summaries or {}
         self.initial_env: Env = dict(initial_env or {})
         self.final_env: Env = {}
-        self.summaries: dict[str, FunctionSummary] = {}
+        # seeding the replayed summaries wholesale preserves the original
+        # completion order, which the first-wins dedup in run() relies on
+        self.summaries: dict[str, FunctionSummary] = \
+            dict(preset_summaries) if preset_summaries else {}
         self.in_progress: set[str] = set()
         self.frames: list[_Frame] = [_Frame()]
-        self._collect_declarations(program.body)
-
-    # ------------------------------------------------------------------
-    def _collect_declarations(self, body: list[ast.Node]) -> None:
-        for node in body:
-            if isinstance(node, ast.FunctionDecl):
-                self.functions.setdefault(node.name.lower(), node)
-                self._collect_declarations(node.body)
-            elif isinstance(node, ast.ClassDecl):
-                for member in node.members:
-                    if isinstance(member, ast.MethodDecl) and member.body:
-                        key = f"{node.name.lower()}::{member.name.lower()}"
-                        self.functions.setdefault(key, member)
-                        # loose resolution by bare method name as fallback
-                        self.functions.setdefault(member.name.lower(),
-                                                  member)
-            elif isinstance(node, (ast.Block, ast.If, ast.While, ast.DoWhile,
-                                   ast.For, ast.Foreach, ast.Switch,
-                                   ast.Try, ast.NamespaceDecl)):
-                for child in node.children():
-                    if isinstance(child, (ast.FunctionDecl, ast.ClassDecl)):
-                        self._collect_declarations([child])
+        self._foreign_ir: dict[int, tuple[IRModule, IRFunction]] = {}
 
     # ------------------------------------------------------------------
     def run(self) -> list[CandidateVulnerability]:
@@ -282,7 +361,7 @@ class _FileRun:
         for name in list(self.functions):
             self._summary(name)
         env: Env = dict(self.initial_env)
-        self._exec_block(self.program.body, env)
+        self.run_span(self.module.top_span, env)
         self.final_env = {
             key: frozenset(_stamp_taint(t, self.filename)
                            if isinstance(t, Taint) else t for t in value)
@@ -306,45 +385,68 @@ class _FileRun:
     # ------------------------------------------------------------------
     def _summary(self, name: str) -> FunctionSummary | None:
         name = name.lower()
-        if name in self.summaries:
-            return self.summaries[name]
-        decl = self.functions.get(name)
-        home = self.filename
-        foreign = False
-        if decl is None and name in self.extra_functions:
-            decl, home = self.extra_functions[name]
-            foreign = True
-        if decl is None or name in self.in_progress:
+        memo = self.summaries.get(name)
+        if memo is not None:
+            return memo
+        fn = self.functions.get(name)
+        if fn is not None:
+            if name in self.in_progress:
+                return None
+            self.in_progress.add(name)
+            try:
+                summary = self._compute_summary(
+                    name, fn, self.filename,
+                    self.module.code, self.module.n_regs)
+            finally:
+                self.in_progress.discard(name)
+            self.summaries[name] = summary
+            return summary
+        # composed summaries from already-analyzed dependency files are
+        # consulted before re-interpreting a foreign declaration body
+        composed = self.extra_summaries.get(name)
+        if composed is not None:
+            self.summaries[name] = composed
+            return composed
+        entry = self.extra_functions.get(name)
+        if entry is None or name in self.in_progress:
             return None
+        decl, home = entry
         self.in_progress.add(name)
         try:
-            summary = self._compute_summary(name, decl, home)
+            foreign = self._foreign_ir.get(id(decl))
+            if foreign is None:
+                foreign = lower_function(decl)
+                self._foreign_ir[id(decl)] = foreign
+            fmodule, ffn = foreign
+            summary = self._compute_summary(name, ffn, home,
+                                            fmodule.code, fmodule.n_regs)
         finally:
             self.in_progress.discard(name)
-        if foreign:
-            # the declaring file reports its internal flows, not callers
-            summary.internal_candidates = []
+        # the declaring file reports its internal flows, not callers
+        summary.internal_candidates = []
         self.summaries[name] = summary
         return summary
 
-    def _compute_summary(
-            self, name: str,
-            decl: ast.FunctionDecl | ast.MethodDecl,
-            home: str | None = None) -> FunctionSummary:
-        summary = FunctionSummary(name,
-                                  [p.name for p in decl.params],
+    def _compute_summary(self, name: str, fn: IRFunction,
+                         home: str | None, code: list,
+                         n_regs: int) -> FunctionSummary:
+        summary = FunctionSummary(name, list(fn.param_names),
                                   filename=home or self.filename)
         env: Env = {}
-        for i, param in enumerate(decl.params):
-            taint = Taint(f"param:{i}", decl.line,
-                          (PathStep(STEP_PARAM, f"${param.name}",
-                                    decl.line),))
-            env[param.name] = frozenset({taint})
+        for i, pname in enumerate(fn.param_names):
+            taint = Taint(f"param:{i}", fn.line,
+                          (PathStep(STEP_PARAM, f"${pname}", fn.line),))
+            env[pname] = frozenset({taint})
         frame = _Frame()
         self.frames.append(frame)
+        saved = (self.code, self.regs)
+        if code is not self.code:
+            self.code = code
+            self.regs = [EMPTY] * n_regs
         try:
-            self._exec_block(decl.body or [], env)
+            self.run_span(fn.span, env)
         finally:
+            self.code, self.regs = saved
             self.frames.pop()
 
         for cand in frame.candidates:
@@ -388,504 +490,340 @@ class _FileRun:
         return summary
 
     # ------------------------------------------------------------------
-    # statements
+    # the interpreter
     # ------------------------------------------------------------------
-    def _exec_block(self, body: list[ast.Node], env: Env) -> None:
-        for stmt in body:
-            self._exec(stmt, env)
+    def run_span(self, span, env: Env) -> None:  # noqa: C901
+        """Execute one ``[start, end)`` region of the current code array.
 
-    def _exec(self, node: ast.Node, env: Env) -> None:  # noqa: C901
-        if isinstance(node, (ast.InlineHTML, ast.FunctionDecl,
-                             ast.ClassDecl, ast.UseDecl, ast.ConstStatement,
-                             ast.Global, ast.StaticVarDecl,
-                             ast.Goto, ast.Label)):
-            return
-        if isinstance(node, ast.NamespaceDecl):
-            if node.body:
-                self._exec_block(node.body, env)
-            return
-        if isinstance(node, ast.ExpressionStatement):
-            self._eval(node.expr, env)
-            return
-        if isinstance(node, ast.Echo):
-            for expr in node.exprs:
-                taints = self._eval(expr, env)
-                self._check_echo(taints, "echo", node.line,
-                                 _expr_context(expr))
-            return
-        if isinstance(node, ast.Block):
-            self._exec_block(node.body, env)
-            return
-        if isinstance(node, ast.If):
-            self._exec_if(node, env)
-            return
-        if isinstance(node, (ast.While, ast.DoWhile)):
-            if isinstance(node, ast.While):
-                self._eval(node.cond, env)
-            # two passes propagate loop-carried taint (e.g. $q .= ...)
-            for _ in range(2):
-                branch = dict(env)
-                self._exec_block(node.body, branch)
-                _join_into(env, branch)
-            if isinstance(node, ast.DoWhile):
-                self._eval(node.cond, env)
-            return
-        if isinstance(node, ast.For):
-            for expr in node.init:
-                self._eval(expr, env)
-            for expr in node.cond:
-                self._eval(expr, env)
-            for _ in range(2):
-                branch = dict(env)
-                self._exec_block(node.body, branch)
-                for expr in node.step:
-                    self._eval(expr, branch)
-                _join_into(env, branch)
-            return
-        if isinstance(node, ast.Foreach):
-            subject = self._eval(node.subject, env)
-            branch = dict(env)
-            stepped = frozenset(t.step(STEP_ASSIGN, "foreach", node.line)
-                                for t in subject)
-            if isinstance(node.value_var, ast.Variable):
-                branch[node.value_var.name] = stepped
-            elif isinstance(node.value_var, ast.ListAssign):
-                # foreach ($rows as list($a, $b)) destructuring
-                for target in node.value_var.targets:
-                    if isinstance(target, ast.Variable):
-                        branch[target.name] = stepped
-            elif isinstance(node.value_var, ast.ArrayLiteral):
-                # foreach ($rows as [$a, $b]) destructuring
-                for item in node.value_var.items:
-                    if isinstance(item.value, ast.Variable):
-                        branch[item.value.name] = stepped
-            if isinstance(node.key_var, ast.Variable):
-                branch[node.key_var.name] = stepped
-            for _ in range(2):
-                inner = dict(branch)
-                self._exec_block(node.body, inner)
-                _join_into(branch, inner)
-            _join_into(env, branch)
-            return
-        if isinstance(node, ast.Switch):
-            self._eval(node.subject, env)
-            merged: Env = dict(env)
-            # fallthrough over-approximation: each case starts from the
-            # cumulative state, as if every earlier case fell through
-            branch = dict(env)
-            for case in node.cases:
-                if case.test is not None:
-                    self._eval(case.test, env)
-                self._exec_block(case.body, branch)
-                _join_into(merged, branch)
-            env.clear()
-            env.update(merged)
-            return
-        if isinstance(node, ast.Return):
-            if node.expr is not None:
-                taints = self._eval(node.expr, env)
+        Re-entrant: control-flow handlers and summary computation call
+        back into it for sub-spans.  Registers are module-globally unique,
+        so nested runs over *other* spans never clobber live values.
+        """
+        code = self.code
+        regs = self.regs
+        eng = self.engine
+        entry_points = eng.entry_points
+        entry_masks = eng.entry_masks
+        sanitizers = eng.sanitizers
+        source_functions = eng.source_functions
+        source_masks = eng.source_masks
+        sink_functions = eng.sink_functions
+        sanitizer_methods = eng.sanitizer_methods
+        sink_methods = eng.sink_methods
+        untaint_casts = eng.untaint_casts
+        empty = EMPTY
+        env_get = env.get
+
+        pc, end = span
+        while pc < end:
+            i = code[pc]
+            pc += 1
+            op = i.op
+            if op == SOURCE:
+                name = i.name
+                if name in entry_points:
+                    if name == "_SERVER":
+                        regs[i.dst] = empty  # only specific keys taint
+                    else:
+                        desc = i.extra
+                        taint = Taint(
+                            desc, i.line,
+                            (PathStep(STEP_SOURCE, desc, i.line),),
+                            entry_masks.get(name, _NO_MASK))
+                        for func, gline in _pending_guards(env, desc, name):
+                            taint = taint.step(STEP_GUARD, func, gline)
+                        regs[i.dst] = frozenset({taint})
+                else:
+                    regs[i.dst] = env_get(name, empty)
+            elif op == CALL:
+                arg_regs, context = i.extra
+                name = i.name
+                if name in sanitizers:
+                    classes = sanitizers[name]
+                    regs[i.dst] = frozenset(
+                        t.sanitize(classes, name, i.line)
+                        for t in union(*[regs[r] for r in arg_regs])) \
+                        if arg_regs else empty
+                elif name in source_functions:
+                    regs[i.dst] = frozenset({Taint(
+                        f"{name}()", i.line,
+                        (PathStep(STEP_SOURCE, f"{name}()", i.line),),
+                        source_masks.get(name, _NO_MASK))})
+                else:
+                    summary = self._summary(name)
+                    if summary is not None:
+                        regs[i.dst] = self._apply_summary(
+                            summary, name, [regs[r] for r in arg_regs],
+                            i.line)
+                    elif name in sink_functions:
+                        self._check_arg_sinks(
+                            sink_functions[name], name, SINK_FUNCTION,
+                            [regs[r] for r in arg_regs], i.line, context)
+                        regs[i.dst] = empty
+                    else:
+                        # unknown builtin or library function: taint passes
+                        # through (how custom helpers like vfront's
+                        # `escape` show up as candidates until configured
+                        # as sanitizers — §V-A of the paper)
+                        regs[i.dst] = frozenset(
+                            t.step(STEP_CALL, name, i.line)
+                            for t in union(*[regs[r] for r in arg_regs])) \
+                            if arg_regs else empty
+            elif op == ASSIGN:
+                desc, compound = i.extra
+                stepped = frozenset(t.step(STEP_ASSIGN, desc, i.line)
+                                    for t in regs[i.a])
+                if compound:  # compound assignment merges current taint
+                    stepped = union(env_get(i.name, empty), stepped)
+                env[i.name] = stepped
+                regs[i.dst] = stepped
+            elif op == CONCAT:
+                regs[i.dst] = frozenset(
+                    t.step(STEP_CONCAT, i.name, i.line)
+                    for t in union(*[regs[r] for r in i.extra]))
+            elif op == SINK:
+                flavor, context = i.extra
+                taints = regs[i.a]
+                if taints:
+                    if flavor == "echo":
+                        self._check_echo(taints, i.name, i.line, context)
+                    elif flavor == "include":
+                        self._report_sinks(eng.include_classes, taints,
+                                           i.name, SINK_INCLUDE, i.line, ())
+                    else:
+                        self._report_sinks(eng.shell_classes, taints,
+                                           i.name, SINK_SHELL, i.line, ())
+            elif op == SOURCE_INDEX:
+                name = i.name
+                if name in entry_points:
+                    key_lower, desc = i.extra
+                    if name == "_SERVER" and key_lower is not None and \
+                            key_lower not in TAINTED_SERVER_KEYS:
+                        regs[i.dst] = empty
+                    else:
+                        taint = Taint(
+                            desc, i.line,
+                            (PathStep(STEP_SOURCE, desc, i.line),),
+                            entry_masks.get(name, _NO_MASK))
+                        for func, gline in _pending_guards(env, desc, name):
+                            taint = taint.step(STEP_GUARD, func, gline)
+                        regs[i.dst] = frozenset({taint})
+                else:
+                    regs[i.dst] = env_get(name, empty)
+            elif op == JUMP:
+                pc = i.a
+            elif op == UNION:
+                srcs = i.extra
+                regs[i.dst] = union(*[regs[r] for r in srcs]) \
+                    if srcs else empty
+            elif op == STEP:
+                regs[i.dst] = frozenset(t.step(i.extra, i.name, i.line)
+                                        for t in regs[i.a])
+            elif op == IF:
+                self._do_if(i.extra, env)
+            elif op == APPEND:
+                stepped = frozenset(t.step(STEP_ASSIGN, i.extra, i.line)
+                                    for t in regs[i.a])
+                merged = union(env_get(i.name, empty), stepped)
+                env[i.name] = merged
+                regs[i.dst] = merged
+            elif op == CALL_METHOD:
+                arg_regs, receiver, context = i.extra
+                name = i.name
+                args = [regs[r] for r in arg_regs]
+                if name in sanitizer_methods:
+                    classes = sanitizer_methods[name]
+                    regs[i.dst] = frozenset(
+                        t.sanitize(classes, name, i.line)
+                        for t in union(*args)) if args else empty
+                else:
+                    matches = None
+                    if name in sink_methods:
+                        matches = [(cid, spec)
+                                   for cid, spec in sink_methods[name]
+                                   if spec.receiver_hint is None
+                                   or spec.receiver_hint in receiver]
+                    if matches:
+                        self._check_arg_sinks(matches, name, SINK_METHOD,
+                                              args, i.line, context)
+                        regs[i.dst] = empty
+                    else:
+                        summary = self._summary(name)
+                        if summary is not None:
+                            regs[i.dst] = self._apply_summary(
+                                summary, name, args, i.line)
+                        else:
+                            regs[i.dst] = frozenset(
+                                t.step(STEP_CALL, name, i.line)
+                                for t in union(regs[i.a], *args))
+            elif op == LOAD_KEY:
+                regs[i.dst] = env_get(i.name, empty)
+            elif op == ASSIGN_KEY:
+                stepped = frozenset(t.step(STEP_ASSIGN, i.name, i.line)
+                                    for t in regs[i.a])
+                if i.extra:  # compound assignment
+                    stepped = union(env_get(i.name, empty), stepped)
+                env[i.name] = stepped
+                regs[i.dst] = stepped
+            elif op == CALL_FOLD:
+                regs[i.dst] = frozenset(
+                    t.step(STEP_CALL, i.name, i.line)
+                    for t in union(*[regs[r] for r in i.extra]))
+            elif op == CAST:
+                regs[i.dst] = empty if i.name in untaint_casts \
+                    else regs[i.a]
+            elif op == RET:
                 self.frames[-1].returns.update(
-                    t.step(STEP_RETURN, "return", node.line) for t in taints)
-            return
-        if isinstance(node, ast.Unset):
-            for var in node.vars:
-                if isinstance(var, ast.Variable):
-                    env.pop(var.name, None)
-            return
-        if isinstance(node, ast.Throw):
-            if node.expr is not None:
-                self._eval(node.expr, env)
-            return
-        if isinstance(node, ast.Try):
-            self._exec_block(node.body, env)
-            for catch in node.catches:
-                branch = dict(env)
-                self._exec_block(catch.body, branch)
-                _join_into(env, branch)
-            if node.finally_body:
-                self._exec_block(node.finally_body, env)
-            return
-        if isinstance(node, (ast.Break, ast.Continue)):
-            return
-        # any other statement-ish node: evaluate it as an expression
-        self._eval(node, env)
+                    t.step(STEP_RETURN, "return", i.line)
+                    for t in regs[i.a])
+            elif op == LOOP:
+                self._do_loop(i.extra, env)
+            elif op == GUARD:
+                _apply_guards(env, i.extra, i.line)
+            elif op == LIST_ASSIGN:
+                stepped = frozenset(t.step(STEP_ASSIGN, "list", i.line)
+                                    for t in regs[i.a])
+                for name in i.extra:
+                    env[name] = stepped
+            elif op == SWITCH:
+                self._do_switch(i.extra, env)
+            elif op == TRY:
+                self._do_try(i.extra, env)
+            elif op == CALL_STATIC:
+                arg_regs, cls, context = i.extra
+                name = i.name
+                args = [regs[r] for r in arg_regs]
+                if name in sanitizer_methods:
+                    classes = sanitizer_methods[name]
+                    regs[i.dst] = frozenset(
+                        t.sanitize(classes, name, i.line)
+                        for t in union(*args)) if args else empty
+                else:
+                    matches = None
+                    if name in sink_methods:
+                        matches = [(cid, spec)
+                                   for cid, spec in sink_methods[name]
+                                   if spec.receiver_hint is None
+                                   or spec.receiver_hint in cls]
+                    if matches:
+                        self._check_arg_sinks(matches, name, SINK_STATIC,
+                                              args, i.line, context)
+                        regs[i.dst] = empty
+                    else:
+                        summary = self._summary(f"{cls}::{name}") \
+                            or self._summary(name)
+                        if summary is not None:
+                            regs[i.dst] = self._apply_summary(
+                                summary, name, args, i.line)
+                        else:
+                            regs[i.dst] = frozenset(
+                                t.step(STEP_CALL, name, i.line)
+                                for t in union(*args)) if args else empty
+            elif op == ASSIGN_STATIC:
+                env[i.name] = frozenset(
+                    t.step(STEP_ASSIGN, i.name, i.line) for t in regs[i.a])
+                regs[i.dst] = env[i.name]
+            elif op == UNSET:
+                for name in i.extra:
+                    env.pop(name, None)
+            elif op == CLOSURE:
+                uses, body_span = i.extra
+                child = {name: env_get(name, empty) for name in uses}
+                self.run_span(body_span, child)
+            elif op == ARROW:
+                self.run_span(i.extra, dict(env))
+                regs[i.dst] = regs[i.a]
 
-    def _exec_if(self, node: ast.If, env: Env) -> None:
-        self._eval(node.cond, env)
-        guards = _extract_guards(node.cond)
+    # ------------------------------------------------------------------
+    # structured control flow (spans executed with walker-identical joins)
+    # ------------------------------------------------------------------
+    def _do_if(self, meta: IfMeta, env: Env) -> None:
+        guards = meta.cond_guards
 
+        # guard application is the first instruction of each branch span
         then_env = dict(env)
-        _apply_guards(then_env, guards, node.line)
-        self._exec_block(node.then, then_env)
+        self.run_span(meta.then_span, then_env)
 
         branches = [then_env]
-        for cond, body in node.elifs:
-            self._eval(cond, env)
+        for cond_span, body_span in meta.elifs:
+            self.run_span(cond_span, env)
             branch = dict(env)
-            _apply_guards(branch, _extract_guards(cond), node.line)
-            self._exec_block(body, branch)
+            self.run_span(body_span, branch)
             branches.append(branch)
-        if node.otherwise is not None:
+        if meta.else_span is not None:
             branch = dict(env)
-            self._exec_block(node.otherwise, branch)
+            self.run_span(meta.else_span, branch)
             branches.append(branch)
 
-        then_terminates = _terminates(node.then)
         merged: Env = {}
-        if node.otherwise is None and not then_terminates:
+        if meta.else_span is None:
             _join_into(merged, env)  # fallthrough path
-        elif node.otherwise is None:
-            _join_into(merged, env)
-        for i, branch in enumerate(branches):
-            if i == 0 and then_terminates:
+        for idx, branch in enumerate(branches):
+            if idx == 0 and meta.then_terminates:
                 continue  # the then-branch never reaches the join point
             _join_into(merged, branch)
         # "if (!valid($x)) exit;" idiom: the continuation is guarded
-        if then_terminates and guards:
-            _apply_guards(merged, guards, node.line)
-            exit_kind = _terminator_kind(node.then)
-            if exit_kind:
+        if meta.then_terminates and guards:
+            _apply_guards(merged, guards, meta.line)
+            if meta.exit_kind:
                 _apply_guards(merged,
-                              [(key, exit_kind) for key, _ in guards],
-                              node.line)
+                              [(key, meta.exit_kind) for key, _ in guards],
+                              meta.line)
         env.clear()
         env.update(merged)
 
-    # ------------------------------------------------------------------
-    # expressions
-    # ------------------------------------------------------------------
-    def _eval(self, node: ast.Node | None,  # noqa: C901
-              env: Env) -> frozenset:
-        eng = self.engine
-        if node is None or isinstance(node, (ast.Literal, ast.ConstFetch,
-                                             ast.ClassConstAccess)):
-            return EMPTY
-        if isinstance(node, ast.Variable):
-            return self._read_variable(node, env)
-        if isinstance(node, ast.ArrayAccess):
-            return self._read_array(node, env)
-        if isinstance(node, ast.PropertyAccess):
-            if node.name and isinstance(node.name, ast.Node):
-                self._eval(node.name, env)
-            key = _property_key(node)
-            if key is not None:
-                return env.get(key, EMPTY)
-            return self._eval(node.obj, env)
-        if isinstance(node, ast.StaticPropertyAccess):
-            key = f"{node.cls if isinstance(node.cls, str) else '?'}" \
-                  f"::${node.name}"
-            return env.get(key, EMPTY)
-        if isinstance(node, ast.InterpolatedString):
-            taints = [self._eval(p, env) for p in node.parts
-                      if not isinstance(p, ast.Literal)]
-            return frozenset(
-                t.step(STEP_CONCAT, "interpolation", node.line)
-                for t in union(*taints)) if taints else EMPTY
-        if isinstance(node, ast.ShellExec):
-            taints = union(*[self._eval(p, env) for p in node.parts
-                             if not isinstance(p, ast.Literal)])
-            self._report_sinks(eng.shell_classes, taints, "shell_exec",
-                               SINK_SHELL, node.line, ())
-            return EMPTY
-        if isinstance(node, ast.Assign):
-            return self._eval_assign(node, env)
-        if isinstance(node, ast.ListAssign):
-            value = self._eval(node.value, env)
-            stepped = frozenset(t.step(STEP_ASSIGN, "list", node.line)
-                                for t in value)
-            for target in node.targets:
-                if isinstance(target, ast.Variable):
-                    env[target.name] = stepped
-            return value
-        if isinstance(node, ast.BinaryOp):
-            return self._eval_binop(node, env)
-        if isinstance(node, ast.UnaryOp):
-            self._eval(node.operand, env)
-            return EMPTY
-        if isinstance(node, ast.IncDec):
-            self._eval(node.operand, env)
-            return EMPTY
-        if isinstance(node, ast.Cast):
-            inner = self._eval(node.expr, env)
-            if node.to in eng.untaint_casts:
-                return EMPTY
-            return inner
-        if isinstance(node, ast.Ternary):
-            self._eval(node.cond, env)
-            then = (self._eval(node.then, env) if node.then is not None
-                    else self._eval(node.cond, env))
-            other = self._eval(node.otherwise, env)
-            return union(then, other)
-        if isinstance(node, ast.ErrorSuppress):
-            return self._eval(node.expr, env)
-        if isinstance(node, (ast.Isset, ast.Empty, ast.InstanceOf)):
-            for child in node.children():
-                self._eval(child, env)
-            return EMPTY
-        if isinstance(node, ast.PrintExpr):
-            taints = self._eval(node.expr, env)
-            self._check_echo(taints, "print", node.line)
-            return EMPTY
-        if isinstance(node, ast.ExitExpr):
-            if node.expr is not None:
-                taints = self._eval(node.expr, env)
-                self._check_echo(taints, "exit", node.line)
-            return EMPTY
-        if isinstance(node, ast.Include):
-            taints = self._eval(node.expr, env)
-            self._report_sinks(eng.include_classes, taints, node.kind,
-                               SINK_INCLUDE, node.line, ())
-            return EMPTY
-        if isinstance(node, ast.ArrayLiteral):
-            taints = [self._eval(item.value, env) for item in node.items]
-            taints += [self._eval(item.key, env) for item in node.items
-                       if item.key is not None]
-            return union(*taints) if taints else EMPTY
-        if isinstance(node, ast.FunctionCall):
-            return self._eval_call(node, env)
-        if isinstance(node, ast.MethodCall):
-            return self._eval_method(node, env)
-        if isinstance(node, ast.StaticCall):
-            return self._eval_static(node, env)
-        if isinstance(node, ast.New):
-            taints = union(*[self._eval(a.value, env) for a in node.args]) \
-                if node.args else EMPTY
-            cls = node.cls if isinstance(node.cls, str) else "?"
-            return frozenset(t.step(STEP_CALL, f"new {cls}", node.line)
-                             for t in taints)
-        if isinstance(node, ast.Clone):
-            return self._eval(node.expr, env)
-        if isinstance(node, ast.Closure):
-            if node.is_arrow:
-                # arrow functions capture the enclosing scope implicitly;
-                # their body is one expression, evaluated in a scope copy
-                body = node.body[0]
-                expr = body.expr if isinstance(body, ast.Return) else body
-                return self._eval(expr, dict(env))
-            child = {name: env.get(name, EMPTY) for name, _ in node.uses}
-            self._exec_block(node.body, child)
-            return EMPTY
-        if isinstance(node, ast.Match):
-            self._eval(node.subject, env)
-            results = []
-            for arm in node.arms:
-                for cond in arm.conditions or []:
-                    self._eval(cond, env)
-                results.append(self._eval(arm.body, env))
-            return union(*results) if results else EMPTY
-        if isinstance(node, ast.VariableVariable):
-            if node.expr is not None:
-                self._eval(node.expr, env)
-            return EMPTY
-        # fallback: evaluate children, propagate nothing
-        for child in node.children():
-            self._eval(child, env)
-        return EMPTY
-
-    # ------------------------------------------------------------------
-    def _read_variable(self, node: ast.Variable,
-                       env: Env) -> frozenset:
-        name = node.name
-        if name in self.engine.entry_points:
-            if name == "_SERVER":
-                return EMPTY  # only specific keys are tainted
-            taint = Taint(f"${name}", node.line,
-                          (PathStep(STEP_SOURCE, f"${name}", node.line),),
-                          self.engine.entry_masks.get(name, frozenset()))
-            for func, gline in _pending_guards(env, f"${name}", name):
-                taint = taint.step(STEP_GUARD, func, gline)
-            return frozenset({taint})
-        return env.get(name, EMPTY)
-
-    def _read_array(self, node: ast.ArrayAccess,
-                    env: Env) -> frozenset:
-        if node.index is not None:
-            self._eval(node.index, env)
-        base = node.base
-        if isinstance(base, ast.Variable) and \
-                base.name in self.engine.entry_points:
-            key = None
-            if isinstance(node.index, ast.Literal):
-                key = str(node.index.value)
-            if base.name == "_SERVER":
-                if key is not None and \
-                        key.lower() not in TAINTED_SERVER_KEYS:
-                    return EMPTY
-            desc = entry_point_desc(base.name, node.index)
-            taint = Taint(desc, node.line,
-                          (PathStep(STEP_SOURCE, desc, node.line),),
-                          self.engine.entry_masks.get(base.name,
-                                                      frozenset()))
-            for func, gline in _pending_guards(env, desc, base.name):
-                taint = taint.step(STEP_GUARD, func, gline)
-            return frozenset({taint})
-        return self._eval(base, env)
-
-    def _eval_assign(self, node: ast.Assign, env: Env) -> frozenset:
-        value = self._eval(node.value, env)
-        target = node.target
-        if node.op in (".=",):
-            value = frozenset(t.step(STEP_CONCAT, ".=", node.line)
-                              for t in value)
-        if isinstance(target, ast.Variable):
-            name = target.name
+    def _do_loop(self, meta: LoopMeta, env: Env) -> None:
+        kind = meta.kind
+        if kind == "foreach":
             stepped = frozenset(
-                t.step(STEP_ASSIGN, f"${name}", node.line) for t in value)
-            if node.op == "=":
-                env[name] = stepped
-            else:  # compound assignment merges with the current taint
-                env[name] = union(env.get(name, EMPTY), stepped)
-            return env[name]
-        if isinstance(target, ast.ArrayAccess):
-            base = target.base
-            if target.index is not None:
-                self._eval(target.index, env)
-            if isinstance(base, ast.Variable):
-                name = base.name
-                stepped = frozenset(
-                    t.step(STEP_ASSIGN, f"${name}[]", node.line)
-                    for t in value)
-                env[name] = union(env.get(name, EMPTY), stepped)
-                return env[name]
-            self._eval(base, env)
-            return value
-        key = _property_key(target) if isinstance(
-            target, ast.PropertyAccess) else None
-        if key is not None:
-            stepped = frozenset(
-                t.step(STEP_ASSIGN, key, node.line) for t in value)
-            if node.op == "=":
-                env[key] = stepped
-            else:
-                env[key] = union(env.get(key, EMPTY), stepped)
-            return env[key]
-        if isinstance(target, ast.StaticPropertyAccess):
-            skey = f"{target.cls if isinstance(target.cls, str) else '?'}" \
-                   f"::${target.name}"
-            env[skey] = frozenset(
-                t.step(STEP_ASSIGN, skey, node.line) for t in value)
-            return env[skey]
-        return value
+                t.step(STEP_ASSIGN, "foreach", meta.line)
+                for t in self.regs[meta.subject])
+            branch = dict(env)
+            for name in meta.value_names:
+                branch[name] = stepped
+            if meta.key_name is not None:
+                branch[meta.key_name] = stepped
+            for _ in range(2):
+                inner = dict(branch)
+                self.run_span(meta.body_span, inner)
+                _join_into(branch, inner)
+            _join_into(env, branch)
+            return
+        if kind == "while":
+            self.run_span(meta.cond_span, env)
+        # two passes propagate loop-carried taint (e.g. $q .= ...)
+        for _ in range(2):
+            branch = dict(env)
+            self.run_span(meta.body_span, branch)
+            if meta.step_span is not None:
+                self.run_span(meta.step_span, branch)
+            _join_into(env, branch)
+        if kind == "dowhile":
+            self.run_span(meta.cond_span, env)
 
-    def _eval_binop(self, node: ast.BinaryOp, env: Env) -> frozenset:
-        left = self._eval(node.left, env)
-        right = self._eval(node.right, env)
-        if node.op == ".":
-            return frozenset(t.step(STEP_CONCAT, ".", node.line)
-                             for t in union(left, right))
-        if node.op in ("??",):
-            return union(left, right)
-        if node.op in ("+", "-", "*", "/", "%", "**"):
-            # arithmetic coerces to numbers; treated as neutralizing
-            return EMPTY
-        # comparisons / logic yield booleans
-        return EMPTY
+    def _do_switch(self, meta: SwitchMeta, env: Env) -> None:
+        merged: Env = dict(env)
+        # fallthrough over-approximation: each case starts from the
+        # cumulative state, as if every earlier case fell through
+        branch = dict(env)
+        for test_span, body_span in meta.cases:
+            if test_span is not None:
+                self.run_span(test_span, env)
+            self.run_span(body_span, branch)
+            _join_into(merged, branch)
+        env.clear()
+        env.update(merged)
+
+    def _do_try(self, meta: TryMeta, env: Env) -> None:
+        # the try body already ran inline on the live env
+        for catch_span in meta.catch_spans:
+            branch = dict(env)
+            self.run_span(catch_span, branch)
+            _join_into(env, branch)
 
     # ------------------------------------------------------------------
-    # calls
+    # summaries applied at call sites
     # ------------------------------------------------------------------
-    def _eval_call(self, node: ast.FunctionCall,  # noqa: C901
-                   env: Env) -> frozenset:
-        eng = self.engine
-        arg_taints = [self._eval(a.value, env) for a in node.args]
-        if not isinstance(node.name, str):
-            self._eval(node.name, env)
-            return frozenset(
-                t.step(STEP_CALL, "dynamic_call", node.line)
-                for t in union(*arg_taints)) if arg_taints else EMPTY
-        name = node.name.lower().lstrip("\\")
-
-        if name in eng.sanitizers:
-            classes = eng.sanitizers[name]
-            return frozenset(t.sanitize(classes, name, node.line)
-                             for t in union(*arg_taints)) \
-                if arg_taints else EMPTY
-
-        if name in eng.source_functions:
-            taint = Taint(f"{name}()", node.line,
-                          (PathStep(STEP_SOURCE, f"{name}()", node.line),),
-                          eng.source_masks.get(name, frozenset()))
-            return frozenset({taint})
-
-        summary = self._summary(name)
-        if summary is not None:
-            return self._apply_summary(summary, name, arg_taints, node.line)
-
-        if name in eng.sink_functions:
-            self._check_arg_sinks(eng.sink_functions[name], name,
-                                  SINK_FUNCTION, arg_taints, node.line,
-                                  _context_text(node.args))
-            return EMPTY
-
-        # unknown builtin or library function: taint passes through.
-        # (this is how custom helpers like vfront's `escape` show up as
-        # candidates until configured as sanitizers — §V-A of the paper)
-        return frozenset(t.step(STEP_CALL, name, node.line)
-                         for t in union(*arg_taints)) \
-            if arg_taints else EMPTY
-
-    def _eval_method(self, node: ast.MethodCall, env: Env) -> frozenset:
-        eng = self.engine
-        obj_taints = self._eval(node.obj, env)
-        arg_taints = [self._eval(a.value, env) for a in node.args]
-        if not isinstance(node.name, str):
-            return union(obj_taints, *arg_taints)
-        name = node.name.lower()
-
-        if name in eng.sanitizer_methods:
-            classes = eng.sanitizer_methods[name]
-            return frozenset(t.sanitize(classes, name, node.line)
-                             for t in union(*arg_taints)) \
-                if arg_taints else EMPTY
-
-        if name in eng.sink_methods:
-            receiver = _receiver_text(node.obj)
-            matches = [(cid, spec) for cid, spec in eng.sink_methods[name]
-                       if spec.receiver_hint is None
-                       or spec.receiver_hint in receiver]
-            if matches:
-                self._check_arg_sinks(matches, name, SINK_METHOD,
-                                      arg_taints, node.line,
-                                      _context_text(node.args))
-                return EMPTY
-
-        summary = self._summary(name)
-        if summary is not None:
-            return self._apply_summary(summary, name, arg_taints, node.line)
-
-        return frozenset(
-            t.step(STEP_CALL, name, node.line)
-            for t in union(obj_taints, *arg_taints))
-
-    def _eval_static(self, node: ast.StaticCall, env: Env) -> frozenset:
-        eng = self.engine
-        arg_taints = [self._eval(a.value, env) for a in node.args]
-        if not isinstance(node.name, str):
-            return union(*arg_taints) if arg_taints else EMPTY
-        name = node.name.lower()
-        cls = node.cls.lower() if isinstance(node.cls, str) else "?"
-
-        if name in eng.sanitizer_methods:
-            classes = eng.sanitizer_methods[name]
-            return frozenset(t.sanitize(classes, name, node.line)
-                             for t in union(*arg_taints)) \
-                if arg_taints else EMPTY
-        if name in eng.sink_methods:
-            matches = [(cid, spec) for cid, spec in eng.sink_methods[name]
-                       if spec.receiver_hint is None
-                       or spec.receiver_hint in cls]
-            if matches:
-                self._check_arg_sinks(matches, name, SINK_STATIC,
-                                      arg_taints, node.line,
-                                      _context_text(node.args))
-                return EMPTY
-        summary = self._summary(f"{cls}::{name}") or self._summary(name)
-        if summary is not None:
-            return self._apply_summary(summary, name, arg_taints, node.line)
-        return frozenset(t.step(STEP_CALL, name, node.line)
-                         for t in union(*arg_taints)) \
-            if arg_taints else EMPTY
-
     def _apply_summary(self, summary: FunctionSummary, name: str,
                        arg_taints: list[frozenset],
                        line: int) -> frozenset:
@@ -977,9 +915,8 @@ class _FileRun:
         self.frames[-1].candidates.append(cand)
 
 
-
 # ---------------------------------------------------------------------------
-# helpers
+# env helpers (shared semantics with the reference walker)
 # ---------------------------------------------------------------------------
 
 def _join_into(target: Env, other: Env) -> None:
@@ -991,76 +928,10 @@ def _join_into(target: Env, other: Env) -> None:
             target[name] = taints
 
 
-def _terminates(body: list[ast.Node]) -> bool:
-    """Does this branch unconditionally leave the enclosing flow?"""
-    for stmt in body:
-        if isinstance(stmt, _TERMINATORS):
-            return True
-        if isinstance(stmt, ast.ExpressionStatement) and \
-                isinstance(stmt.expr, ast.ExitExpr):
-            return True
-    return False
-
-
 _GUARD_PREFIX = "\x00guard:"
 
 
-def _extract_guards(cond: ast.Node | None) -> list[tuple[str, str]]:
-    """Collect (key, guard-function) pairs from a condition.
-
-    Keys are plain variable names, or entry-point descriptions such as
-    ``$_GET['n']`` when the guard applies directly to a superglobal read.
-    Guards are validation calls such as ``is_numeric($x)`` or
-    ``preg_match('/^\\d+$/', $x)``; also ``isset``/``empty`` checks.  They
-    are recorded as path symptoms, never as sanitization.
-    """
-    guards: list[tuple[str, str]] = []
-    if cond is None:
-        return guards
-    for node in cond.walk():
-        if isinstance(node, ast.FunctionCall) and \
-                isinstance(node.name, str):
-            # every call on a variable in a condition is recorded: known
-            # validation functions become static symptoms, anything else
-            # is only visible through the dynamic-symptom map (§III-B2)
-            name = node.name.lower()
-            for arg in node.args:
-                for key in _guard_keys(arg.value):
-                    guards.append((key, name))
-        elif isinstance(node, ast.Isset):
-            for var_node in node.vars:
-                for key in _guard_keys(var_node):
-                    guards.append((key, "isset"))
-        elif isinstance(node, ast.Empty):
-            for key in _guard_keys(node.expr):
-                guards.append((key, "empty"))
-    return guards
-
-
-def _guard_keys(node: ast.Node | None) -> list[str]:
-    """Guardable keys inside an expression: vars + superglobal reads."""
-    if node is None:
-        return []
-    keys: list[str] = []
-    for n in node.walk():
-        if isinstance(n, ast.Variable):
-            keys.append(n.name)
-        elif isinstance(n, ast.ArrayAccess) and \
-                isinstance(n.base, ast.Variable) and \
-                n.base.name.startswith("_"):
-            keys.append(entry_point_desc(n.base.name, n.index))
-    return keys
-
-
-def entry_point_desc(base_name: str, index: ast.Node | None) -> str:
-    """Canonical description of a superglobal read, e.g. ``$_GET['id']``."""
-    if isinstance(index, ast.Literal):
-        return f"${base_name}['{index.value}']"
-    return f"${base_name}[...]"
-
-
-def _apply_guards(env: Env, guards: list[tuple[str, str]],
-                  line: int) -> None:
+def _apply_guards(env: Env, guards, line: int) -> None:
     for key, func in guards:
         if key in env:
             env[key] = frozenset(t.step(STEP_GUARD, func, line)
@@ -1079,74 +950,3 @@ def _pending_guards(env: Env, desc: str,
     for key in (_GUARD_PREFIX + desc, _GUARD_PREFIX + "$" + base_name):
         out.extend(env.get(key, frozenset()))
     return sorted(out)
-
-
-def _property_key(node: ast.PropertyAccess) -> str | None:
-    """Key for property taint storage: ``$obj->prop`` -> ``obj->prop``."""
-    if not isinstance(node.name, str):
-        return None
-    if isinstance(node.obj, ast.Variable):
-        return f"{node.obj.name}->{node.name}"
-    if isinstance(node.obj, ast.PropertyAccess):
-        inner = _property_key(node.obj)
-        if inner is not None:
-            return f"{inner}->{node.name}"
-    return None
-
-
-def _receiver_text(node: ast.Node | None) -> str:
-    """Loose textual description of a method receiver for hint matching."""
-    if isinstance(node, ast.Variable):
-        return node.name.lower()
-    if isinstance(node, ast.PropertyAccess):
-        name = node.name if isinstance(node.name, str) else ""
-        return f"{_receiver_text(node.obj)}->{name}".lower()
-    if isinstance(node, ast.MethodCall):
-        name = node.name if isinstance(node.name, str) else ""
-        return f"{_receiver_text(node.obj)}.{name}()".lower()
-    if isinstance(node, ast.New):
-        cls = node.cls if isinstance(node.cls, str) else ""
-        return f"new:{cls}".lower()
-    if isinstance(node, ast.FunctionCall) and isinstance(node.name, str):
-        return f"{node.name}()".lower()
-    return ""
-
-
-def _terminator_kind(body: list[ast.Node]) -> str | None:
-    """Name of the terminator ending a guard branch (``exit``/``error``)."""
-    for stmt in body:
-        if isinstance(stmt, ast.ExpressionStatement) and \
-                isinstance(stmt.expr, ast.ExitExpr):
-            return "exit"
-        if isinstance(stmt, ast.Return):
-            return "return"
-        if isinstance(stmt, ast.Throw):
-            return "error"
-    return None
-
-
-def _expr_context(expr: ast.Node | None) -> str:
-    """Approximate the literal text around tainted data in an expression.
-
-    Literal string fragments are kept verbatim; every non-literal part is
-    replaced by the placeholder ``\u00a7``.  The false-positive predictor
-    mines this for the SQL-query symptoms of Table I (FROM clause,
-    aggregate functions, complex queries, numeric entry points).
-    """
-    if expr is None:
-        return ""
-    if isinstance(expr, ast.Literal):
-        return str(expr.value) if expr.kind == "string" else "\u00a7"
-    if isinstance(expr, ast.InterpolatedString):
-        return "".join(_expr_context(p) for p in expr.parts)
-    if isinstance(expr, ast.BinaryOp) and expr.op == ".":
-        return _expr_context(expr.left) + _expr_context(expr.right)
-    if isinstance(expr, ast.Assign):
-        return _expr_context(expr.value)
-    if isinstance(expr, ast.ErrorSuppress):
-        return _expr_context(expr.expr)
-    return "\u00a7"
-
-
-def _context_text(args: list[ast.Argument]) -> str:
-    return " ".join(_expr_context(a.value) for a in args)

@@ -16,11 +16,17 @@ must be observable at a sink in another when the files are linked by an
   resolved/unresolved counters for telemetry.
 * :class:`IncludeContext` turns the graph into what the
   :class:`~repro.analysis.engine.TaintEngine` needs per analyzed file: the
-  merged function-declaration table of the include closure and the
-  propagated global taint state of every included file's top level.  All
-  per-dependency work (parsing, summary computation, top-level execution)
-  is memoized, so a dependency shared by many files is processed once per
-  worker process.
+  merged function-declaration table of the include closure, the *composed
+  function summaries* of every dependency, and the propagated global
+  taint state of every included file's top level.  Per-dependency state
+  is computed **once** — one ``analyze_with_state`` run per dependency
+  yields both its exported env and its summaries — then composed into
+  every includer, so analyzing ten files that include ``db.php`` runs
+  ``db.php``'s bodies once, not ten times.  With a
+  :class:`~repro.analysis.summaries.SummaryCache` attached, that state
+  additionally persists on disk keyed by content + closure + knowledge
+  fingerprint, so a later process (worker, re-scan, daemon) composes
+  cached summaries without re-executing dependency code at all.
 
 ``include_once``/``require_once`` cycles are handled the way PHP handles
 them: each file contributes its state once; re-entry contributes nothing.
@@ -29,6 +35,7 @@ them: each file contributes its state once; re-entry contributes nothing.
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
@@ -36,9 +43,12 @@ from repro.php import ast
 from repro.php.ast_store import AstStore
 from repro.php.visitor import find_all
 
-#: cheap textual pre-filter: files without these substrings are never
-#: parsed by the resolver (the common case in big trees).
-_HINTS = ("include", "require")
+#: cheap textual pre-filter: files without an include/require *keyword*
+#: are never parsed by the resolver (the common case in big trees).  The
+#: word boundary matters: plain substring matching drags in every file
+#: that merely says "required" in a form label or comment, which on real
+#: trees means parsing nearly everything just to find no edges.
+_HINT_RE = re.compile(r"\b(?:include|require)(?:_once)?\b")
 
 
 @dataclass
@@ -155,8 +165,7 @@ class IncludeResolver:
                     source = f.read()
             except OSError:
                 return
-        lowered = source.lower()
-        if not any(hint in lowered for hint in _HINTS):
+        if _HINT_RE.search(source.lower()) is None:
             return
         try:
             program, _ = self.ast_store.parse_recovering(source, path)
@@ -276,56 +285,138 @@ class IncludeContext:
     """Per-process provider of cross-file analysis state.
 
     One instance lives in each scan worker (and in the in-process
-    detector).  Given a file, it supplies the taint engine with the merged
-    function table and propagated global taint state of the file's include
-    closure, memoizing all per-dependency work.
+    detector).  Given a file, it supplies the taint engine with the
+    merged function table, the composed dependency summaries and the
+    propagated global taint state of the file's include closure,
+    memoizing all per-dependency work and (optionally) persisting it
+    through a :class:`~repro.analysis.summaries.SummaryCache`.
     """
 
     def __init__(self, graph: IncludeGraph,
-                 ast_store: AstStore | None = None) -> None:
+                 ast_store: AstStore | None = None,
+                 summary_cache=None,
+                 metrics=None) -> None:
         self.graph = graph
         self.ast_store = ast_store if ast_store is not None else AstStore()
+        self.summary_cache = summary_cache
+        self.metrics = metrics
         self._programs: dict[str, ast.Program | None] = {}
+        self._modules: dict[str, object | None] = {}
+        self._keys: dict[str, str | None] = {}
         self._tables: dict[str, dict] = {}
-        self._envs: dict[str, dict] = {}
+        #: path -> (exported env, own function summaries); the unit the
+        #: summary cache persists and includers compose.
+        self._states: dict[str, tuple[dict, dict]] = {}
+        #: path -> content hash its memoized state was computed from
+        #: (guards the preset replay against same-path/other-content).
+        self._state_sources: dict[str, str | None] = {}
         self._active: set[str] = set()
 
     # ------------------------------------------------------------------
-    def context_for(self, filename: str, engine) -> tuple[dict | None,
-                                                          dict | None]:
-        """(extra_functions, initial_env) for analyzing *filename*.
+    def context_for(self, filename: str, engine
+                    ) -> tuple[dict | None, dict | None, dict | None]:
+        """(extra_functions, extra_summaries, initial_env) for *filename*.
 
-        Returns ``(None, None)`` when the file has no resolved includes —
-        the per-file fast path stays untouched.
+        Returns ``(None, None, None)`` when the file has no resolved
+        includes — the per-file fast path stays untouched.  The summaries
+        are composed copies with ``internal_candidates`` stripped: the
+        declaring file reports its internal flows, not its includers.
         """
         closure = self.graph.closure(filename)
         if not closure:
-            return None, None
+            return None, None, None
         extra: dict = {}
         for dep in closure:
             for name, entry in self._function_table(dep).items():
                 extra.setdefault(name, entry)
+        summaries: dict = {}
         env: dict = {}
         for dep in closure:
-            for var, taints in self._exported_env(dep, engine).items():
+            dep_env, dep_summaries = self._state(dep, engine)
+            for name, summary in dep_summaries.items():
+                if name not in summaries:
+                    summaries[name] = self._stripped(summary)
+            for var, taints in dep_env.items():
                 if var in env:
                     env[var] = env[var] | taints
                 else:
                     env[var] = taints
-        return (extra or None), (env or None)
+        return (extra or None), (summaries or None), (env or None)
+
+    def preset_for(self, filename: str, source_key: str | None = None
+                   ) -> tuple[dict | None, str | None]:
+        """(preset summaries, state key to store under) for *filename*.
+
+        The scanned file's *own* summaries may already be known — computed
+        earlier in this process when the file was analyzed as someone
+        else's dependency, or persisted by the summary cache.  Replaying
+        them skips re-interpreting every declared function body.  When
+        they are not known, the returned key (non-``None`` only with a
+        cache attached) is what :meth:`remember_state` stores under after
+        the analysis ran.
+
+        *source_key* is the content hash of the source actually being
+        analyzed and is **required** for a replay: memoized/cached state
+        belongs to a specific content, and ``detect_source`` may hand the
+        same filename different text than what is on disk.
+        """
+        if source_key is None:
+            return None, None
+        state = self._states.get(filename)
+        if state is not None:
+            if self._state_sources.get(filename) == source_key:
+                return (state[1] or None), None
+            return None, None  # same path, different content
+        if self.summary_cache is None:
+            return None, None
+        key = self._state_key(filename, source_key)
+        if key is None:
+            return None, None
+        state = self._cached_state(key, filename)
+        if state is not None:
+            self._states[filename] = state
+            self._state_sources[filename] = source_key
+            return (state[1] or None), None
+        return None, key
+
+    def remember_state(self, filename: str, key: str | None,
+                       env: dict, summaries: dict,
+                       source_key: str | None = None) -> None:
+        """Memoize (and persist) *filename*'s just-computed state.
+
+        Called by the detector after a fresh analysis so includers of
+        this file — and later processes, via the cache — reuse it.
+        """
+        state = (env, self._own_summaries(filename, summaries))
+        if key is not None and self.summary_cache is not None:
+            # always safe: the digest covers the analyzed content, so a
+            # later lookup can only hit with identical text
+            self.summary_cache.put(key, filename, state[0], state[1])
+        if source_key is None:
+            return  # content unknown: never path-memoize blindly
+        disk = self._keys.get(filename)
+        if disk is not None and disk != source_key:
+            return  # detect_source text differs from the on-disk file
+        self._states[filename] = state
+        self._state_sources[filename] = source_key
 
     # ------------------------------------------------------------------
     def _program(self, path: str) -> ast.Program | None:
         # the per-path memo sits in front of the content-keyed store so a
         # repeat dependency costs neither a read nor a hash
         if path not in self._programs:
+            program = key = module = None
             try:
                 with open(path, encoding="utf-8", errors="replace") as f:
                     source = f.read()
-                self._programs[path], _ = \
-                    self.ast_store.parse_recovering(source, path)
+                key = self.ast_store.source_key(source)
+                program, _ = self.ast_store.parse_recovering(source, path)
+                module = self.ast_store.module_for(key)
             except (OSError, PhpSyntaxError):
-                self._programs[path] = None
+                program = None
+            self._programs[path] = program
+            self._keys[path] = key
+            self._modules[path] = module
         return self._programs[path]
 
     def _function_table(self, path: str) -> dict:
@@ -344,29 +435,102 @@ class IncludeContext:
             self._tables[path] = table
         return table
 
-    def _exported_env(self, path: str, engine) -> dict:
-        """Global taint state *path* leaves behind after its top level.
+    def _state(self, path: str, engine) -> tuple[dict, dict]:
+        """(exported env, own summaries) of one dependency, computed once.
 
+        The env is the global taint state *path* leaves behind after its
+        top level; the summaries cover the functions *declared in path*
+        (foreign names resolve through their own declaring file's state).
         Candidates found while executing the dependency are discarded —
         the dependency reports its own flows when it is scanned itself.
         Cycles contribute nothing on re-entry (PHP ``include_once``
         semantics).
         """
-        env = self._envs.get(path)
-        if env is not None:
-            return env
+        state = self._states.get(path)
+        if state is not None:
+            src = self._state_sources.get(path)
+            if src is None or src == self._source_key(path):
+                return state
+            # the memoized state came from detect_source text that is
+            # not what is on disk: recompute the dependency from disk
         if path in self._active:
-            return {}
+            return {}, {}
         self._active.add(path)
         try:
             program = self._program(path)
             if program is None:
-                env = {}
+                state = ({}, {})
             else:
-                extra, init = self.context_for(path, engine)
-                _, env = engine.analyze_with_env(
-                    program, path, extra_functions=extra, initial_env=init)
+                key = self._state_key(path)
+                state = self._cached_state(key, path)
+                if state is None:
+                    extra, composed, init = self.context_for(path, engine)
+                    _, env, summaries = engine.analyze_with_state(
+                        program, path, extra_functions=extra,
+                        initial_env=init,
+                        module=self._modules.get(path),
+                        extra_summaries=composed)
+                    state = (env, self._own_summaries(path, summaries))
+                    if key is not None and self.summary_cache is not None:
+                        self.summary_cache.put(key, path,
+                                               state[0], state[1])
         finally:
             self._active.discard(path)
-        self._envs[path] = env
-        return env
+        self._states[path] = state
+        self._state_sources[path] = self._keys.get(path)
+        return state
+
+    def _own_summaries(self, path: str, summaries: dict) -> dict:
+        """The subset of a run's summaries declared in *path* itself.
+
+        A run also adopts/computes summaries for foreign names; those
+        belong to (and are cached under) their declaring file.  Filtering
+        preserves completion order, which the preset replay relies on.
+        """
+        own_names = self._function_table(path)
+        return {name: summary for name, summary in summaries.items()
+                if name in own_names}
+
+    @staticmethod
+    def _stripped(summary):
+        if not summary.internal_candidates:
+            return summary
+        from dataclasses import replace
+        return replace(summary, internal_candidates=[])
+
+    # ------------------------------------------------------------------
+    # summary-cache plumbing
+    # ------------------------------------------------------------------
+    def _source_key(self, path: str) -> str | None:
+        self._program(path)
+        return self._keys.get(path)
+
+    def _state_key(self, path: str,
+                   source_key: str | None = None) -> str | None:
+        """The summary-cache digest for *path*, or None (cache disabled,
+        unreadable file).  Covers content + include closure + knowledge
+        fingerprint — the same invalidation discipline as
+        :func:`repro.analysis.pipeline.closure_key`.
+        """
+        if self.summary_cache is None:
+            return None
+        own = source_key if source_key is not None \
+            else self._source_key(path)
+        if own is None:
+            return None
+        base = os.path.dirname(path)
+        pairs = [(os.path.relpath(dep, base),
+                  self._source_key(dep) or "missing")
+                 for dep in self.graph.closure(path)]
+        return self.summary_cache.state_key(own, pairs)
+
+    def _cached_state(self, key: str | None,
+                      path: str) -> tuple[dict, dict] | None:
+        if key is None or self.summary_cache is None:
+            return None
+        state = self.summary_cache.get(key, path)
+        if self.metrics is not None:
+            name = "summary_cache_hit" if state is not None \
+                else "summary_cache_miss"
+            self.metrics.counter(name).inc()
+        return state

@@ -47,10 +47,18 @@ class ScanOptions:
         includes: statically resolve ``include``/``require`` targets so
             taint crosses file boundaries; ``False`` restores strictly
             per-file analysis.
-        ast_cache: keep pickled ASTs on disk next to the result cache so
-            re-parses of unchanged content are served from disk (only
-            effective when ``cache_dir`` is set); ``False`` disables the
-            AST tier without touching the result cache.
+        ast_cache: keep pickled ASTs (with their lowered IR modules) on
+            disk next to the result cache so re-parses of unchanged
+            content are served from disk (only effective when
+            ``cache_dir`` is set); ``False`` disables the AST tier
+            without touching the result cache.
+        summary_cache: persist per-file function summaries + exported
+            envs (:mod:`repro.analysis.summaries`) in the AST tier
+            directory, so include closures compose cached dependency
+            state instead of re-executing dependency bodies (only
+            effective when ``cache_dir`` is set and ``ast_cache`` is
+            on — the tier lives inside the AST cache directory);
+            ``False`` disables just the summary tier.
         telemetry: ``True`` builds a fresh enabled
             :class:`~repro.telemetry.Telemetry` for the run, ``False`` /
             ``None`` runs untraced, and an explicit ``Telemetry`` instance
@@ -64,6 +72,7 @@ class ScanOptions:
     cache_dir: str | None = None
     includes: bool = True
     ast_cache: bool = True
+    summary_cache: bool = True
     telemetry: object | None = None
     predictor: object | None = None
 

@@ -44,15 +44,14 @@ import dataclasses
 import hashlib
 import os
 import pickle
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.exceptions import PhpSyntaxError
-from repro.php import Parser, ast, tokenize
-from repro.php.ast_store import AstCache, AstStore
+from repro.php import Parser, ast, parse_with_recovery, tokenize
+from repro.php.ast_store import AstCache, AstStore, PackFile
 from repro.analysis.detector import PHP_EXTENSIONS, FileResult
 from repro.analysis.engine import TaintEngine
 from repro.analysis.includes import (
@@ -60,6 +59,7 @@ from repro.analysis.includes import (
     IncludeGraph,
     build_include_graph,
 )
+from repro.analysis.summaries import SummaryCache
 from repro.analysis.model import (
     STEP_CONCAT,
     CandidateVulnerability,
@@ -123,7 +123,8 @@ class FusedDetector:
     def __init__(self, groups: tuple[ConfigGroup, ...] | list[ConfigGroup],
                  telemetry: Telemetry | None = None,
                  include_graph: IncludeGraph | None = None,
-                 ast_store: AstStore | None = None) -> None:
+                 ast_store: AstStore | None = None,
+                 summary_cache: SummaryCache | None = None) -> None:
         self.groups = tuple(groups)
         self.telemetry = telemetry or NULL_TELEMETRY
         configs = [cfg for g in self.groups for cfg in g.configs]
@@ -141,8 +142,11 @@ class FusedDetector:
                 metrics=self.telemetry.metrics
                 if self.telemetry.enabled else None)
         self.ast_store = ast_store
-        self._includes = IncludeContext(include_graph,
-                                        ast_store=ast_store) \
+        self._includes = IncludeContext(
+            include_graph, ast_store=ast_store,
+            summary_cache=summary_cache,
+            metrics=self.telemetry.metrics
+            if self.telemetry.enabled else None) \
             if include_graph else None
 
     @property
@@ -151,17 +155,40 @@ class FusedDetector:
 
     # ------------------------------------------------------------------
     def detect_program(self, program: ast.Program,
-                       filename: str = "<source>"
+                       filename: str = "<source>",
+                       module=None,
+                       source_key: str | None = None
                        ) -> list[CandidateVulnerability]:
-        """Analyze an already-parsed program with the fused engine."""
+        """Analyze an already-parsed program with the fused engine.
+
+        Args:
+            program: the parsed file.
+            filename: used in the reports and for include-closure lookup.
+            module: the file's lowered IR, when the caller already has it
+                (the parse-once path does); lowered on the fly otherwise.
+            source_key: the file's content hash, when the caller already
+                computed it — saves the summary tier one read + hash.
+        """
         if self.engine is None:
             return []
-        extra = init = None
-        if self._includes is not None:
-            extra, init = self._includes.context_for(filename, self.engine)
-        candidates = self.engine.analyze(program, filename,
-                                         extra_functions=extra,
-                                         initial_env=init)
+        extra = summaries = init = preset = state_key = None
+        includes = self._includes
+        if includes is not None:
+            extra, summaries, init = includes.context_for(filename,
+                                                          self.engine)
+            preset, state_key = includes.preset_for(filename, source_key)
+        candidates, env, run_summaries = self.engine.analyze_with_state(
+            program, filename,
+            extra_functions=extra,
+            initial_env=init,
+            module=module,
+            extra_summaries=summaries,
+            preset_summaries=preset)
+        if includes is not None and preset is None:
+            # feed the fresh state back: includers of this file compose
+            # it in-process, later processes via the summary cache
+            includes.remember_state(filename, state_key, env,
+                                    run_summaries, source_key=source_key)
         if self._split:
             if self.telemetry.enabled:
                 with self.telemetry.tracer.span("split", phase="split",
@@ -194,33 +221,41 @@ class FusedDetector:
         could not extract a single PHP statement from.
         """
         store = self.ast_store
-        if not self.telemetry.enabled:
-            program, warnings = store.parse_recovering(source, filename)
+        key = store.source_key(source)
+        entry = store.lookup(key)
+        if entry is not None:
+            program, warnings = store.materialize(entry, filename)
+        elif not self.telemetry.enabled:
+            try:
+                program, warnings = parse_with_recovery(source, filename)
+            except PhpSyntaxError as exc:
+                store.store_error(key, exc)
+                raise
+            store.store(key, program, warnings)  # lowers to IR inside
         else:
-            # traced variant of AstStore.parse_recovering: lex and parse
-            # keep their own spans, and a store hit skips both entirely
-            key = store.source_key(source)
-            entry = store.lookup(key)
-            if entry is None:
-                tracer = self.telemetry.tracer
-                try:
-                    with tracer.span("lex", phase="lex", file=filename):
-                        tokens = tokenize(source, filename)
-                    with tracer.span("parse", phase="parse",
-                                     file=filename):
-                        parser = Parser(tokens, filename, recover=True)
-                        program = parser.parse_program()
-                        warnings = list(parser.warnings)
-                except PhpSyntaxError as exc:
-                    store.store_error(key, exc)
-                    raise
-                store.store(key, program, warnings)
-            else:
-                program, warnings = store.materialize(entry, filename)
+            # traced variant of AstStore.parse_recovering: lex, parse and
+            # lower keep their own spans; a store hit skips all three
+            tracer = self.telemetry.tracer
+            try:
+                with tracer.span("lex", phase="lex", file=filename):
+                    tokens = tokenize(source, filename)
+                with tracer.span("parse", phase="parse",
+                                 file=filename):
+                    parser = Parser(tokens, filename, recover=True)
+                    program = parser.parse_program()
+                    warnings = list(parser.warnings)
+            except PhpSyntaxError as exc:
+                store.store_error(key, exc)
+                raise
+            with tracer.span("lower", phase="lower", file=filename):
+                module = store._lower(program)
+            store.store(key, program, warnings, module=module)
         if warnings and not any(not isinstance(node, ast.InlineHTML)
                                 for node in program.body):
             raise warnings[0]  # recovery salvaged no PHP at all
-        return self.detect_program(program, filename), warnings
+        return self.detect_program(program, filename,
+                                   module=store.module_for(key),
+                                   source_key=key), warnings
 
     def detect_file(self, path: str) -> FileResult:
         """Analyze one file; errors are captured, wall time recorded."""
@@ -408,11 +443,20 @@ class ResultCache:
     telemetry is off.  A corrupt entry is *evicted* (deleted) on the miss
     that discovers it, so it cannot keep costing a failed unpickle on
     every scan.
+
+    Since the pack-file layout, entries are written into one
+    :class:`~repro.php.ast_store.PackFile` (``pack.pkl`` inside the
+    fingerprint directory): puts are buffered and persisted by the one
+    :meth:`flush` the scheduler issues per scan, replacing thousands of
+    per-entry temp-write + rename round trips with a single atomic
+    rewrite.  Legacy per-entry ``<hash>.pkl`` files are still read (and
+    evicted when corrupt) but no longer written.
     """
 
     def __init__(self, directory: str, fingerprint: str) -> None:
         self.directory = os.path.join(directory, fingerprint[:24])
         os.makedirs(self.directory, exist_ok=True)
+        self.pack = PackFile(os.path.join(self.directory, "pack.pkl"))
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -425,22 +469,39 @@ class ResultCache:
     def _entry_path(self, content_hash: str) -> str:
         return os.path.join(self.directory, content_hash + ".pkl")
 
-    def get(self, content_hash: str, filename: str) -> FileResult | None:
-        """Cached result for *content_hash*, re-attributed to *filename*."""
-        entry = self._entry_path(content_hash)
+    def _load(self, key: str):
+        """Raw payload for *key* from the pack or a legacy per-file
+        entry; ``None`` on miss, with corrupt entries evicted."""
+        blob = self.pack.get(key)
+        if self.pack.corrupt:
+            self.pack.corrupt = False
+            self.evictions += 1
+        if blob is not None:
+            try:
+                return pickle.loads(blob)
+            except Exception:
+                self.pack.discard(key)
+                self.evictions += 1
+                return None
+        entry = self._entry_path(key)
         try:
             with open(entry, "rb") as f:
-                payload = pickle.load(f)
+                return pickle.load(f)
         except FileNotFoundError:
-            self.misses += 1
             return None
         except Exception:  # corrupt entries raise anything: miss + evict
-            self.misses += 1
             try:
                 os.unlink(entry)
                 self.evictions += 1
             except OSError:
                 pass
+            return None
+
+    def get(self, content_hash: str, filename: str) -> FileResult | None:
+        """Cached result for *content_hash*, re-attributed to *filename*."""
+        payload = self._load(content_hash)
+        if not isinstance(payload, dict):
+            self.misses += 1
             return None
         self.hits += 1
         return FileResult(
@@ -456,7 +517,7 @@ class ResultCache:
         )
 
     def put(self, content_hash: str, result: FileResult) -> None:
-        """Store one result atomically (write-to-temp + rename)."""
+        """Buffer one result for the next :meth:`flush`."""
         payload = {
             "candidates": _relativize_candidates(
                 result.candidates, os.path.dirname(result.filename)),
@@ -467,43 +528,32 @@ class ResultCache:
                                                 result.filename),
             "recovered_statements": result.recovered_statements,
         }
-        if self._write(self._entry_path(content_hash), payload):
-            self.puts += 1
+        try:
+            blob = pickle.dumps(payload,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except (RecursionError, pickle.PicklingError,
+                AttributeError, TypeError):
+            return
+        self.pack.put(content_hash, blob)
+        self.puts += 1
+
+    def flush(self) -> None:
+        """Persist buffered puts (one atomic pack rewrite)."""
+        self.pack.flush()
 
     # ------------------------------------------------------------------
     # generic blobs (e.g. the resolved include graph) share the store but
     # deliberately do NOT count toward the per-file hit/miss statistics
     def get_blob(self, key: str):
-        entry = self._entry_path(key)
-        try:
-            with open(entry, "rb") as f:
-                return pickle.load(f)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            try:
-                os.unlink(entry)
-                self.evictions += 1
-            except OSError:
-                pass
-            return None
+        return self._load(key)
 
     def put_blob(self, key: str, value) -> None:
-        self._write(self._entry_path(key), value)
-
-    def _write(self, entry: str, payload) -> bool:
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as f:
-                pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, entry)
-            return True
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return False
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (RecursionError, pickle.PicklingError,
+                AttributeError, TypeError):
+            return
+        self.pack.put(key, blob)
 
 
 # ---------------------------------------------------------------------------
@@ -517,7 +567,9 @@ _WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
 def _init_worker(groups: tuple[ConfigGroup, ...],
                  telemetry_enabled: bool = False,
                  include_graph: IncludeGraph | None = None,
-                 ast_cache_dir: str | None = None) -> None:
+                 ast_cache_dir: str | None = None,
+                 summary_cache_dir: str | None = None,
+                 fingerprint: str = "") -> None:
     """Per-worker initializer: build the fused detector once.
 
     When the parent scan is traced, each worker records spans and counters
@@ -535,9 +587,12 @@ def _init_worker(groups: tuple[ConfigGroup, ...],
     ast_store = AstStore(
         disk=AstCache(ast_cache_dir) if ast_cache_dir else None,
         metrics=_WORKER_TELEMETRY.metrics if telemetry_enabled else None)
+    summary_cache = SummaryCache(summary_cache_dir, fingerprint) \
+        if summary_cache_dir else None
     _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY,
                                      include_graph=include_graph,
-                                     ast_store=ast_store)
+                                     ast_store=ast_store,
+                                     summary_cache=summary_cache)
 
 
 def _scan_path(path: str) -> FileResult:
@@ -568,11 +623,25 @@ def _scan_chunk(paths: list[str]
     """
     telemetry = _WORKER_TELEMETRY
     if not telemetry.enabled:
-        return [_scan_path(path) for path in paths], None, None
+        results = [_scan_path(path) for path in paths]
+        _flush_worker_caches()
+        return results, None, None
     with telemetry.tracer.span("chunk", phase="chunk", files=len(paths)):
         results = [_scan_path(path) for path in paths]
+    _flush_worker_caches()
     return (results, telemetry.tracer.drain(worker=os.getpid()),
             telemetry.metrics.drain_counters())
+
+
+def _flush_worker_caches() -> None:
+    """Persist the worker's buffered AST/summary pack writes."""
+    detector = _WORKER_DETECTOR
+    if detector is None:
+        return
+    detector.ast_store.flush()
+    includes = detector._includes
+    if includes is not None and includes.summary_cache is not None:
+        includes.summary_cache.flush()
 
 
 class ScanScheduler:
@@ -615,6 +684,17 @@ class ScanScheduler:
             if (opts.cache_dir and opts.ast_cache) else None
         self.ast_cache = AstCache(self.ast_cache_dir) \
             if self.ast_cache_dir else None
+        #: on-disk summary tier (None without a cache dir or with
+        #: ``--no-summary-cache``); keyed by content + closure +
+        #: knowledge fingerprint, so it needs no fingerprint directory.
+        #: It lives inside the AST tier directory, so disabling the AST
+        #: tier disables it too.
+        self.summary_cache_dir = opts.cache_dir \
+            if (opts.cache_dir and opts.ast_cache
+                and opts.summary_cache) else None
+        self.summary_cache = SummaryCache(self.summary_cache_dir,
+                                          self.fingerprint) \
+            if self.summary_cache_dir else None
         #: the scan's shared parse memo: include resolution and the
         #: ``jobs=1`` scan phase parse each unique content exactly once.
         self.ast_store = AstStore(
@@ -650,7 +730,8 @@ class ScanScheduler:
             self._detector = FusedDetector(self.groups,
                                            telemetry=self.telemetry,
                                            include_graph=graph,
-                                           ast_store=self.ast_store)
+                                           ast_store=self.ast_store,
+                                           summary_cache=self.summary_cache)
             self._detector_graph = graph
         return self._detector
 
@@ -670,26 +751,52 @@ class ScanScheduler:
         """Analyze *paths*, returning results in the same order."""
         telemetry = self.telemetry
         raw_hashes: dict[str, str] = {}
+        sources: dict[str, str] = {}
         if self.cache is not None:
             for path in paths:
                 try:
                     with open(path, "rb") as f:
-                        raw_hashes[path] = ResultCache.content_hash(
-                            f.read())
+                        raw = f.read()
                 except OSError:
-                    pass  # surfaces as a per-file read error below
+                    continue  # surfaces as a per-file read error below
+                raw_hashes[path] = ResultCache.content_hash(raw)
+                # hand the bytes we already read on to the include
+                # resolver — but only for files it could possibly parse
+                # (keyword present), so a large tree is not held in
+                # memory; the empty marker tells the resolver the file
+                # has no includes without a second disk read
+                if self.includes:
+                    if b"include" in raw or b"require" in raw:
+                        sources[path] = raw.decode("utf-8",
+                                                   errors="replace")
+                    else:
+                        sources[path] = ""
         if self.includes:
             with telemetry.tracer.span("resolve_includes", phase="link",
                                        files=len(paths)):
-                self.include_graph = self._resolve_graph(paths, raw_hashes)
+                self.include_graph = self._resolve_graph(paths, raw_hashes,
+                                                         sources)
+            sources = {}
             # cross-file context is memoized per graph: a fresh graph
             # (file contents may have changed) needs a fresh detector
             self._detector = None
+            if self.jobs != 1:
+                # make the resolve phase's parses visible to the workers
+                self.ast_store.flush()
         else:
             self.include_graph = None
-        with telemetry.tracer.span("scan", phase="scan",
-                                   files=len(paths)):
-            results = self._scan_files_traced(paths, raw_hashes)
+        try:
+            with telemetry.tracer.span("scan", phase="scan",
+                                       files=len(paths)):
+                results = self._scan_files_traced(paths, raw_hashes)
+        finally:
+            # one atomic pack rewrite per tier instead of thousands of
+            # tiny per-entry files — see PackFile
+            self.ast_store.flush()
+            if self.summary_cache is not None:
+                self.summary_cache.flush()
+            if self.cache is not None:
+                self.cache.flush()
         if self.include_graph is not None:
             for result in results:
                 result.resolved_includes = \
@@ -714,10 +821,17 @@ class ScanScheduler:
             if self.ast_cache is not None:
                 metrics.gauge("ast_cache_hits").set(self.ast_cache.hits)
                 metrics.gauge("ast_cache_puts").set(self.ast_cache.puts)
+            if self.summary_cache is not None:
+                metrics.gauge("summary_cache_hits").set(
+                    self.summary_cache.hits)
+                metrics.gauge("summary_cache_puts").set(
+                    self.summary_cache.puts)
         return results
 
     def _resolve_graph(self, paths: list[str],
-                       raw_hashes: dict[str, str]) -> IncludeGraph:
+                       raw_hashes: dict[str, str],
+                       sources: dict[str, str] | None = None
+                       ) -> IncludeGraph:
         """The project include graph, served from cache when unchanged.
 
         Building the graph parses every file that textually mentions an
@@ -735,7 +849,8 @@ class ScanScheduler:
             cached = self.cache.get_blob(key)
             if isinstance(cached, IncludeGraph):
                 return cached
-        graph = build_include_graph(paths, ast_store=self.ast_store)
+        graph = build_include_graph(paths, sources=sources,
+                                    ast_store=self.ast_store)
         if key is not None:
             self.cache.put_blob(key, graph)
         return graph
@@ -817,7 +932,9 @@ class ScanScheduler:
                                      initargs=(self.groups,
                                                telemetry.enabled,
                                                self._worker_graph(),
-                                               self.ast_cache_dir)
+                                               self.ast_cache_dir,
+                                               self.summary_cache_dir,
+                                               self.fingerprint)
                                      ) as pool:
                 futures = {pool.submit(_scan_chunk,
                                        [p for _i, p in chunk]): chunk
@@ -896,7 +1013,9 @@ class ScanScheduler:
                                          initializer=_init_worker,
                                          initargs=(self.groups, False,
                                                    self._worker_graph(),
-                                                   self.ast_cache_dir)
+                                                   self.ast_cache_dir,
+                                                   self.summary_cache_dir,
+                                                   self.fingerprint)
                                          ) as pool:
                     result, _spans, _counters = pool.submit(
                         _scan_chunk, [path]).result()

@@ -53,6 +53,7 @@ from repro.analysis.pipeline import (
     closure_key,
     config_fingerprint,
 )
+from repro.analysis.summaries import SummaryCache
 from repro.php.ast_store import AstCache, AstStore
 from repro.telemetry import CacheStats, build_scan_stats
 from repro.tool.report import AnalysisReport
@@ -274,9 +275,13 @@ class Scanner:
                 store = AstStore(
                     disk=disk,
                     metrics=telem.metrics if telem.enabled else None)
+                summary_cache = SummaryCache(opts_.cache_dir, fingerprint) \
+                    if (opts_.cache_dir and opts_.ast_cache
+                        and opts_.summary_cache) else None
                 detector = FusedDetector(groups, telemetry=telem,
                                          include_graph=graph,
-                                         ast_store=store)
+                                         ast_store=store,
+                                         summary_cache=summary_cache)
                 with telem.tracer.span("scan", phase="scan",
                                        files=len(to_run)):
                     for path in to_run:
@@ -288,6 +293,11 @@ class Scanner:
                         results[path] = detector.detect_file(path)
                         if cache is not None:
                             cache.put(keys[path], results[path])
+                store.flush()
+                if summary_cache is not None:
+                    summary_cache.flush()
+                if cache is not None:
+                    cache.flush()
             if graph is not None:
                 for path, result in results.items():
                     result.resolved_includes = graph.resolved.get(path, 0)

@@ -179,7 +179,15 @@ def build_provenance(candidate: CandidateVulnerability,
                 STAGE_PROPAGATE, f"{step.kind}: {step.detail}", step.line))
         hop_file = getattr(step, "file", "")
         if hop_file and hop_file != candidate.filename:
-            events[-1] = replace(events[-1], file=hop_file)
+            note = events[-1].note
+            if step.kind in (STEP_PARAM, STEP_RETURN):
+                # inter-procedural hops in a foreign file are replayed
+                # from the dependency's function summary, not from
+                # re-executing its body in the includer's analysis
+                origin = ("replayed from the include closure's "
+                          "composed function summary")
+                note = f"{note}; {origin}" if note else origin
+            events[-1] = replace(events[-1], file=hop_file, note=note)
 
     verdict = None
     symptoms: tuple[str, ...] = ()

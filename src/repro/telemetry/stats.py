@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: per-file stage span names aggregated into the CPU-time table.
-FILE_PHASE_NAMES = ("lex", "parse", "taint", "split", "predict_file",
-                    "cache_get", "cache_put")
+FILE_PHASE_NAMES = ("lex", "parse", "lower", "taint", "split",
+                    "predict_file", "cache_get", "cache_put")
 
 #: how many slowest files the footer lists.
 TOP_SLOWEST = 5

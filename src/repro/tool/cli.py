@@ -79,6 +79,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-ast-cache", action="store_true",
                         help="disable the on-disk AST cache tier (parsed "
                              "syntax trees kept next to the result cache)")
+    parser.add_argument("--no-summary-cache", action="store_true",
+                        help="disable the on-disk function-summary tier "
+                             "(per-file taint summaries composed across "
+                             "include closures)")
     parser.add_argument("--no-includes", action="store_true",
                         help="disable static include/require resolution "
                              "(each file is analyzed in isolation)")
@@ -241,7 +245,8 @@ def main(argv: list[str] | None = None) -> int:
                     jobs=args.jobs, cache_dir=cache_dir,
                     telemetry=telemetry,
                     includes=not args.no_includes,
-                    ast_cache=not args.no_ast_cache))
+                    ast_cache=not args.no_ast_cache,
+                    summary_cache=not args.no_summary_cache))
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:

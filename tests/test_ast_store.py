@@ -108,6 +108,7 @@ class TestAstCache:
         cold = AstStore(disk=AstCache(str(tmp_path)))
         cold.parse_recovering(VULN, "a.php")
         assert cold.disk.puts == 1
+        cold.flush()  # puts are buffered until the per-scan flush
 
         warm = AstStore(disk=AstCache(str(tmp_path)))
         program, warnings = warm.parse_recovering(VULN, "other.php")
@@ -120,6 +121,7 @@ class TestAstCache:
         cold = AstStore(disk=AstCache(str(tmp_path)))
         with pytest.raises(PhpSyntaxError):
             cold.parse_recovering(broken, "a.php")
+        cold.flush()
 
         warm = AstStore(disk=AstCache(str(tmp_path)))
         with pytest.raises(PhpSyntaxError) as exc:

@@ -85,6 +85,39 @@ class TestBuildProvenance:
         assert "is_numeric" in guard.detail
         assert "does not untaint" in guard.note
 
+    def test_summary_replayed_hops_carry_a_provenance_note(self, tool):
+        # a param/return hop attributed to a foreign file means the
+        # callee's behaviour came from the include closure's composed
+        # summary, and the provenance must say so
+        from repro.analysis.model import (
+            STEP_PARAM,
+            STEP_RETURN,
+            STEP_SINK,
+            STEP_SOURCE,
+            CandidateVulnerability,
+            PathStep,
+        )
+
+        candidate = CandidateVulnerability(
+            vuln_class="xss", filename="/proj/index.php",
+            sink_name="echo", sink_line=3,
+            entry_point="$_GET['q']", entry_line=2,
+            path=(
+                PathStep(STEP_SOURCE, "$_GET['q']", 2),
+                PathStep(STEP_PARAM, "$x of q()", 1, "/proj/lib.php"),
+                PathStep(STEP_RETURN, "q", 1, "/proj/lib.php"),
+                PathStep(STEP_SINK, "echo", 3),
+            ))
+        prov = build_provenance(candidate, None)
+        foreign = [e for e in prov.events if e.file == "/proj/lib.php"]
+        assert len(foreign) == 2
+        for event in foreign:
+            assert "composed function summary" in event.note
+            assert "inter-procedural propagation" in event.note
+        # same-file hops stay unannotated
+        assert "summary" not in prov.events[0].note
+        assert "summary" not in prov.events[-1].note
+
     def test_model_convenience_method_and_render(self, tool):
         outcome = _one_candidate(tool, "<?php echo $_COOKIE['u'];", "xss")
         prov = outcome.candidate.provenance(outcome.prediction)

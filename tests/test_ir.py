@@ -1,0 +1,230 @@
+"""Unit tests for the flat taint IR lowering (:mod:`repro.ir`).
+
+The differential oracle suite (``test_ir_oracle.py``) pins the engine's
+findings to the AST walker; these tests pin the *structural* contracts of
+the lowered form itself: linear executability (every JUMP skips exactly
+the span region emitted after it), register discipline, module layout,
+config independence, and the disassembler used by ``docs/ir.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.ir import IR_FORMAT, IRModule, disassemble, lower_program
+from repro.ir.opcodes import (
+    ASSIGN,
+    CALL,
+    IF,
+    JUMP,
+    LOOP,
+    OPNAMES,
+    SINK,
+    SOURCE,
+    IfMeta,
+    LoopMeta,
+    SwitchMeta,
+    TryMeta,
+)
+from repro.php.parser import parse_with_recovery
+
+
+def lower(source: str) -> IRModule:
+    program, warnings = parse_with_recovery(source, "test.php")
+    assert warnings == []
+    return lower_program(program)
+
+
+def spans_of(module: IRModule) -> list[tuple[int, int]]:
+    """Every span region referenced by structured-control metas."""
+    spans = [module.top_span]
+    spans.extend({id(fn): fn.span
+                  for fn in module.functions.values()}.values())
+    for instr in module.code:
+        meta = instr.extra
+        if isinstance(meta, IfMeta):
+            spans.append(meta.then_span)
+            for cond_span, body_span in meta.elifs:
+                spans.extend((cond_span, body_span))
+            if meta.else_span is not None:
+                spans.append(meta.else_span)
+        elif isinstance(meta, LoopMeta):
+            spans.append(meta.body_span)
+            if meta.cond_span is not None:
+                spans.append(meta.cond_span)
+            if meta.step_span is not None:
+                spans.append(meta.step_span)
+        elif isinstance(meta, SwitchMeta):
+            for test_span, body_span in meta.cases:
+                if test_span is not None:
+                    spans.append(test_span)
+                spans.append(body_span)
+        elif isinstance(meta, TryMeta):
+            spans.extend(meta.catch_spans)
+    return spans
+
+
+class TestModuleLayout:
+    def test_empty_program(self):
+        module = lower("<?php\n")
+        assert module.top_span == (0, 0)
+        assert module.functions == {}
+        assert module.n_regs >= 1
+        assert module.version == IR_FORMAT
+
+    def test_straight_line_instruction_order(self):
+        module = lower("<?php $q = $_GET['q']; echo $q;\n")
+        start, end = module.top_span
+        ops = [i.op for i in module.code[start:end]]
+        # read the superglobal, assign it, read $q, sink it — in the
+        # walker's evaluation order
+        assert ops.index(ASSIGN) < ops.index(SINK)
+        sink = next(i for i in module.code if i.op == SINK)
+        assert sink.name == "echo"
+        assert sink.line == 1
+
+    def test_functions_are_aliased_not_duplicated(self):
+        module = lower(
+            "<?php class A { function f($x) { return $x; } }\n")
+        assert set(module.functions) == {"a::f", "f"}
+        assert module.functions["a::f"] is module.functions["f"]
+        assert module.functions["f"].param_names == ("x",)
+
+    def test_spans_are_within_code_and_well_formed(self):
+        module = lower(
+            "<?php\n"
+            "function g($a) { if ($a) { return $a; } return ''; }\n"
+            "while ($x) { $x = g($_GET['x']); }\n"
+            "try { echo $x; } catch (Exception $e) { echo 'no'; }\n"
+            "switch ($x) { case 1: echo $x; break; default: break; }\n")
+        for start, end in spans_of(module):
+            assert 0 <= start <= end <= len(module.code)
+
+
+class TestJumpLinearity:
+    """A JUMP before every span region keeps the stream executable."""
+
+    def naive_run(self, module: IRModule) -> list[int]:
+        """Walk the top-level span following only JUMPs.
+
+        Function bodies lower *before* the top span and are only ever
+        entered through a CALL, so the walk starts at the top span.
+        """
+        visited = []
+        pc, fuel = module.top_span[0], len(module.code) * 2 + 10
+        while pc < module.top_span[1] and fuel:
+            fuel -= 1
+            visited.append(pc)
+            instr = module.code[pc]
+            pc = instr.a if instr.op == JUMP else pc + 1
+        assert fuel, "JUMP cycle: linear walk did not terminate"
+        return visited
+
+    @pytest.mark.parametrize("source", [
+        "<?php if ($a) { echo $a; } else { echo 'b'; }\n",
+        "<?php if ($a) echo $a; elseif ($b) echo $b; else echo 'c';\n",
+        "<?php while ($a) { $a = $a . 'x'; }\n",
+        "<?php for ($i = 0; $i < 3; $i++) { echo $i; }\n",
+        "<?php foreach ($rows as $k => $v) { echo $v; }\n",
+        "<?php do { echo $a; } while ($a);\n",
+        "<?php switch ($a) { case 1: echo $a; default: echo 'd'; }\n",
+        "<?php try { echo $a; } catch (E $e) { echo 'c'; }\n",
+        "<?php function f($x) { while ($x) { echo $x; } }\n",
+        "<?php $f = function ($x) use ($y) { echo $x . $y; };\n",
+    ])
+    def test_linear_walk_skips_all_span_regions(self, source):
+        module = lower(source)
+        visited = set(self.naive_run(module))
+        # the linear walk must never fall *into* a structured span:
+        # span regions are only executed via their owning meta
+        for start, end in spans_of(module):
+            if (start, end) == module.top_span:
+                continue
+            body = set(range(start, end))
+            entered = visited & body
+            assert not entered, (
+                f"linear walk entered span ({start}, {end}) at "
+                f"{sorted(entered)}:\n{disassemble(module)}")
+
+    def test_jump_targets_land_inside_code(self):
+        module = lower(
+            "<?php if ($a) { while ($b) { echo $b; } } "
+            "foreach ($c as $d) { echo $d; }\n")
+        for instr in module.code:
+            if instr.op == JUMP:
+                assert 0 < instr.a <= len(module.code)
+
+
+class TestRegisters:
+    def test_every_dst_register_is_in_range(self):
+        module = lower(
+            "<?php $a = $_GET['a'] . $_POST['b']; echo f($a, $a);\n")
+        for instr in module.code:
+            assert 0 <= instr.dst < module.n_regs
+            assert instr.a <= max(module.n_regs, len(module.code))
+
+    def test_expressions_get_fresh_registers(self):
+        # two reads of the same variable still get distinct registers:
+        # slots are static single-use, the *env* carries identity
+        module = lower("<?php echo $q . $q;\n")
+        dsts = [i.dst for i in module.code if i.op == SOURCE]
+        assert len(dsts) == len(set(dsts)) == 2
+        assert all(d != 0 for d in dsts)  # r0 is the constant EMPTY
+
+    def test_register_zero_is_never_written(self):
+        module = lower(
+            "<?php function f($x) { return $x; } "
+            "$y = f($_GET['y']); echo $y;\n")
+        writes = [i for i in module.code
+                  if i.dst == 0 and i.op in (SOURCE, ASSIGN, CALL)]
+        assert writes == []
+
+
+class TestConfigIndependence:
+    def test_lowering_interns_no_knowledge(self):
+        # the same module must serve every DetectorConfig: nothing in
+        # the instruction stream may say "this is a source/sink/filter"
+        source = ("<?php $q = mysql_query($_GET['q']); "
+                  "echo htmlentities($q);\n")
+        module = lower(source)
+        calls = {i.name for i in module.code if i.op == CALL}
+        assert {"mysql_query", "htmlentities"} <= calls
+        # both calls lower to the identical shape — no special-casing
+        shapes = {i.op for i in module.code
+                  if i.name in ("mysql_query", "htmlentities")}
+        assert shapes == {CALL}
+
+    def test_module_is_picklable_for_the_cache_tier(self):
+        module = lower(
+            "<?php function f($x) { if ($x) { return $x; } } "
+            "foreach ($a as $b) { echo f($b); }\n")
+        clone = pickle.loads(pickle.dumps(module))
+        assert len(clone.code) == len(module.code)
+        assert clone.version == IR_FORMAT
+        assert set(clone.functions) == set(module.functions)
+
+
+class TestDisassembler:
+    def test_listing_covers_every_instruction(self):
+        module = lower(
+            "<?php if ($a) { echo $_GET['x']; } else { echo 'ok'; }\n")
+        text = disassemble(module)
+        lines = text.splitlines()
+        assert f"{len(module.code)} instrs" in lines[0]
+        numbered = [line for line in lines if ": " in line
+                    and line.split(":")[0].strip().isdigit()]
+        assert len(numbered) == len(module.code)
+        assert any(OPNAMES[IF] in line for line in numbered)
+
+    def test_opnames_table_is_total(self):
+        sources = [
+            "<?php if ($a) echo $a;\n",
+            "<?php while ($a) { $a[] = $b; }\n",
+            "<?php list($a, $b) = $_GET; unset($a); echo (int) $b;\n",
+            "<?php class C { static $p; } C::$p = 1; echo C::$p;\n",
+        ]
+        for source in sources:
+            for instr in lower(source).code:
+                assert instr.op in OPNAMES
