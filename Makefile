@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-grammar test-ir test-service bench \
-	bench-smoke bench-throughput bench-frontend trace-demo serve-demo
+	bench-smoke bench-throughput bench-frontend bench-check \
+	trace-demo serve-demo
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -55,6 +56,11 @@ bench-frontend:
 bench-smoke:
 	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke
 	$(PYTHON) benchmarks/bench_frontend.py --smoke
+
+# observability gate: ledger determinism, regression detector and the
+# sampling profiler, end to end on the demo app (artifacts in .bench/)
+bench-check:
+	$(PYTHON) benchmarks/bench_check.py
 
 # telemetry demo: traced 2-worker scan of the demo app, writing
 # trace.json + metrics.prom and printing the --stats footer

@@ -1,0 +1,117 @@
+"""``make bench-check``: the observability regression gate.
+
+Exercises the whole scan observatory end to end on the in-repo demo app
+and fails (exit 1) when any piece of it breaks:
+
+1. three CLI scans (cold + two warm) append run records to
+   ``.bench/ledger.jsonl``; the cold scan also runs under ``--profile``
+   and writes ``.bench/profile.folded``;
+2. every run of the same tree under the same config must produce a
+   byte-identical findings digest (determinism gate);
+3. ``wape history --check`` over the real ledger must pass with a
+   generous tolerance (the runs are tiny, so only the machinery — not
+   micro-timing — is gated);
+4. a synthetic record with a 100x inflated scan time is appended to a
+   *copy* of the ledger, and ``wape history --check`` must flag it
+   (regression-detector gate);
+5. the folded-stack profile must exist and be non-empty.
+
+The ``.bench/`` directory is left behind on purpose: CI uploads it
+(ledger + folded stacks) as the run's observability artifact.
+
+Run standalone (CI does, via ``make bench-check``)::
+
+    PYTHONPATH=src python benchmarks/bench_check.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, ".bench")
+LEDGER = os.path.join(BENCH_DIR, "ledger.jsonl")
+LEDGER_REGRESSED = os.path.join(BENCH_DIR, "ledger_regressed.jsonl")
+FOLDED = os.path.join(BENCH_DIR, "profile.folded")
+TARGET = os.path.join(REPO_ROOT, "examples", "demo_app")
+
+#: runs are ~tens of milliseconds; gate only on the machinery, not noise.
+CHECK_TOLERANCE = "3.0"
+
+
+def _fail(message: str) -> None:
+    print(f"bench-check: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _scan(extra: list[str], cache_dir: str) -> None:
+    from repro.tool.cli import main as scan_main
+
+    argv = ["--quiet", "--stats", "--cache-dir", cache_dir,
+            "--ledger", LEDGER, *extra, TARGET]
+    code = scan_main(argv)
+    # the demo app is deliberately vulnerable: exit 1 means "findings",
+    # which is the expected outcome; >= 2 means the scan itself failed.
+    if code not in (0, 1):
+        _fail(f"scan exited {code} (argv: {argv})")
+
+
+def main() -> int:
+    shutil.rmtree(BENCH_DIR, ignore_errors=True)
+    os.makedirs(BENCH_DIR)
+    cache_dir = os.path.join(BENCH_DIR, "cache")
+
+    print("bench-check: cold scan (profiled) ...")
+    _scan(["--profile", "--profile-out", FOLDED], cache_dir)
+    print("bench-check: warm scans ...")
+    _scan([], cache_dir)
+    _scan([], cache_dir)
+
+    from repro.obs import RunLedger
+    from repro.tool.history import main as history_main
+
+    records = RunLedger(LEDGER).load()
+    if len(records) != 3:
+        _fail(f"expected 3 ledger records, found {len(records)}")
+
+    digests = {r["findings"]["digest"] for r in records}
+    if len(digests) != 1:
+        _fail(f"findings digests differ across identical runs: {digests}")
+    print(f"bench-check: determinism ok "
+          f"(digest {records[0]['findings']['digest'][:12]} x3)")
+
+    if history_main(["--ledger", LEDGER, "--check",
+                     "--tolerance", CHECK_TOLERANCE]) != 0:
+        _fail("history --check flagged a regression on the real ledger")
+
+    # the detector itself must still bite: inflate the last record 100x
+    # on a copy of the ledger and require --check to exit non-zero.
+    inflated = dict(records[-1])
+    inflated["run_id"] = inflated["run_id"] + "-inflated"
+    inflated["seconds"] = inflated["seconds"] * 100 + 10.0
+    inflated["phases"] = {name: secs * 100 + 10.0
+                          for name, secs in
+                          (inflated.get("phases") or {}).items()}
+    with open(LEDGER_REGRESSED, "w", encoding="utf-8") as f:
+        for record in records + [inflated]:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+    if history_main(["--ledger", LEDGER_REGRESSED, "--check",
+                     "--tolerance", CHECK_TOLERANCE]) == 0:
+        _fail("history --check missed the synthetic 100x regression")
+    print("bench-check: synthetic regression flagged ok")
+
+    if not os.path.exists(FOLDED) or os.path.getsize(FOLDED) == 0:
+        _fail(f"missing or empty folded profile: {FOLDED}")
+    with open(FOLDED, encoding="utf-8") as f:
+        folded_lines = sum(1 for _ in f)
+    print(f"bench-check: profile ok ({folded_lines} folded stacks)")
+
+    print(f"bench-check: PASS (artifacts in {BENCH_DIR})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,9 @@ def run_benchmark(smoke: bool = False) -> dict:
                     store.parse_recovering(src, path)
                 except PhpSyntaxError:
                     pass  # corpus may contain deliberately broken files
+            # puts are buffered: the store contract is one flush per
+            # scan (the scheduler and workers do the same)
+            store.flush()
             return time.perf_counter() - start, store
 
         cold_seconds, cold_store = _store_pass()

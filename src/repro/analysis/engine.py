@@ -34,6 +34,7 @@ Two summary channels make cross-file analysis compositional:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 from repro.analysis.model import (
     EMPTY,
@@ -162,10 +163,15 @@ class TaintEngine:
 
     def __init__(self, configs: list[DetectorConfig],
                  groups: list[list[DetectorConfig]] | None = None,
-                 telemetry=None) -> None:
+                 telemetry=None, opcode_hist: dict | None = None) -> None:
         if not configs:
             raise ValueError("TaintEngine needs at least one DetectorConfig")
         self.configs = list(configs)
+        # --profile support: when a mutable mapping is supplied, every
+        # _FileRun routes dispatch through the timing twin of run_span,
+        # accumulating {opcode: [count, seconds]} into it.  None (the
+        # default) leaves the hot loop byte-identical to unprofiled.
+        self.opcode_hist = opcode_hist
         # instrumentation hook (repro.telemetry): when enabled, analyze()
         # wraps the traversal in a `taint` span and counts summaries; the
         # lazy import keeps the engine importable on its own
@@ -353,6 +359,12 @@ class _FileRun:
         self.in_progress: set[str] = set()
         self.frames: list[_Frame] = [_Frame()]
         self._foreign_ir: dict[int, tuple[IRModule, IRFunction]] = {}
+        if engine.opcode_hist is not None:
+            # the instance attribute shadows the class method, so every
+            # dispatch (including re-entrant calls from control-flow
+            # handlers) goes through the profiled twin; without a hist
+            # no attribute exists and lookup hits the class — zero cost
+            self.run_span = self._run_span_profiled
 
     # ------------------------------------------------------------------
     def run(self) -> list[CandidateVulnerability]:
@@ -733,6 +745,43 @@ class _FileRun:
             elif op == ARROW:
                 self.run_span(i.extra, dict(env))
                 regs[i.dst] = regs[i.a]
+
+    def _run_span_profiled(self, span, env: Env) -> None:
+        """Timing twin of :meth:`run_span` for ``--profile``.
+
+        Executes every instruction as a one-op :meth:`run_span` call
+        (class-qualified, bypassing the instance-attribute shadow) and
+        accumulates ``{opcode: [count, seconds]}`` into the engine's
+        ``opcode_hist``.  Control-flow opcodes (IF/LOOP/SWITCH/TRY and
+        the call opcodes that compute summaries) report *cumulative*
+        time — their handlers recurse through ``self.run_span``, which
+        is this method, so nested work is both counted on its own and
+        folded into the parent opcode's bucket.
+        """
+        code = self.code
+        hist = self.engine.opcode_hist
+        perf = perf_counter
+        run_one = _FileRun.run_span
+        pc, end = span
+        while pc < end:
+            i = code[pc]
+            op = i.op
+            if op == JUMP:
+                pc = i.a
+                entry = hist.get(op)
+                if entry is None:
+                    entry = hist[op] = [0, 0.0]
+                entry[0] += 1
+                continue
+            t0 = perf()
+            run_one(self, (pc, pc + 1), env)
+            dt = perf() - t0
+            pc += 1
+            entry = hist.get(op)
+            if entry is None:
+                entry = hist[op] = [0, 0.0]
+            entry[0] += 1
+            entry[1] += dt
 
     # ------------------------------------------------------------------
     # structured control flow (spans executed with walker-identical joins)

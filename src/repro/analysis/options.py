@@ -66,6 +66,14 @@ class ScanOptions:
             export it afterwards).
         predictor: override the tool's false-positive predictor for this
             run; ``None`` uses the tool's own.
+        profile: collect the IR per-opcode dispatch histogram during the
+            scan (``wape scan --profile``); off by default so the
+            interpreter's dispatch loop carries zero instrumentation.
+        log: a :class:`repro.obs.JsonlLogger` receiving the scan's
+            structured events (worker segments are merged into it at
+            chunk join); ``None`` disables structured logging.
+        run_id: correlates every log record, span and ledger entry of
+            one scan; generated when ``None``.
     """
 
     jobs: int | None = 1
@@ -75,6 +83,9 @@ class ScanOptions:
     summary_cache: bool = True
     telemetry: object | None = None
     predictor: object | None = None
+    profile: bool = False
+    log: object | None = None
+    run_id: str | None = None
 
     # ------------------------------------------------------------------
     def resolved_jobs(self) -> int:

@@ -66,6 +66,8 @@ from repro.analysis.model import (
     DetectorConfig,
 )
 from repro.analysis.options import UNSET, ScanOptions, merge_legacy_options
+from repro.ir.opcodes import OPNAMES
+from repro.obs.log import NULL_LOG, JsonlLogger, new_run_id
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: bump when the cached payload layout or engine semantics change.
@@ -124,13 +126,17 @@ class FusedDetector:
                  telemetry: Telemetry | None = None,
                  include_graph: IncludeGraph | None = None,
                  ast_store: AstStore | None = None,
-                 summary_cache: SummaryCache | None = None) -> None:
+                 summary_cache: SummaryCache | None = None,
+                 profile: bool = False) -> None:
         self.groups = tuple(groups)
         self.telemetry = telemetry or NULL_TELEMETRY
+        # --profile: the engine accumulates {opcode: [count, seconds]}
+        # here; flush_opcode_profile() converts it to telemetry counters
+        self.opcode_hist: dict | None = {} if profile else None
         configs = [cfg for g in self.groups for cfg in g.configs]
         self.engine = TaintEngine(
             configs, [list(g.configs) for g in self.groups],
-            telemetry=self.telemetry) \
+            telemetry=self.telemetry, opcode_hist=self.opcode_hist) \
             if configs else None
         self._split = any(g.split_rfi_lfi for g in self.groups)
         self.include_graph = include_graph
@@ -301,6 +307,25 @@ class FusedDetector:
             result.parse_error = "recursion limit during analysis"
         result.seconds = time.perf_counter() - start
         return result
+
+    def flush_opcode_profile(self) -> None:
+        """Convert the opcode histogram into telemetry counters.
+
+        ``ir_op_count.<OP>`` (dispatches) and ``ir_op_ns.<OP>``
+        (cumulative integer nanoseconds) are plain counters, so the
+        existing cross-process counter merge aggregates every worker's
+        histogram into the parent for free.  No-op without ``--profile``
+        or without enabled telemetry.
+        """
+        hist = self.opcode_hist
+        if not hist or not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        for op, (count, seconds) in hist.items():
+            name = OPNAMES.get(op, str(op))
+            metrics.counter(f"ir_op_count.{name}").inc(count)
+            metrics.counter(f"ir_op_ns.{name}").inc(int(seconds * 1e9))
+        hist.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -562,6 +587,7 @@ class ResultCache:
 
 _WORKER_DETECTOR: FusedDetector | None = None
 _WORKER_TELEMETRY: Telemetry = NULL_TELEMETRY
+_WORKER_LOG = NULL_LOG
 
 
 def _init_worker(groups: tuple[ConfigGroup, ...],
@@ -569,7 +595,11 @@ def _init_worker(groups: tuple[ConfigGroup, ...],
                  include_graph: IncludeGraph | None = None,
                  ast_cache_dir: str | None = None,
                  summary_cache_dir: str | None = None,
-                 fingerprint: str = "") -> None:
+                 fingerprint: str = "",
+                 profile: bool = False,
+                 log_enabled: bool = False,
+                 log_level: str = "info",
+                 run_id: str = "") -> None:
     """Per-worker initializer: build the fused detector once.
 
     When the parent scan is traced, each worker records spans and counters
@@ -580,10 +610,15 @@ def _init_worker(groups: tuple[ConfigGroup, ...],
     memoized inside the worker's :class:`IncludeContext`.  Each worker
     keeps a per-process :class:`AstStore` (scan phase + include context
     share one parse per content), backed by the on-disk AST cache when
-    the scan has a cache directory.
+    the scan has a cache directory.  When the parent logs structured
+    events, each worker buffers its own segment-mode
+    :class:`~repro.obs.log.JsonlLogger` (same run id, same level) whose
+    records ship back with each chunk result, mirroring the span path.
     """
-    global _WORKER_DETECTOR, _WORKER_TELEMETRY
+    global _WORKER_DETECTOR, _WORKER_TELEMETRY, _WORKER_LOG
     _WORKER_TELEMETRY = Telemetry(enabled=telemetry_enabled)
+    _WORKER_LOG = JsonlLogger(level=log_level, run_id=run_id or None) \
+        if log_enabled else NULL_LOG
     ast_store = AstStore(
         disk=AstCache(ast_cache_dir) if ast_cache_dir else None,
         metrics=_WORKER_TELEMETRY.metrics if telemetry_enabled else None)
@@ -592,7 +627,8 @@ def _init_worker(groups: tuple[ConfigGroup, ...],
     _WORKER_DETECTOR = FusedDetector(groups, telemetry=_WORKER_TELEMETRY,
                                      include_graph=include_graph,
                                      ast_store=ast_store,
-                                     summary_cache=summary_cache)
+                                     summary_cache=summary_cache,
+                                     profile=profile)
 
 
 def _scan_path(path: str) -> FileResult:
@@ -611,7 +647,7 @@ def _scan_path(path: str) -> FileResult:
 
 def _scan_chunk(paths: list[str]
                 ) -> tuple[list[FileResult], list[dict] | None,
-                           dict[str, int] | None]:
+                           dict[str, int] | None, list[dict] | None]:
     """Worker task: analyze a batch of files in one round-trip.
 
     Batching amortizes the per-task IPC cost (submit + result pickling)
@@ -619,25 +655,46 @@ def _scan_chunk(paths: list[str]
     dispatch would otherwise dominate the wall clock.
 
     Returns the per-file results plus, when the scan is traced, the
-    worker-side span records and counter snapshot for this chunk.
+    worker-side span records and counter snapshot for this chunk, plus,
+    when the scan logs, this worker's drained log segment.
     """
     telemetry = _WORKER_TELEMETRY
+    log = _WORKER_LOG
     if not telemetry.enabled:
         results = [_scan_path(path) for path in paths]
-        _flush_worker_caches()
-        return results, None, None
-    with telemetry.tracer.span("chunk", phase="chunk", files=len(paths)):
-        results = [_scan_path(path) for path in paths]
+    else:
+        with telemetry.tracer.span("chunk", phase="chunk",
+                                   files=len(paths)):
+            results = [_scan_path(path) for path in paths]
+    if log.enabled:
+        for result in results:
+            if result.parse_error:
+                log.warning("parse_error", file=result.filename,
+                            error=result.parse_error)
+            elif result.parse_warning:
+                log.info("parse_warning", file=result.filename,
+                         warning=result.parse_warning,
+                         recovered=result.recovered_statements)
+        log.info("chunk_scanned", files=len(paths),
+                 candidates=sum(len(r.candidates) for r in results))
     _flush_worker_caches()
+    log_records = log.drain(worker=os.getpid()) or None
+    if not telemetry.enabled:
+        return results, None, None, log_records
     return (results, telemetry.tracer.drain(worker=os.getpid()),
-            telemetry.metrics.drain_counters())
+            telemetry.metrics.drain_counters(), log_records)
 
 
 def _flush_worker_caches() -> None:
-    """Persist the worker's buffered AST/summary pack writes."""
+    """Persist the worker's buffered AST/summary pack writes.
+
+    Under ``--profile`` this is also where the worker's opcode histogram
+    becomes counters, so it rides home in the chunk's counter snapshot.
+    """
     detector = _WORKER_DETECTOR
     if detector is None:
         return
+    detector.flush_opcode_profile()
     detector.ast_store.flush()
     includes = detector._includes
     if includes is not None and includes.summary_cache is not None:
@@ -677,6 +734,14 @@ class ScanScheduler:
             if opts.cache_dir else None
         self.telemetry = opts.resolve_telemetry()
         self.includes = opts.includes
+        self.profile = opts.profile
+        #: correlates this scan's log records, worker segments and
+        #: ledger entry; generated here when the caller did not pin one.
+        self.run_id = opts.run_id or new_run_id()
+        log = opts.log if opts.log is not None else NULL_LOG
+        if log.enabled and "run_id" not in log.bound:
+            log = log.bind(run_id=self.run_id)
+        self.log = log
         #: on-disk AST tier (None without a cache dir or with
         #: ``--no-ast-cache``); workers open their own handle to the
         #: same directory.
@@ -731,7 +796,8 @@ class ScanScheduler:
                                            telemetry=self.telemetry,
                                            include_graph=graph,
                                            ast_store=self.ast_store,
-                                           summary_cache=self.summary_cache)
+                                           summary_cache=self.summary_cache,
+                                           profile=self.profile)
             self._detector_graph = graph
         return self._detector
 
@@ -750,6 +816,11 @@ class ScanScheduler:
     def scan_files(self, paths: list[str]) -> list[FileResult]:
         """Analyze *paths*, returning results in the same order."""
         telemetry = self.telemetry
+        log = self.log
+        if log.enabled:
+            log.info("scan_start", files=len(paths), jobs=self.jobs,
+                     includes=self.includes,
+                     fingerprint=self.fingerprint[:12])
         raw_hashes: dict[str, str] = {}
         sources: dict[str, str] = {}
         if self.cache is not None:
@@ -790,6 +861,10 @@ class ScanScheduler:
                                        files=len(paths)):
                 results = self._scan_files_traced(paths, raw_hashes)
         finally:
+            # the sequential path's opcode histogram lives in the local
+            # detector (workers flush theirs before each chunk drain)
+            if self._detector is not None:
+                self._detector.flush_opcode_profile()
             # one atomic pack rewrite per tier instead of thousands of
             # tiny per-entry files — see PackFile
             self.ast_store.flush()
@@ -820,12 +895,23 @@ class ScanScheduler:
                 metrics.gauge("cache_puts").set(self.cache.puts)
             if self.ast_cache is not None:
                 metrics.gauge("ast_cache_hits").set(self.ast_cache.hits)
+                metrics.gauge("ast_cache_misses").set(
+                    self.ast_cache.misses)
                 metrics.gauge("ast_cache_puts").set(self.ast_cache.puts)
             if self.summary_cache is not None:
                 metrics.gauge("summary_cache_hits").set(
                     self.summary_cache.hits)
+                metrics.gauge("summary_cache_misses").set(
+                    self.summary_cache.misses)
                 metrics.gauge("summary_cache_puts").set(
                     self.summary_cache.puts)
+        if log.enabled:
+            log.info("scan_done", files=len(paths),
+                     candidates=sum(len(r.candidates) for r in results),
+                     parse_errors=sum(1 for r in results
+                                      if r.parse_error),
+                     retries=len(self.retries),
+                     crashes=len(self.crashes))
         return results
 
     def _resolve_graph(self, paths: list[str],
@@ -934,20 +1020,26 @@ class ScanScheduler:
                                                self._worker_graph(),
                                                self.ast_cache_dir,
                                                self.summary_cache_dir,
-                                               self.fingerprint)
+                                               self.fingerprint,
+                                               self.profile,
+                                               self.log.enabled,
+                                               self.log.level,
+                                               self.run_id)
                                      ) as pool:
                 futures = {pool.submit(_scan_chunk,
                                        [p for _i, p in chunk]): chunk
                            for chunk in chunks}
                 for future, chunk in futures.items():
                     try:
-                        chunk_results, spans, counters = future.result()
+                        chunk_results, spans, counters, log_records = \
+                            future.result()
                         for (i, _path), result in zip(chunk,
                                                       chunk_results):
                             out[i] = result
                         tracer.merge(spans or [],
                                      parent_id=tracer.current_id)
                         telemetry.metrics.merge_counters(counters)
+                        self.log.merge(log_records)
                     except Exception as exc:
                         # a worker died mid-chunk, or raised something we
                         # cannot attribute to one file: retry each file of
@@ -1006,6 +1098,8 @@ class ScanScheduler:
         telemetry = self.telemetry
         self.retries.append((path, cause or "unknown"))
         telemetry.metrics.counter("worker_retries").inc()
+        self.log.warning("worker_retry", file=path,
+                         cause=cause or "unknown")
         with telemetry.tracer.span("isolated_retry", phase="retry",
                                    file=path, cause=cause) as span:
             try:
@@ -1015,10 +1109,15 @@ class ScanScheduler:
                                                    self._worker_graph(),
                                                    self.ast_cache_dir,
                                                    self.summary_cache_dir,
-                                                   self.fingerprint)
+                                                   self.fingerprint,
+                                                   False,
+                                                   self.log.enabled,
+                                                   self.log.level,
+                                                   self.run_id)
                                          ) as pool:
-                    result, _spans, _counters = pool.submit(
+                    result, _spans, _counters, log_records = pool.submit(
                         _scan_chunk, [path]).result()
+                    self.log.merge(log_records)
                     return result[0]
             except BrokenProcessPool as exc:
                 self._record_crash(path, type(exc).__name__, span)
@@ -1031,4 +1130,5 @@ class ScanScheduler:
     def _record_crash(self, path: str, exc_class: str, span) -> None:
         self.crashes.append((path, exc_class))
         self.telemetry.metrics.counter("worker_crashes").inc()
+        self.log.error("worker_crash", file=path, error=exc_class)
         span.set(crashed=True, error=exc_class)

@@ -155,6 +155,36 @@ class Scanner:
         else:
             self._states.pop(os.path.abspath(root), None)
 
+    def root_info(self, root: str) -> dict:
+        """Facts about one warm root (the ``/v1/status`` per-root row).
+
+        ``approx_bytes`` estimates the state's resident size via its
+        pickled length — cheap, stable, and honest enough for a status
+        panel; ``None`` when the state holds something unpicklable.
+        """
+        root = os.path.abspath(root)
+        state = self._states.get(root)
+        if state is None:
+            return {"root": root, "warm": False}
+        approx = None
+        try:
+            import pickle
+            approx = len(pickle.dumps(state.snapshot)) \
+                + len(pickle.dumps(state.results)) \
+                + len(pickle.dumps(state.graph)) \
+                + len(pickle.dumps(state.keys))
+        except Exception:
+            pass
+        return {
+            "root": root,
+            "warm": True,
+            "files": len(state.snapshot),
+            "results": len(state.results),
+            "candidates": sum(len(r.candidates)
+                              for r in state.results.values()),
+            "approx_bytes": approx,
+        }
+
     # ------------------------------------------------------------------
     def scan(self, root: str) -> ScanResult:
         """Scan *root*, incrementally when warm state allows it."""

@@ -1,0 +1,207 @@
+"""Structured JSONL logging with cross-process segment merging.
+
+One scan produces events in several processes: the parent (discovery,
+include resolution, cache bookkeeping, worker faults) and every pool
+worker (per-file parse errors, recovery warnings, chunk completions).
+:class:`JsonlLogger` covers both sides with one class:
+
+* **Sink mode** (a ``path`` or ``stream`` is given) — each event is one
+  JSON object per line, written immediately under a lock.  This is the
+  parent-side logger the CLI builds for ``--log``.
+* **Segment mode** (no sink) — events are buffered in memory;
+  :meth:`drain` serializes and clears them, stamping the worker pid.
+  Analysis workers run in this mode and ship their segment back with
+  each chunk result; the parent folds the records into its own log with
+  :meth:`emit_record` — the exact pattern the span tracer already uses
+  (:meth:`repro.telemetry.Tracer.drain` / ``merge``).
+
+Every record carries ``ts``, ``level``, ``event`` plus any bound fields
+(:meth:`bind`) — the scan's ``run_id`` above all, and the service's
+``request_id`` in daemon mode — so one grep over the merged file follows
+one logical run across every process that touched it.
+
+The disabled default :data:`NULL_LOG` is a shared no-op: hot paths guard
+on ``log.enabled`` and a scan without ``--log`` performs no logging
+calls at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: level name -> numeric threshold (stdlib-compatible values).
+LOG_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def new_run_id() -> str:
+    """A unique, sortable scan run id (``run-<utc stamp>-<nonce>``)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"run-{stamp}-{os.urandom(4).hex()}"
+
+
+class JsonlLogger:
+    """Leveled, field-structured JSONL logger (see module docstring).
+
+    Args:
+        path: append events to this file (opened lazily, line-buffered).
+        stream: write events to an open text stream instead.
+        level: minimum level recorded (``"debug"``/``"info"``/
+            ``"warning"``/``"error"``).
+        run_id: bound onto every record when given (shorthand for
+            ``bind(run_id=...)``).
+        fields: extra fields bound onto every record.
+
+    With neither *path* nor *stream* the logger runs in segment mode:
+    records accumulate in :attr:`records` until :meth:`drain`.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | None = None, stream=None,
+                 level: str = "info", run_id: str | None = None,
+                 fields: dict | None = None) -> None:
+        self.level = level
+        self._threshold = LOG_LEVELS.get(level, LOG_LEVELS["info"])
+        self._path = path
+        self._stream = stream
+        self._own_stream = False
+        self._lock = threading.Lock()
+        self.records: list[dict] = []
+        self.bound: dict = dict(fields or {})
+        if run_id is not None:
+            self.bound["run_id"] = run_id
+
+    # ------------------------------------------------------------------
+    def bind(self, **fields) -> "JsonlLogger":
+        """A child logger sharing this sink with extra bound fields."""
+        child = JsonlLogger.__new__(JsonlLogger)
+        child.level = self.level
+        child._threshold = self._threshold
+        child._path = None
+        child._stream = None
+        child._own_stream = False
+        child._lock = self._lock
+        child.records = self.records
+        child.bound = {**self.bound, **fields}
+        # children write through the parent's sink, whatever it is
+        child._sink_of = self._sink_of if hasattr(self, "_sink_of") \
+            else self
+        return child
+
+    @property
+    def _sink(self):
+        owner = getattr(self, "_sink_of", self)
+        if owner._stream is None and owner._path is not None:
+            owner._stream = open(owner._path, "a", encoding="utf-8")
+            owner._own_stream = True
+        return owner._stream
+
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields) -> None:
+        if LOG_LEVELS.get(level, 0) < self._threshold:
+            return
+        record = {"ts": round(time.time(), 6), "level": level,
+                  "event": event}
+        record.update(self.bound)
+        record.update(fields)
+        self.emit_record(record)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    def emit_record(self, record: dict) -> None:
+        """File one already-built record (the worker-merge entry point).
+
+        Unlike :meth:`log`, no level filtering is applied: a record the
+        worker deemed loggable stays in the merged log.
+        """
+        with self._lock:
+            sink = self._sink
+            if sink is None:
+                self.records.append(record)
+            else:
+                sink.write(json.dumps(record, sort_keys=True,
+                                      default=str) + "\n")
+                sink.flush()
+
+    # ------------------------------------------------------------------
+    # cross-process support
+    # ------------------------------------------------------------------
+    def drain(self, worker: int | None = None) -> list[dict]:
+        """Serialize and clear buffered records (segment-mode workers).
+
+        Each record is stamped with the draining worker's pid so the
+        merged log attributes events to the process that produced them.
+        """
+        with self._lock:
+            records, self.records[:] = list(self.records), []
+        if worker is not None:
+            for record in records:
+                record.setdefault("worker", worker)
+        return records
+
+    def merge(self, records: list[dict] | None) -> None:
+        """Fold a drained worker segment into this log, in order."""
+        for record in records or ():
+            self.emit_record(record)
+
+    def close(self) -> None:
+        owner = getattr(self, "_sink_of", self)
+        if owner._own_stream and owner._stream is not None:
+            owner._stream.close()
+            owner._stream = None
+            owner._own_stream = False
+
+
+class NullLogger:
+    """Shared do-nothing logger (the disabled default)."""
+
+    enabled = False
+    level = "info"
+    records: list = []
+    bound: dict = {}
+
+    def bind(self, **fields) -> "NullLogger":
+        return self
+
+    def log(self, level: str, event: str, **fields) -> None:
+        pass
+
+    def debug(self, event: str, **fields) -> None:
+        pass
+
+    def info(self, event: str, **fields) -> None:
+        pass
+
+    def warning(self, event: str, **fields) -> None:
+        pass
+
+    def error(self, event: str, **fields) -> None:
+        pass
+
+    def emit_record(self, record: dict) -> None:
+        pass
+
+    def drain(self, worker: int | None = None) -> list:
+        return []
+
+    def merge(self, records) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_LOG = NullLogger()

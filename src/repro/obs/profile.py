@@ -1,0 +1,208 @@
+"""Profiling for ``wape scan --profile``: folded stacks + hot tables.
+
+Two complementary views of where a scan's time goes:
+
+* :class:`SamplingProfiler` — a background thread samples the scanning
+  thread's Python stack (``sys._current_frames()``) at a fixed interval
+  and aggregates the samples into **folded stacks**: one line per
+  distinct stack, frames joined by ``;``, trailing sample count —
+  exactly the format flamegraph tooling consumes
+  (``flamegraph.pl wape-profile.folded > profile.svg``).  When a tracer
+  is supplied each sample is prefixed with the telemetry phase that was
+  live at sample time (``phase:scan;...``), so the flamegraph splits by
+  pipeline phase for free.  Sampling reads the phase stack racily, on
+  purpose: a misattributed sample at a phase boundary is noise the
+  aggregate drowns out, and the scan thread pays nothing for it.
+* the IR opcode histogram — gathered inside the interpreter itself
+  (see ``_FileRun._run_span_profiled`` in :mod:`repro.analysis.engine`)
+  and shipped through ordinary telemetry counters
+  (``ir_op_count.<OP>`` / ``ir_op_ns.<OP>``) so the existing
+  cross-process counter merge aggregates workers for free;
+  :func:`opcode_table` renders them.
+
+Both are enabled only under ``--profile``; without it neither the
+sampler thread nor the per-opcode timing exists.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+
+def _frame_name(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{qualname}"
+
+
+class SamplingProfiler:
+    """Periodic stack sampler for one target thread.
+
+    Args:
+        interval: seconds between samples (default 2 ms ≈ 500 Hz).
+        tracer: optional :class:`repro.telemetry.Tracer` whose open
+            span's phase prefixes each sample.
+
+    Usage::
+
+        profiler = SamplingProfiler(tracer=telemetry.tracer)
+        profiler.start()          # samples the *calling* thread
+        ... run the scan ...
+        profiler.stop()
+        profiler.write_folded("wape-profile.folded")
+    """
+
+    def __init__(self, interval: float = 0.002, tracer=None) -> None:
+        self.interval = interval
+        self.tracer = tracer
+        self.samples: dict[str, int] = {}
+        self._target_ident: int | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin sampling the calling thread until :meth:`stop`."""
+        if self._thread is not None:
+            return
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="wape-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _current_phase(self) -> str | None:
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        try:
+            stack = tracer._stack
+            return stack[-1].phase if stack else None
+        except Exception:
+            return None  # racy read by design; any torn state is skipped
+
+    def _run(self) -> None:
+        interval = self.interval
+        samples = self.samples
+        ident = self._target_ident
+        while not self._stop.wait(interval):
+            frame = sys._current_frames().get(ident)
+            if frame is None:
+                continue
+            names: list[str] = []
+            while frame is not None:
+                names.append(_frame_name(frame))
+                frame = frame.f_back
+            names.reverse()  # folded format runs root -> leaf
+            phase = self._current_phase()
+            if phase:
+                names.insert(0, f"phase:{phase}")
+            key = ";".join(names)
+            samples[key] = samples.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def folded_lines(self) -> list[str]:
+        return [f"{stack} {count}"
+                for stack, count in sorted(self.samples.items())]
+
+    def write_folded(self, path: str) -> None:
+        """Write the aggregate as flamegraph-compatible folded stacks."""
+        with open(path, "w", encoding="utf-8") as f:
+            for line in self.folded_lines():
+                f.write(line + "\n")
+
+
+def render_top_functions(samples: dict[str, int], top: int = 15) -> str:
+    """A top-N hot-function table from folded-stack samples.
+
+    *self* counts samples where the function was the leaf (executing);
+    *total* counts samples where it appeared anywhere on the stack
+    (counted once per stack, however often it recursed).
+    """
+    total_samples = sum(samples.values())
+    if not total_samples:
+        return "no samples collected"
+    self_counts: dict[str, int] = {}
+    total_counts: dict[str, int] = {}
+    for stack, count in samples.items():
+        frames = stack.split(";")
+        leaf = frames[-1]
+        self_counts[leaf] = self_counts.get(leaf, 0) + count
+        for name in set(frames):
+            if name.startswith("phase:"):
+                continue
+            total_counts[name] = total_counts.get(name, 0) + count
+    ranked = sorted(total_counts,
+                    key=lambda n: (-self_counts.get(n, 0),
+                                   -total_counts[n], n))[:top]
+    width = max((len(n) for n in ranked), default=8)
+    lines = [f"{'function':<{width}} {'self%':>7} {'total%':>7} "
+             f"{'samples':>8}",
+             "-" * (width + 26)]
+    for name in ranked:
+        self_n = self_counts.get(name, 0)
+        lines.append(f"{name:<{width}} "
+                     f"{self_n * 100 / total_samples:>6.1f}% "
+                     f"{total_counts[name] * 100 / total_samples:>6.1f}% "
+                     f"{self_n:>8}")
+    lines.append(f"({total_samples} samples)")
+    return "\n".join(lines)
+
+
+def opcode_table(counters: dict, top: int = 15) -> str:
+    """Render the IR interpreter's per-opcode dispatch histogram.
+
+    *counters* is the telemetry counter mapping; the interpreter flushes
+    ``ir_op_count.<OP>`` (dispatches) and ``ir_op_ns.<OP>``
+    (cumulative nanoseconds — control-flow opcodes include the time of
+    the spans they drive, see ``docs/ir.md``).
+    """
+    rows = []
+    for name, count in counters.items():
+        if not name.startswith("ir_op_count."):
+            continue
+        op = name[len("ir_op_count."):]
+        ns = counters.get(f"ir_op_ns.{op}", 0)
+        rows.append((op, int(count), int(ns)))
+    if not rows:
+        return "no opcode samples (scan ran without --profile?)"
+    rows.sort(key=lambda r: (-r[2], -r[1], r[0]))
+    total_ns = sum(r[2] for r in rows) or 1
+    width = max(max(len(r[0]) for r in rows), 6)
+    lines = [f"{'opcode':<{width}} {'count':>10} {'time':>10} "
+             f"{'time%':>6} {'ns/op':>8}",
+             "-" * (width + 38)]
+    for op, count, ns in rows[:top]:
+        lines.append(f"{op:<{width}} {count:>10} "
+                     f"{ns / 1e9:>9.3f}s "
+                     f"{ns * 100 / total_ns:>5.1f}% "
+                     f"{ns / count if count else 0:>8.0f}")
+    if len(rows) > top:
+        rest_count = sum(r[1] for r in rows[top:])
+        rest_ns = sum(r[2] for r in rows[top:])
+        lines.append(f"{'(other)':<{width}} {rest_count:>10} "
+                     f"{rest_ns / 1e9:>9.3f}s "
+                     f"{rest_ns * 100 / total_ns:>5.1f}% {'':>8}")
+    return "\n".join(lines)

@@ -70,6 +70,10 @@ class ServiceClient:
     def health(self) -> dict:
         return self._json("GET", "/v1/health")
 
+    def status(self) -> dict:
+        """The daemon's live ``/v1/status`` view (see ``wape top``)."""
+        return self._json("GET", "/v1/status")
+
     def metrics_text(self) -> str:
         status, raw = self._request("GET", "/metrics")
         if status != 200:

@@ -4,10 +4,15 @@ Protocol (all JSON unless noted):
 
 ==========================  =============================================
 ``GET /v1/health``          liveness + uptime, warm roots, request count
+``GET /v1/status``          live operations view: queue depth, in-flight
+                            requests, request outcome totals, per-root
+                            warm state with approximate resident bytes
+                            (what ``wape top`` renders)
 ``GET /metrics``            Prometheus text exposition of the service's
                             metrics registry (scan counters, queue and
-                            latency histograms, plus everything the
-                            analysis pipeline itself records)
+                            latency histograms — including per-endpoint
+                            labeled request counts/latencies — plus
+                            everything the analysis pipeline records)
 ``POST /v1/scan``           body ``{"root": path, "timeout": seconds?,
                             "forget": bool?}`` → a schema-versioned
                             report whose ``service`` block says what the
@@ -46,6 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api import Scanner, ScanOptions
 from repro.exceptions import ServiceError
+from repro.obs.log import NULL_LOG, new_run_id
 from repro.telemetry import Telemetry, metrics_to_text
 from repro.tool.report import SCHEMA_VERSION
 
@@ -83,19 +89,32 @@ class ScanService:
         request_timeout: default seconds a request waits for its scan.
         log: ``callable(str)`` for one-line request logs; ``None`` keeps
             the daemon silent.
+        logger: a :class:`repro.obs.JsonlLogger` for structured events
+            (``wape serve --log``).  The daemon binds its own run id to
+            it, stamps each scan's ``request_id``, and threads it into
+            the scan options so pipeline events (worker segments
+            included) land in the same file.
     """
 
     def __init__(self, tool=None, options: ScanOptions | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  max_queue: int = 8,
                  request_timeout: float = DEFAULT_TIMEOUT,
-                 log=None) -> None:
+                 log=None, logger=None) -> None:
         base = options if options is not None else ScanOptions()
         if isinstance(base.telemetry, Telemetry):
             self.telemetry = base.telemetry
         else:
             self.telemetry = Telemetry(enabled=True)
             base = dataclasses.replace(base, telemetry=self.telemetry)
+        self.run_id = new_run_id().replace("run-", "srv-", 1)
+        logger = logger if logger is not None else NULL_LOG
+        if logger.enabled and "run_id" not in logger.bound:
+            logger = logger.bind(run_id=self.run_id)
+        self.logger = logger
+        if logger.enabled and base.log is None:
+            base = dataclasses.replace(base, log=logger,
+                                       run_id=self.run_id)
         self.scanner = Scanner(tool, base)
         self.max_queue = max_queue
         self.request_timeout = request_timeout
@@ -105,11 +124,15 @@ class ScanService:
         self._lock = threading.Lock()
         self._pending = 0
         self._requests = 0
+        #: request_id -> {root, started} for requests between queueing
+        #: and response; the live rows of ``/v1/status``.
+        self._in_flight: dict[str, dict] = {}
         self._started = time.time()
         self._seq = itertools.count(1)
         self._shutting_down = False
         self.server = _ScanHTTPServer((host, port), _Handler, self)
         self.host, self.port = self.server.server_address[:2]
+        self.telemetry.metrics.gauge("queue_depth").set(0)
 
     # ------------------------------------------------------------------
     @property
@@ -175,6 +198,44 @@ class ScanService:
     def metrics_text(self) -> str:
         return metrics_to_text(self.telemetry.metrics, prefix="wape")
 
+    def status(self) -> dict:
+        """The live operations view behind ``GET /v1/status``.
+
+        Everything ``health()`` says plus queue depth, each in-flight
+        request with its elapsed time, request outcome totals, and the
+        warm per-root state (file/result/finding counts and an
+        approximate resident size) — what ``wape top`` renders.
+        """
+        now = time.time()
+        with self._lock:
+            pending = self._pending
+            requests = self._requests
+            in_flight = [
+                {"request_id": request_id,
+                 "root": info["root"],
+                 "elapsed_seconds": round(now - info["started"], 3)}
+                for request_id, info in self._in_flight.items()]
+        metrics = self.telemetry.metrics
+        return {
+            "status": "ok",
+            "version": self.scanner.tool.version,
+            "schema_version": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "uptime_seconds": round(now - self._started, 3),
+            "queue_depth": pending,
+            "max_queue": self.max_queue,
+            "in_flight": in_flight,
+            "requests": {
+                "total": requests,
+                "served": metrics.counter("scan_requests").value,
+                "errors": metrics.counter("scan_errors").value,
+                "timeouts": metrics.counter("scan_timeouts").value,
+                "rejections": metrics.counter("queue_rejections").value,
+            },
+            "roots": [self.scanner.root_info(root)
+                      for root in self.scanner.roots()],
+        }
+
     def scan(self, payload: dict, request_id: str) -> dict:
         """Queue one scan and wait for it; returns the report dict."""
         if not isinstance(payload, dict):
@@ -191,15 +252,23 @@ class ScanService:
         forget = bool(payload.get("forget", False))
 
         metrics = self.telemetry.metrics
+        logger = self.logger.bind(request_id=request_id) \
+            if self.logger.enabled else self.logger
         with self._lock:
             if self._shutting_down:
                 raise _HttpError(503, "service is shutting down")
             if self._pending >= self.max_queue:
                 metrics.counter("queue_rejections").inc()
+                logger.warning("queue_rejected", root=root,
+                               pending=self._pending)
                 raise _HttpError(
                     503, f"scan queue full ({self.max_queue} pending)")
             self._pending += 1
             self._requests += 1
+            self._in_flight[request_id] = {"root": root,
+                                           "started": time.time()}
+            metrics.gauge("queue_depth").set(self._pending)
+        logger.info("scan_queued", root=root, forget=forget)
         queued = time.perf_counter()
         started: list[float] = []
 
@@ -215,6 +284,7 @@ class ScanService:
             finally:
                 with self._lock:
                     self._pending -= 1
+                    metrics.gauge("queue_depth").set(self._pending)
 
         future = self._executor.submit(task)
         try:
@@ -223,6 +293,7 @@ class ScanService:
             # the scan keeps running on the worker and warms the state,
             # so the retry after a timeout is typically fast
             metrics.counter("scan_timeouts").inc()
+            logger.warning("scan_timeout", root=root, timeout=timeout)
             raise _HttpError(
                 504, f"scan of {root} exceeded {timeout:g}s "
                      "(still running; retry to reuse its warm state)")
@@ -230,8 +301,13 @@ class ScanService:
             raise
         except Exception as exc:  # scanner bug: contain, report, survive
             metrics.counter("scan_errors").inc()
+            logger.error("scan_error", root=root,
+                         error=f"{type(exc).__name__}: {exc}")
             raise _HttpError(500, f"scan failed: "
                                   f"{type(exc).__name__}: {exc}")
+        finally:
+            with self._lock:
+                self._in_flight.pop(request_id, None)
         queue_seconds = (started[0] if started else queued) - queued
         metrics.counter("scan_requests").inc()
         metrics.counter(
@@ -242,6 +318,12 @@ class ScanService:
         data = result.to_dict()
         data["service"]["request_id"] = request_id
         data["service"]["queue_seconds"] = round(queue_seconds, 6)
+        logger.info("scan_served", root=root,
+                    incremental=result.incremental,
+                    analyzed=data["service"]["analyzed_files"],
+                    reused=data["service"]["reused_files"],
+                    seconds=round(result.seconds, 6),
+                    queue_seconds=round(queue_seconds, 6))
         self.log(f"{request_id} scanned {root}: "
                  f"{data['service']['analyzed_files']} analyzed, "
                  f"{data['service']['reused_files']} reused "
@@ -256,6 +338,11 @@ class _ScanHTTPServer(ThreadingHTTPServer):
     def __init__(self, addr, handler, service: ScanService) -> None:
         self.service = service
         super().__init__(addr, handler)
+
+
+#: label cardinality guard: unknown paths all collapse into one bucket.
+_KNOWN_ENDPOINTS = ("/v1/health", "/v1/status", "/v1/scan",
+                    "/v1/shutdown", "/metrics")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -278,6 +365,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
+        # per-endpoint request metrics: every response goes through here,
+        # so count + latency observation live in exactly one place
+        endpoint = self.path if self.path in _KNOWN_ENDPOINTS else "other"
+        labels = (f"endpoint={endpoint},method={self.command},"
+                  f"status={status}")
+        metrics = self.service.telemetry.metrics
+        metrics.counter(f"http_requests_total|{labels}").inc()
+        started_at = getattr(self, "_started_at", None)
+        if started_at is not None:
+            metrics.histogram(f"http_request_seconds|{labels}").observe(
+                time.perf_counter() - started_at)
 
     def _respond_json(self, status: int, payload: dict,
                       request_id: str) -> None:
@@ -303,10 +401,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
+        self._started_at = time.perf_counter()
         request_id = self.service.new_request_id()
         try:
             if self.path == "/v1/health":
                 self._respond_json(200, self.service.health(), request_id)
+            elif self.path == "/v1/status":
+                self._respond_json(200, self.service.status(), request_id)
             elif self.path == "/metrics":
                 body = self.service.metrics_text().encode("utf-8")
                 self._respond(200, body,
@@ -319,6 +420,7 @@ class _Handler(BaseHTTPRequestHandler):
                                 request_id)
 
     def do_POST(self) -> None:
+        self._started_at = time.perf_counter()
         request_id = self.service.new_request_id()
         try:
             if self.path == "/v1/scan":

@@ -84,28 +84,74 @@ def _metric_name(prefix: str, name: str) -> str:
     return f"{prefix}_{safe}" if prefix else safe
 
 
+def _split_labels(name: str) -> tuple[str, list[tuple[str, str]]]:
+    """Parse the registry's label convention: ``base|k=v,k=v``.
+
+    Instruments are registered under flat string names; a ``|`` suffix
+    carries Prometheus labels (the service uses it for per-endpoint
+    request metrics) that this exporter renders as ``base{k="v",...}``.
+    """
+    base, sep, label_part = name.partition("|")
+    if not sep:
+        return name, []
+    labels: list[tuple[str, str]] = []
+    for pair in label_part.split(","):
+        key, eq, value = pair.partition("=")
+        if eq and key.strip():
+            labels.append((key.strip(), value.strip()))
+    return base, labels
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _render_labels(labels: list[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"'
+                     for key, value in labels)
+    return "{" + inner + "}"
+
+
 def metrics_to_text(metrics, prefix: str = "wape") -> str:
-    """Prometheus exposition-format dump of a metrics registry."""
+    """Prometheus exposition-format dump of a metrics registry.
+
+    Labeled instruments (``base|k=v,k=v`` names) share one ``# TYPE``
+    comment per base name and emit one sample line per label set.
+    """
     lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(full: str, kind: str) -> None:
+        if full not in typed:
+            typed.add(full)
+            lines.append(f"# TYPE {full} {kind}")
+
     for name, counter in sorted(metrics.counters.items()):
-        full = _metric_name(prefix, name)
-        lines.append(f"# TYPE {full} counter")
-        lines.append(f"{full} {counter.value}")
+        base, labels = _split_labels(name)
+        full = _metric_name(prefix, base)
+        emit_type(full, "counter")
+        lines.append(f"{full}{_render_labels(labels)} {counter.value}")
     for name, gauge in sorted(metrics.gauges.items()):
-        full = _metric_name(prefix, name)
-        lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full} {gauge.value:.6g}")
+        base, labels = _split_labels(name)
+        full = _metric_name(prefix, base)
+        emit_type(full, "gauge")
+        lines.append(f"{full}{_render_labels(labels)} "
+                     f"{gauge.value:.6g}")
     for name, hist in sorted(metrics.histograms.items()):
-        full = _metric_name(prefix, name)
+        base, labels = _split_labels(name)
+        full = _metric_name(prefix, base)
         summary = hist.summary()
-        lines.append(f"# TYPE {full} summary")
-        lines.append(f"{full}_count {summary['count']}")
-        lines.append(f"{full}_sum {summary['sum']:.6g}")
-        for q in ("p50", "p95"):
-            quantile = "0.5" if q == "p50" else "0.95"
-            lines.append(f"{full}{{quantile=\"{quantile}\"}} "
+        emit_type(full, "summary")
+        rendered = _render_labels(labels)
+        lines.append(f"{full}_count{rendered} {summary['count']}")
+        lines.append(f"{full}_sum{rendered} {summary['sum']:.6g}")
+        for q, quantile in (("p50", "0.5"), ("p95", "0.95"),
+                            ("max", "1")):
+            q_labels = labels + [("quantile", quantile)]
+            lines.append(f"{full}{_render_labels(q_labels)} "
                          f"{summary[q]:.6g}")
-        lines.append(f"{full}{{quantile=\"1\"}} {summary['max']:.6g}")
     return "\n".join(lines) + "\n"
 
 

@@ -73,6 +73,17 @@ class ScanStats:
     #: include statements statically resolved / not resolvable.
     resolved_includes: int = 0
     unresolved_includes: int = 0
+    #: AST/summary cache tiers.  Hits/misses come from the merged
+    #: cross-process counters where available (workers publish them);
+    #: puts are parent-side gauges.  ``reparse_avoided`` counts requests
+    #: served from the in-memory AST memo without touching the disk tier.
+    ast_cache_hits: int = 0
+    ast_cache_misses: int = 0
+    ast_cache_puts: int = 0
+    reparse_avoided: int = 0
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
+    summary_cache_puts: int = 0
     candidates: int = 0
     predicted_fp: int = 0
 
@@ -117,6 +128,13 @@ class ScanStats:
             "recovered_statements": self.recovered_statements,
             "resolved_includes": self.resolved_includes,
             "unresolved_includes": self.unresolved_includes,
+            "ast_cache": {"hits": self.ast_cache_hits,
+                          "misses": self.ast_cache_misses,
+                          "puts": self.ast_cache_puts,
+                          "reparse_avoided": self.reparse_avoided},
+            "summary_cache": {"hits": self.summary_cache_hits,
+                              "misses": self.summary_cache_misses,
+                              "puts": self.summary_cache_puts},
             "candidates": self.candidates,
             "predicted_false_positives": self.predicted_fp,
             "predictor_fp_rate": round(self.fp_rate, 4),
@@ -156,6 +174,22 @@ class ScanStats:
                 f"{self.cache.evictions} evictions, "
                 f"{self.cache.puts} puts "
                 f"(hit rate {self.cache.hit_rate * 100:.1f}%)")
+        if (self.ast_cache_hits or self.ast_cache_misses
+                or self.ast_cache_puts or self.reparse_avoided):
+            lines.append(
+                f"   ast cache: {self.ast_cache_hits} hits, "
+                f"{self.ast_cache_misses} misses, "
+                f"{self.ast_cache_puts} puts, "
+                f"{self.reparse_avoided} reparses avoided")
+        if (self.summary_cache_hits or self.summary_cache_misses
+                or self.summary_cache_puts):
+            probes = self.summary_cache_hits + self.summary_cache_misses
+            rate = self.summary_cache_hits / probes * 100 if probes else 0.0
+            lines.append(
+                f"   summary cache: {self.summary_cache_hits} hits, "
+                f"{self.summary_cache_misses} misses, "
+                f"{self.summary_cache_puts} puts "
+                f"(hit rate {rate:.1f}%)")
         if self.worker_retries or self.worker_crashes:
             lines.append(
                 f"   worker faults: {len(self.worker_retries)} isolated "
@@ -253,6 +287,27 @@ def build_scan_stats(report, telemetry, root_span=None,
 
     metrics = telemetry.metrics
     if metrics.enabled:
+        def _count(name: str) -> int:
+            inst = metrics.counters.get(name)
+            return int(inst.value) if inst else 0
+
+        def _gauge(name: str) -> int:
+            inst = metrics.gauges.get(name)
+            return int(inst.value) if inst else 0
+
+        # hits/misses: the counters are incremented in-process AND merged
+        # back from workers, so they dominate the parent-side gauges in
+        # parallel runs; max() keeps serial runs (where both agree) exact.
+        stats.ast_cache_hits = max(_count("ast_cache_hit"),
+                                   _gauge("ast_cache_hits"))
+        stats.ast_cache_misses = _gauge("ast_cache_misses")
+        stats.ast_cache_puts = _gauge("ast_cache_puts")
+        stats.reparse_avoided = _count("frontend_reparse_avoided")
+        stats.summary_cache_hits = max(_count("summary_cache_hit"),
+                                       _gauge("summary_cache_hits"))
+        stats.summary_cache_misses = max(_count("summary_cache_miss"),
+                                         _gauge("summary_cache_misses"))
+        stats.summary_cache_puts = _gauge("summary_cache_puts")
         metrics.gauge("loc_per_second").set(stats.loc_per_second)
         metrics.gauge("predictor_fp_rate").set(stats.fp_rate)
         if stats.cache is not None:

@@ -106,6 +106,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write pipeline metrics in Prometheus text "
                              "exposition format to FILE")
+    parser.add_argument("--log", metavar="FILE", default=None,
+                        help="append structured JSONL log events (run id, "
+                             "worker segments, crash/retry records) to "
+                             "FILE")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="minimum level recorded by --log "
+                             "(default: info)")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="append one run record per directory scan to "
+                             "FILE (default: ledger.jsonl under the cache "
+                             "dir); inspect with `wape history`")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this scan to the run ledger")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the scan: sampled folded stacks "
+                             "(flamegraph-compatible), a hot-function "
+                             "table and the IR per-opcode histogram "
+                             "(implies telemetry)")
+    parser.add_argument("--profile-out", metavar="FILE",
+                        default="wape-profile.folded",
+                        help="folded-stack output path for --profile "
+                             "(default: wape-profile.folded)")
     return parser
 
 
@@ -214,10 +237,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     from repro.telemetry import NULL_TELEMETRY, Telemetry
+    # --profile needs telemetry: the opcode histogram travels as counters
+    # and the sampler prefixes samples with the live tracer phase
     telemetry = Telemetry() if (args.stats or args.trace_out
-                                or args.metrics_out) else NULL_TELEMETRY
+                                or args.metrics_out
+                                or args.profile) else NULL_TELEMETRY
 
     import os
+    import time
     if args.no_cache:
         cache_dir = None
     elif args.cache_dir:
@@ -227,6 +254,32 @@ def main(argv: list[str] | None = None) -> int:
             os.environ.get("XDG_CACHE_HOME")
             or os.path.join(os.path.expanduser("~"), ".cache"),
             "wape")
+
+    from repro.obs import (
+        NULL_LOG,
+        JsonlLogger,
+        RunLedger,
+        SamplingProfiler,
+        build_record,
+        default_ledger_path,
+        new_run_id,
+        opcode_table,
+        render_top_functions,
+    )
+    run_id = new_run_id()
+    log = JsonlLogger(path=args.log, level=args.log_level,
+                      run_id=run_id) if args.log else NULL_LOG
+    ledger = None
+    if not args.no_ledger:
+        if args.ledger:
+            ledger = RunLedger(args.ledger)
+        elif cache_dir:
+            ledger = RunLedger(default_ledger_path(cache_dir))
+    profiler = None
+    if args.profile:
+        profiler = SamplingProfiler(tracer=telemetry.tracer)
+        profiler.start()
+
     exit_code = 0
     for target in args.targets:
         if os.path.isdir(target):
@@ -241,12 +294,27 @@ def main(argv: list[str] | None = None) -> int:
                     target, ScanOptions(telemetry=telemetry))
             else:
                 from repro.analysis.options import ScanOptions
-                report = tool.analyze_tree(target, ScanOptions(
+                opts = ScanOptions(
                     jobs=args.jobs, cache_dir=cache_dir,
                     telemetry=telemetry,
                     includes=not args.no_includes,
                     ast_cache=not args.no_ast_cache,
-                    summary_cache=not args.no_summary_cache))
+                    summary_cache=not args.no_summary_cache,
+                    profile=args.profile, log=log, run_id=run_id)
+                started = time.perf_counter()
+                report = tool.analyze_tree(target, opts)
+                if ledger is not None:
+                    from repro.analysis.pipeline import config_fingerprint
+                    record = build_record(
+                        report, run_id=run_id,
+                        fingerprint=config_fingerprint(
+                            tool._config_groups(), tool.version),
+                        jobs=opts.resolved_jobs(),
+                        seconds=time.perf_counter() - started,
+                        target=os.path.abspath(target))
+                    ledger.append(record)
+                    log.info("ledger_appended", path=ledger.path,
+                             digest=record["findings"]["digest"][:12])
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
         if args.json:
@@ -280,6 +348,20 @@ def main(argv: list[str] | None = None) -> int:
                 if result.changed:
                     print(f"fixed {len(result.applied)} "
                           f"vulnerabilities -> {output}")
+    if profiler is not None:
+        profiler.stop()
+        profiler.write_folded(args.profile_out)
+        if not args.json:
+            print()
+            print(f"profile: {profiler.total_samples} samples "
+                  f"-> {args.profile_out}")
+            print(render_top_functions(profiler.samples))
+            counters = {name: counter.value for name, counter
+                        in telemetry.metrics.counters.items()}
+            print()
+            print("IR opcode histogram (control-flow opcodes are "
+                  "cumulative; see docs/ir.md):")
+            print(opcode_table(counters))
     if args.trace_out:
         from repro.telemetry import write_trace
         write_trace(args.trace_out, telemetry.tracer,
@@ -287,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics_out:
         from repro.telemetry import write_metrics
         write_metrics(args.metrics_out, telemetry.metrics)
+    log.close()
     return exit_code
 
 

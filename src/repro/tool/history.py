@@ -1,0 +1,93 @@
+"""``wape history``: trend tables and regression gates over the ledger.
+
+Every ``wape scan`` of a directory appends one record to the run ledger
+(:mod:`repro.obs.ledger`); this command reads it back:
+
+    wape history                      # trend table, newest 20 runs
+    wape history --limit 50           # more history
+    wape history --check              # rolling-baseline regression gate
+    wape history --check --tolerance 0.25
+    wape history --json               # raw records for scripting
+
+``--check`` compares the newest record against the median of its own
+same-configuration predecessors and exits 1 when a phase time or cache
+hit rate regressed beyond the tolerance — the same gate ``make
+bench-check`` runs in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.obs import (
+    RunLedger,
+    default_ledger_path,
+    detect_regressions,
+    render_history,
+)
+
+
+def _default_path() -> str:
+    cache_dir = os.path.join(
+        os.environ.get("XDG_CACHE_HOME")
+        or os.path.join(os.path.expanduser("~"), ".cache"),
+        "wape")
+    return default_ledger_path(cache_dir)
+
+
+def build_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wape history",
+        description="render scan-ledger trends and check for regressions")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="ledger file to read (default: ledger.jsonl "
+                             "under the cache dir)")
+    parser.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="newest N records to show (default: 20)")
+    parser.add_argument("--check", action="store_true",
+                        help="run the rolling-baseline regression "
+                             "detector on the newest record; exit 1 when "
+                             "it regressed")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        metavar="FRAC",
+                        help="relative phase-time slack before --check "
+                             "flags (default: 0.5 = +50%%)")
+    parser.add_argument("--rate-tolerance", type=float, default=0.15,
+                        metavar="FRAC",
+                        help="absolute cache hit-rate drop before "
+                             "--check flags (default: 0.15)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw records as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_history_parser().parse_args(
+        list(sys.argv[1:] if argv is None else argv))
+    path = args.ledger or _default_path()
+    records = RunLedger(path).load()
+    if args.json:
+        print(json.dumps(records[-args.limit:], indent=2))
+    else:
+        print(f"ledger: {path} ({len(records)} records)")
+        print(render_history(records, limit=args.limit))
+    if not args.check:
+        return 0
+    regressions = detect_regressions(records,
+                                     tolerance=args.tolerance,
+                                     rate_tolerance=args.rate_tolerance)
+    if not regressions:
+        print("check: no regressions against the rolling baseline")
+        return 0
+    print(f"check: {len(regressions)} regression(s) in "
+          f"{regressions[0].run_id}:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

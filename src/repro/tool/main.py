@@ -1,11 +1,13 @@
 """``wape``: the single consolidated entry point.
 
-One executable, four subcommands::
+One executable, six subcommands::
 
     wape scan [flags] TARGET...     analyze (and optionally fix) PHP code
     wape explain [flags] TARGET...  full decision trace per candidate
     wape serve [flags]              long-running scan daemon (local HTTP)
     wape bench [flags] TARGET       cold vs warm vs incremental timings
+    wape history [flags]            scan-ledger trends + regression gate
+    wape top [flags]                live status view of a running daemon
 
 The historical flag-style invocation (``wape --quiet app/``) and the
 separate ``wape-explain`` executable keep working through deprecation
@@ -26,11 +28,13 @@ commands:
   explain   print the full decision trace behind each candidate
   serve     run the warm scan daemon (answers scans over local HTTP)
   bench     measure cold vs warm vs incremental scan times on a target
+  history   render run-ledger trends and gate on regressions (--check)
+  top       poll a running daemon's /v1/status in the terminal
 
 run `wape <command> --help` for command options.
 """
 
-COMMANDS = ("scan", "explain", "serve", "bench")
+COMMANDS = ("scan", "explain", "serve", "bench", "history", "top")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         return explain_main(rest)
     if command == "serve":
         return serve_main(rest)
+    if command == "history":
+        from repro.tool.history import main as history_main
+        return history_main(rest)
+    if command == "top":
+        from repro.tool.top import main as top_main
+        return top_main(rest)
     from repro.tool.bench import main as bench_main
     return bench_main(rest)
 
@@ -110,6 +120,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "(default: 300)")
     parser.add_argument("--quiet", action="store_true",
                         help="no per-request log lines")
+    parser.add_argument("--log", metavar="FILE", default=None,
+                        help="append structured JSONL events (request "
+                             "ids, scan outcomes, pipeline events) to "
+                             "FILE")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="minimum level recorded by --log "
+                             "(default: info)")
     return parser
 
 
@@ -132,10 +150,15 @@ def serve_main(argv: list[str]) -> int:
                           includes=not args.no_includes)
     log = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
+    logger = None
+    if args.log:
+        from repro.obs import JsonlLogger
+        logger = JsonlLogger(path=args.log, level=args.log_level)
     try:
         service = ScanService(tool, options, host=args.host,
                               port=args.port, max_queue=args.max_queue,
-                              request_timeout=args.timeout, log=log)
+                              request_timeout=args.timeout, log=log,
+                              logger=logger)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)

@@ -1,0 +1,87 @@
+"""Cross-process observability: worker log segments and crash events.
+
+The structured log rides the same seam as spans and counters: workers
+buffer records in segment mode, stamp their pid on drain, and the parent
+folds the segments into its sink at chunk join. These tests prove the
+merged file tells one coherent story — every record carries the scan's
+run id, worker events carry the producing pid, and a worker crash (the
+``REPRO_PIPELINE_CRASH_MARKER`` seam) surfaces as ``worker_crash``/
+``worker_retry`` events in the same log.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import pipeline
+from repro.analysis.options import ScanOptions
+from repro.obs import JsonlLogger
+from repro.tool.wap import Wape
+
+RUN_ID = "run-obs-test-0001"
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return Wape()
+
+
+def _write_app(root, n_files: int) -> None:
+    for i in range(n_files):
+        (root / f"page{i}.php").write_text(
+            "<?php\n"
+            f"$q{i} = $_GET['q{i}'];\n"
+            f"mysql_query(\"SELECT {i} FROM t WHERE a = '$q{i}'\");\n")
+
+
+def _scan_logged(tool, root, tmp_path, jobs: int) -> list[dict]:
+    path = tmp_path / "scan.jsonl"
+    log = JsonlLogger(path=str(path), run_id=RUN_ID)
+    try:
+        tool.analyze_tree(str(root), ScanOptions(
+            jobs=jobs, log=log, run_id=RUN_ID))
+    finally:
+        log.close()
+    return [json.loads(line)
+            for line in path.read_text().splitlines()]
+
+
+@pytest.mark.slow
+class TestWorkerLogMerging:
+    def test_parallel_scan_merges_worker_segments(self, tool, tmp_path):
+        # enough tiny files that both workers get chunks with certainty
+        app = tmp_path / "app"
+        app.mkdir()
+        _write_app(app, n_files=48)
+        records = _scan_logged(tool, app, tmp_path, jobs=2)
+
+        events = [r["event"] for r in records]
+        assert events[0] == "scan_start" and events[-1] == "scan_done"
+        assert all(r["run_id"] == RUN_ID for r in records)
+
+        chunks = [r for r in records if r["event"] == "chunk_scanned"]
+        assert chunks and all(isinstance(r.get("worker"), int)
+                              for r in chunks)
+        assert len({r["worker"] for r in chunks}) >= 2
+        assert sum(r["files"] for r in chunks) == 48
+
+    def test_worker_crash_lands_in_the_merged_log(self, tool, tmp_path,
+                                                  monkeypatch):
+        app = tmp_path / "app"
+        app.mkdir()
+        _write_app(app, n_files=4)
+        (app / "kill.php").write_text("<?php /* DIE-NOW */ echo 1;")
+        monkeypatch.setenv(pipeline._CRASH_ENV, "DIE-NOW")
+        records = _scan_logged(tool, app, tmp_path, jobs=2)
+
+        crashes = [r for r in records if r["event"] == "worker_crash"]
+        retries = [r for r in records if r["event"] == "worker_retry"]
+        assert crashes and "kill.php" in crashes[0]["file"]
+        assert crashes[0]["level"] == "error"
+        assert crashes[0]["run_id"] == RUN_ID
+        assert retries and "kill.php" in retries[0]["file"]
+        # the scan itself still completes and says so
+        assert records[-1]["event"] == "scan_done"
+        assert records[-1]["crashes"] >= 1
