@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-grammar test-ir test-service bench \
-	bench-smoke bench-throughput bench-frontend bench-check \
+.PHONY: test test-fast test-grammar test-ir test-service test-fleet \
+	bench bench-smoke bench-throughput bench-frontend bench-check \
 	trace-demo serve-demo
 
 # tier-1: the full suite, exactly what CI runs
@@ -38,6 +38,11 @@ test-service:
 	$(PYTHON) -m pytest -x -q tests/test_api.py tests/test_service.py \
 		tests/test_report_schema.py
 
+# the multi-process scan fleet plus the single-daemon service suite:
+# sticky routing, crash supervision, NDJSON streaming, LRU eviction
+test-fleet:
+	$(PYTHON) -m pytest -x -q tests/test_fleet.py tests/test_service.py
+
 # every paper table/figure benchmark
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s -q
@@ -51,8 +56,9 @@ bench-frontend:
 	$(PYTHON) benchmarks/bench_frontend.py
 
 # tiny-tree regression guard (fast; writes no trajectory files).
-# Covers every scenario including the summary-warm cold scan, whose
-# inline assertions prove dependency bodies are replayed, not re-run.
+# Covers every scenario — the summary-warm cold scan (inline assertions
+# prove dependency bodies are replayed, not re-run) and the fleet smoke
+# (2 workers, 1 scan each, clean shutdown).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_scan_throughput.py --smoke
 	$(PYTHON) benchmarks/bench_frontend.py --smoke

@@ -224,6 +224,86 @@ def _bench_summary_warm(tool, workdir: str) -> dict:
     }
 
 
+def _bench_fleet(tool, workdir: str, smoke: bool) -> dict:
+    """Fleet scenario: N worker processes serving concurrent scans.
+
+    Spins up :class:`repro.service.FleetService` at each worker level,
+    scans a set of distinct project roots concurrently (cold, so every
+    scan is real work), and records the workers-vs-throughput curve.
+    Smoke mode is the CI guard: 2 workers, 1 scan each, clean shutdown.
+
+    The curve is only a *speedup* curve when the cores exist —
+    ``workers_capped_by_cpu`` says whether the top level oversubscribed
+    the machine.
+    """
+    import shutil
+    import threading
+
+    from repro.analysis.options import ScanOptions
+    from repro.service import FleetService, ServiceClient
+
+    source = os.path.join(workdir, "fleet-src")
+    _build_include_project(source, libs=4, pages=8 if smoke else 24)
+    levels = (2,) if smoke else (1, 2, 4)
+    n_roots = 2 if smoke else 8
+    roots = []
+    for i in range(n_roots):
+        dst = os.path.join(workdir, f"fleet-root-{i}")
+        shutil.copytree(source, dst)
+        roots.append(dst)
+
+    results = []
+    for workers in levels:
+        svc = FleetService(tool, ScanOptions(jobs=1), workers=workers)
+        svc.start_background()
+        try:
+            client = ServiceClient(port=svc.port)
+            client.wait_ready()
+            errors: list[Exception] = []
+
+            def scan(root, port=svc.port):
+                try:
+                    report = ServiceClient(port=port).scan(root,
+                                                           forget=True)
+                    assert report["summary"]["files"] > 0
+                except Exception as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=scan, args=(root,))
+                       for root in roots]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - start
+            assert not errors, errors[0]
+            status = client.status()
+            assert all(w["alive"] for w in status["workers"])
+            assert status["requests"]["served"] == n_roots
+            client.shutdown()
+        finally:
+            svc.close()
+        assert all(not w.process.is_alive() for w in svc.workers), \
+            "fleet shutdown left worker processes running"
+        results.append({
+            "workers": workers,
+            "scans": n_roots,
+            "seconds": round(seconds, 4),
+            "scans_per_sec": round(n_roots / seconds, 2),
+        })
+
+    fleet = {
+        "levels": results,
+        "cpu_count": os.cpu_count(),
+        "workers_capped_by_cpu": (os.cpu_count() or 1) < levels[-1],
+    }
+    if levels[0] == 1:
+        fleet["speedup_max_workers_vs_1"] = round(
+            results[0]["seconds"] / results[-1]["seconds"], 2)
+    return fleet
+
+
 def run_benchmark(smoke: bool = False) -> dict:
     from repro.tool import Wape
 
@@ -268,6 +348,10 @@ def run_benchmark(smoke: bool = False) -> dict:
         # wiped, dependency state replayed from the summary pack tier
         summary_warm = _bench_summary_warm(tool, workdir)
 
+        # fleet scenario: worker processes vs concurrent-scan throughput
+        # (smoke: 2 workers, 1 scan each, clean shutdown)
+        fleet = _bench_fleet(tool, workdir, smoke)
+
         # one instrumented run: where does the wall clock go?  Records
         # the telemetry phase-time breakdown into the trajectory file.
         from repro.analysis.options import ScanOptions
@@ -309,6 +393,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         "runs": runs,
         "incremental": incremental,
         "summary_warm": summary_warm,
+        "fleet": fleet,
         "phase_breakdown": phase_breakdown,
         "speedup_jobs4_vs_jobs1_cold": round(cold[1] / cold[4], 2),
         "speedup_warm_vs_cold_jobs1": round(cold[1] / warm[1], 2),
@@ -343,6 +428,15 @@ def print_summary(result: dict) -> None:
           f"({sw['warm_summary_hits']} replayed, "
           f"{sw['warm_summary_misses']} re-executed) -> "
           f"{sw['speedup_vs_cold']}x vs cold")
+    fleet = result["fleet"]
+    capped = " (capped by cpu)" if fleet["workers_capped_by_cpu"] else ""
+    for level in fleet["levels"]:
+        print(f"  fleet workers={level['workers']}: {level['scans']} "
+              f"concurrent scans in {level['seconds']}s -> "
+              f"{level['scans_per_sec']} scans/s{capped}")
+    if "speedup_max_workers_vs_1" in fleet:
+        print(f"  fleet speedup max-workers vs 1: "
+              f"{fleet['speedup_max_workers_vs_1']}x{capped}")
     breakdown = result["phase_breakdown"]
     print(f"  phase breakdown (traced, jobs={breakdown['jobs']}, "
           f"{breakdown['seconds']}s):")
@@ -362,6 +456,11 @@ def check_expectations(result: dict) -> None:
     elif (os.cpu_count() or 1) >= 4:
         assert result["speedup_jobs4_vs_jobs1_cold"] >= 2.0, \
             "--jobs 4 should be >= 2x faster than --jobs 1 on >= 4 cores"
+    fleet = result["fleet"]
+    if "speedup_max_workers_vs_1" in fleet \
+            and not fleet["workers_capped_by_cpu"]:
+        assert fleet["speedup_max_workers_vs_1"] >= 1.5, \
+            "fleet should scale concurrent scans when the cores exist"
 
 
 def test_scan_throughput():

@@ -26,15 +26,22 @@ Sharing :func:`closure_key` with :class:`~repro.analysis.pipeline
 and the scanner agree byte-for-byte on what invalidates a file, so a warm
 scan can never reuse a result the batch pipeline would have recomputed.
 
-Instances are not thread-safe; the daemon serializes scans through a
-single worker thread.  A concurrent edit *during* a scan is safe in the
-conservative direction: the snapshot is taken before analysis, so the
-file hashes as dirty again on the next scan.
+Scans themselves are not thread-safe — the daemon serializes them
+through a single worker thread per :class:`Scanner` — but the *warm
+state* is guarded by a lock so read-only observers (:meth:`roots`,
+:meth:`root_info`, the daemon's ``/v1/health`` and ``/v1/status``
+handlers) may run concurrently with a scan: state is only ever published
+as a whole fresh :class:`_RootState` under the lock, and observers copy
+references under the same lock before touching them.  A concurrent edit
+*during* a scan is safe in the conservative direction: the snapshot is
+taken before analysis, so the file hashes as dirty again on the next
+scan.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -142,18 +149,30 @@ class Scanner:
         self.tool = tool
         self.options = options if options is not None else ScanOptions()
         self._states: dict[str, _RootState] = {}
+        #: guards ``_states`` against HTTP handler threads reading warm
+        #: state while the scan thread publishes a fresh one — without it
+        #: ``roots()``/``root_info()`` raced scan completion ("dictionary
+        #: changed size during iteration", torn multi-field reads).
+        self._lock = threading.Lock()
+        #: optional ``callable(FileReport)`` fired per file as its
+        #: verdicts are finalized, in report order — the streaming hook
+        #: behind ``POST /v1/scan?stream=1``.  Called on the scanning
+        #: thread; exceptions propagate and fail the scan.
+        self.on_file = None
 
     # ------------------------------------------------------------------
     def roots(self) -> list[str]:
         """The roots currently holding warm state."""
-        return sorted(self._states)
+        with self._lock:
+            return sorted(self._states)
 
     def forget(self, root: str | None = None) -> None:
         """Drop warm state for *root* (or for every root)."""
-        if root is None:
-            self._states.clear()
-        else:
-            self._states.pop(os.path.abspath(root), None)
+        with self._lock:
+            if root is None:
+                self._states.clear()
+            else:
+                self._states.pop(os.path.abspath(root), None)
 
     def root_info(self, root: str) -> dict:
         """Facts about one warm root (the ``/v1/status`` per-root row).
@@ -161,27 +180,35 @@ class Scanner:
         ``approx_bytes`` estimates the state's resident size via its
         pickled length — cheap, stable, and honest enough for a status
         panel; ``None`` when the state holds something unpicklable.
+
+        Safe to call from any thread while a scan runs: the state's
+        structures are copied by reference under the lock (a scan never
+        mutates a published structure, it publishes fresh ones), so the
+        counts and pickles below always describe one consistent scan.
         """
         root = os.path.abspath(root)
-        state = self._states.get(root)
-        if state is None:
-            return {"root": root, "warm": False}
+        with self._lock:
+            state = self._states.get(root)
+            if state is None:
+                return {"root": root, "warm": False}
+            snapshot, results = state.snapshot, state.results
+            graph, keys = state.graph, state.keys
         approx = None
         try:
             import pickle
-            approx = len(pickle.dumps(state.snapshot)) \
-                + len(pickle.dumps(state.results)) \
-                + len(pickle.dumps(state.graph)) \
-                + len(pickle.dumps(state.keys))
+            approx = len(pickle.dumps(snapshot)) \
+                + len(pickle.dumps(results)) \
+                + len(pickle.dumps(graph)) \
+                + len(pickle.dumps(keys))
         except Exception:
             pass
         return {
             "root": root,
             "warm": True,
-            "files": len(state.snapshot),
-            "results": len(state.results),
+            "files": len(snapshot),
+            "results": len(results),
             "candidates": sum(len(r.candidates)
-                              for r in state.results.values()),
+                              for r in results.values()),
             "approx_bytes": approx,
         }
 
@@ -192,7 +219,8 @@ class Scanner:
         root = os.path.abspath(root)
         groups = self.tool._config_groups()
         fingerprint = config_fingerprint(groups, self.tool.version)
-        state = self._states.get(root)
+        with self._lock:
+            state = self._states.get(root)
         if state is not None and state.fingerprint != fingerprint:
             state = None  # knowledge changed: every warm result is stale
         paths = ScanScheduler.discover(root)
@@ -244,16 +272,18 @@ class Scanner:
                                   options=self.options)
         results: list[FileResult] = []
         report = self.tool.run_scheduler(scheduler, root, paths=paths,
-                                         collect=results)
+                                         collect=results,
+                                         on_file=self.on_file)
         telem = scheduler.telemetry
         telem.metrics.counter("scans_cold").inc()
         raw_hashes = {p: snapshot[p][2] for p in paths}
         graph = scheduler.include_graph
         keys = {p: closure_key(p, snapshot[p][2], graph, raw_hashes)
                 for p in paths}
-        self._states[root] = _RootState(
-            fingerprint, snapshot, graph, keys,
-            dict(zip(paths, results)), scheduler.cache)
+        with self._lock:
+            self._states[root] = _RootState(
+                fingerprint, snapshot, graph, keys,
+                dict(zip(paths, results)), scheduler.cache)
         hits = scheduler.cache.hits if scheduler.cache else 0
         return ScanResult(report, incremental=False,
                           analyzed_files=len(paths) - hits,
@@ -336,8 +366,11 @@ class Scanner:
             with telem.tracer.span("predict", phase="predict",
                                    files=len(paths)):
                 for path in paths:
-                    report.files.append(self.tool._predict_result(
-                        results[path], telem, predictor))
+                    file_report = self.tool._predict_result(
+                        results[path], telem, predictor)
+                    report.files.append(file_report)
+                    if self.on_file is not None:
+                        self.on_file(file_report)
         if cache is not None and stats0 is not None:
             report.cache = CacheStats(
                 cache.hits - stats0[0], cache.misses - stats0[1],
@@ -349,10 +382,11 @@ class Scanner:
             metrics.counter("files_reused").inc(len(paths) - len(to_run))
             report.stats = build_scan_stats(report, telem, root_span)
 
-        state.snapshot = snapshot
-        state.graph = graph
-        state.keys = keys
-        state.results = results
+        # publish the new warm state as one fresh object under the lock:
+        # observers never see a half-updated snapshot/results pair
+        with self._lock:
+            self._states[root] = _RootState(
+                fingerprint, snapshot, graph, keys, results, state.cache)
         return ScanResult(
             report, incremental=True, analyzed_files=len(to_run),
             reused_files=len(paths) - len(to_run),

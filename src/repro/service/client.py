@@ -62,8 +62,13 @@ class ServiceClient:
             raise ServiceError(
                 f"non-JSON response ({status}) from {path}")
         if status != 200:
+            # error bodies are normally {"error": ...} dicts, but a proxy
+            # (or a buggy server) may answer with any JSON value — never
+            # crash with AttributeError on a list or string body
+            message = data.get("error") if isinstance(data, dict) else None
             raise ServiceError(
-                data.get("error", f"HTTP {status} from {path}"))
+                message if isinstance(message, str) and message
+                else f"HTTP {status} from {path}")
         return data
 
     # ------------------------------------------------------------------
@@ -93,6 +98,66 @@ class ServiceClient:
         return upgrade_report_dict(
             self._json("POST", "/v1/scan", payload,
                        timeout=socket_timeout))
+
+    def scan_stream(self, root: str, timeout: float | None = None,
+                    forget: bool = False):
+        """Scan *root* with ``?stream=1``; yields NDJSON event dicts.
+
+        Events arrive as the daemon emits them: ``scan_started``, one
+        ``file`` per finalized file, then ``scan_done`` (or ``error``).
+        A terminal ``error`` event — or a non-200 response — raises
+        :class:`ServiceError` instead of being yielded.
+        """
+        payload: dict = {"root": root}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if forget:
+            payload["forget"] = True
+        socket_timeout = (timeout if timeout is not None
+                          else self.timeout) + self.timeout
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=socket_timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            try:
+                conn.request("POST", "/v1/scan?stream=1", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot reach scan service at "
+                    f"{self.host}:{self.port}: {exc}")
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    data = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    data = None
+                message = data.get("error") if isinstance(data, dict) \
+                    else None
+                raise ServiceError(
+                    message if isinstance(message, str) and message
+                    else f"HTTP {response.status} from /v1/scan?stream=1")
+            while True:
+                # http.client undoes the chunked framing; each readline
+                # returns one NDJSON event (or b"" at end of stream)
+                try:
+                    line = response.readline()
+                except OSError as exc:
+                    raise ServiceError(f"stream interrupted: {exc}")
+                if not line:
+                    return
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise ServiceError("malformed stream event from "
+                                       "/v1/scan?stream=1")
+                if isinstance(event, dict) and event.get("event") == "error":
+                    raise ServiceError(event.get("error")
+                                       or "scan stream failed")
+                yield event
+        finally:
+            conn.close()
 
     def shutdown(self) -> dict:
         return self._json("POST", "/v1/shutdown")

@@ -5,9 +5,11 @@ Protocol (all JSON unless noted):
 ==========================  =============================================
 ``GET /v1/health``          liveness + uptime, warm roots, request count
 ``GET /v1/status``          live operations view: queue depth, in-flight
-                            requests, request outcome totals, per-root
-                            warm state with approximate resident bytes
-                            (what ``wape top`` renders)
+                            requests (including timed-out scans still
+                            running on the worker), request outcome
+                            totals, per-root warm state with approximate
+                            resident bytes (what ``wape top`` renders);
+                            fleet mode adds a per-worker section
 ``GET /metrics``            Prometheus text exposition of the service's
                             metrics registry (scan counters, queue and
                             latency histograms — including per-endpoint
@@ -18,19 +20,34 @@ Protocol (all JSON unless noted):
                             report whose ``service`` block says what the
                             scan did (incremental?, files re-analyzed,
                             queue time, request id)
+``POST /v1/scan?stream=1``  same body → ``application/x-ndjson``: one
+                            ``scan_started`` event, one ``file`` event
+                            per file as its verdicts are finalized (in
+                            report order), and a terminal ``scan_done``
+                            event carrying the report *without* the
+                            ``files`` array (already streamed) — or a
+                            terminal ``error`` event
 ``POST /v1/shutdown``       graceful stop: finish in-flight work, stop
                             accepting connections
 ==========================  =============================================
 
+Endpoint dispatch ignores the query string (``GET /v1/health?probe=1``
+is the health endpoint, and is labeled as such in the metrics).
+
 Concurrency model: HTTP connections are handled on their own threads
 (:class:`~http.server.ThreadingHTTPServer`), but every scan is executed
-on ONE dedicated worker thread — :class:`~repro.api.Scanner` is
-deliberately not thread-safe, and serializing scans is what makes its
-warm-state bookkeeping trivially correct.  Requests therefore queue in
-FIFO order; a bounded queue (``max_queue``) turns overload into an
-immediate ``503`` instead of unbounded memory growth, and a per-request
-timeout turns a stuck scan into a ``504`` *without* killing the scan —
-it keeps running on the worker and warms the state for the retry.
+on ONE dedicated worker thread — :class:`~repro.api.Scanner` serializes
+its scans (only its warm-state *reads* are thread-safe), and serializing
+scans is what makes the warm-state bookkeeping trivially correct.
+Requests therefore queue in FIFO order; a bounded queue (``max_queue``)
+turns overload into an immediate ``503`` instead of unbounded memory
+growth, and a per-request timeout turns a stuck scan into a ``504``
+*without* killing the scan — it keeps running on the worker and warms
+the state for the retry.  A timed-out request stays visible in
+``/v1/status`` (flagged ``timed_out``) until its scan actually finishes.
+
+For a multi-process fleet of warm scanners behind the same protocol, see
+:class:`repro.service.fleet.FleetService` (``wape serve --workers N``).
 
 Every response carries an ``X-Request-Id`` header (also in the JSON
 body for scans); the id is stamped on the service's trace spans so a
@@ -43,6 +60,7 @@ import dataclasses
 import itertools
 import json
 import os
+import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -53,7 +71,7 @@ from repro.api import Scanner, ScanOptions
 from repro.exceptions import ServiceError
 from repro.obs.log import NULL_LOG, new_run_id
 from repro.telemetry import Telemetry, metrics_to_text
-from repro.tool.report import SCHEMA_VERSION
+from repro.tool.report import SCHEMA_VERSION, file_report_dict
 
 #: request bodies above this are rejected outright (a scan request is a
 #: couple hundred bytes; anything larger is a mistake or abuse).
@@ -72,7 +90,100 @@ class _HttpError(ServiceError):
         self.status = status
 
 
-class ScanService:
+def validate_scan_payload(payload, default_timeout: float
+                          ) -> tuple[str, float, bool]:
+    """Validate a ``/v1/scan`` request body → ``(root, timeout, forget)``.
+
+    Shared by the single-scanner daemon and the fleet front door so both
+    reject the same garbage the same way.  Note the explicit ``bool``
+    exclusion: ``isinstance(True, int)`` holds in Python, so without it
+    ``{"timeout": true}`` silently became a 1-second timeout.
+    """
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    root = payload.get("root")
+    if not isinstance(root, str) or not root:
+        raise _HttpError(400, "missing required field: root")
+    root = os.path.abspath(root)
+    if not os.path.isdir(root):
+        raise _HttpError(404, f"not a directory: {root}")
+    timeout = payload.get("timeout", default_timeout)
+    if isinstance(timeout, bool) \
+            or not isinstance(timeout, (int, float)) or timeout <= 0:
+        raise _HttpError(400, "timeout must be a positive number")
+    forget = payload.get("forget", False)
+    if not isinstance(forget, bool):
+        raise _HttpError(400, "forget must be a boolean")
+    return root, float(timeout), forget
+
+
+class ServiceBase:
+    """Plumbing shared by :class:`ScanService` and the fleet front door:
+    the HTTP server, request ids, the one-line log and graceful stop.
+
+    Subclasses must set ``telemetry`` and ``_log`` before calling
+    :meth:`_bind`, and implement the endpoint methods the handler calls
+    (``health``/``status``/``scan``/``scan_stream``/``close``).
+    """
+
+    telemetry: Telemetry
+
+    def _bind(self, host: str, port: int) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._seq = itertools.count(1)
+        self._shutting_down = False
+        self.server = _ScanHTTPServer((host, port), _Handler, self)
+        self.host, self.port = self.server.server_address[:2]
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def new_request_id(self) -> str:
+        return f"req-{next(self._seq):06d}-{os.urandom(4).hex()}"
+
+    def log(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message)
+
+    def metrics_text(self) -> str:
+        return metrics_to_text(self.telemetry.metrics, prefix="wape")
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or ``POST /v1/shutdown``)."""
+        self.log(f"listening on {self.address}")
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns it (tests, embedders)."""
+        thread = threading.Thread(target=self.server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  name="wape-serve", daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and let in-flight work finish."""
+        with self._lock:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the handler thread when triggered by POST /v1/shutdown
+        threading.Thread(target=self.server.shutdown,
+                         name="wape-shutdown", daemon=True).start()
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class ScanService(ServiceBase):
     """The daemon: owns the scanner, the queue and the HTTP server.
 
     Args:
@@ -121,58 +232,17 @@ class ScanService:
         self._log = log
         self._executor = ThreadPoolExecutor(max_workers=1,
                                             thread_name_prefix="wape-scan")
-        self._lock = threading.Lock()
         self._pending = 0
         self._requests = 0
-        #: request_id -> {root, started} for requests between queueing
-        #: and response; the live rows of ``/v1/status``.
+        #: request_id -> {root, started, timed_out} for requests between
+        #: queueing and scan completion; the live rows of ``/v1/status``.
+        #: A row outlives its HTTP response when the response was a 504:
+        #: the scan keeps running on the worker (that is the documented
+        #: warm-retry contract), so the row stays — flagged
+        #: ``timed_out`` — until the task actually finishes.
         self._in_flight: dict[str, dict] = {}
-        self._started = time.time()
-        self._seq = itertools.count(1)
-        self._shutting_down = False
-        self.server = _ScanHTTPServer((host, port), _Handler, self)
-        self.host, self.port = self.server.server_address[:2]
+        self._bind(host, port)
         self.telemetry.metrics.gauge("queue_depth").set(0)
-
-    # ------------------------------------------------------------------
-    @property
-    def address(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    def new_request_id(self) -> str:
-        return f"req-{next(self._seq):06d}-{os.urandom(4).hex()}"
-
-    def log(self, message: str) -> None:
-        if self._log is not None:
-            self._log(message)
-
-    # ------------------------------------------------------------------
-    def serve_forever(self) -> None:
-        """Serve until :meth:`shutdown` (or ``POST /v1/shutdown``)."""
-        self.log(f"listening on {self.address}")
-        try:
-            self.server.serve_forever(poll_interval=0.1)
-        finally:
-            self.close()
-
-    def start_background(self) -> threading.Thread:
-        """Serve on a daemon thread; returns it (tests, embedders)."""
-        thread = threading.Thread(target=self.server.serve_forever,
-                                  kwargs={"poll_interval": 0.05},
-                                  name="wape-serve", daemon=True)
-        thread.start()
-        return thread
-
-    def shutdown(self) -> None:
-        """Stop accepting requests and let in-flight work finish."""
-        with self._lock:
-            if self._shutting_down:
-                return
-            self._shutting_down = True
-        # shutdown() blocks until serve_forever returns, so it must run
-        # off the handler thread when triggered by POST /v1/shutdown
-        threading.Thread(target=self.server.shutdown,
-                         name="wape-shutdown", daemon=True).start()
 
     def close(self) -> None:
         """Release sockets and the worker (idempotent)."""
@@ -195,15 +265,13 @@ class ScanService:
             "pending": pending,
         }
 
-    def metrics_text(self) -> str:
-        return metrics_to_text(self.telemetry.metrics, prefix="wape")
-
     def status(self) -> dict:
         """The live operations view behind ``GET /v1/status``.
 
         Everything ``health()`` says plus queue depth, each in-flight
-        request with its elapsed time, request outcome totals, and the
-        warm per-root state (file/result/finding counts and an
+        request with its elapsed time (timed-out-but-still-running scans
+        included, flagged ``timed_out``), request outcome totals, and
+        the warm per-root state (file/result/finding counts and an
         approximate resident size) — what ``wape top`` renders.
         """
         now = time.time()
@@ -213,7 +281,8 @@ class ScanService:
             in_flight = [
                 {"request_id": request_id,
                  "root": info["root"],
-                 "elapsed_seconds": round(now - info["started"], 3)}
+                 "elapsed_seconds": round(now - info["started"], 3),
+                 "timed_out": info.get("timed_out", False)}
                 for request_id, info in self._in_flight.items()]
         metrics = self.telemetry.metrics
         return {
@@ -236,24 +305,10 @@ class ScanService:
                       for root in self.scanner.roots()],
         }
 
-    def scan(self, payload: dict, request_id: str) -> dict:
-        """Queue one scan and wait for it; returns the report dict."""
-        if not isinstance(payload, dict):
-            raise _HttpError(400, "request body must be a JSON object")
-        root = payload.get("root")
-        if not isinstance(root, str) or not root:
-            raise _HttpError(400, "missing required field: root")
-        root = os.path.abspath(root)
-        if not os.path.isdir(root):
-            raise _HttpError(404, f"not a directory: {root}")
-        timeout = payload.get("timeout", self.request_timeout)
-        if not isinstance(timeout, (int, float)) or timeout <= 0:
-            raise _HttpError(400, "timeout must be a positive number")
-        forget = bool(payload.get("forget", False))
-
+    # ------------------------------------------------------------------
+    def _admit(self, request_id: str, root: str, logger) -> None:
+        """Admission control: count the request in or raise 503."""
         metrics = self.telemetry.metrics
-        logger = self.logger.bind(request_id=request_id) \
-            if self.logger.enabled else self.logger
         with self._lock:
             if self._shutting_down:
                 raise _HttpError(503, "service is shutting down")
@@ -266,9 +321,19 @@ class ScanService:
             self._pending += 1
             self._requests += 1
             self._in_flight[request_id] = {"root": root,
-                                           "started": time.time()}
+                                           "started": time.time(),
+                                           "timed_out": False}
             metrics.gauge("queue_depth").set(self._pending)
-        logger.info("scan_queued", root=root, forget=forget)
+
+    def _submit(self, request_id: str, root: str, forget: bool,
+                on_file=None):
+        """Queue the scan task; returns ``(future, queued, started)``.
+
+        The task — not the request handler — retires the request's
+        ``_in_flight`` row, so a scan that outlives its 504 response
+        stays visible in ``/v1/status`` until it actually finishes.
+        """
+        metrics = self.telemetry.metrics
         queued = time.perf_counter()
         started: list[float] = []
 
@@ -280,35 +345,33 @@ class ScanService:
                                                 root=root):
                     if forget:
                         self.scanner.forget(root)
-                    return self.scanner.scan(root)
+                    self.scanner.on_file = on_file
+                    try:
+                        return self.scanner.scan(root)
+                    finally:
+                        self.scanner.on_file = None
             finally:
                 with self._lock:
                     self._pending -= 1
+                    self._in_flight.pop(request_id, None)
                     metrics.gauge("queue_depth").set(self._pending)
 
-        future = self._executor.submit(task)
-        try:
-            result = future.result(timeout=timeout)
-        except FutureTimeoutError:
-            # the scan keeps running on the worker and warms the state,
-            # so the retry after a timeout is typically fast
-            metrics.counter("scan_timeouts").inc()
-            logger.warning("scan_timeout", root=root, timeout=timeout)
-            raise _HttpError(
-                504, f"scan of {root} exceeded {timeout:g}s "
-                     "(still running; retry to reuse its warm state)")
-        except ServiceError:
-            raise
-        except Exception as exc:  # scanner bug: contain, report, survive
-            metrics.counter("scan_errors").inc()
-            logger.error("scan_error", root=root,
-                         error=f"{type(exc).__name__}: {exc}")
-            raise _HttpError(500, f"scan failed: "
-                                  f"{type(exc).__name__}: {exc}")
-        finally:
-            with self._lock:
-                self._in_flight.pop(request_id, None)
-        queue_seconds = (started[0] if started else queued) - queued
+        return self._executor.submit(task), queued, started
+
+    def _mark_timed_out(self, request_id: str, root: str, timeout: float,
+                        logger) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("scan_timeouts").inc()
+        logger.warning("scan_timeout", root=root, timeout=timeout)
+        with self._lock:
+            row = self._in_flight.get(request_id)
+            if row is not None:  # scan still running on the worker
+                row["timed_out"] = True
+
+    def _record_served(self, result, request_id: str, root: str,
+                       queue_seconds: float, logger) -> dict:
+        """Metrics + service block + logs for one completed scan."""
+        metrics = self.telemetry.metrics
         metrics.counter("scan_requests").inc()
         metrics.counter(
             "scans_served_incremental" if result.incremental
@@ -330,12 +393,123 @@ class ScanService:
                  f"in {result.seconds:.3f}s")
         return data
 
+    def _request_logger(self, request_id: str):
+        return self.logger.bind(request_id=request_id) \
+            if self.logger.enabled else self.logger
+
+    # ------------------------------------------------------------------
+    def scan(self, payload: dict, request_id: str) -> dict:
+        """Queue one scan and wait for it; returns the report dict."""
+        root, timeout, forget = validate_scan_payload(
+            payload, self.request_timeout)
+        metrics = self.telemetry.metrics
+        logger = self._request_logger(request_id)
+        self._admit(request_id, root, logger)
+        logger.info("scan_queued", root=root, forget=forget)
+        future, queued, started = self._submit(request_id, root, forget)
+        try:
+            result = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            # the scan keeps running on the worker and warms the state,
+            # so the retry after a timeout is typically fast
+            self._mark_timed_out(request_id, root, timeout, logger)
+            raise _HttpError(
+                504, f"scan of {root} exceeded {timeout:g}s "
+                     "(still running; retry to reuse its warm state)")
+        except ServiceError:
+            raise
+        except Exception as exc:  # scanner bug: contain, report, survive
+            metrics.counter("scan_errors").inc()
+            logger.error("scan_error", root=root,
+                         error=f"{type(exc).__name__}: {exc}")
+            raise _HttpError(500, f"scan failed: "
+                                  f"{type(exc).__name__}: {exc}")
+        queue_seconds = (started[0] if started else queued) - queued
+        return self._record_served(result, request_id, root,
+                                   queue_seconds, logger)
+
+    def scan_stream(self, payload: dict, request_id: str):
+        """Queue one scan for streaming; returns an event generator.
+
+        Validation and admission happen eagerly — a bad payload or a
+        full queue raises :class:`_HttpError` *before* any response
+        bytes are written, so those still surface as plain JSON errors.
+        The returned generator then yields NDJSON-able event dicts:
+        ``scan_started``, one ``file`` per finalized file (the same
+        shape as a report's ``files[]`` entries), and a terminal
+        ``scan_done`` (report sans ``files``) or ``error``.
+        """
+        root, timeout, forget = validate_scan_payload(
+            payload, self.request_timeout)
+        metrics = self.telemetry.metrics
+        logger = self._request_logger(request_id)
+        self._admit(request_id, root, logger)
+        logger.info("scan_queued", root=root, forget=forget, stream=True)
+        groups = dict(self.scanner.tool.groups)
+        events: queue.Queue = queue.Queue()
+
+        def on_file(file_report):
+            events.put(("file", file_report_dict(file_report, groups)))
+
+        future, queued, started = self._submit(request_id, root, forget,
+                                               on_file=on_file)
+
+        def relay(fut):
+            try:
+                events.put(("done", fut.result()))
+            except Exception as exc:
+                events.put(("error", exc))
+
+        future.add_done_callback(relay)
+
+        def generate():
+            yield {"event": "scan_started", "request_id": request_id,
+                   "root": root, "schema_version": SCHEMA_VERSION}
+            deadline = time.monotonic() + timeout
+            streamed = 0
+            while True:
+                try:
+                    kind, value = events.get(
+                        timeout=max(0.0, deadline - time.monotonic()))
+                except queue.Empty:
+                    self._mark_timed_out(request_id, root, timeout,
+                                         logger)
+                    yield {"event": "error", "status": 504,
+                           "request_id": request_id,
+                           "error": f"scan of {root} exceeded "
+                                    f"{timeout:g}s (still running; retry "
+                                    f"to reuse its warm state)"}
+                    return
+                if kind == "file":
+                    streamed += 1
+                    yield {"event": "file", **value}
+                elif kind == "done":
+                    queue_seconds = (started[0] if started else queued) \
+                        - queued
+                    data = self._record_served(value, request_id, root,
+                                               queue_seconds, logger)
+                    data.pop("files", None)  # already streamed
+                    data["service"]["files_streamed"] = streamed
+                    yield {"event": "scan_done", "report": data}
+                    return
+                else:
+                    metrics.counter("scan_errors").inc()
+                    logger.error("scan_error", root=root,
+                                 error=f"{type(value).__name__}: {value}")
+                    yield {"event": "error", "status": 500,
+                           "request_id": request_id,
+                           "error": f"scan failed: "
+                                    f"{type(value).__name__}: {value}"}
+                    return
+
+        return generate()
+
 
 class _ScanHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, addr, handler, service: ScanService) -> None:
+    def __init__(self, addr, handler, service) -> None:
         self.service = service
         super().__init__(addr, handler)
 
@@ -350,24 +524,32 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     @property
-    def service(self) -> ScanService:
+    def service(self):
         return self.server.service
 
     def log_message(self, fmt, *args):  # route through the service log
         self.service.log("http " + (fmt % args))
 
     # ------------------------------------------------------------------
-    def _respond(self, status: int, body: bytes, content_type: str,
-                 request_id: str) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Request-Id", request_id)
-        self.end_headers()
-        self.wfile.write(body)
-        # per-endpoint request metrics: every response goes through here,
-        # so count + latency observation live in exactly one place
-        endpoint = self.path if self.path in _KNOWN_ENDPOINTS else "other"
+    def _split_path(self) -> tuple[str, dict[str, str]]:
+        """Endpoint path and query parameters of this request.
+
+        The query string must NOT take part in endpoint dispatch or in
+        the metrics endpoint label: ``GET /v1/health?probe=1`` is the
+        health endpoint, not a 404, and not an ``other`` metrics bucket.
+        """
+        path, _, query = self.path.partition("?")
+        params: dict[str, str] = {}
+        for pair in query.split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            params[key] = value
+        return path, params
+
+    def _count_request(self, status: int) -> None:
+        path, _params = self._split_path()
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
         labels = (f"endpoint={endpoint},method={self.command},"
                   f"status={status}")
         metrics = self.service.telemetry.metrics
@@ -376,6 +558,18 @@ class _Handler(BaseHTTPRequestHandler):
         if started_at is not None:
             metrics.histogram(f"http_request_seconds|{labels}").observe(
                 time.perf_counter() - started_at)
+
+    def _respond(self, status: int, body: bytes, content_type: str,
+                 request_id: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
+        # per-endpoint request metrics: every response goes through here
+        # (or _respond_stream), so count + latency live in one place
+        self._count_request(status)
 
     def _respond_json(self, status: int, payload: dict,
                       request_id: str) -> None:
@@ -386,6 +580,33 @@ class _Handler(BaseHTTPRequestHandler):
                        request_id: str) -> None:
         self._respond_json(status, {"error": message,
                                     "request_id": request_id}, request_id)
+
+    def _respond_stream(self, events, request_id: str) -> None:
+        """Write an NDJSON event stream as a chunked 200 response.
+
+        Headers go out before the first event, so failures after that
+        point can only be reported in-band (a terminal ``error`` event).
+        A client that disconnects mid-stream just stops the writes; the
+        scan itself keeps running on the worker.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        try:
+            for event in events:
+                line = json.dumps(event, sort_keys=True) \
+                    .encode("utf-8") + b"\n"
+                self.wfile.write(f"{len(line):X}\r\n".encode("ascii")
+                                 + line + b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except OSError:
+            self.close_connection = True  # client went away mid-stream
+        finally:
+            events.close()
+        self._count_request(200)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -403,17 +624,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         self._started_at = time.perf_counter()
         request_id = self.service.new_request_id()
+        path, _params = self._split_path()
         try:
-            if self.path == "/v1/health":
+            if path == "/v1/health":
                 self._respond_json(200, self.service.health(), request_id)
-            elif self.path == "/v1/status":
+            elif path == "/v1/status":
                 self._respond_json(200, self.service.status(), request_id)
-            elif self.path == "/metrics":
+            elif path == "/metrics":
                 body = self.service.metrics_text().encode("utf-8")
                 self._respond(200, body,
                               "text/plain; version=0.0.4", request_id)
             else:
-                self._respond_error(404, f"no such endpoint: {self.path}",
+                self._respond_error(404, f"no such endpoint: {path}",
                                     request_id)
         except Exception as exc:
             self._respond_error(500, f"{type(exc).__name__}: {exc}",
@@ -422,18 +644,23 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         self._started_at = time.perf_counter()
         request_id = self.service.new_request_id()
+        path, params = self._split_path()
         try:
-            if self.path == "/v1/scan":
+            if path == "/v1/scan":
                 payload = self._read_json()
-                self._respond_json(200,
-                                   self.service.scan(payload, request_id),
-                                   request_id)
-            elif self.path == "/v1/shutdown":
+                if params.get("stream") not in (None, "", "0", "false"):
+                    events = self.service.scan_stream(payload, request_id)
+                    self._respond_stream(events, request_id)
+                else:
+                    self._respond_json(
+                        200, self.service.scan(payload, request_id),
+                        request_id)
+            elif path == "/v1/shutdown":
                 self._respond_json(200, {"status": "shutting down"},
                                    request_id)
                 self.service.shutdown()
             else:
-                self._respond_error(404, f"no such endpoint: {self.path}",
+                self._respond_error(404, f"no such endpoint: {path}",
                                     request_id)
         except _HttpError as exc:
             self._respond_error(exc.status, str(exc), request_id)

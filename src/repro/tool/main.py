@@ -111,9 +111,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "`wape scan` runs")
     parser.add_argument("--no-includes", action="store_true",
                         help="disable static include/require resolution")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="warm scanner worker processes; >1 serves "
+                             "a sharded fleet with sticky per-root "
+                             "routing and crash supervision "
+                             "(default: 1, in-process)")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="per-worker warm-state budget; least-"
+                             "recently-scanned roots are evicted past "
+                             "it (fleet mode only; default: unlimited)")
     parser.add_argument("--max-queue", type=int, default=8, metavar="N",
-                        help="queued+running scans before requests get "
-                             "503 (default: 8)")
+                        help="queued+running scans (per worker in fleet "
+                             "mode) before requests get 503 (default: 8)")
     parser.add_argument("--timeout", type=float, default=300.0,
                         metavar="SECONDS",
                         help="default per-request scan timeout "
@@ -144,7 +154,7 @@ def serve_main(argv: list[str]) -> int:
         return 2
 
     from repro.analysis.options import ScanOptions
-    from repro.service import ScanService
+    from repro.service import FleetService, ScanService
 
     options = ScanOptions(jobs=args.jobs, cache_dir=args.cache_dir,
                           includes=not args.no_includes)
@@ -154,11 +164,23 @@ def serve_main(argv: list[str]) -> int:
     if args.log:
         from repro.obs import JsonlLogger
         logger = JsonlLogger(path=args.log, level=args.log_level)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     try:
-        service = ScanService(tool, options, host=args.host,
-                              port=args.port, max_queue=args.max_queue,
-                              request_timeout=args.timeout, log=log,
-                              logger=logger)
+        if args.workers > 1:
+            service = FleetService(
+                tool, options, host=args.host, port=args.port,
+                workers=args.workers, max_queue=args.max_queue,
+                request_timeout=args.timeout,
+                memory_budget_mb=args.memory_budget_mb,
+                log=log, logger=logger)
+        else:
+            service = ScanService(tool, options, host=args.host,
+                                  port=args.port,
+                                  max_queue=args.max_queue,
+                                  request_timeout=args.timeout, log=log,
+                                  logger=logger)
     except OSError as exc:
         print(f"error: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)

@@ -101,6 +101,50 @@ def load_report_dict(text: str) -> dict:
     return upgrade_report_dict(data)
 
 
+def file_report_dict(file_report: "FileReport",
+                     groups: dict[str, str]) -> dict:
+    """One report ``files[]`` entry as a JSON-serializable dict.
+
+    Shared by :meth:`AnalysisReport.to_dict` and the scan daemon's
+    streaming path (``POST /v1/scan?stream=1``), which emits exactly one
+    of these per file as its verdicts are finalized — the two must stay
+    byte-compatible so stream consumers can reassemble a report.
+    *groups* maps class ids to report groups (``AnalysisReport.groups``).
+    """
+    f = file_report
+    return {
+        "path": f.filename,
+        "lines": f.lines_of_code,
+        "seconds": round(f.seconds, 6),
+        "parse_error": f.parse_error,
+        "parse_warning": f.parse_warning,
+        "recovered_statements": f.recovered_statements,
+        "resolved_includes": f.resolved_includes,
+        "unresolved_includes": f.unresolved_includes,
+        "findings": [
+            {
+                "class": o.vuln_class,
+                "group": groups.get(o.vuln_class, o.vuln_class.upper()),
+                "sink": o.candidate.sink_name,
+                "sink_line": o.candidate.sink_line,
+                "entry_point": o.candidate.entry_point,
+                "entry_line": o.candidate.entry_line,
+                "verdict": "real" if o.is_real else "false_positive",
+                "votes": dict(o.prediction.votes),
+                "symptoms": sorted(o.prediction.symptoms),
+                "path": [
+                    {"kind": s.kind, "detail": s.detail, "line": s.line,
+                     **({"file": s.file}
+                        if s.file and s.file != o.candidate.filename
+                        else {})}
+                    for s in o.candidate.path
+                ],
+            }
+            for o in f.outcomes
+        ],
+    }
+
+
 @dataclass(frozen=True)
 class CandidateOutcome:
     """One candidate plus the predictor's verdict."""
@@ -262,40 +306,7 @@ class AnalysisReport:
             "cache": self.cache.to_dict() if self.cache else None,
             "stats": self.stats.to_dict() if self.stats else None,
             "files": [
-                {
-                    "path": f.filename,
-                    "lines": f.lines_of_code,
-                    "seconds": round(f.seconds, 6),
-                    "parse_error": f.parse_error,
-                    "parse_warning": f.parse_warning,
-                    "recovered_statements": f.recovered_statements,
-                    "resolved_includes": f.resolved_includes,
-                    "unresolved_includes": f.unresolved_includes,
-                    "findings": [
-                        {
-                            "class": o.vuln_class,
-                            "group": self.group_of(o.vuln_class),
-                            "sink": o.candidate.sink_name,
-                            "sink_line": o.candidate.sink_line,
-                            "entry_point": o.candidate.entry_point,
-                            "entry_line": o.candidate.entry_line,
-                            "verdict": ("real" if o.is_real
-                                        else "false_positive"),
-                            "votes": dict(o.prediction.votes),
-                            "symptoms": sorted(o.prediction.symptoms),
-                            "path": [
-                                {"kind": s.kind, "detail": s.detail,
-                                 "line": s.line,
-                                 **({"file": s.file}
-                                    if s.file and
-                                    s.file != o.candidate.filename
-                                    else {})}
-                                for s in o.candidate.path
-                            ],
-                        }
-                        for o in f.outcomes
-                    ],
-                }
+                file_report_dict(f, self.groups)
                 for f in self.files
                 if f.outcomes or f.parse_error or f.parse_warning
             ],

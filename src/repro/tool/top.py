@@ -2,7 +2,11 @@
 
 Polls the daemon's ``/v1/status`` endpoint (:mod:`repro.service`) and
 renders uptime, queue depth, in-flight requests and the warm per-root
-state (files, findings, approximate resident bytes):
+state (files, findings, approximate resident bytes).  Against a fleet
+(``wape serve --workers N``) the panel adds a per-worker section: pid,
+aliveness, queue depth, scans/restarts/evictions and resident bytes.
+
+::
 
     wape top                          # poll localhost:8711 every 2s
     wape top --port 9000 --interval 5
@@ -52,13 +56,33 @@ def render_status(status: dict) -> str:
         f"errors {requests.get('errors', 0)}  "
         f"timeouts {requests.get('timeouts', 0)}",
     ]
+    workers = status.get("workers") or []
+    if isinstance(workers, list) and workers:
+        lines.append(f"workers ({len(workers)}):")
+        lines.append(f"  {'id':>3} {'pid':>7} {'state':>5} {'queue':>5} "
+                     f"{'scans':>6} {'resp.':>5} {'evict':>5} "
+                     f"{'roots':>5} {'approx':>8}  current")
+        for worker in workers:
+            lines.append(
+                f"  {worker.get('worker', '?'):>3} "
+                f"{worker.get('pid', '?'):>7} "
+                f"{'up' if worker.get('alive') else 'DOWN':>5} "
+                f"{worker.get('queue_depth', 0):>5} "
+                f"{worker.get('scans', 0):>6} "
+                f"{worker.get('restarts', 0):>5} "
+                f"{worker.get('evictions', 0):>5} "
+                f"{worker.get('warm_roots', 0):>5} "
+                f"{_fmt_bytes(worker.get('approx_bytes')):>8}  "
+                f"{worker.get('current_request') or '-'}")
     in_flight = status.get("in_flight") or []
     if in_flight:
         lines.append("in flight:")
         for req in in_flight:
+            flags = " TIMED-OUT" if req.get("timed_out") else ""
+            where = f" w{req['worker']}" if "worker" in req else ""
             lines.append(f"  {req.get('request_id', '?'):<18} "
-                         f"{req.get('elapsed_seconds', 0.0):>6.1f}s  "
-                         f"{req.get('root', '?')}")
+                         f"{req.get('elapsed_seconds', 0.0):>6.1f}s"
+                         f"{where}  {req.get('root', '?')}{flags}")
     roots = status.get("roots") or []
     if roots:
         header = (f"  {'files':>6} {'results':>7} {'findings':>8} "

@@ -164,7 +164,8 @@ class _BaseTool:
 
     def run_scheduler(self, scheduler: ScanScheduler, root: str,
                       paths: list[str] | None = None,
-                      collect: list | None = None) -> AnalysisReport:
+                      collect: list | None = None,
+                      on_file=None) -> AnalysisReport:
         """Scan *root* with a caller-built scheduler, predict, report.
 
         Split out of :meth:`analyze_tree` so warm embedders
@@ -178,6 +179,9 @@ class _BaseTool:
             collect: when given, the raw per-file
                 :class:`~repro.analysis.detector.FileResult` objects are
                 appended to it — the seed of a warm scanner's state.
+            on_file: optional ``callable(FileReport)`` invoked per file
+                as its verdicts are finalized, in report order — the
+                daemon's streaming hook (``POST /v1/scan?stream=1``).
         """
         telem = scheduler.telemetry
         predictor = scheduler.options.predictor or self.predictor
@@ -194,8 +198,11 @@ class _BaseTool:
             with telem.tracer.span("predict", phase="predict",
                                    files=len(results)):
                 for result in results:
-                    report.files.append(
-                        self._predict_result(result, telem, predictor))
+                    file_report = self._predict_result(result, telem,
+                                                       predictor)
+                    report.files.append(file_report)
+                    if on_file is not None:
+                        on_file(file_report)
         if scheduler.cache is not None:
             report.cache = CacheStats(scheduler.cache.hits,
                                       scheduler.cache.misses,

@@ -205,3 +205,71 @@ class TestApiIsolation:
                 "sys.exit(1 if bad else 0)")
         proc = subprocess.run([sys.executable, "-c", code])
         assert proc.returncode == 0
+
+
+class TestWarmStateThreadSafety:
+    def test_observers_never_see_torn_state_during_scans(self, tool,
+                                                         tmp_path):
+        """Regression: ``roots()``/``root_info()`` from observer threads
+        raced the scan thread's ``_states`` mutations — transient
+        ``RuntimeError: dictionary changed size during iteration`` and
+        pickles of half-updated snapshots.  Warm state is now published
+        whole under a lock; a hammer of concurrent reads must survive a
+        stream of scans untouched."""
+        import threading
+
+        roots = []
+        for i in range(12):
+            root = tmp_path / f"proj{i}"
+            root.mkdir()
+            (root / "index.php").write_text(
+                f"<?php echo $_GET['p{i}']; ?>\n")
+            roots.append(str(root))
+
+        scanner = Scanner(tool, ScanOptions(jobs=1))
+        failures = []
+        done = threading.Event()
+
+        def hammer():
+            while not done.is_set():
+                try:
+                    for root in scanner.roots():
+                        info = scanner.root_info(root)
+                        assert info["root"] == root
+                        if info["warm"]:
+                            assert info["files"] >= 0
+                except Exception as exc:  # pragma: no cover - regression
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for root in roots:
+                scanner.scan(root)
+            for root in roots:  # warm republish path too
+                scanner.scan(root)
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not failures, failures[0]
+
+
+class TestStreamingHook:
+    def test_on_file_fires_per_file_in_report_order(self, tool, app):
+        scanner = Scanner(tool, ScanOptions(jobs=1))
+        seen_cold = []
+        scanner.on_file = lambda fr: seen_cold.append(fr.filename)
+        cold = scanner.scan(app)
+        assert seen_cold == [f.filename for f in cold.report.files]
+
+        with open(os.path.join(app, "profile.php"), "a",
+                  encoding="utf-8") as f:
+            f.write("\n<?php echo $_GET['hook_probe']; ?>\n")
+        seen_warm = []
+        scanner.on_file = lambda fr: seen_warm.append(fr.filename)
+        warm = scanner.scan(app)
+        assert warm.incremental is True
+        assert seen_warm == [f.filename for f in warm.report.files]

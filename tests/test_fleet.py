@@ -1,0 +1,271 @@
+"""Scan-fleet tests: sticky routing, supervision, streaming, eviction."""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analysis.options import ScanOptions
+from repro.exceptions import ServiceError
+from repro.service import FleetService, ServiceClient
+from repro.service.fleet import CRASH_MARKER_ENV, HashRing
+from repro.tool.wap import Wape
+
+DEMO_APP = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "demo_app")
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return Wape()
+
+
+@pytest.fixture(scope="module")
+def crash_marker(tmp_path_factory):
+    """Path workers watch for the crash injector (no file = no crash).
+
+    Exported *before* the fleet forks its workers so every child (and
+    every respawned child) inherits the variable.
+    """
+    marker = str(tmp_path_factory.mktemp("crash") / "crash-now")
+    os.environ[CRASH_MARKER_ENV] = marker
+    yield marker
+    os.environ.pop(CRASH_MARKER_ENV, None)
+
+
+@pytest.fixture(scope="module")
+def fleet(tool, crash_marker):
+    svc = FleetService(tool, ScanOptions(jobs=1), workers=2, max_queue=4)
+    svc.start_background()
+    yield svc
+    svc.server.shutdown()
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(fleet):
+    c = ServiceClient(port=fleet.port)
+    c.wait_ready()
+    return c
+
+
+@pytest.fixture()
+def app(tmp_path):
+    root = tmp_path / "demo_app"
+    shutil.copytree(DEMO_APP, root)
+    return str(root)
+
+
+def two_apps_on_distinct_workers(fleet, tmp_path):
+    """Two demo-app copies the ring routes to different workers."""
+    first = tmp_path / "app-a"
+    shutil.copytree(DEMO_APP, first)
+    target = fleet.ring.route(str(first))
+    for i in range(64):
+        second = tmp_path / f"app-b{i}"
+        if fleet.ring.route(str(second)) != target:
+            shutil.copytree(DEMO_APP, second)
+            return str(first), str(second)
+    raise AssertionError("ring never split 65 paths across 2 workers")
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_and_balanced(self):
+        ring = HashRing(4)
+        routes = [ring.route(f"/srv/project-{i}") for i in range(400)]
+        assert routes == [ring.route(f"/srv/project-{i}")
+                          for i in range(400)]
+        counts = [routes.count(w) for w in range(4)]
+        assert all(count > 40 for count in counts)  # no starved shard
+
+    def test_single_worker_ring(self):
+        ring = HashRing(1)
+        assert {ring.route(f"/p{i}") for i in range(10)} == {0}
+
+
+class TestFleetProtocol:
+    def test_health_and_status_shape(self, client, fleet):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        status = client.status()
+        assert len(status["workers"]) == 2
+        for worker in status["workers"]:
+            assert worker["alive"] is True
+            assert isinstance(worker["pid"], int)
+            assert worker["queue_depth"] == 0
+
+    def test_sticky_routing_keeps_warm_state(self, client, fleet, app):
+        cold = client.scan(app)
+        warm = client.scan(app)
+        assert cold["service"]["incremental"] is False
+        assert warm["service"]["incremental"] is True
+        assert cold["service"]["worker"] == warm["service"]["worker"] \
+            == fleet.ring.route(app)
+        assert warm["summary"]["real_vulnerabilities"] > 0
+
+    def test_validation_shared_with_single_daemon(self, client, app):
+        status, raw = client._request(
+            "POST", "/v1/scan", {"root": app, "timeout": True})
+        assert status == 400
+        assert "timeout must be a positive number" in \
+            json.loads(raw)["error"]
+        status, raw = client._request("GET", "/v1/health?probe=1")
+        assert status == 200
+
+    def test_per_worker_metrics_labels(self, client, app):
+        client.scan(app)
+        text = client.metrics_text()
+        assert 'wape_worker_scans_total{worker="' in text
+        assert "wape_scan_requests" in text
+
+
+class TestSupervision:
+    def test_sigkilled_worker_is_respawned_and_request_retried(
+            self, client, fleet, app):
+        client.scan(app)  # warm it so the loss is observable
+        index = fleet.ring.route(app)
+        worker = fleet.workers[index]
+        restarts_before = worker.restarts
+        os.kill(worker.process.pid, signal.SIGKILL)
+        report = client.scan(app)
+        assert report["service"]["retried"] is True
+        assert report["service"]["incremental"] is False  # fresh child
+        assert report["summary"]["real_vulnerabilities"] > 0
+        assert worker.restarts == restarts_before + 1
+        assert worker.process.is_alive()
+        status = client.status()
+        assert status["workers"][index]["restarts"] == \
+            restarts_before + 1
+
+    def test_crash_marker_mid_request_is_retried_once(
+            self, client, fleet, crash_marker, app):
+        with open(crash_marker, "w", encoding="utf-8") as f:
+            f.write("die\n")
+        report = client.scan(app)
+        assert report["service"]["retried"] is True
+        assert report["summary"]["real_vulnerabilities"] > 0
+        assert not os.path.exists(crash_marker)  # consumed exactly once
+        assert client.scan(app)["service"]["retried"] is False
+
+
+class TestFleetStreaming:
+    def test_stream_orders_files_deterministically(self, client, app):
+        events = list(client.scan_stream(app))
+        assert events[0]["event"] == "scan_started"
+        assert "worker" in events[0]
+        assert events[-1]["event"] == "scan_done"
+        paths = [e["path"] for e in events[1:-1]]
+        assert paths and len(paths) == len(set(paths))
+        # deterministic discovery order: a re-stream replays it exactly
+        replay = [e["path"] for e in client.scan_stream(app)
+                  if e["event"] == "file"]
+        assert replay == paths
+        report = events[-1]["report"]
+        assert "files" not in report
+        assert report["service"]["files_streamed"] == len(paths)
+
+
+class TestBackpressureAndEviction:
+    def test_full_worker_queue_rejects_with_503(self, tool, app):
+        svc = FleetService(tool, ScanOptions(jobs=1), workers=1,
+                           max_queue=0)
+        svc.start_background()
+        try:
+            c = ServiceClient(port=svc.port)
+            c.wait_ready()
+            with pytest.raises(ServiceError, match="queue full"):
+                c.scan(app)
+        finally:
+            svc.server.shutdown()
+            svc.close()
+
+    def test_lru_eviction_under_tiny_budget(self, tool, tmp_path):
+        svc = FleetService(tool, ScanOptions(jobs=1), workers=1,
+                           memory_budget_mb=0.01)
+        svc.start_background()
+        try:
+            c = ServiceClient(port=svc.port)
+            c.wait_ready()
+            roots = []
+            for name in ("one", "two"):
+                root = tmp_path / name
+                shutil.copytree(DEMO_APP, root)
+                roots.append(str(root))
+            c.scan(roots[0])
+            c.scan(roots[1])  # budget blown: roots[0] must be evicted
+            status = c.status()
+            warm = [r["root"] for r in status["roots"]]
+            assert roots[0] not in warm
+            assert status["workers"][0]["evictions"] >= 1
+            # evicted root re-scans cold, not incorrectly
+            assert c.scan(roots[0])["service"]["incremental"] is False
+        finally:
+            svc.server.shutdown()
+            svc.close()
+
+
+class TestParallelism:
+    def test_distinct_roots_scan_concurrently(self, client, fleet,
+                                              tmp_path):
+        first, second = two_apps_on_distinct_workers(fleet, tmp_path)
+        single_start = time.perf_counter()
+        client.scan(first, forget=True)
+        single = time.perf_counter() - single_start
+        results = {}
+
+        def scan(root):
+            results[root] = ServiceClient(port=client.port).scan(
+                root, forget=True)
+
+        threads = [threading.Thread(target=scan, args=(root,))
+                   for root in (first, second)]
+        pair_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        pair = time.perf_counter() - pair_start
+        assert results[first]["summary"]["real_vulnerabilities"] > 0
+        assert results[second]["summary"]["real_vulnerabilities"] > 0
+        assert results[first]["service"]["worker"] != \
+            results[second]["service"]["worker"]
+        if (os.cpu_count() or 1) >= 2:
+            # the acceptance bar: true process parallelism
+            assert pair < 1.9 * single, (pair, single)
+
+
+class TestServeWorkersCommand:
+    @pytest.mark.slow
+    def test_wape_serve_workers_subprocess_end_to_end(self, app):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__),
+                                         os.pardir, "src")
+        env.pop(CRASH_MARKER_ENV, None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://127.0.0.1:" in line
+            port = int(line.rsplit(":", 1)[1])
+            client = ServiceClient(port=port)
+            client.wait_ready(deadline=60.0)
+            assert client.health()["workers"] == 2
+            report = client.scan(app)
+            assert report["summary"]["real_vulnerabilities"] > 0
+            assert "worker" in report["service"]
+            client.shutdown()
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

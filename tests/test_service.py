@@ -241,3 +241,119 @@ class TestShutdown:
                 c.health()
         finally:
             svc.close()
+
+
+class TestValidationRegressions:
+    def test_bool_timeout_is_rejected_with_400(self, client, app):
+        """Regression: ``{"timeout": true}`` passed the numeric check
+        (bool subclasses int) and silently became a 1-second timeout."""
+        status, raw = client._request(
+            "POST", "/v1/scan", {"root": app, "timeout": True})
+        assert status == 400
+        assert "timeout must be a positive number" in \
+            json.loads(raw)["error"]
+
+    def test_non_bool_forget_is_rejected(self, client, app):
+        status, raw = client._request(
+            "POST", "/v1/scan", {"root": app, "forget": "yes"})
+        assert status == 400
+        assert "forget must be a boolean" in json.loads(raw)["error"]
+
+    def test_query_string_does_not_404_or_mislabel(self, client):
+        """Regression: exact-path dispatch made ``/v1/health?probe=1``
+        a 404 and collapsed its metric label into ``other``."""
+        def health_count():
+            label = ('wape_http_requests_total{endpoint="/v1/health",'
+                     'method="GET",status="200"}')
+            for line in client.metrics_text().splitlines():
+                if line.startswith(label):
+                    return float(line.rsplit(" ", 1)[1])
+            return 0.0
+
+        before = health_count()
+        status, raw = client._request("GET", "/v1/health?probe=1&x=y")
+        assert status == 200
+        assert json.loads(raw)["status"] == "ok"
+        assert health_count() == before + 1
+
+    def test_non_dict_error_body_raises_service_error(self, client):
+        """Regression: a JSON list/string error body crashed the client
+        with AttributeError on ``.get`` instead of ServiceError."""
+        for body in (b'["boom"]', b'"oops"', b'42'):
+            broken = ServiceClient(port=client.port)
+            broken._request = lambda *a, _b=body, **k: (500, _b)
+            with pytest.raises(ServiceError, match="HTTP 500"):
+                broken.health()
+
+
+class TestStatusVisibility:
+    def test_timed_out_scan_stays_in_status_until_done(self, service,
+                                                       app):
+        """Regression: the 504 path popped the request from
+        ``_in_flight`` although the scan keeps running on the worker —
+        ``/v1/status`` hid real work."""
+        import time as _time
+        # enough files that the cold scan comfortably outlives the 504
+        for i in range(80):
+            shutil.copytree(DEMO_APP, os.path.join(app, f"copy{i}"))
+        c = ServiceClient(port=service.port)
+        with pytest.raises(ServiceError, match="exceeded"):
+            c.scan(app, timeout=1e-6)
+        rows = [row for row in c.status()["in_flight"]
+                if row["root"] == app]
+        assert rows and rows[0]["timed_out"] is True
+        deadline = _time.monotonic() + 120
+        while _time.monotonic() < deadline:
+            if not any(row["root"] == app
+                       for row in c.status()["in_flight"]):
+                break
+            _time.sleep(0.2)
+        else:
+            pytest.fail("timed-out scan never left /v1/status")
+
+
+class TestStreaming:
+    def test_stream_events_match_blocking_scan(self, client, app):
+        blocking = client.scan(app, forget=True)
+        client.scan(app)  # ensure warm parity doesn't matter: re-stream
+        events = list(client.scan_stream(app))
+        assert events[0]["event"] == "scan_started"
+        assert events[0]["request_id"].startswith("req-")
+        assert events[-1]["event"] == "scan_done"
+        files = [e for e in events[1:-1]]
+        assert all(e["event"] == "file" for e in files)
+        paths = [e["path"] for e in files]
+        assert len(paths) == len(set(paths))
+        # deterministic discovery order: a re-stream replays it exactly
+        replay = [e["path"] for e in client.scan_stream(app)
+                  if e["event"] == "file"]
+        assert replay == paths
+        report = events[-1]["report"]
+        assert "files" not in report  # already streamed
+        assert report["service"]["files_streamed"] == len(files)
+        # findings streamed == findings of a blocking scan
+        def stream_findings(file_events):
+            out = set()
+            for entry in file_events:
+                rel = os.path.relpath(entry["path"], app)
+                for finding in entry["findings"]:
+                    out.add((rel, finding["class"], finding["sink_line"],
+                             finding["entry_line"], finding["verdict"]))
+            return out
+        assert stream_findings(files) == finding_set(blocking)
+
+    def test_stream_validation_errors_are_plain_json(self, client):
+        import http.client
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/v1/scan?stream=1",
+                         body=json.dumps({"root": "/no/such/dir"})
+                         .encode(),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 404
+            assert "not a directory" in \
+                json.loads(response.read())["error"]
+        finally:
+            conn.close()
