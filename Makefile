@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-grammar test-ir test-service test-fleet \
 	bench bench-smoke bench-throughput bench-frontend bench-check \
-	trace-demo serve-demo
+	trace-demo serve-demo watch-demo baseline-demo baseline-check
 
 # tier-1: the full suite, exactly what CI runs
 test:
@@ -83,3 +83,24 @@ trace-demo:
 # and stop it with  curl -s -X POST http://127.0.0.1:8711/v1/shutdown
 serve-demo:
 	$(PYTHON) -m repro serve --port 8711
+
+# continuous scanning on the demo app: edit a file under
+# examples/demo_app/ in another shell and watch the findings delta
+watch-demo:
+	$(PYTHON) -m repro watch examples/demo_app --no-ledger
+
+# regenerate the committed findings baseline for the demo app (run
+# after intentionally changing its findings; paths stay repo-relative
+# so the baseline is machine-independent)
+baseline-demo:
+	-$(PYTHON) -m repro scan --json --no-cache examples/demo_app \
+		> examples/demo_app.baseline.json
+	@echo "baseline -> examples/demo_app.baseline.json"
+
+# the CI gate: fail only on findings absent from the committed
+# baseline, and export the scan as SARIF for code-review surfaces
+baseline-check:
+	@mkdir -p .bench
+	$(PYTHON) -m repro scan --quiet --no-cache \
+		--baseline examples/demo_app.baseline.json --fail-on-new \
+		--sarif-out .bench/demo_app.sarif examples/demo_app

@@ -132,7 +132,8 @@ def merge_legacy_options(options: ScanOptions | None, caller: str,
             f"{caller}: pass either options=ScanOptions(...) or the legacy "
             f"keywords {sorted(passed)}, not both")
     warnings.warn(
-        f"{caller}: the {sorted(passed)} keyword(s) are deprecated; pass "
+        f"{caller}: the {sorted(passed)} keyword(s) are deprecated and "
+        f"will be removed in the next release; pass "
         f"options=ScanOptions(...) instead",
         DeprecationWarning, stacklevel=3)
     known = {f.name for f in fields(ScanOptions)}

@@ -11,13 +11,19 @@ daemon (:mod:`repro.service`) keeps one alive across requests:
   per-root warm state and answers :meth:`~repro.api.scanner.Scanner.scan`
   requests, re-analyzing only the dirty include-closure on repeat scans;
 * :class:`~repro.api.scanner.ScanResult` — the report plus what the scan
-  actually did (incremental or not, files re-analyzed vs reused).
+  actually did (incremental or not, files re-analyzed vs reused);
+* :class:`~repro.api.delta.FindingsDelta` — what changed between a scan
+  and a baseline report, keyed by the v3 schema's stable finding
+  fingerprints (:meth:`ScanResult.diff <repro.api.scanner.ScanResult
+  .diff>`, :func:`~repro.api.delta.diff_reports`).
 
 Importing :mod:`repro.api` never imports the HTTP server; embedders that
 just want in-process scanning pay nothing for the service layer.
 """
 
 from repro.analysis.options import ScanOptions  # noqa: F401
+from repro.api.delta import FindingsDelta, diff_reports  # noqa: F401
 from repro.api.scanner import ScanResult, Scanner  # noqa: F401
 
-__all__ = ["ScanOptions", "ScanResult", "Scanner"]
+__all__ = ["FindingsDelta", "ScanOptions", "ScanResult", "Scanner",
+           "diff_reports"]

@@ -1,0 +1,143 @@
+"""Findings deltas: what changed between two scans.
+
+The continuous-scanning surfaces — ``wape watch``, ``wape scan
+--baseline`` and the daemon's ``baseline`` field — all answer the same
+question: *which findings are new, which are fixed, which just moved?*
+The v3 report schema's stable fingerprints make that a set difference:
+two findings are the same finding iff their fingerprints match, no
+matter how many lines shifted, which checkout produced the report or
+which order the files were scanned in.
+
+:func:`diff_reports` is the one implementation; everything else
+(:meth:`repro.api.Scanner` results, the CLI gate, the service, the
+watcher) goes through it.  Both inputs are passed through
+:func:`~repro.tool.report.upgrade_report_dict` first, so a committed
+v2 baseline diffs cleanly against a fresh v3 report — the upgrade
+computes the baseline's fingerprints from its own material.
+
+Delta lists are sorted by fingerprint: repeated diffs of byte-identical
+reports render byte-identically, which is what lets CI logs and the run
+ledger treat a delta as a stable artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tool.report import normalize_finding_path, upgrade_report_dict
+
+
+def _index(data: dict) -> dict[str, dict]:
+    """fingerprint → finding (augmented with its target-relative file)."""
+    target = str(data.get("target", ""))
+    out: dict[str, dict] = {}
+    for entry in data.get("files") or ():
+        rel = normalize_finding_path(str(entry.get("path", "")), target)
+        for finding in entry.get("findings") or ():
+            fingerprint = finding.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint:
+                out[fingerprint] = {**finding, "file": rel}
+    return out
+
+
+@dataclass(frozen=True)
+class FindingsDelta:
+    """The difference between a scan and a baseline, by fingerprint.
+
+    Attributes:
+        new: findings in the current report whose fingerprint the
+            baseline does not know — the only thing a CI gate should
+            fail on.
+        fixed: baseline findings whose fingerprint vanished.
+        unchanged: findings present on both sides (the current report's
+            copy — its lines are the fresh ones).
+        report: the current report dict the delta was computed from,
+            when the producer had it (``ServiceClient.scan(baseline=…)``
+            keeps it here); ignored by equality.
+
+    Every element is a v3 ``findings[]`` dict plus a ``file`` key: the
+    finding's target-relative POSIX path.  All three tuples are sorted
+    by fingerprint.
+    """
+
+    new: tuple[dict, ...] = ()
+    fixed: tuple[dict, ...] = ()
+    unchanged: tuple[dict, ...] = ()
+    report: dict | None = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def changed(self) -> bool:
+        return bool(self.new or self.fixed)
+
+    @property
+    def new_real(self) -> tuple[dict, ...]:
+        """New findings the predictor did not wave off — the CI gate."""
+        return tuple(f for f in self.new if f.get("verdict") == "real")
+
+    def summary_line(self) -> str:
+        return (f"+{len(self.new)} new, -{len(self.fixed)} fixed, "
+                f"{len(self.unchanged)} unchanged")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable delta (the report's ``delta`` block)."""
+        return {
+            "new": list(self.new),
+            "fixed": list(self.fixed),
+            "unchanged": list(self.unchanged),
+            "counts": {"new": len(self.new), "fixed": len(self.fixed),
+                       "unchanged": len(self.unchanged)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  report: dict | None = None) -> "FindingsDelta":
+        """Rebuild a delta from its :meth:`to_dict` form."""
+        if not isinstance(data, dict):
+            return cls(report=report)
+        return cls(new=tuple(data.get("new") or ()),
+                   fixed=tuple(data.get("fixed") or ()),
+                   unchanged=tuple(data.get("unchanged") or ()),
+                   report=report)
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Human-readable delta (what ``--baseline`` and watch print)."""
+        lines = [f"== findings delta: {self.summary_line()}"]
+
+        def describe(sign: str, finding: dict) -> str:
+            verdict = ("real" if finding.get("verdict") == "real"
+                       else "predicted FP")
+            return (f"  {sign} [{finding.get('group', '?'):>6}] "
+                    f"{finding.get('file', '?')}:"
+                    f"{finding.get('sink_line', '?')} "
+                    f"{finding.get('sink', '?')}"
+                    f" <- {finding.get('entry_point', '?')}"
+                    f" ({verdict})  fp={finding.get('fingerprint', '?')}")
+
+        for finding in self.new:
+            lines.append(describe("+", finding))
+        for finding in self.fixed:
+            lines.append(describe("-", finding))
+        return "\n".join(lines)
+
+
+def diff_reports(current: dict, baseline: dict) -> FindingsDelta:
+    """Diff two report dicts into a :class:`FindingsDelta`.
+
+    Both sides are upgraded to the current schema first (so the
+    baseline may be any version this tool can read); the current report
+    rides along on the returned delta.  Raises
+    :class:`~repro.exceptions.ReportSchemaError` on a malformed side —
+    callers turn that into their surface's "bad baseline" error.
+    """
+    current = upgrade_report_dict(current)
+    baseline = upgrade_report_dict(baseline)
+    now, base = _index(current), _index(baseline)
+    return FindingsDelta(
+        new=tuple(now[fp] for fp in sorted(set(now) - set(base))),
+        fixed=tuple(base[fp] for fp in sorted(set(base) - set(now))),
+        unchanged=tuple(now[fp] for fp in sorted(set(now) & set(base))),
+        report=current,
+    )

@@ -109,6 +109,16 @@ class ScanResult:
         data["service"] = self.service_info()
         return data
 
+    def diff(self, baseline: dict) -> "FindingsDelta":
+        """This scan's findings delta against a *baseline* report dict.
+
+        The baseline may be any schema version the tool can read (it is
+        upgraded — and fingerprinted — on the way in).  See
+        :func:`repro.api.delta.diff_reports`.
+        """
+        from repro.api.delta import diff_reports
+        return diff_reports(self.to_dict(), baseline)
+
 
 #: snapshot entry for a file that vanished or cannot be read: always
 #: hashes unequal to any real content, so the file stays dirty.

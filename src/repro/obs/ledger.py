@@ -51,15 +51,24 @@ def default_ledger_path(cache_dir: str) -> str:
     return os.path.join(cache_dir, "ledger.jsonl")
 
 
-def findings_digest(outcomes) -> str:
+def findings_digest(outcomes, fingerprints=()) -> str:
     """SHA-256 over the sorted candidate dedup keys of a report.
 
     Stable across runs, orderings and processes: the key
     (:meth:`~repro.analysis.model.CandidateVulnerability.key`) is pure
     detection identity — class, file, sink line/name, entry point.
+    *fingerprints* (the report's v3 stable finding fingerprints, when
+    the caller has them) are folded in sorted, so the digest also
+    certifies the identity layer the baseline diff and SARIF exports
+    are built on — a fingerprint-algorithm drift flips the digest even
+    when the raw candidate set did not move.
     """
     keys = sorted(repr(o.candidate.key()) for o in outcomes)
-    return hashlib.sha256("\n".join(keys).encode("utf-8")).hexdigest()
+    material = "\n".join(keys)
+    fps = sorted(fp for fp in fingerprints if fp)
+    if fps:
+        material += "\x00" + "\n".join(fps)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def _cache_entry(hits: int, misses: int, puts: int = 0) -> dict:
@@ -70,7 +79,8 @@ def _cache_entry(hits: int, misses: int, puts: int = 0) -> dict:
 
 def build_record(report, run_id: str, fingerprint: str,
                  jobs: int, seconds: float,
-                 target: str | None = None) -> dict:
+                 target: str | None = None,
+                 mode: str = "batch") -> dict:
     """One ledger record for a finished scan.
 
     Args:
@@ -81,6 +91,10 @@ def build_record(report, run_id: str, fingerprint: str,
         jobs: the *resolved* worker count the scan ran with.
         seconds: wall time of the whole scan call.
         target: scanned root; defaults to ``report.target``.
+        mode: how the scan was driven — ``"batch"`` (one ``wape scan``)
+            or ``"watch"`` (an incremental ``wape watch`` cycle).
+            Regression baselines never mix modes: a warm watch cycle
+            must not make a cold batch scan look like a regression.
 
     Phase times and the AST/summary tiers are included when the run had
     telemetry (they ride on ``report.stats``); the result-cache tier is
@@ -110,12 +124,15 @@ def build_record(report, run_id: str, fingerprint: str,
                                              stats.summary_cache_misses,
                                              stats.summary_cache_puts)
     outcomes = report.outcomes
+    from repro.tool.report import report_fingerprints
+    fingerprints = report_fingerprints(report.to_dict())
     return {
         "version": LEDGER_VERSION,
         "run_id": run_id,
         "ts": round(time.time(), 3),
         "target": target if target is not None else report.target,
         "tool": report.tool_version,
+        "mode": mode,
         "fingerprint": fingerprint,
         "cpu_count": cpu_count,
         "jobs": jobs,
@@ -131,7 +148,7 @@ def build_record(report, run_id: str, fingerprint: str,
         "phases": phases,
         "caches": caches,
         "findings": {"count": len(outcomes),
-                     "digest": findings_digest(outcomes)},
+                     "digest": findings_digest(outcomes, fingerprints)},
     }
 
 
@@ -202,10 +219,13 @@ def _median(values: list[float]) -> float:
 
 def _comparable(latest: dict, record: dict) -> bool:
     """Prior records count toward the baseline only when the scan setup
-    matched: same target, knowledge fingerprint and worker count."""
+    matched: same target, knowledge fingerprint, worker count and scan
+    mode (a ~30ms warm watch cycle is not a baseline for a cold batch
+    scan; records from before the ``mode`` field default to batch)."""
     return (record.get("target") == latest.get("target")
             and record.get("fingerprint") == latest.get("fingerprint")
-            and record.get("jobs") == latest.get("jobs"))
+            and record.get("jobs") == latest.get("jobs")
+            and record.get("mode", "batch") == latest.get("mode", "batch"))
 
 
 def detect_regressions(records: list[dict],

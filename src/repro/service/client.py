@@ -85,9 +85,8 @@ class ServiceClient:
             raise ServiceError(f"HTTP {status} from /metrics")
         return raw.decode("utf-8")
 
-    def scan(self, root: str, timeout: float | None = None,
-             forget: bool = False) -> dict:
-        """Scan *root* on the daemon; returns the upgraded report dict."""
+    def _scan_payload(self, root: str, timeout: float | None,
+                      forget: bool) -> tuple[dict, float]:
         payload: dict = {"root": root}
         if timeout is not None:
             payload["timeout"] = timeout
@@ -95,9 +94,50 @@ class ServiceClient:
             payload["forget"] = True
         socket_timeout = (timeout if timeout is not None
                           else self.timeout) + self.timeout
-        return upgrade_report_dict(
+        return payload, socket_timeout
+
+    @staticmethod
+    def _load_baseline(baseline) -> dict:
+        """Accept a report dict or a path to a report JSON file."""
+        if isinstance(baseline, dict):
+            return baseline
+        with open(baseline, encoding="utf-8") as f:
+            data = json.load(f)
+        if not isinstance(data, dict):
+            raise ServiceError(f"baseline is not a report: {baseline}")
+        return data
+
+    def scan(self, root: str, timeout: float | None = None,
+             forget: bool = False, baseline=None):
+        """Scan *root* on the daemon.
+
+        Returns the upgraded report dict — unless *baseline* (a report
+        dict, or a path to a report JSON file) is given, in which case
+        the daemon diffs the scan against it and this returns the
+        resulting :class:`~repro.api.FindingsDelta`, whose ``report``
+        attribute holds the full report.
+        """
+        payload, socket_timeout = self._scan_payload(root, timeout, forget)
+        if baseline is not None:
+            payload["baseline"] = self._load_baseline(baseline)
+        data = upgrade_report_dict(
             self._json("POST", "/v1/scan", payload,
                        timeout=socket_timeout))
+        if baseline is None:
+            return data
+        delta = data.get("delta")
+        if not isinstance(delta, dict):
+            raise ServiceError("daemon did not return a delta block "
+                               "(upgrade the server?)")
+        from repro.api.delta import FindingsDelta
+        return FindingsDelta.from_dict(delta, report=data)
+
+    def scan_sarif(self, root: str, timeout: float | None = None,
+                   forget: bool = False) -> dict:
+        """Scan *root* with ``?format=sarif``; returns the SARIF log."""
+        payload, socket_timeout = self._scan_payload(root, timeout, forget)
+        return self._json("POST", "/v1/scan?format=sarif", payload,
+                          timeout=socket_timeout)
 
     def scan_stream(self, root: str, timeout: float | None = None,
                     forget: bool = False):

@@ -170,7 +170,7 @@ def _worker_main(conn, tool, options: ScanOptions,
                 groups = dict(scanner.tool.groups)
                 scanner.on_file = lambda fr: conn.send(
                     {"op": "file", "req": req,
-                     "data": file_report_dict(fr, groups)})
+                     "data": file_report_dict(fr, groups, root)})
             try:
                 result = scanner.scan(root)
             finally:

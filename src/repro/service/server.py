@@ -16,10 +16,16 @@ Protocol (all JSON unless noted):
                             labeled request counts/latencies — plus
                             everything the analysis pipeline records)
 ``POST /v1/scan``           body ``{"root": path, "timeout": seconds?,
-                            "forget": bool?}`` → a schema-versioned
-                            report whose ``service`` block says what the
-                            scan did (incremental?, files re-analyzed,
-                            queue time, request id)
+                            "forget": bool?, "baseline": report?}`` → a
+                            schema-versioned report whose ``service``
+                            block says what the scan did (incremental?,
+                            files re-analyzed, queue time, request id);
+                            with ``baseline`` the response also carries
+                            a ``delta`` block (new/fixed/unchanged
+                            findings by fingerprint); with
+                            ``?format=sarif`` the response is a SARIF
+                            2.1.0 log (``application/sarif+json``)
+                            instead of a report
 ``POST /v1/scan?stream=1``  same body → ``application/x-ndjson``: one
                             ``scan_started`` event, one ``file`` event
                             per file as its verdicts are finalized (in
@@ -449,7 +455,8 @@ class ScanService(ServiceBase):
         events: queue.Queue = queue.Queue()
 
         def on_file(file_report):
-            events.put(("file", file_report_dict(file_report, groups)))
+            events.put(("file", file_report_dict(file_report, groups,
+                                                 root)))
 
         future, queued, started = self._submit(request_id, root, forget,
                                                on_file=on_file)
@@ -620,6 +627,25 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(400, f"invalid JSON body: {exc}")
 
+    @staticmethod
+    def _extract_baseline(payload):
+        """Pop and validate an optional ``baseline`` report from the body.
+
+        Validated eagerly — a malformed baseline must 400 *before* the
+        scan runs, not 500 after burning a worker slot on it.
+        """
+        if not isinstance(payload, dict) or "baseline" not in payload:
+            return None
+        baseline = payload.pop("baseline")
+        if not isinstance(baseline, dict):
+            raise _HttpError(400, "baseline must be a report object")
+        from repro.exceptions import ReportSchemaError
+        from repro.tool.report import upgrade_report_dict
+        try:
+            return upgrade_report_dict(baseline)
+        except ReportSchemaError as exc:
+            raise _HttpError(400, f"invalid baseline report: {exc}")
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         self._started_at = time.perf_counter()
@@ -648,13 +674,35 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/v1/scan":
                 payload = self._read_json()
+                baseline = self._extract_baseline(payload)
+                fmt = params.get("format") or "json"
+                if fmt not in ("json", "sarif"):
+                    raise _HttpError(400, f"unknown format: {fmt}")
+                if baseline is not None and fmt == "sarif":
+                    raise _HttpError(
+                        400, "baseline and format=sarif are mutually "
+                             "exclusive (SARIF has no delta block)")
                 if params.get("stream") not in (None, "", "0", "false"):
+                    if baseline is not None or fmt != "json":
+                        raise _HttpError(
+                            400, "stream=1 supports neither baseline "
+                                 "nor format=sarif")
                     events = self.service.scan_stream(payload, request_id)
                     self._respond_stream(events, request_id)
                 else:
-                    self._respond_json(
-                        200, self.service.scan(payload, request_id),
-                        request_id)
+                    data = self.service.scan(payload, request_id)
+                    if baseline is not None:
+                        from repro.api.delta import diff_reports
+                        data["delta"] = diff_reports(
+                            data, baseline).to_dict()
+                    if fmt == "sarif":
+                        from repro.tool.sarif import report_to_sarif
+                        body = json.dumps(report_to_sarif(data),
+                                          sort_keys=True).encode("utf-8")
+                        self._respond(200, body, "application/sarif+json",
+                                      request_id)
+                    else:
+                        self._respond_json(200, data, request_id)
             elif path == "/v1/shutdown":
                 self._respond_json(200, {"status": "shutting down"},
                                    request_id)

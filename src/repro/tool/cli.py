@@ -88,6 +88,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(each file is analyzed in isolation)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="diff the findings against a committed "
+                             "report (any schema version) and print the "
+                             "delta; with --json the report gains a "
+                             "'delta' block")
+    parser.add_argument("--fail-on-new", action="store_true",
+                        help="with --baseline: exit non-zero only when "
+                             "the scan has NEW real findings (fingerprints "
+                             "absent from the baseline) — the CI gate")
+    parser.add_argument("--sarif-out", metavar="FILE", default=None,
+                        help="also write the report as SARIF 2.1.0 to "
+                             "FILE (code-review tooling ingestion)")
     parser.add_argument("--justify", action="store_true",
                         help="explain each predicted false positive "
                              "(symptoms, categories, classifier votes)")
@@ -229,6 +241,28 @@ def main(argv: list[str] | None = None) -> int:
     if not args.targets:
         print("error: no targets given", file=sys.stderr)
         return 2
+    if args.fail_on_new and not args.baseline:
+        print("error: --fail-on-new requires --baseline", file=sys.stderr)
+        return 2
+    if (args.baseline or args.sarif_out) and len(args.targets) != 1:
+        print("error: --baseline/--sarif-out apply to exactly one "
+              "target", file=sys.stderr)
+        return 2
+    baseline_data = None
+    if args.baseline:
+        from repro.exceptions import ReportSchemaError
+        from repro.tool.report import load_report_dict
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                baseline_data = load_report_dict(f.read())
+        except OSError as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ReportSchemaError as exc:
+            print(f"error: bad baseline report {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     try:
         tool = build_tool(args, weapon_flags, registry)
@@ -281,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         profiler.start()
 
     exit_code = 0
+    new_real_findings = 0
     for target in args.targets:
         if os.path.isdir(target):
             if args.project:
@@ -317,13 +352,28 @@ def main(argv: list[str] | None = None) -> int:
                              digest=record["findings"]["digest"][:12])
         else:
             report = tool.analyze_file(target, telemetry=telemetry)
+        delta = None
+        data = None
+        if args.baseline or args.sarif_out or args.json:
+            data = report.to_dict()
+        if baseline_data is not None:
+            from repro.api.delta import diff_reports
+            delta = diff_reports(data, baseline_data)
+            new_real_findings += len(delta.new_real)
+            if args.json:
+                data["delta"] = delta.to_dict()
+        if args.sarif_out:
+            from repro.tool.sarif import write_sarif
+            write_sarif(args.sarif_out, data)
         if args.json:
             import json
-            print(json.dumps(report.to_dict(), indent=2))
+            print(json.dumps(data, indent=2))
         elif args.quiet:
             print(report.summary_line())
         else:
             print(report.render_text(show_paths=args.show_paths))
+        if delta is not None and not args.json:
+            print(delta.render_text())
         if args.stats and not args.json:
             footer = report.render_stats()
             if footer:
@@ -348,6 +398,10 @@ def main(argv: list[str] | None = None) -> int:
                 if result.changed:
                     print(f"fixed {len(result.applied)} "
                           f"vulnerabilities -> {output}")
+    if args.fail_on_new:
+        # CI-gate semantics: pre-existing (baselined) findings do not
+        # fail the build — only new-fingerprint real findings do
+        exit_code = 1 if new_real_findings else 0
     if profiler is not None:
         profiler.stop()
         profiler.write_folded(args.profile_out)

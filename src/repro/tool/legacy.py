@@ -12,10 +12,18 @@ and dispatch to the unchanged implementations.
 from __future__ import annotations
 
 import sys
+import warnings
 
 
 def _notice(old: str, new: str) -> None:
+    # stderr pointer for humans watching the terminal, plus a real
+    # DeprecationWarning so test suites and `-W error` runs catch
+    # lingering callers before the shims are removed
     print(f"note: `{old}` is deprecated; use `{new}`", file=sys.stderr)
+    warnings.warn(
+        f"`{old}` is deprecated and will be removed in the next release; "
+        f"use `{new}`",
+        DeprecationWarning, stacklevel=3)
 
 
 def wape_main(argv: list[str] | None = None) -> int:

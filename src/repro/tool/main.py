@@ -1,9 +1,10 @@
 """``wape``: the single consolidated entry point.
 
-One executable, six subcommands::
+One executable, seven subcommands::
 
     wape scan [flags] TARGET...     analyze (and optionally fix) PHP code
     wape explain [flags] TARGET...  full decision trace per candidate
+    wape watch [flags] ROOT         continuous scanning: findings deltas
     wape serve [flags]              long-running scan daemon (local HTTP)
     wape bench [flags] TARGET       cold vs warm vs incremental timings
     wape history [flags]            scan-ledger trends + regression gate
@@ -26,6 +27,7 @@ usage: wape <command> [options]
 commands:
   scan      analyze PHP files/trees for vulnerabilities (and --fix them)
   explain   print the full decision trace behind each candidate
+  watch     poll a tree for edits and print findings deltas (new/fixed)
   serve     run the warm scan daemon (answers scans over local HTTP)
   bench     measure cold vs warm vs incremental scan times on a target
   history   render run-ledger trends and gate on regressions (--check)
@@ -34,7 +36,8 @@ commands:
 run `wape <command> --help` for command options.
 """
 
-COMMANDS = ("scan", "explain", "serve", "bench", "history", "top")
+COMMANDS = ("scan", "explain", "watch", "serve", "bench", "history",
+            "top")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,8 +52,13 @@ def main(argv: list[str] | None = None) -> int:
     command, rest = argv[0], argv[1:]
     if command not in COMMANDS:
         # historical flag-style invocation: `wape [flags] targets`
+        import warnings
         print("note: flag-style `wape [flags]` is deprecated; "
               "use `wape scan [flags]`", file=sys.stderr)
+        warnings.warn(
+            "flag-style `wape [flags]` is deprecated and will be removed "
+            "in the next release; use `wape scan [flags]`",
+            DeprecationWarning, stacklevel=2)
         command, rest = "scan", argv
     if command == "scan":
         from repro.tool.cli import main as scan_main
@@ -58,6 +66,9 @@ def main(argv: list[str] | None = None) -> int:
     if command == "explain":
         from repro.tool.explain import main as explain_main
         return explain_main(rest)
+    if command == "watch":
+        from repro.tool.watch import main as watch_main
+        return watch_main(rest)
     if command == "serve":
         return serve_main(rest)
     if command == "history":

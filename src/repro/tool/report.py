@@ -14,6 +14,8 @@ the paper's tables:
 
 from __future__ import annotations
 
+import hashlib
+import os
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -26,7 +28,13 @@ from repro.telemetry.stats import CacheStats, ScanStats
 #: the historical ad-hoc dict emitted before the schema was versioned;
 #: bump this whenever a field is added, removed or changes meaning, and
 #: teach :func:`upgrade_report_dict` how to lift the previous version.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: fingerprint algorithm tag — the ``partialFingerprints`` key in SARIF
+#: exports and the first token of the hashed material.  Bump the suffix
+#: whenever the material changes: fingerprints from different algorithm
+#: versions must never be compared as equal identities.
+FINGERPRINT_ALGORITHM = "wapeFingerprint/v1"
 
 #: keys every versioned report must carry at the top level.
 _REQUIRED_KEYS = ("tool", "target", "summary", "files")
@@ -40,6 +48,89 @@ _SUMMARY_DEFAULTS = (
     ("recovered_statements", 0), ("resolved_includes", 0),
     ("unresolved_includes", 0), ("by_class", {}),
 )
+
+
+def normalize_finding_path(path: str, target: str) -> str:
+    """*path* as a stable, target-relative POSIX path.
+
+    Finding identities and delta/SARIF locations must survive a checkout
+    living somewhere else (CI scans ``/home/runner/...``, the committed
+    baseline came from ``/Users/dev/...``), so absolute paths are
+    relativized against the report's target.  A path that does not live
+    under the target (or a non-path target like ``<source>``) falls back
+    to its basename — still stable, just less specific.
+    """
+    try:
+        rel = os.path.relpath(path, target)
+    except ValueError:  # pragma: no cover - windows drive mismatch
+        rel = None
+    if rel is None or rel == "." or rel.startswith(".." + os.sep) \
+            or rel == "..":
+        return os.path.basename(path)
+    return rel.replace(os.sep, "/")
+
+
+def finding_fingerprint_material(finding: dict, path: str,
+                                 target: str) -> str:
+    """The pre-hash identity string of one finding.
+
+    Deliberately line-free: the identity is the vulnerability class, the
+    sink name, the sink file (target-relative), the entry point and the
+    *shape* of the data-flow path — each hop's kind and detail, with
+    cross-file hops pinned by basename.  Inserting blank lines above a
+    sink, reformatting, or moving the checkout all keep the material
+    stable; a genuinely new flow (different sink, source or hop
+    sequence) changes it.
+    """
+    parts = [
+        FINGERPRINT_ALGORITHM,
+        str(finding.get("class", "")),
+        str(finding.get("sink", "")),
+        normalize_finding_path(path, target),
+        str(finding.get("entry_point", "")),
+    ]
+    for step in finding.get("path") or ():
+        hop = f"{step.get('kind', '')}:{step.get('detail', '')}"
+        hop_file = step.get("file")
+        if hop_file:
+            hop += f"@{os.path.basename(str(hop_file))}"
+        parts.append(hop)
+    return "\x1f".join(parts)
+
+
+def stamp_fingerprints(entry: dict, target: str) -> None:
+    """Fill ``fingerprint`` on every finding of one ``files[]`` entry.
+
+    The fingerprint is the SHA-256 (truncated to 20 hex chars) of the
+    finding's :func:`finding_fingerprint_material` plus an *ordinal*: the
+    occurrence index among same-material findings of the same file, in
+    emission (sink line) order.  Two textually identical flows in one
+    file therefore get distinct, deterministic identities, and the whole
+    computation needs nothing outside the entry — the daemon's streaming
+    path stamps each file event with exactly the bytes the batch report
+    would carry.
+
+    Findings that already carry a ``fingerprint`` keep it verbatim (the
+    v3→v3 upgrade is the identity), but still count toward ordinals so a
+    partially stamped entry stays consistent.
+    """
+    seen: dict[str, int] = {}
+    for finding in entry.get("findings") or ():
+        material = finding_fingerprint_material(
+            finding, str(entry.get("path", "")), target)
+        ordinal = seen.get(material, 0)
+        seen[material] = ordinal + 1
+        if "fingerprint" not in finding:
+            digest = hashlib.sha256(
+                f"{material}\x1f#{ordinal}".encode("utf-8")).hexdigest()
+            finding["fingerprint"] = digest[:20]
+
+
+def report_fingerprints(data: dict) -> list[str]:
+    """Every finding fingerprint of a report dict, in report order."""
+    return [finding.get("fingerprint", "")
+            for entry in data.get("files") or ()
+            for finding in entry.get("findings") or ()]
 
 
 def upgrade_report_dict(data: dict) -> dict:
@@ -85,6 +176,19 @@ def upgrade_report_dict(data: dict) -> dict:
             entry.setdefault("unresolved_includes", 0)
             files.append(entry)
         out["files"] = files
+    if version < 3:
+        # v3: every finding carries a stable content-based fingerprint.
+        # Computable from v1/v2 material alone, so old reports (committed
+        # CI baselines in particular) upgrade into diffable identities.
+        target = str(out.get("target", ""))
+        files = []
+        for entry in out.get("files") or []:
+            entry = dict(entry)
+            entry["findings"] = [dict(finding)
+                                 for finding in entry.get("findings") or ()]
+            stamp_fingerprints(entry, target)
+            files.append(entry)
+        out["files"] = files
     out.setdefault("service", None)
     out["schema_version"] = SCHEMA_VERSION
     return out
@@ -101,18 +205,20 @@ def load_report_dict(text: str) -> dict:
     return upgrade_report_dict(data)
 
 
-def file_report_dict(file_report: "FileReport",
-                     groups: dict[str, str]) -> dict:
+def file_report_dict(file_report: "FileReport", groups: dict[str, str],
+                     target: str | None = None) -> dict:
     """One report ``files[]`` entry as a JSON-serializable dict.
 
     Shared by :meth:`AnalysisReport.to_dict` and the scan daemon's
     streaming path (``POST /v1/scan?stream=1``), which emits exactly one
     of these per file as its verdicts are finalized — the two must stay
     byte-compatible so stream consumers can reassemble a report.
-    *groups* maps class ids to report groups (``AnalysisReport.groups``).
+    *groups* maps class ids to report groups (``AnalysisReport.groups``);
+    *target* is the scanned root the fingerprints are relativized
+    against (``None`` skips fingerprinting — pre-v3 shape).
     """
     f = file_report
-    return {
+    entry = {
         "path": f.filename,
         "lines": f.lines_of_code,
         "seconds": round(f.seconds, 6),
@@ -143,6 +249,9 @@ def file_report_dict(file_report: "FileReport",
             for o in f.outcomes
         ],
     }
+    if target is not None:
+        stamp_fingerprints(entry, target)
+    return entry
 
 
 @dataclass(frozen=True)
@@ -306,7 +415,7 @@ class AnalysisReport:
             "cache": self.cache.to_dict() if self.cache else None,
             "stats": self.stats.to_dict() if self.stats else None,
             "files": [
-                file_report_dict(f, self.groups)
+                file_report_dict(f, self.groups, self.target)
                 for f in self.files
                 if f.outcomes or f.parse_error or f.parse_warning
             ],

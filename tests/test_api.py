@@ -180,6 +180,10 @@ class TestOptionsShim:
             report = tool.analyze_tree(app, jobs=1, cache_dir=None)
         assert finding_keys(report)
 
+    def test_legacy_kwargs_warning_names_the_removal(self, tool, app):
+        with pytest.warns(DeprecationWarning, match="removed"):
+            tool.analyze_tree(app, jobs=1)
+
     def test_scheduler_legacy_kwargs_warn(self):
         with pytest.warns(DeprecationWarning, match="ScanOptions"):
             ScanScheduler((), jobs=1)

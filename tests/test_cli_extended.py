@@ -101,12 +101,36 @@ class TestWapeDispatcher:
 
     def test_legacy_explain_shim_warns(self, app, capsys):
         from repro.tool.legacy import explain_main
-        with pytest.raises(SystemExit) as excinfo:
-            explain_main(["--help"])
+        with pytest.warns(DeprecationWarning, match="removed"):
+            with pytest.raises(SystemExit) as excinfo:
+                explain_main(["--help"])
         assert excinfo.value.code == 0
         captured = capsys.readouterr()
         assert "deprecated" in captured.err
         assert "wape explain" in captured.err
+
+    def test_legacy_wape_shim_emits_deprecation_warning(self, app,
+                                                        capsys):
+        from repro.tool.legacy import wape_main
+        with pytest.warns(DeprecationWarning, match="removed"):
+            assert wape_main(["--quiet", app]) == 1
+        assert "wape scan" in capsys.readouterr().err
+
+    def test_flag_style_emits_deprecation_warning(self, app, capsys):
+        from repro.tool.main import main as wape_main
+        with pytest.warns(DeprecationWarning, match="removed"):
+            wape_main(["--quiet", app])
+        capsys.readouterr()
+
+    def test_subcommand_path_trips_no_shim(self, app, capsys):
+        """The modern spelling must run clean under -W error: no
+        internal caller may route through a deprecation shim."""
+        import warnings
+        from repro.tool.main import main as wape_main
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert wape_main(["scan", "--quiet", app]) == 1
+        capsys.readouterr()
 
 
 class TestModuleEntryPoint:

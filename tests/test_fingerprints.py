@@ -1,0 +1,265 @@
+"""v3 stable finding fingerprints and the findings delta layer."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.analysis.options import ScanOptions
+from repro.api import FindingsDelta, diff_reports
+from repro.tool.report import (
+    FINGERPRINT_ALGORITHM,
+    SCHEMA_VERSION,
+    finding_fingerprint_material,
+    normalize_finding_path,
+    report_fingerprints,
+    upgrade_report_dict,
+)
+from repro.tool.wap import Wape
+
+DEMO_APP = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "demo_app")
+
+
+@pytest.fixture(scope="module")
+def tool():
+    return Wape()
+
+
+@pytest.fixture()
+def app(tmp_path):
+    root = tmp_path / "demo_app"
+    shutil.copytree(DEMO_APP, root)
+    return str(root)
+
+
+def scan_dict(tool, root):
+    return tool.analyze_tree(root, ScanOptions(jobs=1)).to_dict()
+
+
+def by_fingerprint(data):
+    """fingerprint -> (relative file, finding dict)."""
+    out = {}
+    for entry in data["files"]:
+        rel = normalize_finding_path(entry["path"], data["target"])
+        for finding in entry["findings"]:
+            out[finding["fingerprint"]] = (rel, finding)
+    return out
+
+
+class TestNormalizePath:
+    def test_inside_target_is_relativized(self):
+        assert normalize_finding_path("/a/b/app/sub/f.php",
+                                      "/a/b/app") == "sub/f.php"
+
+    def test_posix_separators(self):
+        rel = normalize_finding_path(
+            os.path.join("/t", "x", "y.php"), "/t")
+        assert rel == "x/y.php"
+
+    def test_outside_target_falls_back_to_basename(self):
+        assert normalize_finding_path("/elsewhere/f.php",
+                                      "/a/b/app") == "f.php"
+
+    def test_non_path_target_falls_back_to_basename(self):
+        assert normalize_finding_path("f.php", "<source>") == "f.php"
+
+
+class TestFingerprintStability:
+    def test_every_finding_is_fingerprinted(self, tool, app):
+        data = scan_dict(tool, app)
+        fingerprints = report_fingerprints(data)
+        assert fingerprints
+        assert all(isinstance(fp, str) and len(fp) == 20
+                   for fp in fingerprints)
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_rescans_agree(self, tool, app):
+        assert report_fingerprints(scan_dict(tool, app)) \
+            == report_fingerprints(scan_dict(tool, app))
+
+    def test_root_relocation_keeps_identities(self, tool, app, tmp_path):
+        """The CI case: same tree, different checkout location."""
+        moved = str(tmp_path / "elsewhere" / "checkout")
+        shutil.copytree(app, moved)
+        assert set(report_fingerprints(scan_dict(tool, app))) \
+            == set(report_fingerprints(scan_dict(tool, moved)))
+
+    def test_line_shift_keeps_identities(self, tool, app):
+        before = set(report_fingerprints(scan_dict(tool, app)))
+        target = os.path.join(app, "search.php")
+        with open(target, encoding="utf-8") as f:
+            content = f.read()
+        with open(target, "w", encoding="utf-8") as f:
+            f.write(content.replace("<?php", "<?php\n// pad\n// pad\n", 1))
+        after = scan_dict(tool, app)
+        assert set(report_fingerprints(after)) == before
+        # the finding genuinely moved: its line changed, identity did not
+        search = [f for rel, f in by_fingerprint(after).values()
+                  if rel == "search.php"]
+        assert search and all(f["sink_line"] > 4 for f in search)
+
+    def test_dependency_edit_keeps_dependent_identities(self, tool, app):
+        """feed.php's findings flow through includes/input.php: touching
+        the dependency (shifting its lines) must not re-identify them."""
+        before = by_fingerprint(scan_dict(tool, app))
+        dep = os.path.join(app, "includes", "input.php")
+        with open(dep, encoding="utf-8") as f:
+            content = f.read()
+        with open(dep, "w", encoding="utf-8") as f:
+            f.write(content.replace("<?php", "<?php\n// pad\n", 1))
+        after = by_fingerprint(scan_dict(tool, app))
+        assert set(after) == set(before)
+        assert any(rel == "feed.php" for rel, _ in after.values())
+
+    def test_new_sink_changes_the_set(self, tool, app):
+        before = set(report_fingerprints(scan_dict(tool, app)))
+        with open(os.path.join(app, "contact.php"), "a",
+                  encoding="utf-8") as f:
+            f.write("\n<?php echo $_GET['injected']; ?>\n")
+        after = set(report_fingerprints(scan_dict(tool, app)))
+        assert before < after
+        assert len(after - before) == 1
+
+    def test_identical_flows_get_distinct_ordinals(self, tool, tmp_path):
+        """Two textually identical flows in one file must not collide —
+        and must get the same pair of identities on every scan."""
+        root = tmp_path / "twins"
+        root.mkdir()
+        (root / "t.php").write_text(
+            "<?php\necho $_GET['x'];\necho $_GET['x'];\n")
+        first = report_fingerprints(scan_dict(tool, str(root)))
+        assert len(first) == 2
+        assert len(set(first)) == 2
+        assert report_fingerprints(scan_dict(tool, str(root))) == first
+
+    def test_material_is_line_free(self):
+        finding = {"class": "xss", "sink": "echo",
+                   "entry_point": "$_GET['x']", "sink_line": 4,
+                   "path": [{"kind": "source", "detail": "$_GET['x']",
+                             "line": 3},
+                            {"kind": "sink", "detail": "echo", "line": 4}]}
+        material = finding_fingerprint_material(finding, "/t/a.php", "/t")
+        shifted = dict(finding, sink_line=90)
+        shifted["path"] = [dict(s, line=s["line"] + 86)
+                           for s in finding["path"]]
+        assert finding_fingerprint_material(shifted, "/t/a.php", "/t") \
+            == material
+        assert material.startswith(FINGERPRINT_ALGORITHM)
+
+
+class TestUpgradeToV3:
+    def make_v2(self):
+        return {
+            "schema_version": 2,
+            "tool": "WAPe",
+            "target": "app/",
+            "service": None,
+            "cache": None,
+            "stats": None,
+            "summary": {"files": 1, "lines": 4, "seconds": 0.0,
+                        "candidates": 1, "real_vulnerabilities": 1,
+                        "predicted_false_positives": 0, "parse_errors": 0,
+                        "parse_warnings": 0, "recovered_statements": 0,
+                        "resolved_includes": 0, "unresolved_includes": 0,
+                        "by_class": {"XSS": 1}},
+            "files": [{"path": "app/a.php", "lines": 4, "seconds": 0.0,
+                       "parse_error": None, "parse_warning": None,
+                       "recovered_statements": 0, "resolved_includes": 0,
+                       "unresolved_includes": 0,
+                       "findings": [{"class": "xss", "group": "XSS",
+                                     "sink": "echo", "sink_line": 4,
+                                     "entry_point": "$_GET['q']",
+                                     "entry_line": 3, "verdict": "real",
+                                     "votes": {}, "symptoms": [],
+                                     "path": []}]}],
+        }
+
+    def test_v2_upgrade_stamps_fingerprints(self):
+        out = upgrade_report_dict(self.make_v2())
+        assert out["schema_version"] == SCHEMA_VERSION
+        fingerprints = report_fingerprints(out)
+        assert fingerprints and all(len(fp) == 20 for fp in fingerprints)
+
+    def test_v2_upgrade_is_deterministic(self):
+        assert upgrade_report_dict(self.make_v2()) \
+            == upgrade_report_dict(self.make_v2())
+
+    def test_v2_upgrade_does_not_mutate_input(self):
+        original = self.make_v2()
+        snapshot = json.loads(json.dumps(original))
+        upgrade_report_dict(original)
+        assert original == snapshot
+
+    def test_v3_round_trips_byte_identically(self, tool, app):
+        data = scan_dict(tool, app)
+        assert json.dumps(upgrade_report_dict(data), sort_keys=True) \
+            == json.dumps(data, sort_keys=True)
+
+
+class TestFindingsDelta:
+    def test_no_change_is_all_unchanged(self, tool, app):
+        data = scan_dict(tool, app)
+        delta = diff_reports(data, data)
+        assert not delta.changed
+        assert not delta.new and not delta.fixed
+        assert len(delta.unchanged) == len(report_fingerprints(data))
+
+    def test_new_and_fixed_are_symmetric(self, tool, app):
+        baseline = scan_dict(tool, app)
+        with open(os.path.join(app, "contact.php"), "a",
+                  encoding="utf-8") as f:
+            f.write("\n<?php echo $_GET['fresh']; ?>\n")
+        current = scan_dict(tool, app)
+        forward = diff_reports(current, baseline)
+        assert len(forward.new) == 1
+        assert not forward.fixed
+        assert forward.new[0]["file"] == "contact.php"
+        assert forward.new[0]["verdict"] == "real"
+        backward = diff_reports(baseline, current)
+        assert not backward.new
+        assert [f["fingerprint"] for f in backward.fixed] \
+            == [f["fingerprint"] for f in forward.new]
+
+    def test_lists_are_sorted_by_fingerprint(self, tool, app):
+        delta = diff_reports(scan_dict(tool, app), {
+            "tool": "WAPe", "target": "x", "summary": {}, "files": []})
+        fingerprints = [f["fingerprint"] for f in delta.new]
+        assert fingerprints == sorted(fingerprints)
+
+    def test_new_real_excludes_predicted_fps(self, tool, app):
+        """login.php's finding is a predicted FP: it must not count as a
+        gate-tripping new finding."""
+        delta = diff_reports(scan_dict(tool, app), {
+            "tool": "WAPe", "target": "x", "summary": {}, "files": []})
+        verdicts = {f["verdict"] for f in delta.new}
+        assert "false_positive" in verdicts
+        assert all(f["verdict"] == "real" for f in delta.new_real)
+        assert len(delta.new_real) < len(delta.new)
+
+    def test_delta_diffs_across_checkout_locations(self, tool, app,
+                                                   tmp_path):
+        moved = str(tmp_path / "ci" / "workspace")
+        shutil.copytree(app, moved)
+        delta = diff_reports(scan_dict(tool, moved), scan_dict(tool, app))
+        assert not delta.changed
+
+    def test_round_trip_through_dict(self, tool, app):
+        data = scan_dict(tool, app)
+        delta = diff_reports(data, data)
+        again = FindingsDelta.from_dict(delta.to_dict(), report=data)
+        assert again == delta
+        assert again.report is data
+
+    def test_render_text_names_files_and_fingerprints(self, tool, app):
+        delta = diff_reports(scan_dict(tool, app), {
+            "tool": "WAPe", "target": "x", "summary": {}, "files": []})
+        text = delta.render_text()
+        assert "new" in text and "+" in text
+        assert delta.new[0]["fingerprint"] in text
+
+    def test_malformed_baseline_is_rejected(self, tool, app):
+        from repro.exceptions import ReportSchemaError
+        with pytest.raises(ReportSchemaError):
+            diff_reports(scan_dict(tool, app), {"schema_version": 2})

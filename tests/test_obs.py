@@ -202,6 +202,53 @@ class TestLedger:
         assert render_history([]) == "ledger is empty"
 
 
+class TestWatchModeRecords:
+    def test_build_record_defaults_to_batch_mode(self, tool, tmp_path):
+        app = tmp_path / "app"
+        app.mkdir()
+        _write_app(app)
+        report = tool.analyze_tree(str(app), ScanOptions(jobs=1))
+        record = build_record(report, run_id="run-m", fingerprint="fp",
+                              jobs=1, seconds=0.1)
+        assert record["mode"] == "batch"
+        watch = build_record(report, run_id="run-w", fingerprint="fp",
+                             jobs=1, seconds=0.1, mode="watch")
+        assert watch["mode"] == "watch"
+        # same findings, same digest: mode does not change identity
+        assert watch["findings"]["digest"] \
+            == record["findings"]["digest"]
+
+    def test_digest_covers_fingerprints(self, tool, tmp_path):
+        """Two scans with identical verdict shapes but different flows
+        must not share a digest once fingerprints are folded in."""
+        first = tmp_path / "a"
+        first.mkdir()
+        (first / "x.php").write_text(
+            "<?php\necho $_GET['q'];\n")
+        second = tmp_path / "b"
+        second.mkdir()
+        (second / "x.php").write_text(
+            "<?php\necho $_COOKIE['q'];\n")
+        one = tool.analyze_tree(str(first), ScanOptions(jobs=1))
+        two = tool.analyze_tree(str(second), ScanOptions(jobs=1))
+        rec_one = build_record(one, run_id="r1", fingerprint="fp",
+                               jobs=1, seconds=0.1)
+        rec_two = build_record(two, run_id="r2", fingerprint="fp",
+                               jobs=1, seconds=0.1)
+        assert rec_one["findings"]["digest"] \
+            != rec_two["findings"]["digest"]
+
+    def test_watch_records_do_not_pollute_batch_baselines(self):
+        """Warm ~ms watch cycles must never become the rolling baseline
+        a cold batch scan is judged against (or vice versa)."""
+        records = [dict(_record(run_id=f"run-{i}", seconds=0.005,
+                                scan=0.004), mode="watch")
+                   for i in range(4)]
+        records.append(_record(run_id="run-batch", seconds=10.0,
+                               scan=9.5))
+        assert detect_regressions(records) == []
+
+
 class TestRegressionDetector:
     def test_inflated_time_is_flagged(self):
         records = [_record(run_id=f"run-{i}") for i in range(4)]

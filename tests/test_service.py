@@ -357,3 +357,67 @@ class TestStreaming:
                 json.loads(response.read())["error"]
         finally:
             conn.close()
+
+
+class TestDeltaAndSarif:
+    def test_scan_with_baseline_returns_a_delta(self, client, app):
+        baseline = client.scan(app)
+        delta = client.scan(app, baseline=baseline)
+        from repro.api import FindingsDelta
+        assert isinstance(delta, FindingsDelta)
+        assert not delta.changed
+        assert delta.unchanged
+        assert delta.report["service"]["request_id"].startswith("req-")
+
+    def test_baseline_flags_an_injected_sink(self, client, app):
+        baseline = client.scan(app)
+        with open(os.path.join(app, "contact.php"), "a",
+                  encoding="utf-8") as f:
+            f.write("\n<?php echo $_GET['svc_injected']; ?>\n")
+        delta = client.scan(app, baseline=baseline)
+        assert len(delta.new) == 1
+        assert delta.new[0]["file"] == "contact.php"
+        assert not delta.fixed
+
+    def test_baseline_accepts_a_report_file_path(self, client, app,
+                                                 tmp_path):
+        baseline = client.scan(app)
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        delta = client.scan(app, baseline=str(path))
+        assert not delta.changed
+
+    def test_malformed_baseline_is_a_400(self, client, app):
+        with pytest.raises(ServiceError, match="baseline"):
+            client.scan(app, baseline={"schema_version": 2})
+        with pytest.raises(ServiceError, match="baseline"):
+            client.scan(app, baseline={"root": "not-a-report"})
+
+    def test_sarif_format(self, client, app):
+        sarif = client.scan_sarif(app)
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert results
+        report = client.scan(app)
+        assert len(results) == sum(len(e["findings"])
+                                   for e in report["files"])
+
+    def test_unknown_format_is_a_400(self, client, app):
+        with pytest.raises(ServiceError, match="format"):
+            client._json("POST", "/v1/scan?format=yaml", {"root": app})
+
+    def test_stream_rejects_baseline_and_sarif(self, client, app):
+        import http.client
+        for query, body in (("stream=1&format=sarif", {"root": app}),
+                            ("stream=1", {"root": app,
+                                          "baseline": {"x": 1}})):
+            conn = http.client.HTTPConnection(client.host, client.port,
+                                              timeout=10)
+            try:
+                conn.request("POST", f"/v1/scan?{query}",
+                             body=json.dumps(body).encode(),
+                             headers={"Content-Type":
+                                      "application/json"})
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
