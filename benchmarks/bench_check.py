@@ -7,7 +7,12 @@ and fails (exit 1) when any piece of it breaks:
    ``.bench/ledger.jsonl``; the cold scan also runs under ``--profile``
    and writes ``.bench/profile.folded``;
 2. every run of the same tree under the same config must produce a
-   byte-identical findings digest (determinism gate);
+   byte-identical findings digest (determinism gate), and each ledger
+   record must carry a non-zero prefilter skip rate;
+2b. the relevance prefilter must be findings-preserving: an in-process
+   ``--no-prefilter`` scan of the same tree must produce the identical
+   findings digest (conservatism gate) — run outside the ledger so the
+   off-run never pollutes the comparable regression baseline;
 3. ``wape history --check`` over the real ledger must pass with a
    generous tolerance (the runs are tiny, so only the machinery — not
    micro-timing — is gated);
@@ -82,6 +87,40 @@ def main() -> int:
         _fail(f"findings digests differ across identical runs: {digests}")
     print(f"bench-check: determinism ok "
           f"(digest {records[0]['findings']['digest'][:12]} x3)")
+
+    for record in records:
+        entry = record.get("prefilter")
+        if not isinstance(entry, dict):
+            _fail(f"ledger record {record['run_id']} missing prefilter "
+                  f"counts")
+        if not entry.get("skip_rate"):
+            _fail(f"prefilter skipped nothing on the demo app "
+                  f"(counts: {entry})")
+
+    # conservatism gate: identical findings with the prefilter off.
+    # Run in-process, ledger-free: the off-run shares the on-run's
+    # target/fingerprint/jobs and would otherwise count as comparable
+    # history for the skip-rate regression gate.
+    from repro.analysis.options import ScanOptions
+    from repro.obs.ledger import findings_digest
+    from repro.tool.report import report_fingerprints
+    from repro.tool.wap import Wape
+
+    tool = Wape()
+    on = tool.analyze_tree(TARGET, ScanOptions(jobs=1))
+    off = tool.analyze_tree(TARGET, ScanOptions(jobs=1, prefilter=False))
+    digest_on = findings_digest(on.outcomes,
+                                report_fingerprints(on.to_dict()))
+    digest_off = findings_digest(off.outcomes,
+                                 report_fingerprints(off.to_dict()))
+    if digest_on != digest_off:
+        _fail(f"prefilter changed the findings digest: "
+              f"{digest_on[:12]} (on) != {digest_off[:12]} (off)")
+    if digest_on != records[0]["findings"]["digest"]:
+        _fail("in-process digest differs from the CLI ledger digest")
+    print(f"bench-check: prefilter conservatism ok (digest matches "
+          f"with {on.prefilter.skipped} skipped / "
+          f"{on.prefilter.dep_only} dep-only)")
 
     if history_main(["--ledger", LEDGER, "--check",
                      "--tolerance", CHECK_TOLERANCE]) != 0:

@@ -1,6 +1,8 @@
 <?php
 // Deliberately malformed: exercises parse-error reporting in the demo
 // scan (the file shows up under "parse errors" in --stats and JSON).
-function broken( {
+// Mentions $_GET and echo so the relevance prefilter keeps it — a file
+// with neither would be skipped unparsed and report no diagnostics.
+function broken($x = $_GET) {
     echo "this never parses
 ?>

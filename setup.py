@@ -21,6 +21,5 @@ setup(
     install_requires=["numpy>=1.23"],
     entry_points={"console_scripts": [
         "wape = repro.tool.main:main",
-        "wape-explain = repro.tool.legacy:explain_main",
     ]},
 )

@@ -1,7 +1,7 @@
 """``python -m repro`` runs the consolidated ``wape`` entry point.
 
-``python -m repro scan app/`` etc.; bare flag-style arguments still
-dispatch to ``scan`` with a deprecation notice on stderr.
+``python -m repro scan app/`` etc.; the historical bare flag-style
+invocation was removed and now fails fast with the matching subcommand.
 """
 
 import sys

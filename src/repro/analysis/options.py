@@ -6,33 +6,15 @@ and the same sprawl again on :class:`~repro.analysis.pipeline.ScanScheduler`
 — which made every new knob a signature change on three layers.
 :class:`ScanOptions` is the single carrier instead: the tool facades, the
 scheduler, the :class:`repro.api.Scanner` facade and the scan service all
-accept one frozen options value.
-
-The legacy keyword signatures keep working for one release: call sites
-passing ``jobs=``/``cache_dir=``/``telemetry=``/``includes=`` directly are
-routed through :func:`merge_legacy_options`, which builds the equivalent
-:class:`ScanOptions` and emits a :class:`DeprecationWarning` pointing at
-the replacement.
+accept one frozen options value.  (The pre-options keyword shims were
+removed after their deprecation cycle; passing ``jobs=`` and friends to
+the facades now raises ``TypeError`` pointing here.)
 """
 
 from __future__ import annotations
 
 import os
-import warnings
-from dataclasses import dataclass, fields
-
-
-class _Unset:
-    """Sentinel distinguishing "not passed" from an explicit ``None``."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<unset>"
-
-
-#: default value of every legacy keyword shim parameter.
-UNSET = _Unset()
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -41,7 +23,10 @@ class ScanOptions:
 
     Attributes:
         jobs: analysis worker processes; ``1`` (the default) keeps the
-            whole scan in-process, ``None`` means one per CPU.
+            whole scan in-process, ``None`` or ``"auto"`` means one per
+            CPU (capped at ``os.cpu_count()`` — oversubscribing a small
+            box slows scans down), and an explicit integer is honored
+            as-is.
         cache_dir: root of the on-disk result cache; ``None`` disables
             on-disk caching (warm in-memory state is unaffected).
         includes: statically resolve ``include``/``require`` targets so
@@ -59,6 +44,11 @@ class ScanOptions:
             effective when ``cache_dir`` is set and ``ast_cache`` is
             on — the tier lives inside the AST cache directory);
             ``False`` disables just the summary tier.
+        prefilter: classify files from raw bytes against the compiled
+            knowledge catalogs (:mod:`repro.analysis.prefilter`) and
+            skip the lex/parse/taint pipeline for files whose include
+            closure cannot contain a finding; ``False``
+            (``--no-prefilter``) analyzes every file.
         telemetry: ``True`` builds a fresh enabled
             :class:`~repro.telemetry.Telemetry` for the run, ``False`` /
             ``None`` runs untraced, and an explicit ``Telemetry`` instance
@@ -76,11 +66,12 @@ class ScanOptions:
             one scan; generated when ``None``.
     """
 
-    jobs: int | None = 1
+    jobs: int | str | None = 1
     cache_dir: str | None = None
     includes: bool = True
     ast_cache: bool = True
     summary_cache: bool = True
+    prefilter: bool = True
     telemetry: object | None = None
     predictor: object | None = None
     profile: bool = False
@@ -89,8 +80,8 @@ class ScanOptions:
 
     # ------------------------------------------------------------------
     def resolved_jobs(self) -> int:
-        """Effective worker count (``None`` means one per CPU)."""
-        if self.jobs is None:
+        """Effective worker count (``None``/``"auto"`` = one per CPU)."""
+        if self.jobs is None or self.jobs == "auto":
             return os.cpu_count() or 1
         return max(1, int(self.jobs))
 
@@ -109,35 +100,8 @@ class ScanOptions:
 
         Two scans whose options share this key may reuse each other's
         warm incremental state; jobs/telemetry/predictor only change how
-        (or how observably) the same results are computed.
+        (or how observably) the same results are computed.  The
+        prefilter is deliberately absent: it is findings-preserving by
+        construction, so warm state carries across toggling it.
         """
         return (self.includes, self.cache_dir)
-
-
-def merge_legacy_options(options: ScanOptions | None, caller: str,
-                         **legacy) -> ScanOptions:
-    """Resolve an ``options=`` value against legacy keyword arguments.
-
-    Legacy keywords whose value is :data:`UNSET` were not passed.  Passing
-    any of them warns (once per call site) and is rejected when an
-    explicit ``options`` is also given — mixing the two would make it
-    ambiguous which value wins.
-    """
-    passed = {name: value for name, value in legacy.items()
-              if value is not UNSET}
-    if not passed:
-        return options if options is not None else ScanOptions()
-    if options is not None:
-        raise TypeError(
-            f"{caller}: pass either options=ScanOptions(...) or the legacy "
-            f"keywords {sorted(passed)}, not both")
-    warnings.warn(
-        f"{caller}: the {sorted(passed)} keyword(s) are deprecated and "
-        f"will be removed in the next release; pass "
-        f"options=ScanOptions(...) instead",
-        DeprecationWarning, stacklevel=3)
-    known = {f.name for f in fields(ScanOptions)}
-    unknown = set(passed) - known
-    if unknown:  # defensive: a shim wired up a keyword ScanOptions lacks
-        raise TypeError(f"{caller}: unknown scan option(s) {sorted(unknown)}")
-    return ScanOptions(**passed)

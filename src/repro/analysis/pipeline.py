@@ -65,7 +65,12 @@ from repro.analysis.model import (
     CandidateVulnerability,
     DetectorConfig,
 )
-from repro.analysis.options import UNSET, ScanOptions, merge_legacy_options
+from repro.analysis.options import ScanOptions
+from repro.analysis.prefilter import (
+    TIER_SINK_BEARING,
+    RelevancePrefilter,
+    matcher_for,
+)
 from repro.ir.opcodes import OPNAMES
 from repro.obs.log import NULL_LOG, JsonlLogger, new_run_id
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -708,24 +713,15 @@ class ScanScheduler:
         groups: detection units (sub-modules + weapons), as built by the
             tool facades.
         options: the run's :class:`~repro.analysis.options.ScanOptions`
-            (jobs, cache_dir, includes, telemetry).  The ``jobs=`` /
-            ``cache_dir=`` / ``telemetry=`` / ``includes=`` keywords are
-            the deprecated pre-options spelling; passing them still works
-            for one release but warns.
+            (jobs, cache_dir, includes, prefilter, telemetry).
         tool_version: mixed into the cache fingerprint so different tool
             versions never share entries.
     """
 
     def __init__(self, groups: list[ConfigGroup] | tuple[ConfigGroup, ...],
-                 jobs=UNSET,
-                 cache_dir=UNSET,
                  tool_version: str = "",
-                 telemetry=UNSET,
-                 includes=UNSET,
                  options: ScanOptions | None = None) -> None:
-        opts = merge_legacy_options(options, "ScanScheduler",
-                                    jobs=jobs, cache_dir=cache_dir,
-                                    telemetry=telemetry, includes=includes)
+        opts = options if options is not None else ScanOptions()
         self.options = opts
         self.groups = tuple(groups)
         self.jobs = opts.resolved_jobs()
@@ -766,6 +762,16 @@ class ScanScheduler:
             disk=self.ast_cache,
             metrics=self.telemetry.metrics
             if self.telemetry.enabled else None)
+        #: the knowledge-compiled relevance prefilter (None when
+        #: disabled): classifies files from raw bytes before any parse
+        #: and skips the pipeline for files that cannot contain a
+        #: finding.  The compiled matcher is memoized per knowledge
+        #: fingerprint, so arming a weapon rebuilds it.
+        self.prefilter = RelevancePrefilter(
+            matcher_for(self.groups, self.fingerprint),
+            cache=self.cache) if (opts.prefilter and self.groups) else None
+        #: tier counts of the last scan (None when the prefilter is off).
+        self.prefilter_stats = None
         #: the resolved include graph of the last scan (telemetry + tests).
         self.include_graph: IncludeGraph | None = None
         #: (file, exception class) for files retried in isolation after a
@@ -823,7 +829,9 @@ class ScanScheduler:
                      fingerprint=self.fingerprint[:12])
         raw_hashes: dict[str, str] = {}
         sources: dict[str, str] = {}
-        if self.cache is not None:
+        verdicts: dict[str, tuple[bool, bool]] = {}
+        line_counts: dict[str, int] = {}
+        if self.cache is not None or self.prefilter is not None:
             for path in paths:
                 try:
                     with open(path, "rb") as f:
@@ -831,6 +839,13 @@ class ScanScheduler:
                 except OSError:
                     continue  # surfaces as a per-file read error below
                 raw_hashes[path] = ResultCache.content_hash(raw)
+                if self.prefilter is not None:
+                    # classify from the bytes we already hold: skipped
+                    # files need their line count for the report (the
+                    # replacement-decoding below never changes it)
+                    verdicts[path] = self.prefilter.verdict(
+                        raw, raw_hashes[path])
+                    line_counts[path] = raw.count(b"\n") + 1
                 # hand the bytes we already read on to the include
                 # resolver — but only for files it could possibly parse
                 # (keyword present), so a large tree is not held in
@@ -856,10 +871,20 @@ class ScanScheduler:
                 self.ast_store.flush()
         else:
             self.include_graph = None
+        tiers: dict[str, str] | None = None
+        if self.prefilter is not None:
+            with telemetry.tracer.span("prefilter", phase="prefilter",
+                                       files=len(paths)):
+                tiers = self.prefilter.classify(paths, self.include_graph,
+                                                verdicts, raw_hashes)
+            self.prefilter_stats = RelevancePrefilter.stats_of(tiers)
+        else:
+            self.prefilter_stats = None
         try:
             with telemetry.tracer.span("scan", phase="scan",
                                        files=len(paths)):
-                results = self._scan_files_traced(paths, raw_hashes)
+                results = self._scan_files_traced(paths, raw_hashes,
+                                                  tiers, line_counts)
         finally:
             # the sequential path's opcode histogram lives in the local
             # detector (workers flush theirs before each chunk drain)
@@ -905,13 +930,22 @@ class ScanScheduler:
                     self.summary_cache.misses)
                 metrics.gauge("summary_cache_puts").set(
                     self.summary_cache.puts)
+            if self.prefilter_stats is not None:
+                metrics.gauge("prefilter_skipped").set(
+                    self.prefilter_stats.skipped)
+                metrics.gauge("prefilter_dep_only").set(
+                    self.prefilter_stats.dep_only)
+                metrics.gauge("prefilter_sink_bearing").set(
+                    self.prefilter_stats.sink_bearing)
         if log.enabled:
             log.info("scan_done", files=len(paths),
                      candidates=sum(len(r.candidates) for r in results),
                      parse_errors=sum(1 for r in results
                                       if r.parse_error),
                      retries=len(self.retries),
-                     crashes=len(self.crashes))
+                     crashes=len(self.crashes),
+                     prefilter_skipped=self.prefilter_stats.skipped
+                     if self.prefilter_stats is not None else None)
         return results
 
     def _resolve_graph(self, paths: list[str],
@@ -942,15 +976,28 @@ class ScanScheduler:
         return graph
 
     def _scan_files_traced(self, paths: list[str],
-                           raw_hashes: dict[str, str] | None = None
+                           raw_hashes: dict[str, str] | None = None,
+                           tiers: dict[str, str] | None = None,
+                           line_counts: dict[str, int] | None = None
                            ) -> list[FileResult]:
         telemetry = self.telemetry
         tracer = telemetry.tracer
         results: dict[int, FileResult] = {}
         hashes: dict[int, str] = {}
         raw_hashes = dict(raw_hashes or {})
+        line_counts = line_counts or {}
         pending: list[tuple[int, str]] = []
         for i, path in enumerate(paths):
+            if tiers is not None \
+                    and tiers.get(path, TIER_SINK_BEARING) \
+                    != TIER_SINK_BEARING:
+                # the prefilter proved this file cannot contain a
+                # finding: report it clean without parsing (and without
+                # probing or polluting the result cache)
+                results[i] = FileResult(
+                    filename=path,
+                    lines_of_code=line_counts.get(path, 0))
+                continue
             if self.cache is not None:
                 raw = raw_hashes.get(path)
                 if raw is None:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from dataclasses import dataclass, field
 
 from repro.exceptions import PhpSyntaxError
@@ -29,7 +28,7 @@ from repro.php import ast, parse
 from repro.analysis.detector import PHP_EXTENSIONS, Detector
 from repro.analysis.engine import TaintEngine
 from repro.analysis.model import CandidateVulnerability, DetectorConfig
-from repro.analysis.options import UNSET, ScanOptions
+from repro.analysis.options import ScanOptions
 
 
 @dataclass
@@ -70,25 +69,13 @@ class ProjectAnalyzer:
             :class:`DetectorConfig` objects, or a :class:`Detector`.
         options: the run's :class:`~repro.analysis.options.ScanOptions`
             (only ``telemetry`` and ``predictor`` apply to project mode).
-        groups/telemetry: deprecated pre-options keywords; honored for
-            one release with a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, units, groups=UNSET, telemetry=UNSET,
+    def __init__(self, units,
                  options: ScanOptions | None = None) -> None:
-        legacy = {k: v for k, v in
-                  (("groups", groups), ("telemetry", telemetry))
-                  if v is not UNSET}
-        if legacy:
-            warnings.warn(
-                "ProjectAnalyzer: the ['groups', 'telemetry'] keywords are "
-                "deprecated; pass ConfigGroup units and "
-                "options=ScanOptions(...) instead",
-                DeprecationWarning, stacklevel=2)
         self.options = options or ScanOptions()
-        self.telemetry = legacy.get("telemetry") \
-            or self.options.resolve_telemetry()
-        engine_groups = legacy.get("groups")
+        self.telemetry = self.options.resolve_telemetry()
+        engine_groups = None
         if isinstance(units, Detector):
             self.engine = units.engine
             self.engine.telemetry = self.telemetry

@@ -60,6 +60,11 @@ from repro.analysis.pipeline import (
     closure_key,
     config_fingerprint,
 )
+from repro.analysis.prefilter import (
+    TIER_SINK_BEARING,
+    RelevancePrefilter,
+    matcher_for,
+)
 from repro.analysis.summaries import SummaryCache
 from repro.php.ast_store import AstCache, AstStore
 from repro.telemetry import CacheStats, build_scan_stats
@@ -125,6 +130,16 @@ class ScanResult:
 _MISSING = (0, -1, "missing")
 
 
+def _line_count(path: str) -> int:
+    """Raw line count for a prefilter-skipped file (batch-pipeline rule:
+    newline count + 1, so reports agree byte-for-byte across paths)."""
+    try:
+        with open(path, "rb") as f:
+            return f.read().count(b"\n") + 1
+    except OSError:
+        return 0
+
+
 @dataclass
 class _RootState:
     """Everything remembered about one scanned root between scans."""
@@ -164,6 +179,16 @@ class Scanner:
         #: ``roots()``/``root_info()`` raced scan completion ("dictionary
         #: changed size during iteration", torn multi-field reads).
         self._lock = threading.Lock()
+        #: relevance verdicts carried across scan cycles, keyed by
+        #: content hash (verdicts are pure functions of file bytes +
+        #: knowledge fingerprint; a fingerprint change cold-scans and
+        #: the stale hashes simply stop being looked up)
+        self._prefilter_memo: dict[str, tuple[bool, bool]] = {}
+        #: cumulative prefilter tier counts across every scan served by
+        #: this scanner (the ``/v1/status`` "prefilter" block); guarded
+        #: by ``_lock``
+        self.prefilter_totals = {"skipped": 0, "dep_only": 0,
+                                 "sink_bearing": 0}
         #: optional ``callable(FileReport)`` fired per file as its
         #: verdicts are finalized, in report order — the streaming hook
         #: behind ``POST /v1/scan?stream=1``.  Called on the scanning
@@ -221,6 +246,23 @@ class Scanner:
                               for r in results.values()),
             "approx_bytes": approx,
         }
+
+    def prefilter_info(self) -> dict:
+        """Cumulative prefilter tier counts across this scanner's scans."""
+        with self._lock:
+            totals = dict(self.prefilter_totals)
+        total = sum(totals.values())
+        totals["skip_rate"] = \
+            round(totals["skipped"] / total, 4) if total else 0.0
+        return totals
+
+    def _note_prefilter(self, stats) -> None:
+        if stats is None:
+            return
+        with self._lock:
+            self.prefilter_totals["skipped"] += stats.skipped
+            self.prefilter_totals["dep_only"] += stats.dep_only
+            self.prefilter_totals["sink_bearing"] += stats.sink_bearing
 
     # ------------------------------------------------------------------
     def scan(self, root: str) -> ScanResult:
@@ -286,6 +328,12 @@ class Scanner:
                                          on_file=self.on_file)
         telem = scheduler.telemetry
         telem.metrics.counter("scans_cold").inc()
+        if scheduler.prefilter is not None:
+            # carry the batch run's verdicts into the warm path's memo:
+            # the first warm re-scan then classifies without re-reading
+            # unchanged files
+            self._prefilter_memo.update(scheduler.prefilter.memo)
+        self._note_prefilter(report.prefilter)
         raw_hashes = {p: snapshot[p][2] for p in paths}
         graph = scheduler.include_graph
         keys = {p: closure_key(p, snapshot[p][2], graph, raw_hashes)
@@ -295,8 +343,12 @@ class Scanner:
                 fingerprint, snapshot, graph, keys,
                 dict(zip(paths, results)), scheduler.cache)
         hits = scheduler.cache.hits if scheduler.cache else 0
+        # prefilter-skipped files (irrelevant + dep-only) were neither
+        # analyzed nor served from cache: keep analyzed_files honest
+        skipped = (report.prefilter.skipped + report.prefilter.dep_only) \
+            if report.prefilter is not None else 0
         return ScanResult(report, incremental=False,
-                          analyzed_files=len(paths) - hits,
+                          analyzed_files=len(paths) - hits - skipped,
                           reused_files=hits, dirty=(),
                           seconds=time.perf_counter() - start)
 
@@ -335,6 +387,19 @@ class Scanner:
             results: dict[str, FileResult] = {
                 p: state.results[p] for p in paths if p not in set(to_run)}
 
+            tiers = None
+            if opts.prefilter and groups:
+                prefilter = RelevancePrefilter(
+                    matcher_for(groups, fingerprint), cache=state.cache,
+                    memo=self._prefilter_memo)
+                with telem.tracer.span("prefilter", phase="prefilter",
+                                       files=len(paths)):
+                    tiers = prefilter.classify(paths, graph, {},
+                                               raw_hashes)
+                report.prefilter = RelevancePrefilter.stats_of(tiers)
+                self._note_prefilter(report.prefilter)
+
+            skipped_run = 0
             if to_run:
                 # a fresh detector per scan with changes: IncludeContext
                 # memoizes dependency state, which edited files invalidate
@@ -355,6 +420,17 @@ class Scanner:
                 with telem.tracer.span("scan", phase="scan",
                                        files=len(to_run)):
                     for path in to_run:
+                        if tiers is not None and tiers.get(
+                                path, TIER_SINK_BEARING) \
+                                != TIER_SINK_BEARING:
+                            # provably candidate-free: synthesize the
+                            # clean result before the cache probe, same
+                            # as the batch pipeline
+                            results[path] = FileResult(
+                                filename=path,
+                                lines_of_code=_line_count(path))
+                            skipped_run += 1
+                            continue
                         cached = cache.get(keys[path], path) \
                             if cache is not None else None
                         if cached is not None:
@@ -390,6 +466,13 @@ class Scanner:
             metrics.counter("scans_incremental").inc()
             metrics.counter("files_reanalyzed").inc(len(to_run))
             metrics.counter("files_reused").inc(len(paths) - len(to_run))
+            if report.prefilter is not None:
+                metrics.gauge("prefilter_skipped") \
+                    .set(report.prefilter.skipped)
+                metrics.gauge("prefilter_dep_only") \
+                    .set(report.prefilter.dep_only)
+                metrics.gauge("prefilter_sink_bearing") \
+                    .set(report.prefilter.sink_bearing)
             report.stats = build_scan_stats(report, telem, root_span)
 
         # publish the new warm state as one fresh object under the lock:
@@ -398,7 +481,8 @@ class Scanner:
             self._states[root] = _RootState(
                 fingerprint, snapshot, graph, keys, results, state.cache)
         return ScanResult(
-            report, incremental=True, analyzed_files=len(to_run),
+            report, incremental=True,
+            analyzed_files=len(to_run) - skipped_run,
             reused_files=len(paths) - len(to_run),
             dirty=tuple(os.path.relpath(p, root) for p in to_run),
             seconds=time.perf_counter() - start)

@@ -126,6 +126,8 @@ def build_record(report, run_id: str, fingerprint: str,
     outcomes = report.outcomes
     from repro.tool.report import report_fingerprints
     fingerprints = report_fingerprints(report.to_dict())
+    # like the result cache, prefilter counts are telemetry-independent
+    prefilter = getattr(report, "prefilter", None)
     return {
         "version": LEDGER_VERSION,
         "run_id": run_id,
@@ -147,6 +149,8 @@ def build_record(report, run_id: str, fingerprint: str,
         "parse_warnings": len(report.parse_warnings),
         "phases": phases,
         "caches": caches,
+        "prefilter": prefilter.to_dict() if prefilter is not None
+        else None,
         "findings": {"count": len(outcomes),
                      "digest": findings_digest(outcomes, fingerprints)},
     }
@@ -290,6 +294,25 @@ def detect_regressions(records: list[dict],
         if current < baseline - rate_tolerance:
             out.append(Regression(run_id, f"cache:{tier}:hit_rate",
                                   baseline, current, "rate"))
+
+    # a collapsing prefilter skip rate means the classifier stopped
+    # skipping (e.g. an over-broad pattern) — the scan silently slows
+    # down while findings stay identical, so only this gate notices
+    entry = latest.get("prefilter")
+    if isinstance(entry, dict) \
+            and isinstance(entry.get("skip_rate"), (int, float)):
+        values = []
+        for r in prior:
+            prev = r.get("prefilter")
+            if isinstance(prev, dict) \
+                    and isinstance(prev.get("skip_rate"), (int, float)):
+                values.append(float(prev["skip_rate"]))
+        if len(values) >= 2:
+            baseline = _median(values)
+            current = float(entry["skip_rate"])
+            if current < baseline - rate_tolerance:
+                out.append(Regression(run_id, "prefilter:skip_rate",
+                                      baseline, current, "rate"))
     return out
 
 
@@ -309,8 +332,8 @@ def render_history(records: list[dict], limit: int = 20) -> str:
         return "ledger is empty"
     rows = records[-limit:]
     header = (f"{'run':<24} {'when':<16} {'files':>5} {'secs':>8} "
-              f"{'scan':>8} {'res$':>5} {'sum$':>5} {'cand':>5} "
-              f"{'jobs':>4}  digest")
+              f"{'scan':>8} {'res$':>5} {'sum$':>5} {'skip%':>5} "
+              f"{'cand':>5} {'jobs':>4}  digest")
     lines = [header, "-" * len(header)]
     for r in rows:
         when = time.strftime("%m-%d %H:%M:%S",
@@ -319,12 +342,18 @@ def render_history(records: list[dict], limit: int = 20) -> str:
         phases = r.get("phases") or {}
         scan = phases.get("scan")
         digest = (r.get("findings") or {}).get("digest", "")
+        prefilter = r.get("prefilter")
+        skip = "-"
+        if isinstance(prefilter, dict) \
+                and isinstance(prefilter.get("skip_rate"), (int, float)):
+            skip = f"{prefilter['skip_rate'] * 100:.0f}%"
         lines.append(
             f"{str(r.get('run_id', '?'))[:24]:<24} {when:<16} "
             f"{r.get('files', 0):>5} {r.get('seconds', 0.0):>8.3f} "
             f"{(f'{scan:.3f}' if isinstance(scan, (int, float)) else '-'):>8} "
             f"{_fmt_rate(caches.get('result')):>5} "
             f"{_fmt_rate(caches.get('summary')):>5} "
+            f"{skip:>5} "
             f"{r.get('candidates', 0):>5} "
             f"{r.get('jobs', 1):>4}  {digest[:12]}")
     return "\n".join(lines)

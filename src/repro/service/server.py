@@ -276,9 +276,10 @@ class ScanService(ServiceBase):
 
         Everything ``health()`` says plus queue depth, each in-flight
         request with its elapsed time (timed-out-but-still-running scans
-        included, flagged ``timed_out``), request outcome totals, and
-        the warm per-root state (file/result/finding counts and an
-        approximate resident size) — what ``wape top`` renders.
+        included, flagged ``timed_out``), request outcome totals,
+        cumulative prefilter tier counts, and the warm per-root state
+        (file/result/finding counts and an approximate resident size) —
+        what ``wape top`` renders.
         """
         now = time.time()
         with self._lock:
@@ -307,6 +308,7 @@ class ScanService(ServiceBase):
                 "timeouts": metrics.counter("scan_timeouts").value,
                 "rejections": metrics.counter("queue_rejections").value,
             },
+            "prefilter": self.scanner.prefilter_info(),
             "roots": [self.scanner.root_info(root)
                       for root in self.scanner.roots()],
         }

@@ -61,6 +61,7 @@ from repro.telemetry.provenance import (  # noqa: E402,F401
 )
 from repro.telemetry.stats import (  # noqa: E402,F401
     CacheStats,
+    PrefilterStats,
     ScanStats,
     build_scan_stats,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "ProvenanceEvent",
     "build_provenance",
     "CacheStats",
+    "PrefilterStats",
     "ScanStats",
     "build_scan_stats",
     "TRACE_FORMAT",

@@ -48,6 +48,37 @@ class CacheStats:
                 "hit_rate": round(self.hit_rate, 4)}
 
 
+@dataclass(frozen=True)
+class PrefilterStats:
+    """Relevance-prefilter tier counts for one scan (telemetry-independent).
+
+    Produced by :mod:`repro.analysis.prefilter`: how many files the
+    byte-level knowledge matcher classified into each tier.  ``skipped``
+    files never touched the lex/parse/taint pipeline.
+    """
+
+    skipped: int = 0
+    dep_only: int = 0
+    sink_bearing: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.skipped + self.dep_only + self.sink_bearing
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of classified files that bypassed the pipeline
+        entirely (dep-only files are parsed lazily, so they don't
+        count as skipped)."""
+        total = self.total
+        return self.skipped / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {"skipped": self.skipped, "dep_only": self.dep_only,
+                "sink_bearing": self.sink_bearing,
+                "skip_rate": round(self.skip_rate, 4)}
+
+
 @dataclass
 class ScanStats:
     """Everything the ``--stats`` footer shows, in structured form."""
@@ -86,6 +117,8 @@ class ScanStats:
     summary_cache_puts: int = 0
     candidates: int = 0
     predicted_fp: int = 0
+    #: relevance-prefilter tier counts (None when the prefilter was off).
+    prefilter: PrefilterStats | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -138,6 +171,8 @@ class ScanStats:
             "candidates": self.candidates,
             "predicted_false_positives": self.predicted_fp,
             "predictor_fp_rate": round(self.fp_rate, 4),
+            "prefilter": self.prefilter.to_dict()
+            if self.prefilter is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -174,6 +209,12 @@ class ScanStats:
                 f"{self.cache.evictions} evictions, "
                 f"{self.cache.puts} puts "
                 f"(hit rate {self.cache.hit_rate * 100:.1f}%)")
+        if self.prefilter is not None:
+            lines.append(
+                f"   prefilter: {self.prefilter.skipped} skipped, "
+                f"{self.prefilter.dep_only} dep-only, "
+                f"{self.prefilter.sink_bearing} sink-bearing "
+                f"(skip rate {self.prefilter.skip_rate * 100:.1f}%)")
         if (self.ast_cache_hits or self.ast_cache_misses
                 or self.ast_cache_puts or self.reparse_avoided):
             lines.append(
@@ -273,6 +314,7 @@ def build_scan_stats(report, telemetry, root_span=None,
                                  cache.evictions, cache.puts)
     stats.worker_retries = list(retries)
     stats.worker_crashes = list(crashes)
+    stats.prefilter = getattr(report, "prefilter", None)
     failed = [f for f in report.files if f.parse_error]
     stats.parse_errors = len(failed)
     if failed:

@@ -13,9 +13,9 @@ Examples::
     wape scan --sanitizer sqli:escape app/  # custom sanitizer (§V-A)
 
 :func:`main` here is the ``scan`` subcommand implementation; the ``wape``
-executable itself dispatches through :mod:`repro.tool.main`.  Invoking
-this module directly (``python -m repro.tool.cli`` or the historical
-flag-style ``wape [flags]``) still works but is deprecated.
+executable itself dispatches through :mod:`repro.tool.main`.  The
+historical flag-style invocation (``wape [flags]``) was removed after
+its deprecation cycle and now fails fast naming the subcommand.
 """
 
 from __future__ import annotations
@@ -27,6 +27,17 @@ from repro.exceptions import ReproError
 from repro.mining.extraction import DynamicSymptoms
 from repro.tool.wap import Wap21, Wape
 from repro.weapons import WeaponRegistry, load_weapon
+
+
+def parse_jobs(value: str):
+    """``--jobs`` argument: the literal ``auto`` or a worker count."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or an integer, got {value!r}")
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -66,10 +77,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--project", action="store_true",
                         help="whole-project analysis: resolve user "
                              "functions across files before reporting")
-    parser.add_argument("--jobs", "-j", type=int, default=None,
+    parser.add_argument("--jobs", "-j", type=parse_jobs, default="auto",
                         metavar="N",
                         help="analysis worker processes for directory "
-                             "targets (default: all CPUs; 1 = in-process)")
+                             "targets: 'auto' (the default) caps at the "
+                             "machine's CPU count — oversubscribing a "
+                             "small box slows scans; an explicit N is "
+                             "honored as-is (1 = in-process)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="on-disk result cache location (default: "
                              "~/.cache/wape); unchanged files are served "
@@ -86,6 +100,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-includes", action="store_true",
                         help="disable static include/require resolution "
                              "(each file is analyzed in isolation)")
+    parser.add_argument("--no-prefilter", action="store_true",
+                        help="disable the knowledge-compiled relevance "
+                             "prefilter (analyze every file, even ones "
+                             "whose include closure mentions no sink or "
+                             "source from any catalog)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     parser.add_argument("--baseline", metavar="FILE", default=None,
@@ -335,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
                     includes=not args.no_includes,
                     ast_cache=not args.no_ast_cache,
                     summary_cache=not args.no_summary_cache,
+                    prefilter=not args.no_prefilter,
                     profile=args.profile, log=log, run_id=run_id)
                 started = time.perf_counter()
                 report = tool.analyze_tree(target, opts)

@@ -11,9 +11,9 @@ One executable, seven subcommands::
     wape top [flags]                live status view of a running daemon
 
 The historical flag-style invocation (``wape --quiet app/``) and the
-separate ``wape-explain`` executable keep working through deprecation
-shims (:mod:`repro.tool.legacy`): they print a one-line notice on stderr
-and dispatch to the same implementations.
+separate ``wape-explain`` executable were removed after their
+deprecation cycle: unknown first arguments now fail fast with a message
+pointing at the matching subcommand.
 """
 
 from __future__ import annotations
@@ -51,15 +51,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     command, rest = argv[0], argv[1:]
     if command not in COMMANDS:
-        # historical flag-style invocation: `wape [flags] targets`
-        import warnings
-        print("note: flag-style `wape [flags]` is deprecated; "
-              "use `wape scan [flags]`", file=sys.stderr)
-        warnings.warn(
-            "flag-style `wape [flags]` is deprecated and will be removed "
-            "in the next release; use `wape scan [flags]`",
-            DeprecationWarning, stacklevel=2)
-        command, rest = "scan", argv
+        # the historical flag-style invocation (`wape [flags] targets`)
+        # was removed after its deprecation cycle: fail fast and name
+        # the replacement instead of guessing at intent
+        print(f"error: unknown command {command!r}; flag-style "
+              f"`wape [flags]` was removed — use `wape scan [flags]` "
+              f"(run `wape --help` for all commands)", file=sys.stderr)
+        return 2
     if command == "scan":
         from repro.tool.cli import main as scan_main
         return scan_main(rest)

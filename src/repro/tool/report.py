@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.analysis.model import CandidateVulnerability
 from repro.exceptions import ReportSchemaError
 from repro.mining.predictor import Prediction
-from repro.telemetry.stats import CacheStats, ScanStats
+from repro.telemetry.stats import CacheStats, PrefilterStats, ScanStats
 
 #: current JSON report schema (``docs/report-schema.md``).  Version 1 is
 #: the historical ad-hoc dict emitted before the schema was versioned;
@@ -312,6 +312,12 @@ class AnalysisReport:
     #: result-cache behaviour; populated whenever a cache was used,
     #: independently of telemetry.
     cache: CacheStats | None = None
+    #: relevance-prefilter tier counts; populated whenever the
+    #: prefilter ran, independently of telemetry.  Deliberately NOT
+    #: part of :meth:`to_dict`: the prefilter is findings-preserving,
+    #: so the report JSON stays identical with it on or off (the counts
+    #: surface through ``--stats``, the run ledger and ``/v1/status``).
+    prefilter: PrefilterStats | None = None
     #: full scan statistics; populated only when telemetry is enabled.
     stats: ScanStats | None = None
 
@@ -464,15 +470,23 @@ class AnalysisReport:
         return "\n".join(lines)
 
     def render_stats(self) -> str:
-        """The ``--stats`` footer (falls back to cache-only when the run
-        had no telemetry but did use the result cache)."""
+        """The ``--stats`` footer (falls back to cache/prefilter lines
+        when the run had no telemetry)."""
         if self.stats is not None:
             return self.stats.render()
+        lines = []
         if self.cache is not None:
-            return (f"== scan statistics\n"
-                    f"   cache: {self.cache.hits} hits, "
-                    f"{self.cache.misses} misses, "
-                    f"{self.cache.evictions} evictions, "
-                    f"{self.cache.puts} puts "
-                    f"(hit rate {self.cache.hit_rate * 100:.1f}%)")
-        return ""
+            lines.append(f"   cache: {self.cache.hits} hits, "
+                         f"{self.cache.misses} misses, "
+                         f"{self.cache.evictions} evictions, "
+                         f"{self.cache.puts} puts "
+                         f"(hit rate {self.cache.hit_rate * 100:.1f}%)")
+        if self.prefilter is not None:
+            lines.append(
+                f"   prefilter: {self.prefilter.skipped} skipped, "
+                f"{self.prefilter.dep_only} dep-only, "
+                f"{self.prefilter.sink_bearing} sink-bearing "
+                f"(skip rate {self.prefilter.skip_rate * 100:.1f}%)")
+        if not lines:
+            return ""
+        return "\n".join(["== scan statistics"] + lines)

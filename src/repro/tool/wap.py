@@ -25,7 +25,7 @@ import time
 from repro.exceptions import WeaponConfigError
 from repro.analysis.knowledge import extend_config
 from repro.analysis.model import CandidateVulnerability
-from repro.analysis.options import UNSET, ScanOptions, merge_legacy_options
+from repro.analysis.options import ScanOptions
 from repro.analysis.pipeline import (
     ConfigGroup,
     FusedDetector,
@@ -141,25 +141,18 @@ class _BaseTool:
             source = f.read()
         return self.analyze_source(source, path, telemetry=telemetry)
 
-    def analyze_tree(self, root: str, options: ScanOptions | None = None,
-                     jobs=UNSET, cache_dir=UNSET, telemetry=UNSET,
-                     includes=UNSET) -> AnalysisReport:
+    def analyze_tree(self, root: str, options: ScanOptions | None = None
+                     ) -> AnalysisReport:
         """Analyze every PHP file under *root*.
 
         Args:
             options: the run's :class:`ScanOptions` — worker count, cache
-                directory, include resolution, telemetry and an optional
-                predictor override.  The ``jobs=`` / ``cache_dir=`` /
-                ``telemetry=`` / ``includes=`` keywords are the
-                deprecated pre-options spelling; they keep working for
-                one release but warn.
+                directory, include resolution, prefilter, telemetry and
+                an optional predictor override.
         """
-        opts = merge_legacy_options(options, "Wape.analyze_tree",
-                                    jobs=jobs, cache_dir=cache_dir,
-                                    telemetry=telemetry, includes=includes)
         scheduler = ScanScheduler(self._config_groups(),
                                   tool_version=self.version,
-                                  options=opts)
+                                  options=options)
         return self.run_scheduler(scheduler, root)
 
     def run_scheduler(self, scheduler: ScanScheduler, root: str,
@@ -208,6 +201,7 @@ class _BaseTool:
                                       scheduler.cache.misses,
                                       scheduler.cache.evictions,
                                       scheduler.cache.puts)
+        report.prefilter = scheduler.prefilter_stats
         if telem.enabled:
             telem.metrics.counter("predictor_memo_hits").inc(
                 predictor.memo_hits - memo0[0])
@@ -249,8 +243,8 @@ class _BaseTool:
         return file_report
 
     def analyze_project(self, root: str,
-                        options: ScanOptions | None = None,
-                        telemetry=UNSET) -> AnalysisReport:
+                        options: ScanOptions | None = None
+                        ) -> AnalysisReport:
         """Whole-project analysis with cross-file call resolution.
 
         Unlike :meth:`analyze_tree` (per-file, like the original tool),
@@ -258,13 +252,11 @@ class _BaseTool:
         ``lib.php`` silences flows in ``index.php``, and a sink inside a
         shared helper is reported once, at its declaration site.
 
-        Accepts a :class:`ScanOptions` like :meth:`analyze_tree`; the
-        bare ``telemetry=`` keyword is deprecated but still honored.
+        Accepts a :class:`ScanOptions` like :meth:`analyze_tree`.
         """
         from repro.analysis.project import ProjectAnalyzer
 
-        opts = merge_legacy_options(options, "Wape.analyze_project",
-                                    telemetry=telemetry)
+        opts = options if options is not None else ScanOptions()
         telem = opts.resolve_telemetry()
         predictor = opts.predictor or self.predictor
         report = AnalysisReport(self.version, root,

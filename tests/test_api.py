@@ -45,11 +45,15 @@ class TestScannerWarmPath:
         scanner = Scanner(tool, ScanOptions(jobs=1))
         first = scanner.scan(app)
         assert not first.incremental
-        assert first.analyzed_files == len(ScanScheduler.discover(app))
+        paths = ScanScheduler.discover(app)
+        prefilter = first.report.prefilter
+        assert prefilter is not None
+        not_run = prefilter.skipped + prefilter.dep_only
+        assert first.analyzed_files == len(paths) - not_run
         again = scanner.scan(app)
         assert again.incremental
         assert again.analyzed_files == 0
-        assert again.reused_files == first.analyzed_files
+        assert again.reused_files == len(paths)
         assert finding_keys(again.report) == finding_keys(first.report)
 
     def test_edit_reanalyzes_only_the_include_closure(self, tool, app):
@@ -172,20 +176,15 @@ class TestCacheRelocation:
             {key[1:] for key in finding_keys(second)}
 
 
-class TestOptionsShim:
-    """Satellite: legacy kwargs still work but warn; options don't."""
+class TestOptionsPath:
+    """The PR-4 legacy kwarg shims are gone: options objects only."""
 
-    def test_legacy_kwargs_warn(self, tool, app):
-        with pytest.warns(DeprecationWarning, match="ScanOptions"):
-            report = tool.analyze_tree(app, jobs=1, cache_dir=None)
-        assert finding_keys(report)
+    def test_legacy_kwargs_are_a_type_error(self, tool, app):
+        with pytest.raises(TypeError):
+            tool.analyze_tree(app, jobs=1, cache_dir=None)
 
-    def test_legacy_kwargs_warning_names_the_removal(self, tool, app):
-        with pytest.warns(DeprecationWarning, match="removed"):
-            tool.analyze_tree(app, jobs=1)
-
-    def test_scheduler_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="ScanOptions"):
+    def test_scheduler_legacy_kwargs_are_a_type_error(self):
+        with pytest.raises(TypeError):
             ScanScheduler((), jobs=1)
 
     def test_options_path_is_silent(self, tool, app):
@@ -193,9 +192,10 @@ class TestOptionsShim:
             warnings.simplefilter("error", DeprecationWarning)
             tool.analyze_tree(app, ScanOptions(jobs=1))
 
-    def test_mixing_options_and_kwargs_is_an_error(self, tool, app):
-        with pytest.raises(TypeError):
-            tool.analyze_tree(app, ScanOptions(jobs=1), jobs=2)
+    def test_jobs_auto_resolves_to_cpu_count(self):
+        assert ScanOptions(jobs="auto").resolved_jobs() == \
+            (os.cpu_count() or 1)
+        assert ScanOptions(jobs=3).resolved_jobs() == 3
 
 
 class TestApiIsolation:

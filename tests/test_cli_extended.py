@@ -85,42 +85,23 @@ class TestWapeDispatcher:
         assert wape_main(["--version"]) == 0
         assert capsys.readouterr().out.startswith("wape (")
 
-    def test_flag_style_falls_back_to_scan_with_notice(self, app,
-                                                       capsys):
+    def test_flag_style_fails_fast_naming_the_subcommand(self, app,
+                                                         capsys):
+        """The deprecation cycle ended: flag-style is a crisp error."""
         from repro.tool.main import main as wape_main
-        code = wape_main(["--quiet", app])
-        captured = capsys.readouterr()
-        assert code == 1  # vulnerabilities found, like `wape scan`
-        assert "deprecated" in captured.err
-        assert "wape scan" in captured.err
+        assert wape_main(["--quiet", app]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command" in err
+        assert "wape scan" in err
 
-    def test_scan_subcommand_has_no_notice(self, app, capsys):
+    def test_scan_subcommand_works(self, app, capsys):
         from repro.tool.main import main as wape_main
         assert wape_main(["scan", "--quiet", app]) == 1
         assert "deprecated" not in capsys.readouterr().err
 
-    def test_legacy_explain_shim_warns(self, app, capsys):
-        from repro.tool.legacy import explain_main
-        with pytest.warns(DeprecationWarning, match="removed"):
-            with pytest.raises(SystemExit) as excinfo:
-                explain_main(["--help"])
-        assert excinfo.value.code == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "wape explain" in captured.err
-
-    def test_legacy_wape_shim_emits_deprecation_warning(self, app,
-                                                        capsys):
-        from repro.tool.legacy import wape_main
-        with pytest.warns(DeprecationWarning, match="removed"):
-            assert wape_main(["--quiet", app]) == 1
-        assert "wape scan" in capsys.readouterr().err
-
-    def test_flag_style_emits_deprecation_warning(self, app, capsys):
-        from repro.tool.main import main as wape_main
-        with pytest.warns(DeprecationWarning, match="removed"):
-            wape_main(["--quiet", app])
-        capsys.readouterr()
+    def test_legacy_module_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro.tool.legacy  # noqa: F401
 
     def test_subcommand_path_trips_no_shim(self, app, capsys):
         """The modern spelling must run clean under -W error: no
@@ -139,7 +120,7 @@ class TestModuleEntryPoint:
         import subprocess
         import sys
         proc = subprocess.run(
-            [sys.executable, "-m", "repro", "--quiet", app],
+            [sys.executable, "-m", "repro", "scan", "--quiet", app],
             capture_output=True, text=True)
         assert proc.returncode == 1
         assert "vulnerabilities" in proc.stdout

@@ -70,11 +70,24 @@ class TestTreeResilience:
         assert len(broken) >= 1
 
     def test_wape_tree_counts_errors(self, tmp_path):
-        (tmp_path / "broken.php").write_text("<?php if (")
+        # the broken file mentions a sink and a source marker so the
+        # relevance prefilter keeps it (skipped files are never parsed,
+        # so they report no diagnostics — the documented contract)
+        (tmp_path / "broken.php").write_text("<?php echo $_GET[")
         (tmp_path / "ok.php").write_text("<?php echo $_GET['m'];")
         report = Wape().analyze_tree(str(tmp_path))
         assert len(report.parse_errors) == 1
         assert len(report.real_vulnerabilities) == 1
+
+    def test_prefilter_off_restores_diagnostics_everywhere(self,
+                                                           tmp_path):
+        from repro.analysis.options import ScanOptions
+        (tmp_path / "broken.php").write_text("<?php if (")  # no marker
+        report = Wape().analyze_tree(str(tmp_path))
+        assert len(report.parse_errors) == 0  # skipped unparsed
+        report = Wape().analyze_tree(
+            str(tmp_path), ScanOptions(prefilter=False))
+        assert len(report.parse_errors) == 1
 
     def test_empty_tree(self, tmp_path, detector):
         assert detector.detect_tree(str(tmp_path)) == []

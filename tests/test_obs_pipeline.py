@@ -72,7 +72,7 @@ class TestWorkerLogMerging:
         app = tmp_path / "app"
         app.mkdir()
         _write_app(app, n_files=4)
-        (app / "kill.php").write_text("<?php /* DIE-NOW */ echo 1;")
+        (app / "kill.php").write_text("<?php /* DIE-NOW */ echo $_GET['k'];")
         monkeypatch.setenv(pipeline._CRASH_ENV, "DIE-NOW")
         records = _scan_logged(tool, app, tmp_path, jobs=2)
 

@@ -165,7 +165,9 @@ class TestScanScheduler:
             self, armed_wape, tmp_path):
         (tmp_path / "good.php").write_text(
             "<?php mysql_query($_GET['q']);")
-        (tmp_path / "broken.php").write_text("<?php if ( { {{")
+        # sink + source markers keep the broken file past the relevance
+        # prefilter (a marker-free file would be skipped unparsed)
+        (tmp_path / "broken.php").write_text("<?php echo $_GET if ( { {{")
         (tmp_path / "other.php").write_text(
             "<?php echo $_GET['x'];")
         for jobs in (1, 2):
@@ -185,7 +187,7 @@ class TestScanScheduler:
         from repro.analysis import pipeline
 
         (tmp_path / "a.php").write_text("<?php mysql_query($_GET['q']);")
-        (tmp_path / "kill.php").write_text("<?php /* CRASH-ME */ echo 1;")
+        (tmp_path / "kill.php").write_text("<?php /* CRASH-ME */ echo $_GET['k'];")
         (tmp_path / "z.php").write_text("<?php echo $_GET['x'];")
         monkeypatch.setenv(pipeline._CRASH_ENV, "CRASH-ME")
         report = armed_wape.analyze_tree(str(tmp_path), ScanOptions(jobs=2))
@@ -215,7 +217,11 @@ class TestResultCache:
 
         scheduler = ScanScheduler(armed_wape._config_groups(), tool_version=armed_wape.version, options=ScanOptions(jobs=1, cache_dir=cache))
         results = scheduler.scan_tree(corpus_tree)
-        assert scheduler.cache.hits == len(results)
+        # every file the prefilter let through is a hit; skipped files
+        # never enter (or probe) the cache in either run
+        assert scheduler.prefilter_stats is not None
+        assert scheduler.cache.hits == \
+            scheduler.prefilter_stats.sink_bearing
         assert scheduler.cache.misses == 0
 
         warm = armed_wape.analyze_tree(corpus_tree, ScanOptions(jobs=1, cache_dir=cache))

@@ -246,7 +246,9 @@ class TestScanTracing:
 
     def test_metrics_counters_from_scan(self, tool, tmp_path):
         _write_app(tmp_path)
-        (tmp_path / "bad.php").write_text("<?php if ( { {{")
+        # sink + source markers keep bad.php past the prefilter so its
+        # parse error still shows in the counters
+        (tmp_path / "bad.php").write_text("<?php echo $_GET if ( { {{")
         telemetry = Telemetry()
         tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
         counters = telemetry.metrics.snapshot()["counters"]
@@ -288,7 +290,7 @@ class TestScanHealth:
         assert (cache.misses, cache.evictions) == (2, 1)
 
     def test_parse_error_diagnosable_from_json(self, tool, tmp_path):
-        (tmp_path / "bad.php").write_text("<?php if ( { {{")
+        (tmp_path / "bad.php").write_text("<?php echo $_GET if ( { {{")
         (tmp_path / "ok.php").write_text("<?php echo 1;")
         telemetry = Telemetry()
         report = tool.analyze_tree(str(tmp_path), ScanOptions(jobs=1, telemetry=telemetry))
@@ -304,7 +306,7 @@ class TestScanHealth:
     def test_worker_crash_logged_with_file_and_cause(
             self, tool, tmp_path, monkeypatch):
         (tmp_path / "a.php").write_text("<?php mysql_query($_GET['q']);")
-        (tmp_path / "kill.php").write_text("<?php /* DIE-NOW */ echo 1;")
+        (tmp_path / "kill.php").write_text("<?php /* DIE-NOW */ echo $_GET['k'];")
         (tmp_path / "z.php").write_text("<?php echo $_GET['x'];")
         monkeypatch.setenv(pipeline._CRASH_ENV, "DIE-NOW")
         telemetry = Telemetry()
@@ -389,7 +391,7 @@ class TestCliTelemetry:
         trace_out = tmp_path / "t.json"
         metrics_out = tmp_path / "m.prom"
         proc = subprocess.run(
-            [sys.executable, "-m", "repro", "--jobs", "1", "--no-cache",
+            [sys.executable, "-m", "repro", "scan", "--jobs", "1", "--no-cache",
              "--stats", "--trace-out", str(trace_out),
              "--metrics-out", str(metrics_out), str(app)],
             capture_output=True, text=True)
@@ -408,7 +410,7 @@ class TestCliTelemetry:
         app.mkdir()
         (app / "a.php").write_text("<?php echo $_GET['x'];")
         proc = subprocess.run(
-            [sys.executable, "-m", "repro", "--jobs", "1", "--no-cache",
+            [sys.executable, "-m", "repro", "scan", "--jobs", "1", "--no-cache",
              "--stats", "--json", str(app)],
             capture_output=True, text=True)
         doc = json.loads(proc.stdout)
